@@ -1,0 +1,484 @@
+//! The seed-and-extend alignment driver.
+
+use crate::index::{build_seed_index, SeedIndex};
+use crate::sw::ungapped_matches;
+use hipmer_contig::ContigSet;
+use hipmer_pgas::{PhaseReport, RankCtx, Team};
+use hipmer_seqio::SeqRecord;
+use std::collections::HashMap;
+
+/// merAligner configuration.
+#[derive(Clone, Debug)]
+pub struct AlignConfig {
+    /// Seed k-mer length.
+    pub seed_len: usize,
+    /// Look up every `seed_stride`-th seed position of the read (1 = all).
+    pub seed_stride: usize,
+    /// Maximum hits per seed before it is treated as repeat and skipped.
+    pub max_seed_hits: usize,
+    /// Minimum identity (matches / aligned length) to keep an alignment.
+    pub min_identity: f64,
+    /// Minimum aligned length to keep an alignment.
+    pub min_aligned: usize,
+    /// Keep at most this many alignments per read (best first).
+    pub max_alignments_per_read: usize,
+}
+
+impl AlignConfig {
+    /// Defaults for a given seed length.
+    pub fn new(seed_len: usize) -> Self {
+        AlignConfig {
+            seed_len,
+            seed_stride: 4,
+            max_seed_hits: 8,
+            min_identity: 0.92,
+            min_aligned: 30,
+            max_alignments_per_read: 4,
+        }
+    }
+}
+
+/// One read-to-contig alignment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Alignment {
+    /// Global read index (into the read slice handed to [`align_reads`]).
+    pub read: u32,
+    /// Contig id.
+    pub contig: u32,
+    /// Alignment start in the read (0-based, forward read coordinates).
+    pub read_start: u32,
+    /// Alignment end in the read (exclusive).
+    pub read_end: u32,
+    /// Alignment start in the contig.
+    pub contig_start: u32,
+    /// Alignment end in the contig (exclusive).
+    pub contig_end: u32,
+    /// `true` if the read aligns to the contig's reverse strand.
+    pub rc: bool,
+    /// Matching bases.
+    pub matches: u32,
+    /// Read length (carried for projection convenience).
+    pub read_len: u32,
+}
+
+impl Alignment {
+    /// Identity over the aligned span.
+    pub fn identity(&self) -> f64 {
+        let len = (self.read_end - self.read_start) as f64;
+        if len == 0.0 {
+            0.0
+        } else {
+            self.matches as f64 / len
+        }
+    }
+
+    /// Whether the alignment covers (nearly) the whole read.
+    pub fn is_full_length(&self, slack: u32) -> bool {
+        self.read_start <= slack && self.read_end + slack >= self.read_len
+    }
+}
+
+/// A candidate (contig, strand, diagonal) cluster during seeding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct Candidate {
+    contig: u32,
+    rc: bool,
+    /// Contig position minus read position (the diagonal), offset to stay
+    /// non-negative.
+    diag: i64,
+}
+
+/// Align one read against the contigs using the seed index.
+fn align_one(
+    ctx: &mut RankCtx,
+    index: &SeedIndex,
+    contigs: &ContigSet,
+    read: &SeqRecord,
+    read_idx: u32,
+    cfg: &AlignConfig,
+) -> Vec<Alignment> {
+    let codec = &index.codec;
+    let mut candidates: HashMap<Candidate, u32> = HashMap::new();
+
+    let mut seed_positions: Vec<(usize, hipmer_dna::Kmer)> = Vec::new();
+    for (i, (pos, km)) in codec.kmers(&read.seq).enumerate() {
+        if i % cfg.seed_stride == 0 {
+            seed_positions.push((pos, km));
+        }
+    }
+    for &(rpos, km) in &seed_positions {
+        let canon = codec.canonical(km);
+        let read_rc = canon != km; // canonical seed appears RC'd in the read
+        let Some(list) = index.table.get(ctx, &canon) else {
+            continue;
+        };
+        ctx.stats.compute(1);
+        if index.is_repeat(&list) {
+            continue;
+        }
+        for hit in &list.hits {
+            // Strand of the read relative to the contig: the seed is RC'd
+            // in the contig (hit.rc) and/or in the read (read_rc).
+            let rc = hit.rc != read_rc;
+            let diag = if rc {
+                // On the reverse strand the read position counts from the
+                // read's end.
+                hit.pos as i64 + (rpos + codec.k()) as i64
+            } else {
+                hit.pos as i64 - rpos as i64
+            };
+            *candidates
+                .entry(Candidate {
+                    contig: hit.contig,
+                    rc,
+                    diag,
+                })
+                .or_insert(0) += 1;
+        }
+    }
+
+    // Extend candidates, best-supported first.
+    let mut ordered: Vec<(Candidate, u32)> = candidates.into_iter().collect();
+    ordered.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| {
+        let ka = (a.0.contig, a.0.rc as u8, a.0.diag);
+        let kb = (b.0.contig, b.0.rc as u8, b.0.diag);
+        ka.cmp(&kb)
+    }));
+
+    let mut out: Vec<Alignment> = Vec::new();
+    for (cand, _support) in ordered.into_iter().take(2 * cfg.max_alignments_per_read) {
+        let contig = &contigs.contigs[cand.contig as usize];
+        // Fetch the contig window: one one-sided access to the contig's
+        // owner (contigs are distributed cyclically by id).
+        let owner = cand.contig as usize % ctx.topo().ranks();
+        ctx.access(owner, read.seq.len() as u64);
+
+        // Orient the read to the contig's forward strand.
+        let oriented: std::borrow::Cow<[u8]> = if cand.rc {
+            hipmer_dna::revcomp(&read.seq).into()
+        } else {
+            (&read.seq[..]).into()
+        };
+        // In forward-oriented coordinates the diagonal gives the read's
+        // start position on the contig.
+        let start = if cand.rc {
+            cand.diag - oriented.len() as i64
+        } else {
+            cand.diag
+        };
+        // Clip to contig bounds.
+        let r0 = (-start).max(0) as usize; // read offset where overlap begins
+        let c0 = start.max(0) as usize;
+        if c0 >= contig.seq.len() || r0 >= oriented.len() {
+            continue;
+        }
+        let span = (oriented.len() - r0).min(contig.seq.len() - c0);
+        if span < cfg.min_aligned {
+            continue;
+        }
+        // Fast path: ungapped comparison (substitution-only reads).
+        let (matches, aligned) = ungapped_matches(&oriented[r0..r0 + span], &contig.seq[c0..c0 + span]);
+        ctx.stats.compute(aligned as u64);
+        let identity = matches as f64 / aligned as f64;
+        // Coordinates in the oriented read / contig, possibly refined by
+        // the gapped path below.
+        let (mut ro_start, mut ro_end) = (r0, r0 + aligned);
+        let (mut co_start, mut co_end) = (c0, c0 + aligned);
+        let mut matches = matches;
+        if identity < cfg.min_identity {
+            // Gapped fallback: a small indel breaks the diagonal; banded
+            // Smith-Waterman recovers it (merAligner's extension kernel).
+            // Widen the contig window by the band so shifted tails fit.
+            let band = 8usize;
+            let cw_start = c0.saturating_sub(band);
+            let cw_end = (c0 + span + band).min(contig.seq.len());
+            let sw = crate::sw::banded_sw(
+                &oriented[r0..r0 + span],
+                &contig.seq[cw_start..cw_end],
+                &crate::sw::SwParams {
+                    band,
+                    ..crate::sw::SwParams::default()
+                },
+            );
+            ctx.stats.compute((span * band) as u64);
+            if sw.aligned < cfg.min_aligned
+                || (sw.matches as f64) < cfg.min_identity * sw.aligned as f64
+            {
+                continue;
+            }
+            ro_start = r0 + sw.a_start;
+            ro_end = r0 + sw.a_end;
+            co_start = cw_start + sw.b_start;
+            co_end = cw_start + sw.b_end;
+            matches = sw.matches;
+        } else if aligned < cfg.min_aligned {
+            continue;
+        }
+        // Convert back to forward-read coordinates.
+        let (read_start, read_end) = if cand.rc {
+            (oriented.len() - ro_end, oriented.len() - ro_start)
+        } else {
+            (ro_start, ro_end)
+        };
+        out.push(Alignment {
+            read: read_idx,
+            contig: cand.contig,
+            read_start: read_start as u32,
+            read_end: read_end as u32,
+            contig_start: co_start as u32,
+            contig_end: co_end as u32,
+            rc: cand.rc,
+            matches: matches as u32,
+            read_len: read.seq.len() as u32,
+        });
+        if out.len() >= cfg.max_alignments_per_read {
+            break;
+        }
+    }
+    // Drop alignments whose read interval is mostly contained in a better
+    // alignment to the same contig/strand (secondary diagonals of one
+    // gapped alignment).
+    out.sort_by(|a, b| b.matches.cmp(&a.matches));
+    let mut kept: Vec<Alignment> = Vec::with_capacity(out.len());
+    for a in out {
+        let contained = kept.iter().any(|k| {
+            k.contig == a.contig
+                && k.rc == a.rc
+                && a.read_start >= k.read_start.saturating_sub(5)
+                && a.read_end <= k.read_end + 5
+        });
+        if !contained {
+            kept.push(a);
+        }
+    }
+    let mut out = kept;
+    // Deterministic order, best first.
+    out.sort_by(|a, b| {
+        b.matches
+            .cmp(&a.matches)
+            .then_with(|| (a.contig, a.contig_start).cmp(&(b.contig, b.contig_start)))
+    });
+    out
+}
+
+/// Align all reads against the contigs. Returns alignments sorted by
+/// (read, contig, position) plus the phase report (index build included).
+pub fn align_reads(
+    team: &Team,
+    contigs: &ContigSet,
+    reads: &[SeqRecord],
+    cfg: &AlignConfig,
+) -> (Vec<Alignment>, Vec<PhaseReport>) {
+    let (index, index_report) = build_seed_index(team, contigs, cfg.seed_len, cfg.max_seed_hits);
+
+    let (chunks, mut stats) = team.run(|ctx| {
+        let range = ctx.chunk(reads.len());
+        let mut out = Vec::new();
+        for ri in range {
+            out.extend(align_one(ctx, &index, contigs, &reads[ri], ri as u32, cfg));
+        }
+        out
+    });
+    index.table.drain_service_into(&mut stats);
+    let mut alignments: Vec<Alignment> = chunks.into_iter().flatten().collect();
+    alignments.sort_by_key(|a| (a.read, a.contig, a.contig_start));
+    (
+        alignments,
+        vec![
+            index_report,
+            PhaseReport::new("scaffold/meraligner-align", *team.topo(), stats),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipmer_dna::{revcomp, KmerCodec};
+    use hipmer_pgas::Topology;
+
+    fn lcg(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(13);
+                b"ACGT"[(x >> 60) as usize % 4]
+            })
+            .collect()
+    }
+
+    fn one_contig_set(seq: Vec<u8>) -> ContigSet {
+        ContigSet::from_sequences(KmerCodec::new(21), vec![seq])
+    }
+
+    fn read(id: &str, seq: Vec<u8>) -> SeqRecord {
+        SeqRecord::with_uniform_quality(id, seq, 35)
+    }
+
+    #[test]
+    fn exact_read_aligns_full_length_at_right_position() {
+        let genome = lcg(500, 3);
+        let contigs = one_contig_set(genome.clone());
+        let team = Team::new(Topology::new(2, 2));
+        let r = read("r0", genome[100..200].to_vec());
+        let (alns, _) = align_reads(&team, &contigs, &[r], &AlignConfig::new(15));
+        assert_eq!(alns.len(), 1);
+        let a = &alns[0];
+        assert_eq!(a.contig_start, 100);
+        assert_eq!(a.contig_end, 200);
+        assert!(!a.rc);
+        assert_eq!(a.matches, 100);
+        assert!(a.is_full_length(0));
+        assert!((a.identity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reverse_strand_read_is_found() {
+        let genome = lcg(500, 5);
+        let contigs = one_contig_set(genome.clone());
+        let team = Team::new(Topology::new(2, 2));
+        let r = read("r0", revcomp(&genome[250..350]));
+        let (alns, _) = align_reads(&team, &contigs, &[r], &AlignConfig::new(15));
+        assert_eq!(alns.len(), 1);
+        let a = &alns[0];
+        assert!(a.rc);
+        assert_eq!(a.contig_start, 250);
+        assert_eq!(a.contig_end, 350);
+        assert_eq!(a.matches, 100);
+    }
+
+    #[test]
+    fn read_with_errors_still_aligns() {
+        let genome = lcg(400, 7);
+        let contigs = one_contig_set(genome.clone());
+        let team = Team::new(Topology::new(1, 1));
+        let mut seq = genome[50..150].to_vec();
+        seq[10] ^= 6; // mutate two bases (xor keeps it in ACGT alphabet? no)
+        seq[10] = if seq[10] == b'A' { b'C' } else { b'A' };
+        seq[70] = if seq[70] == b'G' { b'T' } else { b'G' };
+        let (alns, _) = align_reads(&team, &contigs, &[read("r", seq)], &AlignConfig::new(15));
+        assert_eq!(alns.len(), 1);
+        assert!(alns[0].matches >= 98);
+    }
+
+    #[test]
+    fn read_overhanging_contig_end_is_clipped() {
+        let genome = lcg(300, 9);
+        let contigs = one_contig_set(genome.clone());
+        let team = Team::new(Topology::new(1, 1));
+        // Read starts 40 bases before the contig end: 40 aligned, 60 hang.
+        let mut seq = genome[260..300].to_vec();
+        seq.extend(lcg(60, 77)); // random tail off the contig
+        let (alns, _) = align_reads(&team, &contigs, &[read("r", seq)], &AlignConfig::new(15));
+        assert_eq!(alns.len(), 1);
+        let a = &alns[0];
+        assert_eq!(a.read_start, 0);
+        assert_eq!(a.read_end, 40);
+        assert_eq!(a.contig_start, 260);
+        assert_eq!(a.contig_end, 300);
+        assert!(!a.is_full_length(5));
+    }
+
+    #[test]
+    fn read_spanning_two_contigs_aligns_to_both() {
+        // Two contigs that are adjacent in the genome; a read across the
+        // junction must produce one clipped alignment per contig (the
+        // splint signal of §4.5).
+        let g1 = lcg(200, 11);
+        let g2 = lcg(200, 13);
+        let contigs = ContigSet::from_sequences(KmerCodec::new(21), vec![g1.clone(), g2.clone()]);
+        let team = Team::new(Topology::new(2, 2));
+        let mut junction = g1[150..].to_vec();
+        junction.extend_from_slice(&g2[..50]);
+        let (alns, _) = align_reads(
+            &team,
+            &contigs,
+            &[read("r", junction)],
+            &AlignConfig::new(15),
+        );
+        assert_eq!(alns.len(), 2, "got {alns:?}");
+        let contigs_hit: Vec<u32> = alns.iter().map(|a| a.contig).collect();
+        assert_eq!(contigs_hit.len(), 2);
+        assert_ne!(contigs_hit[0], contigs_hit[1]);
+        for a in &alns {
+            assert_eq!(a.matches, 50);
+        }
+    }
+
+    #[test]
+    fn unrelated_read_does_not_align() {
+        let contigs = one_contig_set(lcg(300, 15));
+        let team = Team::new(Topology::new(1, 1));
+        let (alns, _) = align_reads(
+            &team,
+            &contigs,
+            &[read("r", lcg(100, 999))],
+            &AlignConfig::new(15),
+        );
+        assert!(alns.is_empty(), "{alns:?}");
+    }
+
+    #[test]
+    fn alignments_deterministic_across_rank_counts() {
+        let genome = lcg(1000, 17);
+        let contigs = one_contig_set(genome.clone());
+        let reads: Vec<SeqRecord> = (0..20)
+            .map(|i| read(&format!("r{i}"), genome[i * 40..i * 40 + 100].to_vec()))
+            .collect();
+        let run = |ranks: usize| {
+            let team = Team::new(Topology::new(ranks, 4));
+            align_reads(&team, &contigs, &reads, &AlignConfig::new(15)).0
+        };
+        assert_eq!(run(1), run(8));
+    }
+}
+
+#[cfg(test)]
+mod gapped_tests {
+    use super::*;
+    use hipmer_contig::ContigSet;
+    use hipmer_dna::KmerCodec;
+    use hipmer_pgas::{Team, Topology};
+
+    fn lcg(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(19);
+                b"ACGT"[(x >> 60) as usize % 4]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn read_with_deletion_aligns_via_gapped_path() {
+        let genome = lcg(500, 21);
+        let contigs = ContigSet::from_sequences(KmerCodec::new(21), vec![genome.clone()]);
+        let team = Team::new(Topology::new(1, 1));
+        // Read = genome[100..201] with one base deleted in the middle.
+        let mut seq = genome[100..201].to_vec();
+        seq.remove(50);
+        let r = hipmer_seqio::SeqRecord::with_uniform_quality("del", seq, 35);
+        let (alns, _) = align_reads(&team, &contigs, &[r], &AlignConfig::new(15));
+        assert_eq!(alns.len(), 1, "{alns:?}");
+        let a = &alns[0];
+        // 100 read bases aligned over 101 contig bases with 100 matches.
+        assert!(a.matches >= 98, "matches {}", a.matches);
+        assert!(a.contig_end - a.contig_start >= 99);
+        assert!(a.identity() > 0.9);
+    }
+
+    #[test]
+    fn read_with_insertion_aligns_via_gapped_path() {
+        let genome = lcg(500, 23);
+        let contigs = ContigSet::from_sequences(KmerCodec::new(21), vec![genome.clone()]);
+        let team = Team::new(Topology::new(1, 1));
+        let mut seq = genome[200..300].to_vec();
+        seq.insert(40, b'A');
+        seq.insert(41, b'C');
+        let r = hipmer_seqio::SeqRecord::with_uniform_quality("ins", seq, 35);
+        let (alns, _) = align_reads(&team, &contigs, &[r], &AlignConfig::new(15));
+        assert_eq!(alns.len(), 1, "{alns:?}");
+        assert!(alns[0].matches >= 95, "matches {}", alns[0].matches);
+    }
+}

@@ -1,0 +1,227 @@
+//! Banded Smith–Waterman alignment.
+//!
+//! The extension kernel of merAligner and the "patching" step of gap
+//! closing. The band keeps the kernel O(n·band) — reads differ from
+//! contigs by substitutions and the occasional small indel, so a narrow
+//! band loses nothing.
+
+/// Scoring parameters (match bonus is positive; penalties are negative).
+#[derive(Clone, Copy, Debug)]
+pub struct SwParams {
+    /// Score for a matching base pair.
+    pub mat: i32,
+    /// Score for a mismatch.
+    pub mis: i32,
+    /// Gap (insertion/deletion) penalty, linear.
+    pub gap: i32,
+    /// Band half-width: cells with |i - j| > band are never filled.
+    pub band: usize,
+}
+
+impl Default for SwParams {
+    fn default() -> Self {
+        SwParams {
+            mat: 1,
+            mis: -2,
+            gap: -3,
+            band: 8,
+        }
+    }
+}
+
+/// The result of a banded local alignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwResult {
+    /// Best local score.
+    pub score: i32,
+    /// Start position in `a` (inclusive) of the best local path.
+    pub a_start: usize,
+    /// End position in `a` (exclusive) of the best cell.
+    pub a_end: usize,
+    /// Start position in `b` (inclusive).
+    pub b_start: usize,
+    /// End position in `b` (exclusive).
+    pub b_end: usize,
+    /// Matching bases on the best path.
+    pub matches: usize,
+    /// Aligned length on the best path (matches + mismatches + gaps).
+    pub aligned: usize,
+}
+
+/// Banded local (Smith–Waterman) alignment of `a` vs `b`.
+///
+/// Returns the best-scoring local alignment confined to the band around
+/// the main diagonal. O(|a|·band) time, O(band) additional memory beyond
+/// the traceback matrix (kept dense here for clarity — sequences in this
+/// pipeline are reads and gap flanks, i.e. small).
+pub fn banded_sw(a: &[u8], b: &[u8], p: &SwParams) -> SwResult {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return SwResult {
+            score: 0,
+            a_start: 0,
+            a_end: 0,
+            b_start: 0,
+            b_end: 0,
+            matches: 0,
+            aligned: 0,
+        };
+    }
+    let w = p.band as isize;
+    // Dense DP with traceback; band enforced by skipping cells.
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    let mut h = vec![0i32; (n + 1) * (m + 1)];
+    // Traceback codes: 0 stop, 1 diag, 2 up (gap in b), 3 left (gap in a).
+    let mut tb = vec![0u8; (n + 1) * (m + 1)];
+    let mut best = (0i32, 0usize, 0usize);
+
+    for i in 1..=n {
+        let j_lo = ((i as isize - w).max(1)) as usize;
+        let j_hi = ((i as isize + w).min(m as isize)) as usize;
+        for j in j_lo..=j_hi {
+            let diag = h[idx(i - 1, j - 1)]
+                + if a[i - 1] == b[j - 1] { p.mat } else { p.mis };
+            let up = if (i as isize - 1 - j as isize).abs() <= w {
+                h[idx(i - 1, j)] + p.gap
+            } else {
+                i32::MIN / 2
+            };
+            let left = if (i as isize - (j as isize - 1)).abs() <= w {
+                h[idx(i, j - 1)] + p.gap
+            } else {
+                i32::MIN / 2
+            };
+            let (score, dir) = [(diag, 1u8), (up, 2), (left, 3), (0, 0)]
+                .into_iter()
+                .max_by_key(|(s, _)| *s)
+                .unwrap();
+            h[idx(i, j)] = score;
+            tb[idx(i, j)] = dir;
+            if score > best.0 {
+                best = (score, i, j);
+            }
+        }
+    }
+
+    // Traceback for match/length statistics.
+    let (score, mut i, mut j) = best;
+    let (a_end, b_end) = (i, j);
+    let mut matches = 0usize;
+    let mut aligned = 0usize;
+    while i > 0 && j > 0 {
+        match tb[idx(i, j)] {
+            1 => {
+                if a[i - 1] == b[j - 1] {
+                    matches += 1;
+                }
+                aligned += 1;
+                i -= 1;
+                j -= 1;
+            }
+            2 => {
+                aligned += 1;
+                i -= 1;
+            }
+            3 => {
+                aligned += 1;
+                j -= 1;
+            }
+            _ => break,
+        }
+    }
+    SwResult {
+        score,
+        a_start: i,
+        a_end,
+        b_start: j,
+        b_end,
+        matches,
+        aligned,
+    }
+}
+
+/// Ungapped extension: compare `a` and `b` position-by-position and return
+/// (matches, length). The fast path for substitution-only reads.
+pub fn ungapped_matches(a: &[u8], b: &[u8]) -> (usize, usize) {
+    let len = a.len().min(b.len());
+    let matches = a[..len]
+        .iter()
+        .zip(&b[..len])
+        .filter(|(x, y)| x == y)
+        .count();
+    (matches, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_score_full() {
+        let r = banded_sw(b"ACGTACGT", b"ACGTACGT", &SwParams::default());
+        assert_eq!(r.score, 8);
+        assert_eq!(r.matches, 8);
+        assert_eq!(r.aligned, 8);
+        assert_eq!((r.a_start, r.a_end, r.b_start, r.b_end), (0, 8, 0, 8));
+    }
+
+    #[test]
+    fn single_mismatch() {
+        let r = banded_sw(b"ACGTACGT", b"ACGTTCGT", &SwParams::default());
+        assert_eq!(r.matches, 7);
+        assert_eq!(r.aligned, 8);
+        assert_eq!(r.score, 7 - 2);
+    }
+
+    #[test]
+    fn single_deletion_within_band() {
+        // b is a with one base deleted.
+        let r = banded_sw(b"ACGTTACGGT", b"ACGTACGGT", &SwParams::default());
+        assert_eq!(r.matches, 9);
+        assert_eq!(r.aligned, 10); // 9 matches + 1 gap
+        assert_eq!(r.score, 9 - 3);
+    }
+
+    #[test]
+    fn local_alignment_ignores_bad_prefix() {
+        // Shared core "ACGTACGTAC", junk around it.
+        let r = banded_sw(b"TTTTACGTACGTAC", b"GGGGACGTACGTAC", &SwParams::default());
+        assert!(r.matches >= 10, "found only {} matches", r.matches);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let r = banded_sw(b"", b"ACGT", &SwParams::default());
+        assert_eq!(r.score, 0);
+        assert_eq!(r.aligned, 0);
+    }
+
+    #[test]
+    fn band_limits_shift() {
+        // A 12-base offset exceeds band 4: the aligner cannot bridge it and
+        // finds at best a short local match.
+        let a = b"AAAAAAAAAAAAACGTACGTCCC";
+        let b = b"ACGTACGTCCC";
+        let narrow = banded_sw(a, b, &SwParams { band: 4, ..SwParams::default() });
+        let wide = banded_sw(a, b, &SwParams { band: 16, ..SwParams::default() });
+        assert!(wide.matches > narrow.matches);
+        assert!(wide.matches >= 11);
+    }
+
+    #[test]
+    fn ungapped_counts() {
+        assert_eq!(ungapped_matches(b"ACGT", b"ACGA"), (3, 4));
+        assert_eq!(ungapped_matches(b"ACGTAA", b"ACGT"), (4, 4));
+        assert_eq!(ungapped_matches(b"", b""), (0, 0));
+    }
+
+    #[test]
+    fn sw_is_symmetric_for_substitutions() {
+        let a = b"ACGTTGCAAG";
+        let b = b"ACGATGCAAG";
+        let r1 = banded_sw(a, b, &SwParams::default());
+        let r2 = banded_sw(b, a, &SwParams::default());
+        assert_eq!(r1.score, r2.score);
+        assert_eq!(r1.matches, r2.matches);
+    }
+}

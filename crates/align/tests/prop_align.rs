@@ -1,0 +1,71 @@
+//! Property tests for the alignment kernels.
+
+use hipmer_align::{banded_sw, ungapped_matches, SwParams};
+use hipmer_dna::BASES;
+use proptest::prelude::*;
+
+fn dna(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(&BASES[..]), len)
+}
+
+proptest! {
+    #[test]
+    fn score_bounded_by_match_count(a in dna(1..120), b in dna(1..120)) {
+        let p = SwParams::default();
+        let r = banded_sw(&a, &b, &p);
+        prop_assert!(r.score <= (a.len().min(b.len()) as i32) * p.mat);
+        prop_assert!(r.score >= 0);
+        prop_assert!(r.matches <= r.aligned);
+        prop_assert!(r.a_end <= a.len());
+        prop_assert!(r.b_end <= b.len());
+    }
+
+    #[test]
+    fn self_alignment_is_perfect(a in dna(1..150)) {
+        let p = SwParams::default();
+        let r = banded_sw(&a, &a, &p);
+        prop_assert_eq!(r.score, a.len() as i32 * p.mat);
+        prop_assert_eq!(r.matches, a.len());
+        prop_assert_eq!(r.aligned, a.len());
+    }
+
+    #[test]
+    fn substitutions_only_score_is_symmetric(
+        a in dna(10..100),
+        positions in prop::collection::vec(0usize..100, 0..5),
+    ) {
+        let mut b = a.clone();
+        for &p in &positions {
+            if p < b.len() {
+                b[p] = if b[p] == b'A' { b'C' } else { b'A' };
+            }
+        }
+        let params = SwParams::default();
+        let r1 = banded_sw(&a, &b, &params);
+        let r2 = banded_sw(&b, &a, &params);
+        prop_assert_eq!(r1.score, r2.score);
+        prop_assert_eq!(r1.matches, r2.matches);
+    }
+
+    #[test]
+    fn few_substitutions_alignment_found(a in dna(40..120), pos in 0usize..200, alt in 0usize..4) {
+        let mut b = a.clone();
+        if pos < b.len() {
+            b[pos] = BASES[alt];
+        }
+        let mismatches = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        let r = banded_sw(&a, &b, &SwParams::default());
+        // At most one substitution: alignment must recover all matches.
+        prop_assert!(r.matches >= a.len() - mismatches - 2,
+            "matches {} of {} (mismatches {})", r.matches, a.len(), mismatches);
+    }
+
+    #[test]
+    fn ungapped_matches_bounds(a in dna(0..100), b in dna(0..100)) {
+        let (m, len) = ungapped_matches(&a, &b);
+        prop_assert_eq!(len, a.len().min(b.len()));
+        prop_assert!(m <= len);
+        let (m2, _) = ungapped_matches(&b, &a);
+        prop_assert_eq!(m, m2);
+    }
+}

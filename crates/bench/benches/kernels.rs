@@ -1,0 +1,145 @@
+//! Criterion microbenchmarks of the single-node kernels: real wall-clock
+//! numbers for the primitives the cost model abstracts (packed k-mer ops,
+//! hashing, Bloom/Misra–Gries streaming, the Smith–Waterman extension,
+//! and distributed-hash-table operations).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hipmer_align::{banded_sw, SwParams};
+use hipmer_dna::{mix128, Kmer, KmerCodec};
+use hipmer_pgas::{DistHashMap, RankCtx, Team, Topology};
+use hipmer_sketch::{BloomFilter, HyperLogLog, MisraGries};
+
+fn lcg_seq(len: usize, mut x: u64) -> Vec<u8> {
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(9);
+            b"ACGT"[(x >> 60) as usize % 4]
+        })
+        .collect()
+}
+
+fn bench_kmers(c: &mut Criterion) {
+    let codec = KmerCodec::new(31);
+    let seq = lcg_seq(100_000, 1);
+    let mut g = c.benchmark_group("kmer");
+    g.throughput(Throughput::Elements((seq.len() - 30) as u64));
+    g.bench_function("pack_iterate_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (_, km) in codec.kmers(&seq) {
+                acc ^= km.bits() as u64;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("canonicalize_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (_, km) in codec.kmers(&seq) {
+                acc ^= codec.canonical(km).bits() as u64;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_hash_and_sketches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sketch");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("mix128_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..100_000u128 {
+                acc ^= mix128(black_box(i));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("bloom_insert_100k", |b| {
+        b.iter(|| {
+            let mut f = BloomFilter::with_rate(100_000, 0.05);
+            for i in 0..100_000u64 {
+                f.insert(hipmer_dna::mix64(i));
+            }
+            black_box(f.inserted())
+        })
+    });
+    g.bench_function("hll_observe_100k", |b| {
+        b.iter(|| {
+            let mut h = HyperLogLog::new(14);
+            for i in 0..100_000u64 {
+                h.observe(hipmer_dna::mix64(i));
+            }
+            black_box(h.estimate())
+        })
+    });
+    g.bench_function("misra_gries_100k_theta1k", |b| {
+        b.iter(|| {
+            let mut mg: MisraGries<u64> = MisraGries::new(1_000);
+            for i in 0..100_000u64 {
+                mg.observe(i % 7_919);
+            }
+            black_box(mg.stream_len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_sw(c: &mut Criterion) {
+    let a = lcg_seq(200, 3);
+    let mut b2 = a.clone();
+    b2[50] = b'A';
+    b2[150] = b'C';
+    let mut g = c.benchmark_group("align");
+    g.bench_function("banded_sw_200bp", |b| {
+        b.iter(|| black_box(banded_sw(&a, &b2, &SwParams::default())))
+    });
+    g.finish();
+}
+
+fn bench_dht(c: &mut Criterion) {
+    let topo = Topology::new(16, 8);
+    let _team = Team::new(topo);
+    let mut g = c.benchmark_group("dht");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("update_10k", |b| {
+        b.iter(|| {
+            let dht: DistHashMap<Kmer, u32> = DistHashMap::new(topo);
+            let mut ctx = RankCtx::new(0, topo);
+            for i in 0..10_000u128 {
+                dht.update(&mut ctx, Kmer(i), || 0, |v| *v += 1);
+            }
+            black_box(dht.len())
+        })
+    });
+    g.bench_function("get_10k", |b| {
+        let dht: DistHashMap<Kmer, u32> = DistHashMap::new(topo);
+        let mut ctx = RankCtx::new(0, topo);
+        for i in 0..10_000u128 {
+            dht.insert(&mut ctx, Kmer(i), i as u32);
+        }
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u128 {
+                acc += dht.get(&mut ctx, &Kmer(i)).unwrap_or(0) as u64;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_kmers, bench_hash_and_sketches, bench_sw, bench_dht
+}
+criterion_main!(benches);

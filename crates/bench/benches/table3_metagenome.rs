@@ -1,0 +1,99 @@
+//! Table 3: k-mer analysis and contig generation on the wetlands
+//! metagenome at 10K and 20K cores (§5.4).
+//!
+//! Shapes to reproduce:
+//! * k-mer analysis and contig generation both scale from 10K to 20K;
+//! * file I/O is flat (saturated at both concurrencies);
+//! * the k-mer spectrum is much flatter than a single genome's — the
+//!   paper reports only 36% singleton k-mers (vs 95% for human), which
+//!   weakens the Bloom filter's memory savings;
+//! * scaffolding is skipped (single-genome logic would mis-scaffold a
+//!   metagenome).
+
+use hipmer_bench::{banner, fast, model, phase_seconds, scaled};
+use hipmer_contig::{generate_contigs, ContigConfig};
+use hipmer_kanalysis::{analyze_kmers, KmerAnalysisConfig};
+use hipmer_pgas::{CommStats, RankCtx, Team, Topology};
+use hipmer_readsim::{human_like_dataset, metagenome_dataset};
+
+fn main() {
+    banner(
+        "Table 3",
+        "metagenome k-mer analysis + contig generation at 10K/20K cores",
+    );
+    let total_len = scaled(600_000);
+    let species = 60;
+    let dataset = metagenome_dataset(total_len, species, 10.0, true, 31_337);
+    let reads = dataset.all_reads();
+    let read_bytes = 2 * dataset.total_read_bases() as u64;
+    println!(
+        "community: {} species, {} bp total, {} reads",
+        species,
+        dataset.total_genome_bases(),
+        reads.len()
+    );
+
+    let k = 31;
+    let m = model();
+    // Paper: 10K and 20K cores on 1.25 Tbase. Same one-doubling contrast
+    // at a concurrency matched to our data volume.
+    let concurrencies: Vec<usize> = if fast() { vec![128, 256] } else { vec![128, 256] };
+
+    println!(
+        "\n{:>7} {:>16} {:>18} {:>10}",
+        "cores", "k-mer analysis", "contig generation", "file I/O"
+    );
+    let mut spectra_singleton = None;
+    for &ranks in &concurrencies {
+        let team = Team::new(Topology::edison(ranks));
+        let (spectrum, kreports) = analyze_kmers(&team, &reads, &KmerAnalysisConfig::new(k));
+        let (_contigs, creports) = generate_contigs(&team, &spectrum, &ContigConfig::new(k));
+        let kmer_s = phase_seconds(&kreports, "kmer-analysis");
+        let contig_s = phase_seconds(&creports, "contig");
+        let topo = Topology::edison(ranks);
+        let per = read_bytes / ranks as u64;
+        let io_stats: Vec<CommStats> = (0..ranks)
+            .map(|_| CommStats {
+                io_read_bytes: per,
+                ..CommStats::default()
+            })
+            .collect();
+        let io_s = m.io_seconds(&topo, &io_stats);
+        println!("{:>7} {:>16.3} {:>18.3} {:>10.3}", ranks, kmer_s, contig_s, io_s);
+
+        if spectra_singleton.is_none() {
+            let mut ctx0 = RankCtx::new(0, topo);
+            let mut hist = spectrum.count_histogram(&mut ctx0, 1000);
+            for r in 1..ranks.min(64) {
+                let mut ctx = RankCtx::new(r, topo);
+                hist.merge(&spectrum.count_histogram(&mut ctx, 1000));
+            }
+            spectra_singleton = Some(hist);
+        }
+    }
+
+    // Spectrum-shape commentary: metagenome vs a single genome at the same
+    // coverage. (Counts below min_count were already dropped, so compare
+    // the low-count mass: metagenome has far more barely-covered k-mers.)
+    if let Some(meta_hist) = spectra_singleton {
+        let human = human_like_dataset(total_len / 2, 10.0, true, 31_338);
+        let team = Team::new(Topology::single_node(8));
+        let (spectrum_h, _) = analyze_kmers(&team, &human.all_reads(), &KmerAnalysisConfig::new(k));
+        let mut hist_h = spectrum_h.count_histogram(&mut RankCtx::new(0, *team.topo()), 1000);
+        for r in 1..8 {
+            hist_h.merge(&spectrum_h.count_histogram(&mut RankCtx::new(r, *team.topo()), 1000));
+        }
+        let low_mass = |h: &hipmer_sketch::CountHistogram| -> f64 {
+            let low: u64 = (0..=3u64).map(|v| h.bin(v).unwrap_or(0)).sum();
+            low as f64 / h.count().max(1) as f64
+        };
+        println!(
+            "\nspectrum shape: metagenome low-count (<=3) k-mer fraction {:.1}% vs human-like {:.1}%",
+            100.0 * low_mass(&meta_hist),
+            100.0 * low_mass(&hist_h)
+        );
+        println!("(paper: 36% of metagenome k-mers are singletons vs 95% for human,");
+        println!(" so Bloom filters save much less memory on metagenomes)");
+    }
+    println!("\npaper Table 3: 776/525s k-mer analysis, 47.8/31.0s contigs, ~93/95s flat I/O at 10K/20K.");
+}

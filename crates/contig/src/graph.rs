@@ -1,0 +1,149 @@
+//! De Bruijn graph construction in a distributed hash table.
+
+use hipmer_dna::{ExtensionPair, Kmer, KmerCodec};
+use hipmer_kanalysis::KmerSpectrum;
+use hipmer_pgas::{DistHashMap, Placement, PhaseReport, Team};
+
+/// A graph vertex: one UU k-mer with its unique extensions.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphNode {
+    /// Extension decision in canonical orientation (always `is_uu()` for
+    /// vertices admitted to the graph).
+    pub exts: ExtensionPair,
+    /// Exact k-mer count, carried along for contig depth.
+    pub count: u32,
+    /// Claim flag for the traversal's lightweight synchronization: set
+    /// when a subcontig has consumed this vertex (also used as the
+    /// visited mark by the endpoint-walk and cycle passes).
+    pub visited: bool,
+}
+
+/// The distributed de Bruijn graph.
+pub struct DebruijnGraph {
+    /// Canonical UU k-mer → node.
+    pub nodes: DistHashMap<Kmer, GraphNode>,
+    /// K-mer codec.
+    pub codec: KmerCodec,
+}
+
+/// Build the graph from a finished k-mer spectrum, placing vertices with
+/// `placement` ([`Placement::Cyclic`] for the baseline; an oracle placement
+/// for the communication-avoiding traversal).
+///
+/// Only UU k-mers become vertices (§2: "for k-mers where the extensions
+/// are [unique] in both directions"). Each rank streams its local spectrum
+/// shard into the graph table; with cyclic→cyclic placement this is mostly
+/// rank-local, while an oracle placement reshuffles vertices to their
+/// contig's rank (paying the one-time movement the paper folds into graph
+/// construction).
+pub fn build_graph(
+    team: &Team,
+    spectrum: &KmerSpectrum,
+    placement: Placement,
+) -> (DebruijnGraph, PhaseReport) {
+    let nodes: DistHashMap<Kmer, GraphNode> =
+        DistHashMap::with_placement(*team.topo(), placement);
+
+    let (_, mut stats) = team.run(|ctx| {
+        let mut uu: Vec<(Kmer, GraphNode)> = Vec::new();
+        spectrum.table.fold_local(ctx, (), |(), km, entry| {
+            if entry.exts.is_uu() {
+                uu.push((
+                    *km,
+                    GraphNode {
+                        exts: entry.exts,
+                        count: entry.count,
+                        visited: false,
+                    },
+                ));
+            }
+        });
+        for (km, node) in uu {
+            nodes.insert(ctx, km, node);
+        }
+    });
+    nodes.drain_service_into(&mut stats);
+    let report = PhaseReport::new("contig/graph-build", *team.topo(), stats);
+    (
+        DebruijnGraph {
+            nodes,
+            codec: spectrum.codec,
+        },
+        report,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipmer_dna::{ExtChoice, ExtVotes};
+    use hipmer_kanalysis::KmerEntry;
+    use hipmer_pgas::{RankCtx, Topology};
+
+    /// Build a spectrum by hand from (kmer string, left, right) triples.
+    fn spectrum_from(
+        topo: Topology,
+        k: usize,
+        entries: &[(&str, ExtChoice, ExtChoice)],
+    ) -> KmerSpectrum {
+        let codec = KmerCodec::new(k);
+        let table = DistHashMap::new(topo);
+        let mut ctx = RankCtx::new(0, topo);
+        for (s, l, r) in entries {
+            let km = codec.pack(s.as_bytes()).unwrap();
+            let canon = codec.canonical(km);
+            // Re-orient the given (forward-sense) extensions to canonical.
+            let fwd = ExtensionPair { left: *l, right: *r };
+            let exts = if canon == km { fwd } else { fwd.flip() };
+            table.insert(
+                &mut ctx,
+                canon,
+                KmerEntry { count: 3, exts },
+            );
+        }
+        let _ = ExtVotes::new();
+        KmerSpectrum { codec, table }
+    }
+
+    #[test]
+    fn only_uu_kmers_become_vertices() {
+        let topo = Topology::new(2, 2);
+        let team = Team::new(topo);
+        let spectrum = spectrum_from(
+            topo,
+            3,
+            &[
+                // Distinct canonical 3-mers (note CGT canonicalizes to ACG,
+                // so it must not be reused here).
+                ("ACG", ExtChoice::Unique(3), ExtChoice::Unique(0)), // UU
+                ("CCG", ExtChoice::Fork, ExtChoice::Unique(1)),      // FU
+                ("GTA", ExtChoice::Unique(2), ExtChoice::None),      // UX
+            ],
+        );
+        let (graph, _) = build_graph(&team, &spectrum, Placement::Cyclic);
+        assert_eq!(graph.nodes.len(), 1);
+        let mut ctx = RankCtx::new(0, topo);
+        let codec = KmerCodec::new(3);
+        let acg = codec.canonical(codec.pack(b"ACG").unwrap());
+        assert!(graph.nodes.get(&mut ctx, &acg).is_some());
+    }
+
+    #[test]
+    fn custom_placement_moves_vertices() {
+        let topo = Topology::new(4, 2);
+        let team = Team::new(topo);
+        let spectrum = spectrum_from(
+            topo,
+            3,
+            &[
+                ("ACG", ExtChoice::Unique(3), ExtChoice::Unique(0)),
+                ("CCG", ExtChoice::Unique(3), ExtChoice::Unique(0)),
+                ("GCG", ExtChoice::Unique(3), ExtChoice::Unique(0)),
+            ],
+        );
+        let everything_on_3 =
+            Placement::Custom(std::sync::Arc::new(|_h| 3usize));
+        let (graph, _) = build_graph(&team, &spectrum, everything_on_3);
+        assert_eq!(graph.nodes.shard_sizes(), vec![0, 0, 0, 3]);
+    }
+}

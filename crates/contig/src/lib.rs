@@ -1,0 +1,32 @@
+//! Contig generation: distributed de Bruijn graph construction and
+//! traversal (§2 stage 2, communication-avoiding algorithm §3.2).
+//!
+//! The UU k-mers from k-mer analysis are the graph's vertices; edges are
+//! implicit in the two-letter extension code (`[ACGT][ACGT]`). The graph
+//! lives in a distributed hash table and is traversed in parallel: every
+//! extension step is one hash-table lookup, which with uniform placement is
+//! almost always remote — the O(G) message bottleneck the paper's oracle
+//! partitioning attacks.
+//!
+//! Traversal here is the *deterministic endpoint-walk* formulation: each
+//! rank scans its local shard for path endpoints (k-mers whose
+//! left-neighbor link is absent or non-mutual), walks right from each
+//! endpoint emitting one base per lookup, and a tie-break on the endpoint
+//! pair ensures every maximal path is emitted exactly once regardless of
+//! schedule. Cyclic components (no endpoints) are swept in a cleanup pass.
+//! This has the same per-extension communication profile as the paper's
+//! speculative-seed traversal (one lookup per explored vertex) while being
+//! schedule-independent, which the oracle experiments (Tables 1–2) rely on
+//! for apples-to-apples counter comparisons. A speculative-seed mode in
+//! the paper's style is provided as [`traverse::speculative`] for the
+//! ablation benches.
+
+pub mod contig_set;
+pub mod graph;
+pub mod oracle_build;
+pub mod traverse;
+
+pub use contig_set::{Contig, ContigSet};
+pub use graph::{build_graph, DebruijnGraph, GraphNode};
+pub use oracle_build::{build_oracle, build_oracle_for_k, kmer_placement_hash};
+pub use traverse::{generate_contigs, traverse_graph, ContigConfig, TraversalMode};

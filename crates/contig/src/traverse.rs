@@ -1,0 +1,926 @@
+//! Parallel de Bruijn graph traversal.
+//!
+//! Mutual unique-extension links give every vertex in-degree ≤ 1 and
+//! out-degree ≤ 1, so the graph decomposes into simple paths and cycles.
+//! The default traversal walks each path from its endpoints: every rank
+//! scans its **local** shard for endpoint vertices (the paper's "processors
+//! select traversal seeds from local buckets"), walks right one
+//! hash-table lookup per extension, and emits the contig if its endpoint
+//! pair tie-break says so — a schedule-independent way to emit each path
+//! exactly once. A cleanup pass linearizes cyclic components.
+//!
+//! [`speculative`] implements the paper's random-seed formulation (seeds
+//! claimed speculatively, duplicates resolved afterwards) for the ablation
+//! benches; both produce the identical contig set.
+
+use crate::contig_set::ContigSet;
+use crate::graph::{DebruijnGraph, GraphNode};
+use hipmer_dna::{canonical_seq, decode_base, ExtensionPair, Kmer, KmerCodec};
+use hipmer_kanalysis::KmerSpectrum;
+use hipmer_pgas::{Placement, PhaseReport, RankCtx, Team};
+
+/// Which traversal algorithm to run (ablation hook; all three emit the
+/// identical contig set).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraversalMode {
+    /// The paper's scheme: every rank seeds subcontigs from its local
+    /// buckets, claims vertices with a lightweight synchronization flag,
+    /// stops at foreign claims, and the resulting subcontig chains are
+    /// merged. Work per rank is proportional to its local vertices even
+    /// when one contig spans the whole genome.
+    Cooperative,
+    /// Deterministic endpoint walks: one walker per path endpoint (simple,
+    /// but serializes each contig onto one rank).
+    EndpointWalk,
+    /// Random local seeds with duplicate resolution by deduplication.
+    Speculative,
+}
+
+/// Traversal configuration.
+#[derive(Clone)]
+pub struct ContigConfig {
+    /// Discard contigs shorter than this many bases (default: k, the
+    /// Meraculous convention of keeping everything at least one k-mer
+    /// long).
+    pub min_contig_len: usize,
+    /// Vertex placement: cyclic (baseline) or oracle.
+    pub placement: Placement,
+    /// Traversal algorithm.
+    pub mode: TraversalMode,
+    /// Cooperative mode: cap on steps per walk before the subcontig is
+    /// closed with a boundary link (keeps per-rank work bounded).
+    pub walk_cap: usize,
+}
+
+impl ContigConfig {
+    /// Defaults for a given k.
+    pub fn new(k: usize) -> Self {
+        ContigConfig {
+            min_contig_len: k,
+            placement: Placement::Cyclic,
+            mode: TraversalMode::Cooperative,
+            walk_cap: 2048,
+        }
+    }
+}
+
+/// A k-mer in walk orientation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Oriented {
+    /// The k-mer as walked (possibly the reverse complement of canonical).
+    kmer: Kmer,
+    /// Its canonical table key.
+    canon: Kmer,
+    /// Whether `kmer != canon`.
+    flipped: bool,
+}
+
+fn orient(codec: &KmerCodec, kmer: Kmer) -> Oriented {
+    let canon = codec.canonical(kmer);
+    Oriented {
+        kmer,
+        canon,
+        flipped: canon != kmer,
+    }
+}
+
+/// A node's extensions as seen from the given orientation.
+fn exts_of(node: &GraphNode, flipped: bool) -> ExtensionPair {
+    if flipped {
+        node.exts.flip()
+    } else {
+        node.exts
+    }
+}
+
+/// Try to advance one base to the right. Returns the next oriented vertex,
+/// its node, and the appended base code — or `None` at a path end (missing
+/// neighbor or non-mutual link). Exactly one hash-table lookup.
+fn step_right(
+    graph: &DebruijnGraph,
+    ctx: &mut RankCtx,
+    cur: Oriented,
+    cur_node: &GraphNode,
+) -> Option<(Oriented, GraphNode, u8)> {
+    let codec = &graph.codec;
+    let b = exts_of(cur_node, cur.flipped).right.unique_base()?;
+    let next = orient(codec, codec.extend_right(cur.kmer, b));
+    let node = graph.nodes.get(ctx, &next.canon)?;
+    ctx.stats.compute(1);
+    // Mutual check: the next vertex's left extension must point back at the
+    // base we dropped (the current k-mer's first base).
+    if exts_of(&node, next.flipped).left.unique_base() != Some(codec.first_base(cur.kmer)) {
+        return None;
+    }
+    Some((next, node, b))
+}
+
+/// Whether the vertex has a mutual left neighbor (one lookup).
+fn has_left(graph: &DebruijnGraph, ctx: &mut RankCtx, cur: Oriented, cur_node: &GraphNode) -> bool {
+    let codec = &graph.codec;
+    let Some(b) = exts_of(cur_node, cur.flipped).left.unique_base() else {
+        return false;
+    };
+    let prev = orient(codec, codec.extend_left(cur.kmer, b));
+    let Some(pnode) = graph.nodes.get(ctx, &prev.canon) else {
+        return false;
+    };
+    ctx.stats.compute(1);
+    exts_of(&pnode, prev.flipped).right.unique_base() == Some(codec.last_base(cur.kmer))
+}
+
+/// Walk right from `start`, returning the sequence and the canonical keys
+/// of every vertex on the path (including `start`).
+fn walk_right(
+    graph: &DebruijnGraph,
+    ctx: &mut RankCtx,
+    start: Oriented,
+    start_node: GraphNode,
+) -> (Vec<u8>, Vec<Kmer>, Oriented) {
+    let codec = &graph.codec;
+    let mut seq = codec.unpack(start.kmer);
+    let mut path = vec![start.canon];
+    let mut cur = start;
+    let mut cur_node = start_node;
+    while let Some((next, node, b)) = step_right(graph, ctx, cur, &cur_node) {
+        // A walk from a true endpoint cannot revisit (in/out degree ≤ 1),
+        // but a cycle walk returns to its start; callers handle that — here
+        // we guard against it to keep linear walks finite in all cases.
+        if next.canon == start.canon {
+            break;
+        }
+        seq.push(decode_base(b));
+        path.push(next.canon);
+        cur = next;
+        cur_node = node;
+    }
+    (seq, path, cur)
+}
+
+/// Mark every vertex of an emitted path visited (one access per vertex).
+fn mark_visited(graph: &DebruijnGraph, ctx: &mut RankCtx, path: &[Kmer]) {
+    for km in path {
+        graph.nodes.with_mut(ctx, km, |slot| {
+            if let Some(node) = slot {
+                node.visited = true;
+            }
+        });
+    }
+}
+
+/// One step of the claiming walk.
+enum ClaimStep {
+    /// The next vertex was free and is now ours.
+    Claimed(Oriented, GraphNode, u8),
+    /// The next vertex exists but belongs to another subcontig: record the
+    /// boundary (its canonical key) and stop.
+    Boundary(Kmer),
+    /// Natural path end (missing vertex or non-mutual link).
+    End,
+}
+
+/// Advance one base, claiming the next vertex in the same access that
+/// reads it (one one-sided operation per explored vertex, as in the
+/// paper).
+fn step_claim(
+    graph: &DebruijnGraph,
+    ctx: &mut RankCtx,
+    cur: Oriented,
+    cur_node: &GraphNode,
+) -> ClaimStep {
+    let codec = graph.codec;
+    let Some(b) = exts_of(cur_node, cur.flipped).right.unique_base() else {
+        return ClaimStep::End;
+    };
+    let next = orient(&codec, codec.extend_right(cur.kmer, b));
+    let first_base = codec.first_base(cur.kmer);
+    ctx.stats.compute(1);
+    graph.nodes.with_mut(ctx, &next.canon, |slot| match slot {
+        None => ClaimStep::End,
+        Some(node) => {
+            if exts_of(node, next.flipped).left.unique_base() != Some(first_base) {
+                return ClaimStep::End;
+            }
+            if node.visited {
+                ClaimStep::Boundary(next.canon)
+            } else {
+                node.visited = true;
+                ClaimStep::Claimed(next, *node, b)
+            }
+        }
+    })
+}
+
+/// A subcontig produced by the cooperative traversal.
+struct Subcontig {
+    /// Sequence in the seed's canonical orientation.
+    seq: Vec<u8>,
+    /// Canonical key of the first k-mer.
+    left_end: Kmer,
+    /// Canonical key of the last k-mer.
+    right_end: Kmer,
+    /// Canonical key of the claimed vertex beyond the left end, if the
+    /// walk stopped at a foreign claim (None at natural ends).
+    left_link: Option<Kmer>,
+    /// Same for the right end.
+    right_link: Option<Kmer>,
+}
+
+/// The paper's cooperative traversal: claim-as-you-walk subcontigs from
+/// local seeds, then merge the chains.
+fn traverse_cooperative(
+    team: &Team,
+    graph: &DebruijnGraph,
+    cfg: &ContigConfig,
+) -> (Vec<Vec<u8>>, Vec<hipmer_pgas::CommStats>, f64) {
+    let codec = graph.codec;
+    // Three passes over the local seeds. In a truly concurrent execution
+    // the racing walks partition the graph into ~G/p claims per rank; our
+    // virtual ranks run sequentially, so (a) the early passes cap each
+    // rank's total claims at ~1.5x its local share, and (b) the first
+    // pass only seeds *native* vertices — ones with a graph neighbor on
+    // the same rank. Under oracle placement a collision-displaced k-mer
+    // is non-native (its contig lives elsewhere); deferring it lets the
+    // contig's owner claim its region locally first, exactly as the race
+    // resolves on a real machine. A final uncapped pass mops up leftovers.
+    let run_pass = |pass: u8| {
+        let capped = pass < 2;
+        let native_only = pass == 0;
+        team.run(|ctx| {
+        // Seed scan: a snapshot of the local shard. Already-claimed
+        // vertices are skipped from the (possibly stale) snapshot without
+        // a table lookup — claims never revert, so a stale "claimed" is
+        // always correct to skip.
+        let local = graph.nodes.snapshot_local(ctx);
+        let rank_cap = if capped {
+            (local.len() * 3 / 2).max(64)
+        } else {
+            usize::MAX
+        };
+        let mut claimed_total = 0usize;
+        let mut subs: Vec<Subcontig> = Vec::new();
+
+        for (seed, snapshot_node) in local {
+            if claimed_total >= rank_cap {
+                break;
+            }
+            if snapshot_node.visited {
+                continue;
+            }
+            if native_only {
+                // Neighbor ownership is pure placement arithmetic — no
+                // table lookups.
+                let mut native = false;
+                ctx.stats.compute(2);
+                if let Some(b) = snapshot_node.exts.left.unique_base() {
+                    let n = codec.canonical(codec.extend_left(seed, b));
+                    native |= graph.nodes.owner(&n) == ctx.rank;
+                }
+                if !native {
+                    if let Some(b) = snapshot_node.exts.right.unique_base() {
+                        let n = codec.canonical(codec.extend_right(seed, b));
+                        native |= graph.nodes.owner(&n) == ctx.rank;
+                    }
+                }
+                if !native {
+                    continue;
+                }
+            }
+            // Claim the seed (processors pick seeds from local buckets).
+            let seed_node = graph.nodes.with_mut(ctx, &seed, |slot| {
+                let node = slot.expect("local key exists");
+                if node.visited {
+                    None
+                } else {
+                    node.visited = true;
+                    Some(*node)
+                }
+            });
+            let Some(seed_node) = seed_node else { continue };
+            claimed_total += 1;
+
+            let start = Oriented {
+                kmer: seed,
+                canon: seed,
+                flipped: false,
+            };
+            // Extend right in canonical orientation.
+            let mut seq = codec.unpack(seed);
+            let mut right_end = seed;
+            let mut right_link = None;
+            let mut cur = start;
+            let mut cur_node = seed_node;
+            let mut hit_cap = true;
+            for _ in 0..cfg.walk_cap {
+                match step_claim(graph, ctx, cur, &cur_node) {
+                    ClaimStep::Claimed(next, node, b) => {
+                        claimed_total += 1;
+                        seq.push(decode_base(b));
+                        right_end = next.canon;
+                        cur = next;
+                        cur_node = node;
+                    }
+                    ClaimStep::Boundary(km) => {
+                        right_link = Some(km);
+                        hit_cap = false;
+                        break;
+                    }
+                    ClaimStep::End => {
+                        hit_cap = false;
+                        break;
+                    }
+                }
+            }
+            if hit_cap && exts_of(&cur_node, cur.flipped).right.is_unique() {
+                // Hit the cap mid-path: the next (unclaimed) vertex is the
+                // boundary another subcontig will seed from.
+                let b = exts_of(&cur_node, cur.flipped).right.unique_base().unwrap();
+                let next = orient(&codec, codec.extend_right(cur.kmer, b));
+                if graph.nodes.get(ctx, &next.canon).is_some() {
+                    right_link = Some(next.canon);
+                }
+            }
+
+            // Extend left: walk right in the flipped orientation and
+            // prepend complements.
+            let mut left_end = seed;
+            let mut left_link = None;
+            let mut cur = Oriented {
+                kmer: codec.revcomp(seed),
+                canon: seed,
+                flipped: true,
+            };
+            let mut cur_node = seed_node;
+            let mut prepended: Vec<u8> = Vec::new();
+            let mut hit_cap = true;
+            for _ in 0..cfg.walk_cap {
+                match step_claim(graph, ctx, cur, &cur_node) {
+                    ClaimStep::Claimed(next, node, b) => {
+                        claimed_total += 1;
+                        // Base b extends the flipped orientation; in
+                        // forward orientation it prepends complement(b).
+                        prepended.push(decode_base(3 - b));
+                        left_end = next.canon;
+                        cur = next;
+                        cur_node = node;
+                    }
+                    ClaimStep::Boundary(km) => {
+                        left_link = Some(km);
+                        hit_cap = false;
+                        break;
+                    }
+                    ClaimStep::End => {
+                        hit_cap = false;
+                        break;
+                    }
+                }
+            }
+            if hit_cap && exts_of(&cur_node, cur.flipped).right.is_unique() {
+                let b = exts_of(&cur_node, cur.flipped).right.unique_base().unwrap();
+                let next = orient(&codec, codec.extend_right(cur.kmer, b));
+                if graph.nodes.get(ctx, &next.canon).is_some() {
+                    left_link = Some(next.canon);
+                }
+            }
+            if !prepended.is_empty() {
+                prepended.reverse();
+                prepended.extend_from_slice(&seq);
+                seq = prepended;
+            }
+            subs.push(Subcontig {
+                seq,
+                left_end,
+                right_end,
+                left_link,
+                right_link,
+            });
+        }
+        subs
+        })
+    };
+    let (subs_native, mut stats) = run_pass(0);
+    let (subs_capped, stats_capped) = run_pass(1);
+    let (subs_cleanup, stats_cleanup) = run_pass(2);
+    for (a, b) in stats.iter_mut().zip(&stats_capped) {
+        a.merge(b);
+    }
+    for (a, b) in stats.iter_mut().zip(&stats_cleanup) {
+        a.merge(b);
+    }
+
+    // Serial merge of the subcontig chains (tiny: O(G / walk_cap + p)
+    // pieces).
+    let serial_start = std::time::Instant::now();
+    let subs: Vec<Subcontig> = subs_native
+        .into_iter()
+        .chain(subs_capped)
+        .chain(subs_cleanup)
+        .flatten()
+        .collect();
+    let k = codec.k();
+    // Map endpoint key -> (subcontig index, side). side 0 = left end.
+    let mut by_end: std::collections::HashMap<Kmer, Vec<(usize, u8)>> =
+        std::collections::HashMap::new();
+    for (i, s) in subs.iter().enumerate() {
+        by_end.entry(s.left_end).or_default().push((i, 0));
+        if s.right_end != s.left_end {
+            by_end.entry(s.right_end).or_default().push((i, 1));
+        }
+    }
+    // Follow a link: which subcontig owns the endpoint `km`, other than
+    // `not` (a subcontig may self-link on cycles)?
+    let owner_of = |km: Kmer, not: usize| -> Option<(usize, u8)> {
+        by_end
+            .get(&km)
+            .and_then(|v| v.iter().find(|(i, _)| *i != not).or_else(|| v.first()))
+            .copied()
+    };
+
+    let mut used = vec![false; subs.len()];
+    let mut out: Vec<Vec<u8>> = Vec::new();
+    for start in 0..subs.len() {
+        if used[start] {
+            continue;
+        }
+        // Walk to the chain's left terminus.
+        let mut cur = (start, 0u8); // (subcontig, the side we face left)
+        let mut hops = 0usize;
+        loop {
+            let link = if cur.1 == 0 {
+                subs[cur.0].left_link
+            } else {
+                subs[cur.0].right_link
+            };
+            let Some(km) = link else { break };
+            let Some((pi, pside)) = owner_of(km, cur.0) else { break };
+            if pi == start && hops > 0 {
+                break; // cycle
+            }
+            if pi == cur.0 {
+                break; // self-link (single-subcontig cycle)
+            }
+            // We enter the previous subcontig at the side whose link
+            // points back at our endpoint. (Endpoint matching alone is
+            // ambiguous for single-k-mer subcontigs where left_end ==
+            // right_end.)
+            let my_end = if cur.1 == 0 {
+                subs[cur.0].left_end
+            } else {
+                subs[cur.0].right_end
+            };
+            let enter_side = if subs[pi].left_link == Some(my_end) {
+                0u8
+            } else if subs[pi].right_link == Some(my_end) {
+                1u8
+            } else if subs[pi].left_end == km {
+                0u8
+            } else {
+                1u8
+            };
+            let _ = pside;
+            cur = (pi, 1 - enter_side);
+            hops += 1;
+            if hops > subs.len() {
+                break;
+            }
+        }
+        // Assemble rightward from the terminus.
+        let first = cur.0;
+        let mut seq = if cur.1 == 0 {
+            subs[first].seq.clone()
+        } else {
+            hipmer_dna::revcomp(&subs[first].seq)
+        };
+        used[first] = true;
+        let mut cursor = (first, 1 - cur.1); // side we exit from
+        let mut hops = 0usize;
+        loop {
+            let link = if cursor.1 == 0 {
+                subs[cursor.0].left_link
+            } else {
+                subs[cursor.0].right_link
+            };
+            let Some(km) = link else { break };
+            let Some((ni, _)) = owner_of(km, cursor.0) else { break };
+            if used[ni] {
+                break;
+            }
+            // Orient the next subcontig so the side whose link points
+            // back at our endpoint becomes its left. (For single-k-mer
+            // subcontigs, left_end == right_end, so links disambiguate.)
+            let my_end = if cursor.1 == 0 {
+                subs[cursor.0].left_end
+            } else {
+                subs[cursor.0].right_end
+            };
+            let enter_side = if subs[ni].left_link == Some(my_end) {
+                0u8
+            } else if subs[ni].right_link == Some(my_end) {
+                1u8
+            } else if subs[ni].left_end == km {
+                0u8
+            } else {
+                1u8
+            };
+            let next_seq = if enter_side == 0 {
+                subs[ni].seq.clone()
+            } else {
+                hipmer_dna::revcomp(&subs[ni].seq)
+            };
+            // Adjacent subcontigs overlap by exactly k-1 bases.
+            if next_seq.len() >= k - 1 && seq.len() >= k - 1 && next_seq[..k - 1] == seq[seq.len() - (k - 1)..]
+            {
+                seq.extend_from_slice(&next_seq[k - 1..]);
+            } else {
+                break; // inconsistent join; leave as separate chains
+            }
+            used[ni] = true;
+            cursor = (ni, 1 - enter_side);
+            hops += 1;
+            if hops > subs.len() {
+                break;
+            }
+        }
+        if seq.len() >= cfg.min_contig_len {
+            out.push(canonical_seq(seq));
+        }
+    }
+    let serial_seconds = serial_start.elapsed().as_secs_f64();
+    (out, stats, serial_seconds)
+}
+
+/// The deterministic endpoint traversal (default mode).
+fn traverse_endpoints(team: &Team, graph: &DebruijnGraph, cfg: &ContigConfig) -> (Vec<Vec<u8>>, Vec<hipmer_pgas::CommStats>) {
+    // Pass 1: endpoint walks.
+    let (seqs, stats) = team.run(|ctx| {
+        let local = graph.nodes.snapshot_local(ctx);
+        let mut out: Vec<Vec<u8>> = Vec::new();
+        for (km, node) in local {
+            // Two possible walk orientations; each is a start if it has no
+            // mutual left neighbor.
+            for flipped in [false, true] {
+                let oriented = if flipped {
+                    Oriented {
+                        kmer: graph.codec.revcomp(km),
+                        canon: km,
+                        flipped: true,
+                    }
+                } else {
+                    Oriented {
+                        kmer: km,
+                        canon: km,
+                        flipped: false,
+                    }
+                };
+                if has_left(graph, ctx, oriented, &node) {
+                    continue;
+                }
+                let (seq, path, end) = walk_right(graph, ctx, oriented, node);
+                // Tie-break: of the two endpoint walks over this path, emit
+                // the one whose start key is smaller; single-vertex paths
+                // (start == end) emit from the canonical orientation only.
+                let emit = match oriented.canon.bits().cmp(&end.canon.bits()) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Equal => !oriented.flipped,
+                    std::cmp::Ordering::Greater => false,
+                };
+                if emit {
+                    mark_visited(graph, ctx, &path);
+                    if seq.len() >= cfg.min_contig_len {
+                        out.push(canonical_seq(seq));
+                    }
+                }
+            }
+        }
+        out
+    });
+    let mut all: Vec<Vec<u8>> = seqs.into_iter().flatten().collect();
+
+    // Pass 2: cycle cleanup. Any vertex still unvisited lies on a cycle;
+    // walk it, and the walker whose start is the cycle's minimum key emits.
+    let (cycle_seqs, cycle_stats) = team.run(|ctx| {
+        let local: Vec<(Kmer, GraphNode)> = graph
+            .nodes
+            .snapshot_local(ctx)
+            .into_iter()
+            .filter(|(_, node)| !node.visited)
+            .collect();
+        let mut out: Vec<Vec<u8>> = Vec::new();
+        for (km, node) in local {
+            // Re-check visited (an earlier walk this pass may have claimed
+            // the cycle).
+            let still = graph
+                .nodes
+                .get(ctx, &km)
+                .map(|n| !n.visited)
+                .unwrap_or(false);
+            if !still {
+                continue;
+            }
+            let start = Oriented {
+                kmer: km,
+                canon: km,
+                flipped: false,
+            };
+            let (seq, path, _) = walk_right(graph, ctx, start, node);
+            let min = path.iter().min().copied().expect("non-empty path");
+            if min == km {
+                mark_visited(graph, ctx, &path);
+                if seq.len() >= cfg.min_contig_len {
+                    out.push(canonical_seq(seq));
+                }
+            }
+        }
+        out
+    });
+    all.extend(cycle_seqs.into_iter().flatten());
+
+    let mut merged = stats;
+    for (a, b) in merged.iter_mut().zip(&cycle_stats) {
+        a.merge(b);
+    }
+    (all, merged)
+}
+
+/// The paper-style speculative traversal: every rank seeds from its local
+/// shard in arbitrary order, walks left to the path start, then emits the
+/// full path. Ranks racing on one connected component produce duplicate
+/// candidates; deduplication of the canonical sequences resolves them
+/// (playing the role of the paper's lightweight synchronization scheme).
+pub fn speculative(team: &Team, graph: &DebruijnGraph, cfg: &ContigConfig) -> (Vec<Vec<u8>>, Vec<hipmer_pgas::CommStats>) {
+    let (seqs, stats) = team.run(|ctx| {
+        let local = graph.nodes.snapshot_local(ctx);
+        let mut out: Vec<Vec<u8>> = Vec::new();
+        for (km, node) in local {
+            // Skip seeds already swallowed by a completed walk.
+            let fresh = graph
+                .nodes
+                .get(ctx, &km)
+                .map(|n| !n.visited)
+                .unwrap_or(false);
+            if !fresh {
+                continue;
+            }
+            // Walk left (= walk right in flipped orientation) to the start.
+            let flipped_seed = Oriented {
+                kmer: graph.codec.revcomp(km),
+                canon: km,
+                flipped: true,
+            };
+            let (_, lpath, left_end) = walk_right(graph, ctx, flipped_seed, node);
+            let _ = lpath;
+            // left_end is the path's left endpoint in flipped orientation;
+            // re-flip to walk the path forward.
+            let start = orient(&graph.codec, graph.codec.revcomp(left_end.kmer));
+            let start_node = match graph.nodes.get(ctx, &start.canon) {
+                Some(n) => n,
+                None => continue,
+            };
+            let (seq, path, _) = walk_right(graph, ctx, start, start_node);
+            mark_visited(graph, ctx, &path);
+            if seq.len() >= cfg.min_contig_len {
+                out.push(canonical_seq(seq));
+            }
+        }
+        out
+    });
+    let mut all: Vec<Vec<u8>> = seqs.into_iter().flatten().collect();
+    all.sort();
+    all.dedup();
+    (all, stats)
+}
+
+/// Traverse a built graph into a contig set.
+pub fn traverse_graph(
+    team: &Team,
+    graph: &DebruijnGraph,
+    cfg: &ContigConfig,
+) -> (ContigSet, PhaseReport) {
+    assert!(
+        graph.codec.k() % 2 == 1,
+        "traversal requires odd k (no palindromic k-mers)"
+    );
+    let (seqs, mut stats, serial_seconds) = match cfg.mode {
+        TraversalMode::Cooperative => traverse_cooperative(team, graph, cfg),
+        TraversalMode::EndpointWalk => {
+            let (s, st) = traverse_endpoints(team, graph, cfg);
+            (s, st, 0.0)
+        }
+        TraversalMode::Speculative => {
+            let (s, st) = speculative(team, graph, cfg);
+            (s, st, 0.0)
+        }
+    };
+    graph.nodes.drain_service_into(&mut stats);
+    let set = ContigSet::from_sequences(graph.codec, seqs);
+    (
+        set,
+        PhaseReport::new("contig/traversal", *team.topo(), stats).with_serial(serial_seconds),
+    )
+}
+
+/// Convenience: build the graph from a spectrum and traverse it.
+pub fn generate_contigs(
+    team: &Team,
+    spectrum: &KmerSpectrum,
+    cfg: &ContigConfig,
+) -> (ContigSet, Vec<PhaseReport>) {
+    let (graph, build_report) = crate::graph::build_graph(team, spectrum, cfg.placement.clone());
+    let (set, traverse_report) = traverse_graph(team, &graph, cfg);
+    (set, vec![build_report, traverse_report])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipmer_kanalysis::{analyze_kmers, KmerAnalysisConfig};
+    use hipmer_pgas::Topology;
+    use hipmer_seqio::SeqRecord;
+
+    fn lcg_genome(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b"ACGT"[(x >> 60) as usize % 4]
+            })
+            .collect()
+    }
+
+    fn perfect_reads(genome: &[u8], read_len: usize, depth: usize) -> Vec<SeqRecord> {
+        let mut out = Vec::new();
+        for d in 0..depth {
+            let mut pos = d * 7 % read_len.max(1);
+            while pos + read_len <= genome.len() {
+                out.push(SeqRecord::with_uniform_quality(
+                    format!("r{d}_{pos}"),
+                    genome[pos..pos + read_len].to_vec(),
+                    35,
+                ));
+                pos += read_len / 2;
+            }
+        }
+        out
+    }
+
+    fn assemble(genome: &[u8], topo: Topology, mode: TraversalMode) -> ContigSet {
+        let team = Team::new(topo);
+        let reads = perfect_reads(genome, 80, 4);
+        let kcfg = KmerAnalysisConfig::new(21);
+        let (spectrum, _) = analyze_kmers(&team, &reads, &kcfg);
+        let mut ccfg = ContigConfig::new(21);
+        ccfg.mode = mode;
+        ccfg.walk_cap = 100; // small cap: exercise chain merging in tests
+        let (set, _) = generate_contigs(&team, &spectrum, &ccfg);
+        set
+    }
+
+    #[test]
+    fn single_clean_genome_yields_one_dominant_contig() {
+        let genome = lcg_genome(3000, 21);
+        let set = assemble(&genome, Topology::new(4, 2), TraversalMode::Cooperative);
+        assert!(!set.is_empty());
+        // Read ends lose extension votes near boundaries, so the assembly
+        // may be split, but the largest contig should span nearly
+        // everything.
+        assert!(
+            set.max_len() > genome.len() - 200,
+            "max contig {} of {}",
+            set.max_len(),
+            genome.len()
+        );
+        // And it must be a substring of the genome (or its revcomp).
+        let big = &set.contigs[0].seq;
+        let rc = hipmer_dna::revcomp(&genome);
+        let found = genome.windows(big.len()).any(|w| w == &big[..])
+            || rc.windows(big.len()).any(|w| w == &big[..]);
+        assert!(found, "contig is not a genome substring");
+    }
+
+    #[test]
+    fn contig_set_is_schedule_independent() {
+        let genome = lcg_genome(2000, 33);
+        let a = assemble(&genome, Topology::new(1, 1), TraversalMode::Cooperative);
+        let b = assemble(&genome, Topology::new(7, 3), TraversalMode::Cooperative);
+        let c = assemble(&genome, Topology::new(16, 4), TraversalMode::Cooperative);
+        let seqs = |s: &ContigSet| -> Vec<Vec<u8>> {
+            s.contigs.iter().map(|c| c.seq.clone()).collect()
+        };
+        assert_eq!(seqs(&a), seqs(&b));
+        assert_eq!(seqs(&a), seqs(&c));
+    }
+
+    #[test]
+    fn speculative_matches_deterministic() {
+        let genome = lcg_genome(2500, 55);
+        let det = assemble(&genome, Topology::new(4, 2), TraversalMode::EndpointWalk);
+        let spec = assemble(&genome, Topology::new(4, 2), TraversalMode::Speculative);
+        let coop = assemble(&genome, Topology::new(4, 2), TraversalMode::Cooperative);
+        let seqs = |s: &ContigSet| -> Vec<Vec<u8>> {
+            s.contigs.iter().map(|c| c.seq.clone()).collect()
+        };
+        assert_eq!(seqs(&det), seqs(&spec));
+        assert_eq!(seqs(&det), seqs(&coop));
+    }
+
+    #[test]
+    fn repeat_breaks_contigs() {
+        // genome: U1 R U2 R U3 — the repeat R (longer than k) must fork the
+        // graph and split contigs.
+        let r = lcg_genome(60, 77);
+        let mut genome = lcg_genome(800, 1);
+        genome.extend_from_slice(&r);
+        genome.extend(lcg_genome(800, 2));
+        genome.extend_from_slice(&r);
+        genome.extend(lcg_genome(800, 3));
+        let set = assemble(&genome, Topology::new(2, 2), TraversalMode::Cooperative);
+        assert!(
+            set.len() >= 3,
+            "repeat must split the assembly, got {} contigs",
+            set.len()
+        );
+        // No contig may span across the repeat boundary of two unique
+        // regions: every contig still aligns to the genome.
+        let rc = hipmer_dna::revcomp(&genome);
+        for c in &set.contigs {
+            let hit = genome.windows(c.len()).any(|w| w == &c.seq[..])
+                || rc.windows(c.len()).any(|w| w == &c.seq[..]);
+            assert!(hit, "chimeric contig of length {}", c.len());
+        }
+    }
+
+    #[test]
+    fn circular_genome_is_recovered_by_cycle_pass() {
+        // Build a perfectly circular coverage pattern: reads wrap around.
+        let mut genome = lcg_genome(600, 9);
+        let wrap = genome.clone();
+        genome.extend_from_slice(&wrap[..80]); // linearized circle overlap
+        let team = Team::new(Topology::new(2, 2));
+        let reads = perfect_reads(&genome, 80, 4);
+        let kcfg = KmerAnalysisConfig::new(21);
+        let (spectrum, _) = analyze_kmers(&team, &reads, &kcfg);
+        let ccfg = ContigConfig::new(21);
+        let (set, _) = generate_contigs(&team, &spectrum, &ccfg);
+        // The wrapped genome has no endpoints at the junction, so without
+        // the cycle pass part of it would vanish. Total assembled bases
+        // must be close to the circle length.
+        assert!(
+            set.total_bases() + 150 > 600,
+            "cycle pass lost sequence: {} bases",
+            set.total_bases()
+        );
+    }
+
+    #[test]
+    fn oracle_placement_preserves_contigs_and_cuts_offnode_traffic() {
+        let genome = lcg_genome(4000, 101);
+        let topo = Topology::new(8, 2); // 4 nodes -> plenty of off-node
+        let team = Team::new(topo);
+        let reads = perfect_reads(&genome, 80, 4);
+        let kcfg = KmerAnalysisConfig::new(21);
+        let (spectrum, _) = analyze_kmers(&team, &reads, &kcfg);
+
+        // Baseline.
+        let ccfg = ContigConfig::new(21);
+        let (base_set, base_reports) = generate_contigs(&team, &spectrum, &ccfg);
+
+        // Oracle built from the baseline contigs.
+        let oracle = crate::oracle_build::build_oracle(&base_set, &topo, 1 << 16);
+        let mut ocfg = ContigConfig::new(21);
+        ocfg.placement = std::sync::Arc::new(oracle).placement();
+        let (oracle_set, oracle_reports) = generate_contigs(&team, &spectrum, &ocfg);
+
+        let seqs = |s: &ContigSet| -> Vec<Vec<u8>> {
+            s.contigs.iter().map(|c| c.seq.clone()).collect()
+        };
+        assert_eq!(seqs(&base_set), seqs(&oracle_set), "same contigs");
+
+        let offnode = |reports: &[PhaseReport]| -> f64 {
+            reports
+                .iter()
+                .find(|r| r.name.contains("traversal"))
+                .unwrap()
+                .offnode_fraction()
+        };
+        let base_frac = offnode(&base_reports);
+        let oracle_frac = offnode(&oracle_reports);
+        assert!(
+            oracle_frac < base_frac * 0.5,
+            "oracle must slash off-node lookups: {oracle_frac:.3} vs {base_frac:.3}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "odd k")]
+    fn even_k_is_rejected() {
+        let topo = Topology::new(1, 1);
+        let team = Team::new(topo);
+        let codec = hipmer_dna::KmerCodec::new(4);
+        let graph = DebruijnGraph {
+            nodes: hipmer_pgas::DistHashMap::new(topo),
+            codec,
+        };
+        let cfg = ContigConfig::new(4);
+        let _ = traverse_graph(&team, &graph, &cfg);
+    }
+}

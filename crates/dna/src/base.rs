@@ -1,0 +1,114 @@
+//! Single-nucleotide encoding.
+//!
+//! Bases are encoded in two bits: `A = 0, C = 1, G = 2, T = 3`. The
+//! complement of a 2-bit code is its bitwise negation (`3 - code`), a
+//! property [`crate::kmer::KmerCodec::revcomp`] exploits to complement a
+//! whole packed k-mer with one XOR.
+
+/// The four nucleotides in 2-bit code order.
+pub const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Encode an ASCII nucleotide into its 2-bit code.
+///
+/// Accepts upper- and lower-case `ACGT`. Returns `None` for any other byte
+/// (including `N`), which callers treat as a k-mer window breaker.
+#[inline]
+pub fn encode_base(b: u8) -> Option<u8> {
+    match b {
+        b'A' | b'a' => Some(0),
+        b'C' | b'c' => Some(1),
+        b'G' | b'g' => Some(2),
+        b'T' | b't' => Some(3),
+        _ => None,
+    }
+}
+
+/// Decode a 2-bit code back to its upper-case ASCII nucleotide.
+///
+/// # Panics
+/// Panics if `code > 3`.
+#[inline]
+pub fn decode_base(code: u8) -> u8 {
+    BASES[code as usize]
+}
+
+/// Complement a 2-bit base code (`A↔T`, `C↔G`).
+#[inline]
+pub fn complement_code(code: u8) -> u8 {
+    3 - code
+}
+
+/// Complement an ASCII nucleotide, preserving case for `ACGT` and mapping
+/// everything else (ambiguity codes, `N`) to `N`.
+#[inline]
+pub fn complement_ascii(b: u8) -> u8 {
+    match b {
+        b'A' => b'T',
+        b'C' => b'G',
+        b'G' => b'C',
+        b'T' => b'A',
+        b'a' => b't',
+        b'c' => b'g',
+        b'g' => b'c',
+        b't' => b'a',
+        _ => b'N',
+    }
+}
+
+/// Whether a byte is an unambiguous upper- or lower-case nucleotide.
+#[inline]
+pub fn is_acgt(b: u8) -> bool {
+    encode_base(b).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_encode_decode() {
+        for (code, &ascii) in BASES.iter().enumerate() {
+            assert_eq!(encode_base(ascii), Some(code as u8));
+            assert_eq!(decode_base(code as u8), ascii);
+        }
+    }
+
+    #[test]
+    fn lower_case_encodes() {
+        assert_eq!(encode_base(b'a'), Some(0));
+        assert_eq!(encode_base(b'c'), Some(1));
+        assert_eq!(encode_base(b'g'), Some(2));
+        assert_eq!(encode_base(b't'), Some(3));
+    }
+
+    #[test]
+    fn n_and_garbage_reject() {
+        for b in [b'N', b'n', b'X', b'-', b' ', 0u8, 255u8] {
+            assert_eq!(encode_base(b), None);
+            assert!(!is_acgt(b));
+        }
+    }
+
+    #[test]
+    fn complement_code_is_involution() {
+        for code in 0..4u8 {
+            assert_eq!(complement_code(complement_code(code)), code);
+        }
+    }
+
+    #[test]
+    fn complement_matches_ascii_complement() {
+        for code in 0..4u8 {
+            let ascii = decode_base(code);
+            assert_eq!(complement_ascii(ascii), decode_base(complement_code(code)));
+        }
+    }
+
+    #[test]
+    fn complement_ascii_preserves_case_and_maps_unknown_to_n() {
+        assert_eq!(complement_ascii(b'a'), b't');
+        assert_eq!(complement_ascii(b'G'), b'C');
+        assert_eq!(complement_ascii(b'N'), b'N');
+        assert_eq!(complement_ascii(b'?'), b'N');
+    }
+}

@@ -1,0 +1,288 @@
+//! Meraculous extension codes.
+//!
+//! During k-mer analysis every occurrence of a k-mer votes for the base that
+//! *precedes* it (left extension) and the base that *follows* it (right
+//! extension) in the read, provided those bases have sufficient quality.
+//! After counting, each side collapses to one of three outcomes:
+//!
+//! * a unique high-quality base (`A`/`C`/`G`/`T`) — the k-mer can be walked
+//!   through in that direction;
+//! * a fork `F` — two or more high-quality candidates (repeat boundary or
+//!   diploid bubble); contigs terminate here and the state feeds the bubble
+//!   finder (§4.2 of the paper);
+//! * no extension `X` — no candidate reached the vote threshold.
+//!
+//! A k-mer whose both sides are unique bases is a **UU k-mer**; only UU
+//! k-mers become de Bruijn graph vertices (§2 of the paper).
+
+use crate::base::decode_base;
+
+/// Outcome of extension voting on one side of a k-mer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExtChoice {
+    /// Unique high-quality extension with the given 2-bit base code.
+    Unique(u8),
+    /// Two or more high-quality candidate bases ("F" in Meraculous).
+    Fork,
+    /// No candidate reached the vote threshold ("X" in Meraculous).
+    None,
+}
+
+impl ExtChoice {
+    /// The Meraculous single-letter code for this outcome.
+    pub fn code(self) -> u8 {
+        match self {
+            ExtChoice::Unique(c) => decode_base(c),
+            ExtChoice::Fork => b'F',
+            ExtChoice::None => b'X',
+        }
+    }
+
+    /// Whether this side permits a unique walk.
+    #[inline]
+    pub fn is_unique(self) -> bool {
+        matches!(self, ExtChoice::Unique(_))
+    }
+
+    /// The unique base code, if any.
+    #[inline]
+    pub fn unique_base(self) -> Option<u8> {
+        match self {
+            ExtChoice::Unique(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// The pair of per-side outcomes for a k-mer, in forward orientation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExtensionPair {
+    /// Extension to the left (preceding base).
+    pub left: ExtChoice,
+    /// Extension to the right (following base).
+    pub right: ExtChoice,
+}
+
+impl ExtensionPair {
+    /// Whether the k-mer is UU: unique high-quality extension on both sides.
+    #[inline]
+    pub fn is_uu(&self) -> bool {
+        self.left.is_unique() && self.right.is_unique()
+    }
+
+    /// The two-letter Meraculous code, e.g. `AG`, `FX`.
+    pub fn code(&self) -> [u8; 2] {
+        [self.left.code(), self.right.code()]
+    }
+
+    /// The pair as seen from the reverse-complement orientation: sides swap
+    /// and unique bases complement.
+    pub fn flip(&self) -> ExtensionPair {
+        let comp = |c: ExtChoice| match c {
+            ExtChoice::Unique(b) => ExtChoice::Unique(3 - b),
+            other => other,
+        };
+        ExtensionPair {
+            left: comp(self.right),
+            right: comp(self.left),
+        }
+    }
+}
+
+/// Per-side extension vote counters for one k-mer.
+///
+/// `left[c]` / `right[c]` count high-quality occurrences of base code `c`
+/// immediately before / after the k-mer. Counts saturate instead of
+/// wrapping: ultra-deep repeats (the paper's wheat k-mers occur >10⁷ times)
+/// must not overflow the counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExtVotes {
+    /// Votes for each left-extension base code.
+    pub left: [u32; 4],
+    /// Votes for each right-extension base code.
+    pub right: [u32; 4],
+    /// Total occurrences of the k-mer (its depth / count).
+    pub count: u32,
+}
+
+impl ExtVotes {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one occurrence with optional high-quality left/right bases.
+    #[inline]
+    pub fn record(&mut self, left: Option<u8>, right: Option<u8>) {
+        self.count = self.count.saturating_add(1);
+        if let Some(c) = left {
+            debug_assert!(c < 4);
+            self.left[c as usize] = self.left[c as usize].saturating_add(1);
+        }
+        if let Some(c) = right {
+            debug_assert!(c < 4);
+            self.right[c as usize] = self.right[c as usize].saturating_add(1);
+        }
+    }
+
+    /// Merge another tally into this one (used by the heavy-hitter global
+    /// reduction and by partial-count combining).
+    pub fn merge(&mut self, other: &ExtVotes) {
+        for i in 0..4 {
+            self.left[i] = self.left[i].saturating_add(other.left[i]);
+            self.right[i] = self.right[i].saturating_add(other.right[i]);
+        }
+        self.count = self.count.saturating_add(other.count);
+    }
+
+    /// The tally as seen from the reverse-complement orientation.
+    pub fn flip(&self) -> ExtVotes {
+        let mut out = ExtVotes {
+            count: self.count,
+            ..ExtVotes::default()
+        };
+        for c in 0..4 {
+            // A left-extension base b in forward orientation is a
+            // right-extension of complement(b) in RC orientation.
+            out.right[3 - c] = self.left[c];
+            out.left[3 - c] = self.right[c];
+        }
+        out
+    }
+
+    /// Collapse one side's votes given the minimum vote count for a base to
+    /// be considered a high-quality candidate.
+    fn decide_side(votes: &[u32; 4], min_votes: u32) -> ExtChoice {
+        let mut candidates = 0;
+        let mut winner = 0u8;
+        for (c, &v) in votes.iter().enumerate() {
+            if v >= min_votes {
+                candidates += 1;
+                winner = c as u8;
+            }
+        }
+        match candidates {
+            0 => ExtChoice::None,
+            1 => ExtChoice::Unique(winner),
+            _ => ExtChoice::Fork,
+        }
+    }
+
+    /// Collapse both sides into an [`ExtensionPair`].
+    pub fn decide(&self, min_votes: u32) -> ExtensionPair {
+        ExtensionPair {
+            left: Self::decide_side(&self.left, min_votes),
+            right: Self::decide_side(&self.right, min_votes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut v = ExtVotes::new();
+        v.record(Some(0), Some(3));
+        v.record(Some(0), None);
+        v.record(None, Some(3));
+        assert_eq!(v.count, 3);
+        assert_eq!(v.left[0], 2);
+        assert_eq!(v.right[3], 2);
+    }
+
+    #[test]
+    fn decide_unique_both_sides() {
+        let mut v = ExtVotes::new();
+        for _ in 0..3 {
+            v.record(Some(1), Some(2));
+        }
+        let pair = v.decide(2);
+        assert_eq!(pair.left, ExtChoice::Unique(1));
+        assert_eq!(pair.right, ExtChoice::Unique(2));
+        assert!(pair.is_uu());
+        assert_eq!(&pair.code(), b"CG");
+    }
+
+    #[test]
+    fn decide_fork_when_two_candidates() {
+        let mut v = ExtVotes::new();
+        for _ in 0..2 {
+            v.record(Some(0), Some(2));
+            v.record(Some(3), Some(2));
+        }
+        let pair = v.decide(2);
+        assert_eq!(pair.left, ExtChoice::Fork);
+        assert_eq!(pair.right, ExtChoice::Unique(2));
+        assert!(!pair.is_uu());
+        assert_eq!(&pair.code(), b"FG");
+    }
+
+    #[test]
+    fn decide_none_below_threshold() {
+        let mut v = ExtVotes::new();
+        v.record(Some(0), None);
+        let pair = v.decide(2);
+        assert_eq!(pair.left, ExtChoice::None);
+        assert_eq!(pair.right, ExtChoice::None);
+        assert_eq!(&pair.code(), b"XX");
+    }
+
+    #[test]
+    fn merge_adds_votes() {
+        let mut a = ExtVotes::new();
+        a.record(Some(0), Some(1));
+        let mut b = ExtVotes::new();
+        b.record(Some(0), Some(2));
+        a.merge(&b);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.left[0], 2);
+        assert_eq!(a.right[1], 1);
+        assert_eq!(a.right[2], 1);
+    }
+
+    #[test]
+    fn merge_saturates() {
+        let mut a = ExtVotes {
+            left: [u32::MAX, 0, 0, 0],
+            right: [0; 4],
+            count: u32::MAX,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.count, u32::MAX);
+        assert_eq!(a.left[0], u32::MAX);
+    }
+
+    #[test]
+    fn flip_votes_swaps_and_complements() {
+        let mut v = ExtVotes::new();
+        v.record(Some(0), Some(1)); // left A, right C
+        let f = v.flip();
+        assert_eq!(f.right[3], 1); // left A -> right T
+        assert_eq!(f.left[2], 1); // right C -> left G
+        assert_eq!(f.flip(), v, "flip is an involution");
+    }
+
+    #[test]
+    fn flip_pair_swaps_and_complements() {
+        let pair = ExtensionPair {
+            left: ExtChoice::Unique(0),
+            right: ExtChoice::Fork,
+        };
+        let f = pair.flip();
+        assert_eq!(f.left, ExtChoice::Fork);
+        assert_eq!(f.right, ExtChoice::Unique(3));
+        assert_eq!(f.flip(), pair);
+    }
+
+    #[test]
+    fn ext_choice_codes() {
+        assert_eq!(ExtChoice::Unique(2).code(), b'G');
+        assert_eq!(ExtChoice::Fork.code(), b'F');
+        assert_eq!(ExtChoice::None.code(), b'X');
+        assert_eq!(ExtChoice::Unique(1).unique_base(), Some(1));
+        assert_eq!(ExtChoice::Fork.unique_base(), None);
+    }
+}

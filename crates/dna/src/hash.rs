@@ -1,0 +1,154 @@
+//! Fast non-cryptographic hashing for k-mer keyed tables.
+//!
+//! The distributed hash tables at the heart of the pipeline perform billions
+//! of lookups; SipHash (std's default) would dominate the profile. We use a
+//! Murmur3-style 64-bit finalizer over the packed k-mer words, which is
+//! cheap, well mixed in the low bits (they select both the owner rank and
+//! the bucket), and — critically for the oracle partitioning experiments —
+//! deterministic across runs and ranks.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Murmur3's 64-bit finalizer: full-avalanche mixing of a single word.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+/// Mix a `u128` (packed k-mer) into a well-distributed `u64`.
+#[inline]
+pub fn mix128(x: u128) -> u64 {
+    let lo = x as u64;
+    let hi = (x >> 64) as u64;
+    mix64(lo ^ mix64(hi ^ 0x9e37_79b9_7f4a_7c15))
+}
+
+/// A `Hasher` that applies [`mix64`]/[`mix128`] to integer writes.
+///
+/// Only the integer `write_*` methods used by `Kmer`, `u64`, `u32`, and
+/// tuple keys are meaningfully mixed; arbitrary byte streams fall back to an
+/// FNV-style fold (correct, just slower — not used on hot paths).
+#[derive(Default, Clone)]
+pub struct KmerHasher {
+    state: u64,
+}
+
+impl Hasher for KmerHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fold for the generic path.
+        let mut h = self.state ^ 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.state = mix64(h);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.state = mix64(self.state ^ i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.state = mix64(self.state ^ i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.state = mix64(self.state ^ i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.state = mix128(i ^ self.state as u128);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`KmerHasher`].
+pub type KmerBuildHasher = BuildHasherDefault<KmerHasher>;
+
+/// A `HashMap` keyed with the fast k-mer hasher.
+pub type KmerHashMap<K, V> = HashMap<K, V, KmerBuildHasher>;
+
+/// A `HashSet` keyed with the fast k-mer hasher.
+pub type KmerHashSet<K> = HashSet<K, KmerBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmer::{Kmer, KmerCodec};
+
+    #[test]
+    fn mix64_is_deterministic_and_nontrivial() {
+        assert_eq!(mix64(7), mix64(7));
+        // Zero is the finalizer's only fixed point; everything else moves.
+        assert_eq!(mix64(0), 0);
+        assert_ne!(mix64(1), 1);
+        assert_ne!(mix64(1), mix64(2));
+    }
+
+    #[test]
+    fn mix128_differs_between_halves() {
+        // Same low word, different high word must hash differently.
+        assert_ne!(mix128(42), mix128(42 | (1u128 << 64)));
+    }
+
+    #[test]
+    fn hashmap_with_kmer_keys() {
+        let c = KmerCodec::new(21);
+        let mut map: KmerHashMap<Kmer, u32> = KmerHashMap::default();
+        let a = c.pack(&b"ACGTACGTACGTACGTACGTA"[..]).unwrap();
+        let b = c.pack(&b"TTGTACGTACGTACGTACGTA"[..]).unwrap();
+        map.insert(a, 1);
+        map.insert(b, 2);
+        assert_eq!(map[&a], 1);
+        assert_eq!(map[&b], 2);
+    }
+
+    #[test]
+    fn low_bits_are_well_distributed() {
+        // Sequential k-mers must spread over buckets: count collisions of the
+        // low 10 bits across 4096 consecutive values.
+        let mut buckets = vec![0u32; 1024];
+        for i in 0..4096u128 {
+            buckets[(mix128(i) & 1023) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        // Uniform expectation is 4 per bucket; allow generous slack.
+        assert!(max < 20, "low-bit clustering: max bucket {max}");
+    }
+
+    #[test]
+    fn hashset_dedups() {
+        let mut set: KmerHashSet<Kmer> = KmerHashSet::default();
+        assert!(set.insert(Kmer(7)));
+        assert!(!set.insert(Kmer(7)));
+    }
+
+    #[test]
+    fn byte_stream_path_works() {
+        let mut h1 = KmerHasher::default();
+        h1.write(b"hello");
+        let mut h2 = KmerHasher::default();
+        h2.write(b"hellp");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

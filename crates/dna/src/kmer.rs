@@ -1,0 +1,392 @@
+//! 2-bit packed k-mers and the codec that operates on them.
+//!
+//! A [`Kmer`] is a bare `u128` holding up to 64 bases, two bits per base,
+//! with the *first* (5'-most) base in the most significant occupied bits and
+//! the *last* base in the two least significant bits. All length-dependent
+//! operations live on [`KmerCodec`], which carries `k` once per table
+//! instead of once per key.
+//!
+//! The de Bruijn graph in the paper is keyed by *canonical* k-mers: a k-mer
+//! and its reverse complement denote the same node, and the lexicographically
+//! (numerically, in 2-bit space) smaller of the two is the table key.
+
+use crate::base::{decode_base, encode_base};
+
+/// The largest supported k (two bits per base in a `u128`).
+pub const MAX_K: usize = 64;
+
+/// A 2-bit packed k-mer of externally-known length.
+///
+/// Equality/ordering are bitwise, which coincides with lexicographic order
+/// over the bases for k-mers of equal length.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Kmer(pub u128);
+
+impl Kmer {
+    /// The raw packed bits.
+    #[inline]
+    pub fn bits(self) -> u128 {
+        self.0
+    }
+}
+
+impl std::fmt::Debug for Kmer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Kmer({:#034x})", self.0)
+    }
+}
+
+/// Reverse the order of all 64 2-bit groups in a `u128`.
+#[inline]
+fn reverse_2bit_groups(mut x: u128) -> u128 {
+    const M2: u128 = 0x3333_3333_3333_3333_3333_3333_3333_3333;
+    const M4: u128 = 0x0f0f_0f0f_0f0f_0f0f_0f0f_0f0f_0f0f_0f0f;
+    x = ((x & M2) << 2) | ((x >> 2) & M2);
+    x = ((x & M4) << 4) | ((x >> 4) & M4);
+    x.swap_bytes()
+}
+
+/// Length-aware operations over [`Kmer`]s.
+///
+/// One codec is shared by every k-mer of a given pipeline run; the assembler
+/// constructs it once from the configured k.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KmerCodec {
+    k: usize,
+    /// Mask with the low `2k` bits set.
+    mask: u128,
+}
+
+impl KmerCodec {
+    /// Create a codec for k-mers of length `k`.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= k <= MAX_K`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1 && k <= MAX_K, "k must be in 1..={MAX_K}, got {k}");
+        let mask = if k == MAX_K {
+            u128::MAX
+        } else {
+            (1u128 << (2 * k)) - 1
+        };
+        KmerCodec { k, mask }
+    }
+
+    /// The k-mer length this codec operates on.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Pack an ASCII slice of exactly `k` unambiguous bases.
+    ///
+    /// Returns `None` if the slice has the wrong length or contains a
+    /// non-ACGT byte.
+    pub fn pack(&self, seq: &[u8]) -> Option<Kmer> {
+        if seq.len() != self.k {
+            return None;
+        }
+        let mut bits = 0u128;
+        for &b in seq {
+            bits = (bits << 2) | encode_base(b)? as u128;
+        }
+        Some(Kmer(bits))
+    }
+
+    /// Unpack into an ASCII `ACGT` string.
+    pub fn unpack(&self, kmer: Kmer) -> Vec<u8> {
+        let mut out = vec![0u8; self.k];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = decode_base(self.base_at(kmer, i));
+        }
+        out
+    }
+
+    /// Unpack into an owned `String` (convenience for diagnostics).
+    pub fn to_string(&self, kmer: Kmer) -> String {
+        String::from_utf8(self.unpack(kmer)).expect("decoded bases are ASCII")
+    }
+
+    /// The 2-bit code of the base at position `i` (0 = 5'-most).
+    #[inline]
+    pub fn base_at(&self, kmer: Kmer, i: usize) -> u8 {
+        debug_assert!(i < self.k);
+        ((kmer.0 >> (2 * (self.k - 1 - i))) & 0b11) as u8
+    }
+
+    /// The 2-bit code of the first (5'-most) base.
+    #[inline]
+    pub fn first_base(&self, kmer: Kmer) -> u8 {
+        self.base_at(kmer, 0)
+    }
+
+    /// The 2-bit code of the last (3'-most) base.
+    #[inline]
+    pub fn last_base(&self, kmer: Kmer) -> u8 {
+        (kmer.0 & 0b11) as u8
+    }
+
+    /// Reverse complement.
+    #[inline]
+    pub fn revcomp(&self, kmer: Kmer) -> Kmer {
+        // Complement every base (XOR with all-ones over 2k bits), reverse
+        // the 64 2-bit groups, then shift the occupied groups down.
+        let comp = kmer.0 ^ self.mask;
+        Kmer(reverse_2bit_groups(comp) >> (128 - 2 * self.k))
+    }
+
+    /// The canonical representative: `min(kmer, revcomp(kmer))`.
+    #[inline]
+    pub fn canonical(&self, kmer: Kmer) -> Kmer {
+        let rc = self.revcomp(kmer);
+        if rc.0 < kmer.0 {
+            rc
+        } else {
+            kmer
+        }
+    }
+
+    /// Whether `kmer` is its own canonical representative.
+    #[inline]
+    pub fn is_canonical(&self, kmer: Kmer) -> bool {
+        kmer.0 <= self.revcomp(kmer).0
+    }
+
+    /// Whether `kmer` is its own reverse complement (only possible for even k).
+    #[inline]
+    pub fn is_palindrome(&self, kmer: Kmer) -> bool {
+        self.revcomp(kmer) == kmer
+    }
+
+    /// Slide one base to the right: drop the first base, append `code`.
+    #[inline]
+    pub fn extend_right(&self, kmer: Kmer, code: u8) -> Kmer {
+        debug_assert!(code < 4);
+        Kmer(((kmer.0 << 2) | code as u128) & self.mask)
+    }
+
+    /// Slide one base to the left: drop the last base, prepend `code`.
+    #[inline]
+    pub fn extend_left(&self, kmer: Kmer, code: u8) -> Kmer {
+        debug_assert!(code < 4);
+        Kmer((kmer.0 >> 2) | ((code as u128) << (2 * (self.k - 1))))
+    }
+
+    /// Iterate over all k-mers of `seq` (ASCII), skipping windows that
+    /// contain a non-ACGT byte. Yields `(offset, kmer)` pairs.
+    pub fn kmers<'a>(&self, seq: &'a [u8]) -> KmerIter<'a> {
+        KmerIter {
+            codec: *self,
+            seq,
+            pos: 0,
+            valid: 0,
+            bits: 0,
+        }
+    }
+}
+
+/// Rolling iterator over the k-mers of an ASCII sequence.
+///
+/// Maintains a 2-bit window and a count of consecutive valid bases, so a
+/// single `N` only invalidates the windows that overlap it.
+pub struct KmerIter<'a> {
+    codec: KmerCodec,
+    seq: &'a [u8],
+    pos: usize,
+    /// How many consecutive valid bases end at `pos` (capped at k).
+    valid: usize,
+    bits: u128,
+}
+
+impl<'a> Iterator for KmerIter<'a> {
+    type Item = (usize, Kmer);
+
+    fn next(&mut self) -> Option<(usize, Kmer)> {
+        let k = self.codec.k;
+        while self.pos < self.seq.len() {
+            let b = self.seq[self.pos];
+            self.pos += 1;
+            match encode_base(b) {
+                Some(code) => {
+                    self.bits = ((self.bits << 2) | code as u128) & self.codec.mask;
+                    self.valid = (self.valid + 1).min(k);
+                    if self.valid == k {
+                        return Some((self.pos - k, Kmer(self.bits)));
+                    }
+                }
+                None => {
+                    self.valid = 0;
+                    self.bits = 0;
+                }
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.seq.len().saturating_sub(self.pos)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let c = KmerCodec::new(5);
+        let kmer = c.pack(b"ACGTA").unwrap();
+        assert_eq!(c.unpack(kmer), b"ACGTA");
+        assert_eq!(c.to_string(kmer), "ACGTA");
+    }
+
+    #[test]
+    fn pack_rejects_bad_input() {
+        let c = KmerCodec::new(4);
+        assert!(c.pack(b"ACG").is_none(), "too short");
+        assert!(c.pack(b"ACGTA").is_none(), "too long");
+        assert!(c.pack(b"ACNT").is_none(), "ambiguous base");
+    }
+
+    #[test]
+    fn base_accessors() {
+        let c = KmerCodec::new(4);
+        let kmer = c.pack(b"GATC").unwrap();
+        assert_eq!(c.first_base(kmer), 2); // G
+        assert_eq!(c.last_base(kmer), 1); // C
+        assert_eq!(c.base_at(kmer, 1), 0); // A
+        assert_eq!(c.base_at(kmer, 2), 3); // T
+    }
+
+    #[test]
+    fn revcomp_small() {
+        let c = KmerCodec::new(3);
+        let kmer = c.pack(b"ATC").unwrap();
+        assert_eq!(c.to_string(c.revcomp(kmer)), "GAT");
+    }
+
+    #[test]
+    fn revcomp_involution_various_k() {
+        for k in [1, 2, 3, 15, 16, 31, 32, 33, 63, 64] {
+            let c = KmerCodec::new(k);
+            // Deterministic pseudo-random bases.
+            let seq: Vec<u8> = (0..k).map(|i| crate::base::BASES[(i * 7 + 3) % 4]).collect();
+            let kmer = c.pack(&seq).unwrap();
+            assert_eq!(c.revcomp(c.revcomp(kmer)), kmer, "k={k}");
+        }
+    }
+
+    #[test]
+    fn revcomp_matches_string_revcomp() {
+        let c = KmerCodec::new(7);
+        let kmer = c.pack(b"AACGTGG").unwrap();
+        let rc = c.revcomp(kmer);
+        assert_eq!(c.to_string(rc), "CCACGTT");
+    }
+
+    #[test]
+    fn canonical_is_min_and_idempotent() {
+        let c = KmerCodec::new(4);
+        let kmer = c.pack(b"TTTT").unwrap();
+        let canon = c.canonical(kmer);
+        assert_eq!(c.to_string(canon), "AAAA");
+        assert_eq!(c.canonical(canon), canon);
+        assert!(c.is_canonical(canon));
+        assert!(!c.is_canonical(kmer));
+    }
+
+    #[test]
+    fn palindrome_detection() {
+        let c = KmerCodec::new(4);
+        assert!(c.is_palindrome(c.pack(b"ACGT").unwrap()));
+        assert!(!c.is_palindrome(c.pack(b"ACGG").unwrap()));
+    }
+
+    #[test]
+    fn extend_right_slides_window() {
+        let c = KmerCodec::new(3);
+        let kmer = c.pack(b"ACG").unwrap();
+        let next = c.extend_right(kmer, encode_base(b'T').unwrap());
+        assert_eq!(c.to_string(next), "CGT");
+    }
+
+    #[test]
+    fn extend_left_slides_window() {
+        let c = KmerCodec::new(3);
+        let kmer = c.pack(b"ACG").unwrap();
+        let prev = c.extend_left(kmer, encode_base(b'T').unwrap());
+        assert_eq!(c.to_string(prev), "TAC");
+    }
+
+    #[test]
+    fn extensions_are_inverses() {
+        let c = KmerCodec::new(9);
+        let kmer = c.pack(b"ACGTACGTA").unwrap();
+        let first = c.first_base(kmer);
+        let last = c.last_base(kmer);
+        assert_eq!(c.extend_left(c.extend_right(kmer, 2), first), kmer);
+        assert_eq!(c.extend_right(c.extend_left(kmer, 1), last), kmer);
+    }
+
+    #[test]
+    fn kmer_iter_simple() {
+        let c = KmerCodec::new(3);
+        let got: Vec<(usize, String)> = c
+            .kmers(b"ACGTA")
+            .map(|(off, km)| (off, c.to_string(km)))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (0, "ACG".to_string()),
+                (1, "CGT".to_string()),
+                (2, "GTA".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn kmer_iter_skips_n_windows() {
+        let c = KmerCodec::new(3);
+        let got: Vec<usize> = c.kmers(b"ACNGTAC").map(|(off, _)| off).collect();
+        // Windows overlapping the N at index 2 are dropped.
+        assert_eq!(got, vec![3, 4]);
+    }
+
+    #[test]
+    fn kmer_iter_short_sequence_yields_nothing() {
+        let c = KmerCodec::new(5);
+        assert_eq!(c.kmers(b"ACGT").count(), 0);
+        assert_eq!(c.kmers(b"").count(), 0);
+    }
+
+    #[test]
+    fn kmer_iter_matches_pack() {
+        let c = KmerCodec::new(4);
+        let seq = b"GGATCCA";
+        for (off, km) in c.kmers(seq) {
+            assert_eq!(km, c.pack(&seq[off..off + 4]).unwrap());
+        }
+    }
+
+    #[test]
+    fn max_k_roundtrip() {
+        let c = KmerCodec::new(64);
+        let seq: Vec<u8> = (0..64).map(|i| crate::base::BASES[i % 4]).collect();
+        let kmer = c.pack(&seq).unwrap();
+        assert_eq!(c.unpack(kmer), seq);
+        assert_eq!(c.revcomp(c.revcomp(kmer)), kmer);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_k_panics() {
+        KmerCodec::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn oversize_k_panics() {
+        KmerCodec::new(65);
+    }
+}

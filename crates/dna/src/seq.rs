@@ -1,0 +1,169 @@
+//! ASCII DNA sequence utilities.
+//!
+//! Contigs, scaffolds, and reads are plain `Vec<u8>`/`&[u8]` of upper-case
+//! `ACGTN`. These helpers implement reverse complement and the canonical
+//! orientation rule the traversal uses to make contig output
+//! schedule-independent: every contig is emitted as the lexicographic
+//! minimum of itself and its reverse complement.
+
+use crate::base::complement_ascii;
+
+/// Reverse-complement a sequence into a new vector.
+pub fn revcomp(seq: &[u8]) -> Vec<u8> {
+    seq.iter().rev().map(|&b| complement_ascii(b)).collect()
+}
+
+/// Reverse-complement a sequence in place.
+pub fn revcomp_in_place(seq: &mut [u8]) {
+    let n = seq.len();
+    for i in 0..n / 2 {
+        let (a, b) = (seq[i], seq[n - 1 - i]);
+        seq[i] = complement_ascii(b);
+        seq[n - 1 - i] = complement_ascii(a);
+    }
+    if n % 2 == 1 {
+        let mid = n / 2;
+        seq[mid] = complement_ascii(seq[mid]);
+    }
+}
+
+/// Return the canonical orientation: the lexicographically smaller of the
+/// sequence and its reverse complement. Returns the input unchanged when it
+/// is already canonical (ties go to the forward orientation).
+pub fn canonical_seq(seq: Vec<u8>) -> Vec<u8> {
+    let rc = revcomp(&seq);
+    if rc < seq {
+        rc
+    } else {
+        seq
+    }
+}
+
+/// Whether the sequence is already in canonical orientation.
+pub fn is_canonical_seq(seq: &[u8]) -> bool {
+    let n = seq.len();
+    for i in 0..n {
+        let rc_i = complement_ascii(seq[n - 1 - i]);
+        match seq[i].cmp(&rc_i) {
+            std::cmp::Ordering::Less => return true,
+            std::cmp::Ordering::Greater => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    true // palindrome
+}
+
+/// Validate that a sequence contains only `ACGTN` (upper- or lower-case).
+/// Returns the index of the first offending byte, if any.
+pub fn validate_dna(seq: &[u8]) -> Result<(), usize> {
+    for (i, &b) in seq.iter().enumerate() {
+        match b {
+            b'A' | b'C' | b'G' | b'T' | b'N' | b'a' | b'c' | b'g' | b't' | b'n' => {}
+            _ => return Err(i),
+        }
+    }
+    Ok(())
+}
+
+/// Fraction of G/C bases among unambiguous bases; `None` if there are none.
+pub fn gc_content(seq: &[u8]) -> Option<f64> {
+    let mut gc = 0usize;
+    let mut total = 0usize;
+    for &b in seq {
+        match b {
+            b'G' | b'C' | b'g' | b'c' => {
+                gc += 1;
+                total += 1;
+            }
+            b'A' | b'T' | b'a' | b't' => total += 1,
+            _ => {}
+        }
+    }
+    if total == 0 {
+        None
+    } else {
+        Some(gc as f64 / total as f64)
+    }
+}
+
+/// Hamming distance between equal-length sequences.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn hamming(a: &[u8], b: &[u8]) -> usize {
+    assert_eq!(a.len(), b.len(), "hamming requires equal lengths");
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn revcomp_simple() {
+        assert_eq!(revcomp(b"ACGT"), b"ACGT");
+        assert_eq!(revcomp(b"AACG"), b"CGTT");
+        assert_eq!(revcomp(b"A"), b"T");
+        assert_eq!(revcomp(b""), b"");
+    }
+
+    #[test]
+    fn revcomp_handles_n() {
+        assert_eq!(revcomp(b"ANG"), b"CNT");
+    }
+
+    #[test]
+    fn revcomp_in_place_matches_copy() {
+        for s in [&b"ACGTT"[..], b"GG", b"T", b"", b"ACNNT"] {
+            let mut v = s.to_vec();
+            revcomp_in_place(&mut v);
+            assert_eq!(v, revcomp(s), "input {:?}", std::str::from_utf8(s));
+        }
+    }
+
+    #[test]
+    fn canonical_picks_smaller() {
+        assert_eq!(canonical_seq(b"TTT".to_vec()), b"AAA".to_vec());
+        assert_eq!(canonical_seq(b"AAA".to_vec()), b"AAA".to_vec());
+        // Palindrome maps to itself.
+        assert_eq!(canonical_seq(b"ACGT".to_vec()), b"ACGT".to_vec());
+    }
+
+    #[test]
+    fn is_canonical_agrees_with_canonical_seq() {
+        for s in [&b"ACGTT"[..], b"TTTTT", b"GATC", b"ACGT", b"CCC"] {
+            let canon = canonical_seq(s.to_vec());
+            assert_eq!(is_canonical_seq(s), canon == s, "{:?}", std::str::from_utf8(s));
+        }
+    }
+
+    #[test]
+    fn validate_accepts_acgtn() {
+        assert_eq!(validate_dna(b"ACGTNacgtn"), Ok(()));
+        assert_eq!(validate_dna(b"ACG-T"), Err(3));
+        assert_eq!(validate_dna(b""), Ok(()));
+    }
+
+    #[test]
+    fn gc_content_counts() {
+        assert_eq!(gc_content(b"GGCC"), Some(1.0));
+        assert_eq!(gc_content(b"AATT"), Some(0.0));
+        assert_eq!(gc_content(b"ACGT"), Some(0.5));
+        assert_eq!(gc_content(b"NNN"), None);
+        // N excluded from denominator.
+        assert_eq!(gc_content(b"GNA"), Some(0.5));
+    }
+
+    #[test]
+    fn hamming_counts_mismatches() {
+        assert_eq!(hamming(b"ACGT", b"ACGT"), 0);
+        assert_eq!(hamming(b"ACGT", b"ACGA"), 1);
+        assert_eq!(hamming(b"AAAA", b"TTTT"), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn hamming_panics_on_length_mismatch() {
+        hamming(b"AC", b"ACG");
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the DNA primitives.
+
+use hipmer_dna::{
+    canonical_seq, encode_base, hash::mix128, is_canonical_seq, revcomp, revcomp_in_place,
+    ExtVotes, KmerCodec, BASES,
+};
+use proptest::prelude::*;
+
+/// Strategy: an ACGT sequence of the given length range.
+fn dna_seq(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(&BASES[..]), len)
+}
+
+/// Strategy: a sequence that may also contain Ns.
+fn dna_seq_with_n(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(&b"ACGTN"[..]), len)
+}
+
+proptest! {
+    #[test]
+    fn pack_unpack_roundtrip(k in 1usize..=64, seed in any::<u64>()) {
+        // Derive a deterministic sequence of length k from the seed.
+        let seq: Vec<u8> = (0..k)
+            .map(|i| BASES[((seed >> (2 * (i % 32))) & 3) as usize])
+            .collect();
+        let c = KmerCodec::new(k);
+        let kmer = c.pack(&seq).unwrap();
+        prop_assert_eq!(c.unpack(kmer), seq);
+    }
+
+    #[test]
+    fn packed_revcomp_matches_string_revcomp(seq in dna_seq(1..64)) {
+        let c = KmerCodec::new(seq.len());
+        let kmer = c.pack(&seq).unwrap();
+        prop_assert_eq!(c.unpack(c.revcomp(kmer)), revcomp(&seq));
+    }
+
+    #[test]
+    fn revcomp_is_involution(seq in dna_seq_with_n(0..200)) {
+        prop_assert_eq!(revcomp(&revcomp(&seq)), seq);
+    }
+
+    #[test]
+    fn revcomp_in_place_matches_functional(seq in dna_seq_with_n(0..200)) {
+        let mut v = seq.clone();
+        revcomp_in_place(&mut v);
+        prop_assert_eq!(v, revcomp(&seq));
+    }
+
+    #[test]
+    fn canonical_is_idempotent_and_minimal(seq in dna_seq(1..100)) {
+        let canon = canonical_seq(seq.clone());
+        prop_assert!(canon == seq || canon == revcomp(&seq));
+        prop_assert!(canon <= seq);
+        prop_assert!(canon <= revcomp(&seq));
+        prop_assert_eq!(canonical_seq(canon.clone()), canon.clone());
+        prop_assert!(is_canonical_seq(&canon));
+    }
+
+    #[test]
+    fn canonical_invariant_under_revcomp(seq in dna_seq(1..100)) {
+        prop_assert_eq!(canonical_seq(seq.clone()), canonical_seq(revcomp(&seq)));
+    }
+
+    #[test]
+    fn kmer_iter_yields_every_clean_window(seq in dna_seq_with_n(0..120), k in 1usize..8) {
+        let c = KmerCodec::new(k);
+        let got: Vec<(usize, hipmer_dna::Kmer)> = c.kmers(&seq).collect();
+        // Reference: brute force over windows.
+        let mut expect = Vec::new();
+        if seq.len() >= k {
+            for off in 0..=seq.len() - k {
+                if let Some(km) = c.pack(&seq[off..off + k]) {
+                    expect.push((off, km));
+                }
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn extend_right_equals_repack(seq in dna_seq(2..65)) {
+        let k = seq.len() - 1;
+        let c = KmerCodec::new(k);
+        let first = c.pack(&seq[..k]).unwrap();
+        let second = c.pack(&seq[1..]).unwrap();
+        let code = encode_base(seq[k]).unwrap();
+        prop_assert_eq!(c.extend_right(first, code), second);
+        let first_code = encode_base(seq[0]).unwrap();
+        prop_assert_eq!(c.extend_left(second, first_code), first);
+    }
+
+    #[test]
+    fn canonical_kmer_invariant_under_revcomp(seq in dna_seq(1..64)) {
+        let c = KmerCodec::new(seq.len());
+        let kmer = c.pack(&seq).unwrap();
+        prop_assert_eq!(c.canonical(kmer), c.canonical(c.revcomp(kmer)));
+    }
+
+    #[test]
+    fn ext_votes_merge_is_commutative(
+        recs_a in prop::collection::vec((0u8..4, 0u8..4), 0..20),
+        recs_b in prop::collection::vec((0u8..4, 0u8..4), 0..20),
+    ) {
+        let mut a = ExtVotes::new();
+        for (l, r) in &recs_a { a.record(Some(*l), Some(*r)); }
+        let mut b = ExtVotes::new();
+        for (l, r) in &recs_b { b.record(Some(*l), Some(*r)); }
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn ext_votes_flip_commutes_with_decide(
+        recs in prop::collection::vec((0u8..4, 0u8..4), 0..20),
+        min_votes in 1u32..4,
+    ) {
+        let mut v = ExtVotes::new();
+        for (l, r) in &recs { v.record(Some(*l), Some(*r)); }
+        // Deciding then flipping must equal flipping then deciding.
+        prop_assert_eq!(v.decide(min_votes).flip(), v.flip().decide(min_votes));
+    }
+
+    #[test]
+    fn mix128_has_no_trivial_collisions(a in any::<u128>(), b in any::<u128>()) {
+        if a != b {
+            // Not a guarantee for a hash, but for random 128-bit inputs a
+            // 64-bit collision in a proptest run would indicate brokenness.
+            prop_assert_ne!(mix128(a), mix128(b));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! `hipmer` — command-line front end for the assembler.
+//!
+//! ```text
+//! hipmer assemble reads.fastq -o scaffolds.fasta [-k 31] [--ranks 480] \
+//!        [--ranks-per-node 24] [--rounds 1] [--metagenome] [--report]
+//! hipmer simulate human|wheat|meta -o reads.fastq [--len 100000] [--cov 16]
+//! ```
+//!
+//! `assemble` reads a FASTQ file with the §3.3 parallel block reader, runs
+//! the full pipeline on the requested virtual-machine shape, writes the
+//! scaffolds as FASTA, and (with `--report`) prints the per-phase modeled
+//! times on the Edison-like cost model.
+
+use hipmer::{assemble_fastq, PipelineConfig, StageTimes};
+use hipmer_pgas::{CostModel, Team, Topology};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  hipmer assemble <reads.fastq> -o <scaffolds.fasta> [-k K] [--ranks N]\n\
+         \x20         [--ranks-per-node N] [--rounds N] [--metagenome] [--report]\n  \
+         hipmer simulate <human|wheat|meta> -o <reads.fastq> [--len BP] [--cov X] [--seed S]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(default),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse()
+            .map_err(|_| format!("bad value for {flag}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let out: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "-o")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+
+    match cmd.as_str() {
+        "assemble" => {
+            let Some(input) = args.get(1).filter(|a| !a.starts_with('-')) else {
+                return usage();
+            };
+            let Some(out) = out else {
+                eprintln!("error: -o <scaffolds.fasta> is required");
+                return usage();
+            };
+            let (k, ranks, rpn, rounds) = match (
+                parse_flag(&args, "-k", 31usize),
+                parse_flag(&args, "--ranks", 480usize),
+                parse_flag(&args, "--ranks-per-node", 24usize),
+                parse_flag(&args, "--rounds", 1usize),
+            ) {
+                (Ok(a), Ok(b), Ok(c), Ok(d)) => (a, b, c, d),
+                _ => return usage(),
+            };
+            let mut cfg = if args.iter().any(|a| a == "--metagenome") {
+                PipelineConfig::metagenome_preset(k)
+            } else {
+                PipelineConfig::new(k)
+            };
+            if cfg.scaffolding_enabled() {
+                cfg.scaffold.rounds = rounds;
+            }
+            let team = Team::new(Topology::new(ranks, rpn));
+            eprintln!("assembling {input} on {ranks} virtual ranks ({rpn}/node), k={k}...");
+            let assembly = match assemble_fastq(&team, std::path::Path::new(input), &cfg) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let records: Vec<hipmer_seqio::SeqRecord> = assembly
+                .scaffolds
+                .sequences
+                .iter()
+                .enumerate()
+                .map(|(i, s)| hipmer_seqio::SeqRecord::new(format!("scaffold_{i}"), s.clone()))
+                .collect();
+            let mut buf = Vec::new();
+            if let Err(e) =
+                hipmer_seqio::write_fasta(&mut buf, &records, 80).and_then(|_| std::fs::write(&out, &buf))
+            {
+                eprintln!("error writing {}: {e}", out.display());
+                return ExitCode::FAILURE;
+            }
+            let s = &assembly.stats;
+            eprintln!(
+                "done: {} reads -> {} contigs (N50 {}) -> {} scaffolds (N50 {}), {} bases -> {}",
+                s.n_reads,
+                s.n_contigs,
+                s.contig_n50,
+                s.n_scaffolds,
+                s.scaffold_n50,
+                s.scaffold_bases,
+                out.display()
+            );
+            if args.iter().any(|a| a == "--report") {
+                let t = StageTimes::from_report(&assembly.report, &CostModel::edison());
+                eprintln!("modeled on {ranks} Edison-like cores:");
+                eprintln!("  io               {:>10.4} s", t.io);
+                eprintln!("  k-mer analysis   {:>10.4} s", t.kmer_analysis);
+                eprintln!("  contig generation{:>10.4} s", t.contig_generation);
+                eprintln!("  scaffolding      {:>10.4} s", t.scaffolding());
+                eprintln!("  TOTAL            {:>10.4} s", t.total());
+            }
+            ExitCode::SUCCESS
+        }
+        "simulate" => {
+            let Some(kind) = args.get(1) else { return usage() };
+            let Some(out) = out else {
+                eprintln!("error: -o <reads.fastq> is required");
+                return usage();
+            };
+            let (len, cov, seed) = match (
+                parse_flag(&args, "--len", 100_000usize),
+                parse_flag(&args, "--cov", 16.0f64),
+                parse_flag(&args, "--seed", 42u64),
+            ) {
+                (Ok(a), Ok(b), Ok(c)) => (a, b, c),
+                _ => return usage(),
+            };
+            let dataset = match kind.as_str() {
+                "human" => hipmer_readsim::human_like_dataset(len, cov, true, seed),
+                "wheat" => hipmer_readsim::wheat_like_dataset(len, cov, true, seed),
+                "meta" => hipmer_readsim::metagenome_dataset(len, 50, cov, true, seed),
+                _ => return usage(),
+            };
+            let mut buf = Vec::new();
+            if let Err(e) = hipmer_seqio::write_fastq(&mut buf, &dataset.all_reads())
+                .and_then(|_| std::fs::write(&out, &buf))
+            {
+                eprintln!("error writing {}: {e}", out.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "simulated {} ({} bp, {} reads) -> {}",
+                dataset.name,
+                dataset.total_genome_bases(),
+                dataset.all_reads().len(),
+                out.display()
+            );
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

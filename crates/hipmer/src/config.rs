@@ -1,0 +1,76 @@
+//! Whole-pipeline configuration.
+
+use hipmer_contig::ContigConfig;
+use hipmer_kanalysis::KmerAnalysisConfig;
+use hipmer_scaffold::ScaffoldConfig;
+
+/// Configuration for a complete assembly run.
+#[derive(Clone)]
+pub struct PipelineConfig {
+    /// The assembly k (de Bruijn graph k-mer length; must be odd).
+    pub k: usize,
+    /// Stage 1 settings.
+    pub kanalysis: KmerAnalysisConfig,
+    /// Stage 2 settings.
+    pub contig: ContigConfig,
+    /// Stage 3 settings.
+    pub scaffold: ScaffoldConfig,
+}
+
+impl PipelineConfig {
+    /// Defaults for an assembly at the given (odd) k. The aligner seed
+    /// length defaults to a shorter seed (better sensitivity on read
+    /// tails) capped at k.
+    pub fn new(k: usize) -> Self {
+        assert!(k % 2 == 1, "assembly k must be odd, got {k}");
+        let seed_len = 15.min(k);
+        PipelineConfig {
+            k,
+            kanalysis: KmerAnalysisConfig::new(k),
+            contig: ContigConfig::new(k),
+            scaffold: ScaffoldConfig::new(seed_len),
+        }
+    }
+
+    /// Preset matching the wheat runs: four scaffolding rounds (§5.3: "the
+    /// wheat pipeline ... requires four rounds of scaffolding").
+    pub fn wheat_preset(k: usize) -> Self {
+        let mut cfg = Self::new(k);
+        cfg.scaffold.rounds = 4;
+        cfg
+    }
+
+    /// Preset for metagenomes: §5.4 runs HipMer only through contig
+    /// generation ("single-genome logic may introduce errors in the
+    /// scaffolding of a metagenome"), so scaffolding is marked skipped.
+    pub fn metagenome_preset(k: usize) -> Self {
+        let mut cfg = Self::new(k);
+        cfg.scaffold.rounds = 0; // interpreted as "skip scaffolding"
+        cfg
+    }
+
+    /// Whether scaffolding runs at all.
+    pub fn scaffolding_enabled(&self) -> bool {
+        self.scaffold.rounds > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let d = PipelineConfig::new(31);
+        assert_eq!(d.k, 31);
+        assert!(d.scaffolding_enabled());
+        assert_eq!(PipelineConfig::wheat_preset(31).scaffold.rounds, 4);
+        assert!(!PipelineConfig::metagenome_preset(31).scaffolding_enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_k_rejected() {
+        PipelineConfig::new(32);
+    }
+}

@@ -1,0 +1,240 @@
+//! The end-to-end assembly driver.
+
+use crate::config::PipelineConfig;
+use crate::stats::AssemblyStats;
+use hipmer_contig::{generate_contigs, ContigSet};
+use hipmer_kanalysis::analyze_kmers;
+use hipmer_pgas::{PipelineReport, Team};
+use hipmer_scaffold::{scaffold_pipeline, ScaffoldSet};
+use hipmer_seqio::{read_fastq_parallel, SeqRecord};
+use std::ops::Range;
+use std::path::Path;
+
+/// A finished assembly.
+pub struct Assembly {
+    /// Final scaffolds (equals contigs wrapped as singletons when
+    /// scaffolding is disabled, e.g. the metagenome preset).
+    pub scaffolds: ScaffoldSet,
+    /// The traversal's contig set (pre-bubble-merge).
+    pub contigs: ContigSet,
+    /// Headline statistics.
+    pub stats: AssemblyStats,
+    /// Per-phase counters + modeled-time inputs.
+    pub report: PipelineReport,
+}
+
+/// Assemble reads end-to-end. `lib_ranges` partitions read indices by
+/// library (see [`hipmer_scaffold::scaffold_pipeline`]).
+pub fn assemble(
+    team: &Team,
+    reads: &[SeqRecord],
+    lib_ranges: &[Range<usize>],
+    cfg: &PipelineConfig,
+) -> Assembly {
+    let mut report = PipelineReport::new();
+
+    // Stage 1: k-mer analysis.
+    let (spectrum, phases) = analyze_kmers(team, reads, &cfg.kanalysis);
+    for p in phases {
+        report.push(p);
+    }
+
+    // Stage 2: contig generation.
+    let (contigs, phases) = generate_contigs(team, &spectrum, &cfg.contig);
+    for p in phases {
+        report.push(p);
+    }
+
+    // Stage 3: scaffolding (unless disabled).
+    let (scaffolds, gaps) = if cfg.scaffolding_enabled() {
+        let out = scaffold_pipeline(team, &spectrum, &contigs, reads, lib_ranges, &cfg.scaffold);
+        for p in out.reports {
+            report.push(p);
+        }
+        (out.scaffolds, out.gap_stats)
+    } else {
+        // Contigs become singleton "scaffolds" verbatim.
+        let sequences: Vec<Vec<u8>> = contigs.contigs.iter().map(|c| c.seq.clone()).collect();
+        let scaffolds = ScaffoldSet {
+            scaffolds: sequences
+                .iter()
+                .enumerate()
+                .map(|(i, _)| hipmer_scaffold::Scaffold {
+                    members: vec![hipmer_scaffold::ScaffoldMember {
+                        contig: i as u32,
+                        reversed: false,
+                        gap_before: 0,
+                    }],
+                })
+                .collect(),
+            sequences,
+        };
+        (scaffolds, Default::default())
+    };
+
+    let stats = AssemblyStats {
+        n_reads: reads.len(),
+        read_bases: reads.iter().map(|r| r.len()).sum(),
+        distinct_kmers: spectrum.distinct(),
+        n_contigs: contigs.len(),
+        contig_n50: contigs.n50(),
+        n_scaffolds: scaffolds.len(),
+        scaffold_n50: scaffolds.n50(),
+        scaffold_bases: scaffolds.total_bases(),
+        gaps,
+    };
+
+    Assembly {
+        scaffolds,
+        contigs,
+        stats,
+        report,
+    }
+}
+
+/// Assemble straight from a FASTQ file using the §3.3 parallel block
+/// reader; the I/O phase is measured and priced like every other phase.
+/// The file is treated as a single library.
+pub fn assemble_fastq(team: &Team, path: &Path, cfg: &PipelineConfig) -> std::io::Result<Assembly> {
+    let (per_rank, io_stats) = read_fastq_parallel(team, path)?;
+    let reads: Vec<SeqRecord> = per_rank.into_iter().flatten().collect();
+    let lib_ranges = vec![0..reads.len()];
+    let mut assembly = assemble(team, &reads, &lib_ranges, cfg);
+    // Prepend the I/O phase so stage grouping sees it.
+    let mut report = PipelineReport::new();
+    report.push(hipmer_pgas::PhaseReport::new("io/fastq", *team.topo(), io_stats));
+    for p in assembly.report.phases.drain(..) {
+        report.push(p);
+    }
+    assembly.report = report;
+    Ok(assembly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{kmer_containment, StageTimes};
+    use hipmer_pgas::{CostModel, Topology};
+    use hipmer_readsim::human_like_dataset;
+
+    fn lib_ranges_of(d: &hipmer_readsim::Dataset) -> Vec<Range<usize>> {
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        for lib in &d.reads_per_library {
+            out.push(start..start + lib.len());
+            start += lib.len();
+        }
+        out
+    }
+
+    #[test]
+    fn end_to_end_assembly_reconstructs_genome() {
+        let dataset = human_like_dataset(30_000, 18.0, false, 5);
+        let team = Team::new(Topology::new(4, 2));
+        let reads = dataset.all_reads();
+        let cfg = PipelineConfig::new(21);
+        let assembly = assemble(&team, &reads, &lib_ranges_of(&dataset), &cfg);
+
+        assert!(assembly.stats.scaffold_n50 >= assembly.stats.contig_n50);
+        // Accuracy: nearly all scaffold k-mers come from a haplotype, and
+        // nearly the whole genome is covered.
+        let reference = {
+            let mut r = dataset.genomes[0].haplotypes[0].clone();
+            r.extend_from_slice(b"N"); // separator
+            r.extend_from_slice(&dataset.genomes[0].haplotypes[1]);
+            r
+        };
+        let (precision, completeness) =
+            kmer_containment(&reference, &assembly.scaffolds.sequences, 21);
+        assert!(precision > 0.99, "precision {precision}");
+        assert!(completeness > 0.90, "completeness {completeness}");
+    }
+
+    #[test]
+    fn stage_times_are_all_populated() {
+        let dataset = human_like_dataset(15_000, 16.0, false, 6);
+        let team = Team::new(Topology::new(4, 2));
+        let reads = dataset.all_reads();
+        let assembly = assemble(
+            &team,
+            &reads,
+            &lib_ranges_of(&dataset),
+            &PipelineConfig::new(21),
+        );
+        let t = StageTimes::from_report(&assembly.report, &CostModel::edison());
+        assert!(t.kmer_analysis > 0.0);
+        assert!(t.contig_generation > 0.0);
+        assert!(t.meraligner > 0.0);
+        assert!(t.gap_closing > 0.0);
+        assert!(t.rest_scaffolding > 0.0);
+        assert!(t.total() > 0.0);
+    }
+
+    #[test]
+    fn metagenome_preset_skips_scaffolding() {
+        let dataset = human_like_dataset(10_000, 14.0, false, 7);
+        let team = Team::new(Topology::new(2, 2));
+        let reads = dataset.all_reads();
+        let assembly = assemble(
+            &team,
+            &reads,
+            &lib_ranges_of(&dataset),
+            &PipelineConfig::metagenome_preset(21),
+        );
+        assert_eq!(assembly.stats.n_scaffolds, assembly.stats.n_contigs);
+        assert_eq!(assembly.stats.gaps.total(), 0);
+        let t = StageTimes::from_report(&assembly.report, &CostModel::edison());
+        assert_eq!(t.meraligner, 0.0);
+        assert_eq!(t.gap_closing, 0.0);
+    }
+
+    #[test]
+    fn assemble_from_fastq_file_counts_io() {
+        let dataset = human_like_dataset(10_000, 14.0, false, 8);
+        let dir = std::env::temp_dir().join(format!("hipmer-e2e-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reads.fastq");
+        let mut buf = Vec::new();
+        hipmer_seqio::write_fastq(&mut buf, &dataset.all_reads()).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+
+        let team = Team::new(Topology::new(4, 2));
+        let assembly = assemble_fastq(&team, &path, &PipelineConfig::new(21)).unwrap();
+        assert!(assembly.stats.n_reads > 0);
+        let t = StageTimes::from_report(&assembly.report, &CostModel::edison());
+        assert!(t.io > 0.0, "I/O phase must be priced");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod indel_tests {
+    use super::*;
+    use crate::stats::kmer_containment;
+    use hipmer_pgas::Topology;
+    use hipmer_readsim::{human_like, simulate_library, ErrorModel, Library};
+
+    #[test]
+    fn assembly_tolerates_indel_reads() {
+        // Indel errors break read k-mers (filtered by counting) and shift
+        // alignment diagonals (recovered by the gapped merAligner path);
+        // the assembly must stay accurate.
+        let genome = human_like(30_000, 44);
+        let reads = simulate_library(
+            &genome,
+            &Library::short_insert(20.0),
+            &ErrorModel::illumina_with_indels(),
+            45,
+        );
+        let team = Team::new(Topology::new(6, 3));
+        let assembly = assemble(&team, &reads, &[0..reads.len()], &PipelineConfig::new(21));
+        let mut reference = genome.haplotypes[0].clone();
+        reference.push(b'N');
+        reference.extend_from_slice(&genome.haplotypes[1]);
+        let (precision, completeness) =
+            kmer_containment(&reference, &assembly.scaffolds.sequences, 21);
+        assert!(precision > 0.97, "precision {precision}");
+        assert!(completeness > 0.80, "completeness {completeness}");
+        assert!(assembly.stats.scaffold_n50 > 2_000);
+    }
+}

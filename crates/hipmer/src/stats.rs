@@ -1,0 +1,179 @@
+//! Assembly statistics and stage-time grouping.
+
+use hipmer_dna::{Kmer, KmerCodec, KmerHashSet};
+use hipmer_pgas::{CostModel, PipelineReport};
+use hipmer_scaffold::GapCloseStats;
+
+/// Headline numbers for a finished assembly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AssemblyStats {
+    /// Input reads.
+    pub n_reads: usize,
+    /// Input bases.
+    pub read_bases: usize,
+    /// Distinct non-erroneous k-mers.
+    pub distinct_kmers: usize,
+    /// Contigs out of the traversal (pre-bubble-merge).
+    pub n_contigs: usize,
+    /// Contig N50 (pre-bubble-merge).
+    pub contig_n50: usize,
+    /// Final scaffolds.
+    pub n_scaffolds: usize,
+    /// Scaffold N50 over final sequences.
+    pub scaffold_n50: usize,
+    /// Total scaffold bases.
+    pub scaffold_bases: usize,
+    /// Gap-closing outcome counters.
+    pub gaps: GapCloseStats,
+}
+
+/// Modeled per-stage seconds, grouped the way Figs. 6–8 plot them.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageTimes {
+    /// FASTQ input time.
+    pub io: f64,
+    /// K-mer analysis (sketch + bloom + count + finalize).
+    pub kmer_analysis: f64,
+    /// Contig generation (graph build + traversal).
+    pub contig_generation: f64,
+    /// merAligner (index + align), within scaffolding.
+    pub meraligner: f64,
+    /// Gap closing, within scaffolding.
+    pub gap_closing: f64,
+    /// The remaining scaffolding modules (depths, bubbles, inserts,
+    /// splints/spans, links, ties).
+    pub rest_scaffolding: f64,
+}
+
+impl StageTimes {
+    /// Total scaffolding time.
+    pub fn scaffolding(&self) -> f64 {
+        self.meraligner + self.gap_closing + self.rest_scaffolding
+    }
+
+    /// End-to-end total.
+    pub fn total(&self) -> f64 {
+        self.io + self.kmer_analysis + self.contig_generation + self.scaffolding()
+    }
+
+    /// Group a pipeline report's phases by name prefixes.
+    pub fn from_report(report: &PipelineReport, model: &CostModel) -> StageTimes {
+        let mut t = StageTimes::default();
+        for phase in &report.phases {
+            let secs = phase.modeled(model).total();
+            let name = phase.name.as_str();
+            if name.starts_with("io/") {
+                t.io += secs;
+            } else if name.starts_with("kmer-analysis/") {
+                t.kmer_analysis += secs;
+            } else if name.starts_with("contig/") {
+                t.contig_generation += secs;
+            } else if name.starts_with("scaffold/meraligner") {
+                t.meraligner += secs;
+            } else if name.starts_with("scaffold/gap-closing") {
+                t.gap_closing += secs;
+            } else if name.starts_with("scaffold/") {
+                t.rest_scaffolding += secs;
+            } else {
+                // Unknown phases count toward the closest umbrella: rest.
+                t.rest_scaffolding += secs;
+            }
+        }
+        t
+    }
+}
+
+/// Fraction of `query`'s k-mers found in `reference` (both directions are
+/// canonicalized), plus the fraction of the reference's k-mers covered by
+/// the queries. A cheap, alignment-free accuracy/completeness check used
+/// by the examples and integration tests.
+pub fn kmer_containment(reference: &[u8], queries: &[Vec<u8>], k: usize) -> (f64, f64) {
+    let codec = KmerCodec::new(k);
+    let ref_set: KmerHashSet<Kmer> = codec
+        .kmers(reference)
+        .map(|(_, km)| codec.canonical(km))
+        .collect();
+    let mut query_total = 0usize;
+    let mut query_hit = 0usize;
+    let mut covered: KmerHashSet<Kmer> = KmerHashSet::default();
+    for q in queries {
+        for (_, km) in codec.kmers(q) {
+            let canon = codec.canonical(km);
+            query_total += 1;
+            if ref_set.contains(&canon) {
+                query_hit += 1;
+                covered.insert(canon);
+            }
+        }
+    }
+    let precision = if query_total == 0 {
+        0.0
+    } else {
+        query_hit as f64 / query_total as f64
+    };
+    let completeness = if ref_set.is_empty() {
+        0.0
+    } else {
+        covered.len() as f64 / ref_set.len() as f64
+    };
+    (precision, completeness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipmer_pgas::{CommStats, PhaseReport, Topology};
+
+    #[test]
+    fn stage_grouping() {
+        let topo = Topology::new(2, 2);
+        let mk = |name: &str, ops: u64| {
+            let stats = vec![
+                CommStats {
+                    compute_ops: ops,
+                    ..CommStats::default()
+                };
+                2
+            ];
+            PhaseReport::new(name, topo, stats)
+        };
+        let mut report = PipelineReport::new();
+        report.push(mk("io/fastq", 1000));
+        report.push(mk("kmer-analysis/count", 2000));
+        report.push(mk("contig/traversal", 3000));
+        report.push(mk("scaffold/meraligner-align", 4000));
+        report.push(mk("scaffold/gap-closing", 5000));
+        report.push(mk("scaffold/links", 6000));
+        let model = CostModel::edison();
+        let t = StageTimes::from_report(&report, &model);
+        assert!(t.io > 0.0 && t.kmer_analysis > t.io);
+        assert!(t.meraligner > t.contig_generation);
+        assert!(t.rest_scaffolding > t.gap_closing);
+        let sum = t.io + t.kmer_analysis + t.contig_generation + t.scaffolding();
+        assert!((t.total() - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_exact_and_partial() {
+        let reference = b"ACGTACGTTGCAACGGATCGATCGAAT".to_vec();
+        let (p, c) = kmer_containment(&reference, &[reference.clone()], 11);
+        assert!((p - 1.0).abs() < 1e-12);
+        assert!((c - 1.0).abs() < 1e-12);
+        // Half-matching query.
+        let mut q = reference[..15].to_vec();
+        q.extend(b"TTTTTTTTTTTTTTT");
+        let (p2, c2) = kmer_containment(&reference, &[q], 11);
+        assert!(p2 < 1.0);
+        assert!(c2 < 1.0);
+        assert!(p2 > 0.0);
+    }
+
+    #[test]
+    fn containment_respects_orientation_invariance() {
+        let reference = b"ACGTTGCAACGGATCGATCGAATCCGT".to_vec();
+        let rc = hipmer_dna::revcomp(&reference);
+        let (p, c) = kmer_containment(&reference, &[rc], 11);
+        assert!((p - 1.0).abs() < 1e-12);
+        assert!((c - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,78 @@
+//! End-to-end test of the `hipmer` command-line binary: simulate reads,
+//! assemble them, check the FASTA output.
+
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_hipmer")
+}
+
+#[test]
+fn simulate_then_assemble_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("hipmer-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let reads = dir.join("reads.fastq");
+    let out = dir.join("scaffolds.fasta");
+
+    let sim = Command::new(bin())
+        .args([
+            "simulate",
+            "human",
+            "-o",
+            reads.to_str().unwrap(),
+            "--len",
+            "20000",
+            "--cov",
+            "16",
+            "--seed",
+            "5",
+        ])
+        .output()
+        .expect("simulate runs");
+    assert!(sim.status.success(), "{}", String::from_utf8_lossy(&sim.stderr));
+    assert!(reads.exists());
+
+    let asm = Command::new(bin())
+        .args([
+            "assemble",
+            reads.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+            "-k",
+            "21",
+            "--ranks",
+            "16",
+            "--ranks-per-node",
+            "8",
+            "--report",
+        ])
+        .output()
+        .expect("assemble runs");
+    assert!(asm.status.success(), "{}", String::from_utf8_lossy(&asm.stderr));
+    let stderr = String::from_utf8_lossy(&asm.stderr);
+    assert!(stderr.contains("scaffolds"), "{stderr}");
+    assert!(stderr.contains("TOTAL"), "--report must print modeled times");
+
+    // The FASTA parses and contains real sequence.
+    let fasta = std::fs::read(&out).unwrap();
+    let records = hipmer_seqio::parse_fasta(&fasta).unwrap();
+    assert!(!records.is_empty());
+    let total: usize = records.iter().map(|r| r.seq.len()).sum();
+    assert!(total > 10_000, "assembled only {total} bases");
+    for r in &records {
+        assert!(hipmer_dna::validate_dna(&r.seq).is_ok());
+        assert!(r.id.starts_with("scaffold_"));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = Command::new(bin()).arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let out = Command::new(bin())
+        .args(["assemble", "/nonexistent.fastq", "-o", "/tmp/x.fasta"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

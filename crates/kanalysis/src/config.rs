@@ -1,0 +1,73 @@
+//! K-mer analysis configuration.
+
+/// Tunables for k-mer analysis. Defaults follow the paper (k = 51 and
+/// θ = 32,000 for wheat; we default k lower because our genomes are
+/// megabase-scale) and Meraculous conventions (count ≥ 2, quality ≥ 20).
+#[derive(Clone, Debug)]
+pub struct KmerAnalysisConfig {
+    /// K-mer length.
+    pub k: usize,
+    /// Minimum exact count for a k-mer to be considered non-erroneous.
+    pub min_count: u32,
+    /// Minimum Phred score for a neighboring base to cast an extension
+    /// vote ("high quality extensions").
+    pub min_qual: u8,
+    /// Minimum votes for a base to be a high-quality extension candidate.
+    pub min_votes: u32,
+    /// Misra–Gries summary capacity (θ). The paper uses 32,000 and reports
+    /// <10% sensitivity over 1K–64K.
+    pub theta: usize,
+    /// Treat k-mers whose Misra–Gries lower-bound count is at least this as
+    /// heavy hitters. The paper treats k-mers with reported count
+    /// `f'(x) > 1` specially (anything the summary retains with evidence of
+    /// repetition); raising it shrinks the special set.
+    pub hh_min_reported: u64,
+    /// Master switch for the heavy-hitter optimization (Fig. 6's
+    /// "Default" vs "Heavy Hitters").
+    pub use_heavy_hitters: bool,
+    /// Use Bloom filters to keep singletons out of the table (§3.1;
+    /// ablation: without them every k-mer gets an entry).
+    pub use_bloom: bool,
+    /// Bloom filter false-positive rate.
+    pub bloom_fp_rate: f64,
+    /// Aggregating-stores batch size.
+    pub agg_batch: usize,
+}
+
+impl KmerAnalysisConfig {
+    /// Defaults for a k of choice.
+    pub fn new(k: usize) -> Self {
+        KmerAnalysisConfig {
+            k,
+            min_count: 2,
+            min_qual: 20,
+            min_votes: 2,
+            theta: 32_000,
+            hh_min_reported: 2,
+            use_heavy_hitters: true,
+            use_bloom: true,
+            bloom_fp_rate: 0.05,
+            agg_batch: 256,
+        }
+    }
+}
+
+impl Default for KmerAnalysisConfig {
+    fn default() -> Self {
+        Self::new(31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_conventions() {
+        let c = KmerAnalysisConfig::default();
+        assert_eq!(c.min_count, 2);
+        assert_eq!(c.theta, 32_000);
+        assert!(c.use_heavy_hitters);
+        assert!(c.use_bloom);
+    }
+}

@@ -1,0 +1,38 @@
+//! Parallel k-mer analysis (§2 stage 1, optimizations §3.1).
+//!
+//! Input: reads with qualities. Output: the set of non-erroneous canonical
+//! k-mers, each with its exact count and its high-quality extension pair —
+//! the vertices of the de Bruijn graph the contig stage traverses.
+//!
+//! Three passes over the reads, exactly as in the paper:
+//!
+//! 1. **Sketch pass** ([`pass1::sketch_reads`]): every rank streams its
+//!    read chunk through a HyperLogLog (cardinality, to size the Bloom
+//!    filters) and a Misra–Gries summary (heavy-hitter identification,
+//!    θ = 32,000 in the paper). Summaries are merged in a reduction —
+//!    "essentially free in terms of I/O costs" because the pass shares the
+//!    cardinality scan.
+//! 2. **Bloom pass** ([`count::bloom_pass`]): each k-mer occurrence is
+//!    routed to its owner (aggregating stores); the owner inserts the key
+//!    hash into its Bloom filter and creates a table entry the *second*
+//!    time it sees the key. Singletons — overwhelmingly sequencing errors —
+//!    never enter the table, the paper's up-to-85% memory saving.
+//! 3. **Count pass** ([`count::count_pass`]): occurrences are routed again
+//!    with their quality-filtered extension votes and merged into existing
+//!    entries only. Heavy hitters bypass the owner-computes path: every
+//!    rank accumulates them locally and one final global reduction merges
+//!    the partials — O(p) messages per heavy k-mer instead of O(count),
+//!    removing the load imbalance of Fig. 6.
+//!
+//! Finalization drops below-threshold k-mers and decides each side's
+//! extension (`[ACGT]`, fork, or none).
+
+pub mod config;
+pub mod count;
+pub mod pass1;
+pub mod spectrum;
+
+pub use config::KmerAnalysisConfig;
+pub use count::analyze_kmers;
+pub use pass1::{sketch_reads, SketchResult};
+pub use spectrum::{KmerEntry, KmerSpectrum};

@@ -1,0 +1,470 @@
+//! The distributed hash table — the heart of HipMer (§7 of the paper:
+//! "distributed hash tables lie in the heart of HipMer and the main
+//! operations on them are irregular lookups").
+//!
+//! Keys are assigned to an **owner rank** by a placement function over the
+//! key's 64-bit hash; each rank's partition is one shard. Any rank may read
+//! or write any key (one-sided semantics): the access is executed directly
+//! against the owner's shard, and the *acting* rank's [`CommStats`] records
+//! whether it was local, on-node, or off-node — exactly the accounting
+//! Tables 1–2 of the paper report. Work that lands in a shard on behalf of
+//! other ranks is additionally tallied as `service_ops` against the owner,
+//! which is where heavy-hitter load imbalance (Fig. 6) becomes visible.
+//!
+//! [`CommStats`]: crate::stats::CommStats
+
+use crate::team::RankCtx;
+use crate::topology::Topology;
+use hipmer_dna::KmerBuildHasher;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How keys map to owner ranks.
+#[derive(Clone)]
+pub enum Placement {
+    /// Uniform: `owner = hash % ranks`. The default for every table.
+    Cyclic,
+    /// A custom mapping from key hash to owner rank — the hook the oracle
+    /// partitioning of §3.2 plugs into.
+    Custom(Arc<dyn Fn(u64) -> usize + Send + Sync>),
+}
+
+impl std::fmt::Debug for Placement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Placement::Cyclic => write!(f, "Placement::Cyclic"),
+            Placement::Custom(_) => write!(f, "Placement::Custom(..)"),
+        }
+    }
+}
+
+type Shard<K, V> = Mutex<HashMap<K, V, KmerBuildHasher>>;
+
+/// A hash table partitioned across the virtual ranks of a [`Topology`].
+pub struct DistHashMap<K, V> {
+    topo: Topology,
+    placement: Placement,
+    shards: Vec<Shard<K, V>>,
+    /// Remote-landed updates serviced by each shard's owner.
+    service: Vec<AtomicU64>,
+    hasher: KmerBuildHasher,
+    /// Logical payload bytes per transferred entry (key + value estimate).
+    entry_bytes: u64,
+}
+
+impl<K, V> DistHashMap<K, V>
+where
+    K: Hash + Eq + Send,
+    V: Send,
+{
+    /// An empty table over `topo` with cyclic placement.
+    pub fn new(topo: Topology) -> Self {
+        Self::with_placement(topo, Placement::Cyclic)
+    }
+
+    /// An empty table with an explicit placement function.
+    pub fn with_placement(topo: Topology, placement: Placement) -> Self {
+        let ranks = topo.ranks();
+        DistHashMap {
+            topo,
+            placement,
+            shards: (0..ranks).map(|_| Mutex::new(HashMap::default())).collect(),
+            service: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
+            hasher: KmerBuildHasher::default(),
+            entry_bytes: (std::mem::size_of::<K>() + std::mem::size_of::<V>()) as u64,
+        }
+    }
+
+    /// The topology this table is partitioned over.
+    #[inline]
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The 64-bit hash used for placement (stable across ranks and runs).
+    #[inline]
+    pub fn key_hash(&self, key: &K) -> u64 {
+        self.hasher.hash_one(key)
+    }
+
+    /// The rank owning `key`.
+    #[inline]
+    pub fn owner(&self, key: &K) -> usize {
+        let h = self.key_hash(key);
+        match &self.placement {
+            Placement::Cyclic => (h % self.topo.ranks() as u64) as usize,
+            Placement::Custom(f) => {
+                let r = f(h);
+                debug_assert!(r < self.topo.ranks());
+                r
+            }
+        }
+    }
+
+    /// Record one one-sided access by `ctx.rank` against `owner`'s shard.
+    #[inline]
+    fn account(&self, ctx: &mut RankCtx, owner: usize) {
+        ctx.stats.access(&self.topo, ctx.rank, owner, self.entry_bytes);
+    }
+
+    /// One-sided read. Returns a clone of the value.
+    pub fn get(&self, ctx: &mut RankCtx, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let owner = self.owner(key);
+        self.account(ctx, owner);
+        self.shards[owner].lock().get(key).cloned()
+    }
+
+    /// One-sided existence check.
+    pub fn contains(&self, ctx: &mut RankCtx, key: &K) -> bool {
+        let owner = self.owner(key);
+        self.account(ctx, owner);
+        self.shards[owner].lock().contains_key(key)
+    }
+
+    /// One-sided write; returns the previous value if any. Counts a service
+    /// op at the owner.
+    pub fn insert(&self, ctx: &mut RankCtx, key: K, value: V) -> Option<V> {
+        let owner = self.owner(&key);
+        self.account(ctx, owner);
+        self.service[owner].fetch_add(1, Ordering::Relaxed);
+        self.shards[owner].lock().insert(key, value)
+    }
+
+    /// One-sided upsert: create the entry with `default` if absent, then
+    /// apply `f`. This is the primitive k-mer counting and link generation
+    /// are built on.
+    pub fn update<D, F>(&self, ctx: &mut RankCtx, key: K, default: D, f: F)
+    where
+        D: FnOnce() -> V,
+        F: FnOnce(&mut V),
+    {
+        let owner = self.owner(&key);
+        self.account(ctx, owner);
+        self.service[owner].fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shards[owner].lock();
+        f(shard.entry(key).or_insert_with(default));
+    }
+
+    /// One-sided read-modify-write with full access to the slot (present or
+    /// not). Used by the traversal's claim protocol.
+    pub fn with_mut<T, F>(&self, ctx: &mut RankCtx, key: &K, f: F) -> T
+    where
+        F: FnOnce(Option<&mut V>) -> T,
+    {
+        let owner = self.owner(key);
+        self.account(ctx, owner);
+        let mut shard = self.shards[owner].lock();
+        f(shard.get_mut(key))
+    }
+
+    /// One-sided removal.
+    pub fn remove(&self, ctx: &mut RankCtx, key: &K) -> Option<V> {
+        let owner = self.owner(key);
+        self.account(ctx, owner);
+        self.shards[owner].lock().remove(key)
+    }
+
+    /// Apply a batch of merged updates that arrived as **one** aggregated
+    /// message (see [`crate::AggregatingStores`]). The caller has already
+    /// accounted the message; this only tallies the owner's service work.
+    pub fn merge_batch<M>(&self, dest: usize, entries: Vec<(K, V)>, merge: M)
+    where
+        M: Fn(&mut V, V),
+    {
+        self.service[dest].fetch_add(entries.len() as u64, Ordering::Relaxed);
+        let mut shard = self.shards[dest].lock();
+        for (k, v) in entries {
+            match shard.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => merge(e.get_mut(), v),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                }
+            }
+        }
+    }
+
+    /// As [`merge_batch`](Self::merge_batch), but entries whose key is not
+    /// already present are **dropped** instead of inserted. This is the
+    /// second-pass counting semantics of §3.1: only k-mers the Bloom filter
+    /// admitted (seen at least twice) have table entries; votes for
+    /// anything else are discarded.
+    pub fn merge_batch_existing<M>(&self, dest: usize, entries: Vec<(K, V)>, merge: M)
+    where
+        M: Fn(&mut V, V),
+    {
+        self.service[dest].fetch_add(entries.len() as u64, Ordering::Relaxed);
+        let mut shard = self.shards[dest].lock();
+        for (k, v) in entries {
+            if let Some(slot) = shard.get_mut(&k) {
+                merge(slot, v);
+            }
+        }
+    }
+
+    /// Total entries across all shards (collective metadata; not counted).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Iterate the acting rank's own shard, counting one local op per entry
+    /// (each rank post-processing its local buckets is a standard phase in
+    /// the paper: link assessment, depth summation, ...).
+    pub fn fold_local<T, F>(&self, ctx: &mut RankCtx, init: T, mut f: F) -> T
+    where
+        F: FnMut(T, &K, &V) -> T,
+    {
+        let shard = self.shards[ctx.rank].lock();
+        ctx.stats.local_ops += shard.len() as u64;
+        let mut acc = init;
+        for (k, v) in shard.iter() {
+            acc = f(acc, k, v);
+        }
+        acc
+    }
+
+    /// Snapshot the acting rank's shard as (key, value) pairs, charging
+    /// only compute (a linear scan of local memory, not hash lookups).
+    /// Used for seed scans where the per-entry cost is a flag check, not a
+    /// table operation.
+    pub fn snapshot_local(&self, ctx: &mut RankCtx) -> Vec<(K, V)>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        let shard = self.shards[ctx.rank].lock();
+        ctx.stats.compute(shard.len() as u64);
+        shard.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    /// Drain the acting rank's shard into a vector (counts local ops).
+    pub fn drain_local(&self, ctx: &mut RankCtx) -> Vec<(K, V)> {
+        let mut shard = self.shards[ctx.rank].lock();
+        ctx.stats.local_ops += shard.len() as u64;
+        shard.drain().collect()
+    }
+
+    /// Mutate every entry of the acting rank's shard in place.
+    pub fn for_each_local_mut<F>(&self, ctx: &mut RankCtx, mut f: F)
+    where
+        F: FnMut(&K, &mut V),
+    {
+        let mut shard = self.shards[ctx.rank].lock();
+        ctx.stats.local_ops += shard.len() as u64;
+        for (k, v) in shard.iter_mut() {
+            f(k, v);
+        }
+    }
+
+    /// Retain only entries satisfying the predicate in the acting rank's
+    /// shard (used to discard below-threshold k-mers after counting).
+    pub fn retain_local<F>(&self, ctx: &mut RankCtx, mut f: F)
+    where
+        F: FnMut(&K, &mut V) -> bool,
+    {
+        let mut shard = self.shards[ctx.rank].lock();
+        ctx.stats.local_ops += shard.len() as u64;
+        shard.retain(|k, v| f(k, v));
+    }
+
+    /// Move each shard owner's accumulated service work into the per-rank
+    /// stats vector collected from a finished phase. Resets the counters.
+    pub fn drain_service_into(&self, stats: &mut [crate::CommStats]) {
+        assert_eq!(stats.len(), self.topo.ranks());
+        for (rank, c) in self.service.iter().enumerate() {
+            stats[rank].service_ops += c.swap(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Consume the table, yielding every entry (for tests / final output).
+    pub fn into_entries(self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for shard in self.shards {
+            out.extend(shard.into_inner());
+        }
+        out
+    }
+
+    /// Snapshot of the per-rank shard sizes (load-balance diagnostics).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.lock().len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(rank: usize, topo: Topology) -> RankCtx {
+        RankCtx::new(rank, topo)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let topo = Topology::new(4, 2);
+        let dht: DistHashMap<u64, String> = DistHashMap::new(topo);
+        let mut c = ctx(0, topo);
+        assert_eq!(dht.insert(&mut c, 42, "hello".into()), None);
+        assert_eq!(dht.get(&mut c, &42), Some("hello".into()));
+        assert_eq!(dht.get(&mut c, &43), None);
+        assert!(dht.contains(&mut c, &42));
+        assert_eq!(dht.len(), 1);
+    }
+
+    #[test]
+    fn owner_is_stable_and_in_range() {
+        let topo = Topology::new(7, 3);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        for key in 0..1000u64 {
+            let o = dht.owner(&key);
+            assert!(o < 7);
+            assert_eq!(o, dht.owner(&key));
+        }
+    }
+
+    #[test]
+    fn comm_accounting_matches_owner_locality() {
+        let topo = Topology::new(48, 24);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut c = ctx(0, topo);
+        // Find keys owned locally / on node 0 / off node.
+        let local_key = (0..).find(|k| dht.owner(k) == 0).unwrap();
+        let onnode_key = (0..).find(|k| (1..24).contains(&dht.owner(k))).unwrap();
+        let offnode_key = (0..).find(|k| dht.owner(k) >= 24).unwrap();
+        dht.insert(&mut c, local_key, 1);
+        dht.insert(&mut c, onnode_key, 2);
+        dht.insert(&mut c, offnode_key, 3);
+        assert_eq!(c.stats.local_ops, 1);
+        assert_eq!(c.stats.onnode_msgs, 1);
+        assert_eq!(c.stats.offnode_msgs, 1);
+    }
+
+    #[test]
+    fn update_upserts() {
+        let topo = Topology::new(2, 2);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut c = ctx(1, topo);
+        dht.update(&mut c, 5, || 0, |v| *v += 10);
+        dht.update(&mut c, 5, || 0, |v| *v += 10);
+        assert_eq!(dht.get(&mut c, &5), Some(20));
+    }
+
+    #[test]
+    fn service_ops_attributed_to_owner() {
+        let topo = Topology::new(4, 2);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut c = ctx(0, topo);
+        // Insert many keys; service ops land at owners, not at rank 0.
+        for k in 0..100 {
+            dht.insert(&mut c, k, 0);
+        }
+        let mut stats = vec![crate::CommStats::new(); 4];
+        dht.drain_service_into(&mut stats);
+        let total: u64 = stats.iter().map(|s| s.service_ops).sum();
+        assert_eq!(total, 100);
+        // And the counters reset.
+        let mut again = vec![crate::CommStats::new(); 4];
+        dht.drain_service_into(&mut again);
+        assert!(again.iter().all(|s| s.service_ops == 0));
+    }
+
+    #[test]
+    fn fold_and_drain_local_only_touch_own_shard() {
+        let topo = Topology::new(4, 2);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut c0 = ctx(0, topo);
+        for k in 0..200 {
+            dht.insert(&mut c0, k, 1);
+        }
+        let mut seen = 0usize;
+        for rank in 0..4 {
+            let mut c = ctx(rank, topo);
+            seen += dht.fold_local(&mut c, 0usize, |acc, _, _| acc + 1);
+        }
+        assert_eq!(seen, 200);
+
+        let mut c2 = ctx(2, topo);
+        let drained = dht.drain_local(&mut c2);
+        assert!(drained.iter().all(|(k, _)| dht.owner(k) == 2));
+        assert_eq!(dht.len(), 200 - drained.len());
+    }
+
+    #[test]
+    fn retain_local_filters() {
+        let topo = Topology::new(2, 2);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut c = ctx(0, topo);
+        for k in 0..100 {
+            dht.insert(&mut c, k, (k % 10) as u32);
+        }
+        for rank in 0..2 {
+            let mut cr = ctx(rank, topo);
+            dht.retain_local(&mut cr, |_, v| *v >= 5);
+        }
+        assert_eq!(dht.len(), 50);
+    }
+
+    #[test]
+    fn custom_placement_is_respected() {
+        let topo = Topology::new(4, 2);
+        // Everything on rank 3.
+        let placement = Placement::Custom(Arc::new(|_h| 3));
+        let dht: DistHashMap<u64, u32> = DistHashMap::with_placement(topo, placement);
+        let mut c = ctx(0, topo);
+        for k in 0..50 {
+            dht.insert(&mut c, k, 0);
+        }
+        assert_eq!(dht.shard_sizes(), vec![0, 0, 0, 50]);
+    }
+
+    #[test]
+    fn merge_batch_applies_and_counts_service() {
+        let topo = Topology::new(2, 2);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut c = ctx(0, topo);
+        dht.insert(&mut c, 1000, 5);
+        let dest = dht.owner(&1000);
+        dht.merge_batch(dest, vec![(1000, 7)], |a, b| *a += b);
+        assert_eq!(dht.get(&mut c, &1000), Some(12));
+        let mut stats = vec![crate::CommStats::new(); 2];
+        dht.drain_service_into(&mut stats);
+        assert_eq!(stats[dest].service_ops, 2); // insert + merged entry
+    }
+
+    #[test]
+    fn with_mut_sees_missing_and_present() {
+        let topo = Topology::new(2, 2);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut c = ctx(0, topo);
+        assert!(dht.with_mut(&mut c, &9, |slot| slot.is_none()));
+        dht.insert(&mut c, 9, 1);
+        dht.with_mut(&mut c, &9, |slot| *slot.unwrap() = 99);
+        assert_eq!(dht.get(&mut c, &9), Some(99));
+    }
+
+    #[test]
+    fn cyclic_placement_is_roughly_balanced() {
+        let topo = Topology::new(16, 8);
+        let dht: DistHashMap<u64, ()> = DistHashMap::new(topo);
+        let mut c = ctx(0, topo);
+        for k in 0..16_000u64 {
+            dht.insert(&mut c, k, ());
+        }
+        let sizes = dht.shard_sizes();
+        let expect = 1000.0;
+        for (rank, &s) in sizes.iter().enumerate() {
+            let dev = (s as f64 - expect).abs() / expect;
+            assert!(dev < 0.25, "rank {rank} has {s} entries (expect ~1000)");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! A PGAS (Partitioned Global Address Space) runtime *simulator* for the
+//! HipMer reproduction.
+//!
+//! HipMer is written in UPC and runs SPMD on up to 15,360 Cray XC30 cores;
+//! its algorithms communicate through distributed hash tables accessed with
+//! one-sided gets/puts. This crate reproduces that execution model in a
+//! single process:
+//!
+//! * a [`Team`] executes an SPMD phase for *P* **virtual ranks**,
+//!   multiplexed over however many OS threads the host has;
+//! * a [`DistHashMap`] is sharded by owner rank exactly like a UPC
+//!   distributed hash table; every access is classified **local**,
+//!   **on-node**, or **off-node** from the acting rank, the owning rank,
+//!   and the configured ranks-per-node, and tallied in per-rank
+//!   [`CommStats`];
+//! * [`AggregatingStores`] implements the paper's "aggregating stores"
+//!   optimization: per-destination batching of fine-grained updates;
+//! * a [`CostModel`] converts the per-rank counters of a finished phase into
+//!   modeled wall-clock seconds (critical-path max over ranks, plus barrier
+//!   and I/O terms with aggregate-bandwidth saturation).
+//!
+//! The algorithms therefore run *for real* — the assembler output is genuine
+//! — while scaling experiments at paper-scale concurrencies (480…20,480
+//! ranks) report modeled time derived from the same event counts the Aries
+//! network would have carried. `DESIGN.md` §1 documents this substitution.
+
+pub mod agg;
+pub mod cost;
+pub mod dht;
+pub mod oracle;
+pub mod report;
+pub mod stats;
+pub mod team;
+pub mod topology;
+
+pub use agg::{AggregatingStores, Outbox};
+pub use cost::{CostModel, ModeledTime};
+pub use dht::{DistHashMap, Placement};
+pub use oracle::OracleVector;
+pub use report::{PhaseReport, PipelineReport};
+pub use stats::CommStats;
+pub use team::{RankCtx, Team};
+pub use topology::Topology;

@@ -1,0 +1,225 @@
+//! Phase and pipeline reports: measured counters plus modeled time.
+//!
+//! Every pipeline stage produces a [`PhaseReport`]; a [`PipelineReport`]
+//! collects them and renders the per-stage breakdowns the paper's figures
+//! plot (k-mer analysis / contig generation / scaffolding / overall, and
+//! within scaffolding: merAligner / gap closing / rest).
+
+use crate::cost::{CostModel, ModeledTime};
+use crate::stats::{total, CommStats};
+use crate::topology::Topology;
+
+/// The record of one finished SPMD phase.
+#[derive(Clone, Debug)]
+pub struct PhaseReport {
+    /// Stage name, e.g. `"kmer-analysis"`.
+    pub name: String,
+    /// Topology the phase ran on.
+    pub topo: Topology,
+    /// Per-rank counters (indexed by rank).
+    pub stats: Vec<CommStats>,
+    /// Real wall-clock seconds the simulation took (diagnostics only).
+    pub wall_seconds: f64,
+    /// Inherently serial seconds this stage adds (e.g. the serial tie
+    /// traversal of §4.7), already priced by the stage.
+    pub serial_seconds: f64,
+}
+
+impl PhaseReport {
+    /// Build a report from a finished [`crate::Team::run`] invocation.
+    pub fn new(name: impl Into<String>, topo: Topology, stats: Vec<CommStats>) -> Self {
+        PhaseReport {
+            name: name.into(),
+            topo,
+            stats,
+            wall_seconds: 0.0,
+            serial_seconds: 0.0,
+        }
+    }
+
+    /// Attach measured wall time.
+    pub fn with_wall(mut self, seconds: f64) -> Self {
+        self.wall_seconds = seconds;
+        self
+    }
+
+    /// Attach serial seconds.
+    pub fn with_serial(mut self, seconds: f64) -> Self {
+        self.serial_seconds = seconds;
+        self
+    }
+
+    /// Fold additional per-rank counters into this report (for stages made
+    /// of several `Team::run` calls over the same topology).
+    pub fn absorb(&mut self, more: &[CommStats]) {
+        assert_eq!(more.len(), self.stats.len());
+        for (mine, extra) in self.stats.iter_mut().zip(more) {
+            mine.merge(extra);
+        }
+    }
+
+    /// Modeled execution time under `model`.
+    pub fn modeled(&self, model: &CostModel) -> ModeledTime {
+        let mut t = model.phase_time(&self.topo, &self.stats);
+        t.serial = self.serial_seconds;
+        t
+    }
+
+    /// Machine-wide counter totals.
+    pub fn totals(&self) -> CommStats {
+        total(&self.stats)
+    }
+
+    /// Fraction of hash-table accesses that went off-node (Table 2's metric).
+    pub fn offnode_fraction(&self) -> f64 {
+        self.totals().offnode_fraction().unwrap_or(0.0)
+    }
+
+    /// Load imbalance: max over ranks of (work) divided by mean work, where
+    /// work is priced rank seconds. 1.0 is perfectly balanced.
+    pub fn imbalance(&self, model: &CostModel) -> f64 {
+        let times: Vec<f64> = self
+            .stats
+            .iter()
+            .map(|s| {
+                let one = model.phase_time(&Topology::new(1, 1), std::slice::from_ref(s));
+                one.critical_path
+            })
+            .collect();
+        let max = times.iter().copied().fold(0.0, f64::max);
+        let mean = times.iter().sum::<f64>() / times.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// An ordered collection of phase reports for one pipeline run.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineReport {
+    /// The phases in execution order.
+    pub phases: Vec<PhaseReport>,
+}
+
+impl PipelineReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a finished phase.
+    pub fn push(&mut self, phase: PhaseReport) {
+        self.phases.push(phase);
+    }
+
+    /// Modeled total time across all phases.
+    pub fn total_modeled(&self, model: &CostModel) -> ModeledTime {
+        let mut acc = ModeledTime::default();
+        for p in &self.phases {
+            acc.add(&p.modeled(model));
+        }
+        acc
+    }
+
+    /// Modeled seconds of the phases whose name contains `needle`.
+    pub fn modeled_matching(&self, model: &CostModel, needle: &str) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name.contains(needle))
+            .map(|p| p.modeled(model).total())
+            .sum()
+    }
+
+    /// Render a per-phase table (name, modeled seconds, % of total,
+    /// off-node fraction).
+    pub fn render(&self, model: &CostModel) -> String {
+        let total = self.total_modeled(model).total().max(f64::MIN_POSITIVE);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>12} {:>7} {:>9}\n",
+            "phase", "modeled (s)", "%", "off-node"
+        ));
+        for p in &self.phases {
+            let t = p.modeled(model).total();
+            out.push_str(&format!(
+                "{:<28} {:>12.4} {:>6.1}% {:>8.1}%\n",
+                p.name,
+                t,
+                100.0 * t / total,
+                100.0 * p.offnode_fraction()
+            ));
+        }
+        out.push_str(&format!("{:<28} {:>12.4}\n", "TOTAL", total));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase_with(compute: &[u64]) -> PhaseReport {
+        let topo = Topology::new(compute.len(), 24);
+        let stats = compute
+            .iter()
+            .map(|&c| CommStats {
+                compute_ops: c,
+                ..CommStats::default()
+            })
+            .collect();
+        PhaseReport::new("test", topo, stats)
+    }
+
+    #[test]
+    fn modeled_uses_serial_seconds() {
+        let model = CostModel::edison();
+        let p = phase_with(&[100, 100]).with_serial(1.5);
+        let t = p.modeled(&model);
+        assert!((t.serial - 1.5).abs() < 1e-12);
+        assert!(t.total() >= 1.5);
+    }
+
+    #[test]
+    fn imbalance_detects_skew() {
+        let model = CostModel::edison();
+        let balanced = phase_with(&[100, 100, 100, 100]);
+        let skewed = phase_with(&[100, 100, 100, 10_000]);
+        assert!((balanced.imbalance(&model) - 1.0).abs() < 1e-9);
+        assert!(skewed.imbalance(&model) > 3.0);
+    }
+
+    #[test]
+    fn absorb_merges_counters() {
+        let mut p = phase_with(&[10, 20]);
+        let extra = vec![
+            CommStats {
+                compute_ops: 5,
+                ..CommStats::default()
+            },
+            CommStats {
+                compute_ops: 5,
+                ..CommStats::default()
+            },
+        ];
+        p.absorb(&extra);
+        assert_eq!(p.stats[0].compute_ops, 15);
+        assert_eq!(p.stats[1].compute_ops, 25);
+    }
+
+    #[test]
+    fn pipeline_totals_and_render() {
+        let model = CostModel::edison();
+        let mut pr = PipelineReport::new();
+        pr.push(phase_with(&[1_000_000, 1_000_000]));
+        pr.push(phase_with(&[500_000, 500_000]).with_serial(0.25));
+        let total = pr.total_modeled(&model).total();
+        assert!(total > 0.25);
+        let text = pr.render(&model);
+        assert!(text.contains("TOTAL"));
+        assert!(text.lines().count() >= 4);
+        assert!(pr.modeled_matching(&model, "test") > 0.0);
+        assert_eq!(pr.modeled_matching(&model, "nope"), 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-rank communication and work counters.
+//!
+//! Every distributed hash-table access, message, computation step, and I/O
+//! byte is tallied here. The counters are the *ground truth* the scaling
+//! figures are computed from: Table 2 of the paper is literally the
+//! `offnode_lookups / total lookups` ratio these counters expose, and the
+//! heavy-hitter load-imbalance of Fig. 6 appears as a skewed
+//! `service_ops` distribution across ranks.
+
+/// Counters accumulated by one virtual rank during one phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Pure computation steps (base extensions, alignment cells, hash mixes).
+    pub compute_ops: u64,
+    /// Hash-table (or other shared-structure) accesses that stayed on the
+    /// acting rank's own partition.
+    pub local_ops: u64,
+    /// Accesses/messages to a different rank on the same node.
+    pub onnode_msgs: u64,
+    /// Accesses/messages to a rank on a different node.
+    pub offnode_msgs: u64,
+    /// Payload bytes that crossed ranks within a node.
+    pub onnode_bytes: u64,
+    /// Payload bytes that crossed the network.
+    pub offnode_bytes: u64,
+    /// Work performed *for* this rank's partition on behalf of others
+    /// (remote inserts/updates landing in its shard). This is what load
+    /// imbalance from heavy hitters shows up in.
+    pub service_ops: u64,
+    /// Bytes read from storage by this rank.
+    pub io_read_bytes: u64,
+    /// Bytes written to storage by this rank.
+    pub io_write_bytes: u64,
+    /// Barriers this rank participated in.
+    pub barriers: u64,
+}
+
+impl CommStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` computation steps.
+    #[inline]
+    pub fn compute(&mut self, n: u64) {
+        self.compute_ops += n;
+    }
+
+    /// Record one access from `from` to the partition owned by `to`,
+    /// carrying `bytes` of payload, under the given topology.
+    #[inline]
+    pub fn access(&mut self, topo: &crate::Topology, from: usize, to: usize, bytes: u64) {
+        if from == to {
+            self.local_ops += 1;
+        } else if topo.same_node(from, to) {
+            self.onnode_msgs += 1;
+            self.onnode_bytes += bytes;
+        } else {
+            self.offnode_msgs += 1;
+            self.offnode_bytes += bytes;
+        }
+    }
+
+    /// Total remote (on-node + off-node) messages.
+    #[inline]
+    pub fn remote_msgs(&self) -> u64 {
+        self.onnode_msgs + self.offnode_msgs
+    }
+
+    /// Total partition accesses of any locality.
+    #[inline]
+    pub fn total_accesses(&self) -> u64 {
+        self.local_ops + self.remote_msgs()
+    }
+
+    /// Fraction of accesses that left the node (`None` if no accesses).
+    pub fn offnode_fraction(&self) -> Option<f64> {
+        let total = self.total_accesses();
+        if total == 0 {
+            None
+        } else {
+            Some(self.offnode_msgs as f64 / total as f64)
+        }
+    }
+
+    /// Element-wise accumulation (used to merge sub-phase counters).
+    pub fn merge(&mut self, o: &CommStats) {
+        self.compute_ops += o.compute_ops;
+        self.local_ops += o.local_ops;
+        self.onnode_msgs += o.onnode_msgs;
+        self.offnode_msgs += o.offnode_msgs;
+        self.onnode_bytes += o.onnode_bytes;
+        self.offnode_bytes += o.offnode_bytes;
+        self.service_ops += o.service_ops;
+        self.io_read_bytes += o.io_read_bytes;
+        self.io_write_bytes += o.io_write_bytes;
+        self.barriers += o.barriers;
+    }
+}
+
+/// Sum a slice of per-rank stats into machine-wide totals.
+pub fn total(stats: &[CommStats]) -> CommStats {
+    let mut acc = CommStats::new();
+    for s in stats {
+        acc.merge(s);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+
+    #[test]
+    fn access_classification() {
+        let topo = Topology::new(48, 24);
+        let mut s = CommStats::new();
+        s.access(&topo, 0, 0, 16); // local
+        s.access(&topo, 0, 5, 16); // on-node
+        s.access(&topo, 0, 30, 16); // off-node
+        assert_eq!(s.local_ops, 1);
+        assert_eq!(s.onnode_msgs, 1);
+        assert_eq!(s.offnode_msgs, 1);
+        assert_eq!(s.onnode_bytes, 16);
+        assert_eq!(s.offnode_bytes, 16);
+        assert_eq!(s.total_accesses(), 3);
+    }
+
+    #[test]
+    fn offnode_fraction() {
+        let topo = Topology::new(48, 24);
+        let mut s = CommStats::new();
+        assert_eq!(s.offnode_fraction(), None);
+        s.access(&topo, 0, 30, 8);
+        s.access(&topo, 0, 0, 8);
+        assert!((s.offnode_fraction().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_and_total() {
+        let mut a = CommStats::new();
+        a.compute(10);
+        a.io_read_bytes = 100;
+        let mut b = CommStats::new();
+        b.compute(5);
+        b.barriers = 2;
+        a.merge(&b);
+        assert_eq!(a.compute_ops, 15);
+        assert_eq!(a.barriers, 2);
+        assert_eq!(a.io_read_bytes, 100);
+
+        let t = total(&[a, b]);
+        assert_eq!(t.compute_ops, 20);
+        assert_eq!(t.barriers, 4);
+    }
+}

@@ -1,0 +1,240 @@
+//! SPMD phase execution over virtual ranks.
+//!
+//! A [`Team`] runs one closure per virtual rank, exactly like a UPC program
+//! runs one copy per thread. Virtual ranks are multiplexed over the host's
+//! OS threads (override with `HIPMER_THREADS`), so experiments can model
+//! 15,360-rank concurrencies on a laptop. Phase bodies must therefore be
+//! **non-blocking with respect to other ranks**: they may share concurrent
+//! data structures, but must never wait for a rank that has not run yet.
+//! Every algorithm in this reproduction is written in that style (the
+//! paper's own algorithms are asynchronous one-sided for the same reason:
+//! to avoid synchronization and message-matching logic).
+
+use crate::stats::CommStats;
+use crate::topology::Topology;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-rank execution context handed to a phase body.
+pub struct RankCtx {
+    /// This rank's id, `0..topology.ranks()`.
+    pub rank: usize,
+    topo: Topology,
+    /// Counters the phase body and the data structures tally into.
+    pub stats: CommStats,
+}
+
+impl RankCtx {
+    /// Create a context (public so data-structure unit tests can forge one).
+    pub fn new(rank: usize, topo: Topology) -> Self {
+        RankCtx {
+            rank,
+            topo,
+            stats: CommStats::new(),
+        }
+    }
+
+    /// The machine topology this phase runs on.
+    #[inline]
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The contiguous chunk of `n` items this rank owns.
+    #[inline]
+    pub fn chunk(&self, n: usize) -> std::ops::Range<usize> {
+        self.topo.chunk(n, self.rank)
+    }
+
+    /// Record participation in a barrier.
+    #[inline]
+    pub fn barrier(&mut self) {
+        self.stats.barriers += 1;
+    }
+
+    /// Record one one-sided access from this rank to `to`'s partition.
+    #[inline]
+    pub fn access(&mut self, to: usize, bytes: u64) {
+        let topo = self.topo;
+        self.stats.access(&topo, self.rank, to, bytes);
+    }
+}
+
+/// An SPMD team of virtual ranks.
+#[derive(Clone, Debug)]
+pub struct Team {
+    topo: Topology,
+    os_threads: usize,
+}
+
+/// Number of OS worker threads to use (env `HIPMER_THREADS`, else the
+/// host's available parallelism).
+fn default_os_threads() -> usize {
+    if let Ok(v) = std::env::var("HIPMER_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+impl Team {
+    /// A team over the given topology, with default OS-thread multiplexing.
+    pub fn new(topo: Topology) -> Self {
+        Team {
+            topo,
+            os_threads: default_os_threads(),
+        }
+    }
+
+    /// Override the number of OS worker threads (mostly for tests).
+    pub fn with_os_threads(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.os_threads = n;
+        self
+    }
+
+    /// The topology this team executes on.
+    #[inline]
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of virtual ranks.
+    #[inline]
+    pub fn ranks(&self) -> usize {
+        self.topo.ranks()
+    }
+
+    /// Execute one SPMD phase: `f` runs once per virtual rank. Returns the
+    /// per-rank results and per-rank communication counters, both indexed by
+    /// rank.
+    ///
+    /// The implicit barrier at phase end is recorded in every rank's stats.
+    pub fn run<R, F>(&self, f: F) -> (Vec<R>, Vec<CommStats>)
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        let ranks = self.topo.ranks();
+        let workers = self.os_threads.min(ranks);
+        let next = AtomicUsize::new(0);
+        let mut collected: Vec<Vec<(usize, R, CommStats)>> = Vec::with_capacity(workers);
+
+        if workers <= 1 {
+            let mut local = Vec::with_capacity(ranks);
+            for rank in 0..ranks {
+                let mut ctx = RankCtx::new(rank, self.topo);
+                let out = f(&mut ctx);
+                ctx.barrier();
+                local.push((rank, out, ctx.stats));
+            }
+            collected.push(local);
+        } else {
+            let worker_outputs = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        let f = &f;
+                        let topo = self.topo;
+                        scope.spawn(move |_| {
+                            let mut local = Vec::new();
+                            loop {
+                                let rank = next.fetch_add(1, Ordering::Relaxed);
+                                if rank >= ranks {
+                                    break;
+                                }
+                                let mut ctx = RankCtx::new(rank, topo);
+                                let out = f(&mut ctx);
+                                ctx.barrier();
+                                local.push((rank, out, ctx.stats));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("phase body panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("team scope panicked");
+            collected = worker_outputs;
+        }
+
+        let mut slots: Vec<Option<(R, CommStats)>> = (0..ranks).map(|_| None).collect();
+        for bucket in collected {
+            for (rank, out, stats) in bucket {
+                debug_assert!(slots[rank].is_none());
+                slots[rank] = Some((out, stats));
+            }
+        }
+        let mut results = Vec::with_capacity(ranks);
+        let mut stats = Vec::with_capacity(ranks);
+        for slot in slots {
+            let (r, s) = slot.expect("every rank executed exactly once");
+            results.push(r);
+            stats.push(s);
+        }
+        (results, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rank_runs_exactly_once() {
+        let team = Team::new(Topology::new(100, 24)).with_os_threads(4);
+        let (ranks_seen, stats) = team.run(|ctx| ctx.rank);
+        assert_eq!(ranks_seen, (0..100).collect::<Vec<_>>());
+        assert_eq!(stats.len(), 100);
+        assert!(stats.iter().all(|s| s.barriers == 1));
+    }
+
+    #[test]
+    fn serial_fallback_matches() {
+        let team = Team::new(Topology::new(7, 24)).with_os_threads(1);
+        let (out, _) = team.run(|ctx| ctx.rank * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12]);
+    }
+
+    #[test]
+    fn stats_are_attributed_to_the_acting_rank() {
+        let team = Team::new(Topology::new(8, 4)).with_os_threads(3);
+        let (_, stats) = team.run(|ctx| {
+            ctx.stats.compute(ctx.rank as u64);
+        });
+        for (rank, s) in stats.iter().enumerate() {
+            assert_eq!(s.compute_ops, rank as u64);
+        }
+    }
+
+    #[test]
+    fn chunks_cover_input() {
+        let team = Team::new(Topology::new(13, 24)).with_os_threads(2);
+        let n = 1000;
+        let (chunks, _) = team.run(|ctx| ctx.chunk(n));
+        let mut covered = 0;
+        for c in chunks {
+            assert_eq!(c.start, covered);
+            covered = c.end;
+        }
+        assert_eq!(covered, n);
+    }
+
+    #[test]
+    fn shared_state_is_visible_across_ranks() {
+        use std::sync::atomic::AtomicU64;
+        let team = Team::new(Topology::new(64, 24)).with_os_threads(4);
+        let acc = AtomicU64::new(0);
+        team.run(|ctx| {
+            acc.fetch_add(ctx.rank as u64, Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), (0..64u64).sum());
+    }
+}

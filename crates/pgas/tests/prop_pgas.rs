@@ -1,0 +1,102 @@
+//! Property tests for the PGAS runtime simulator.
+
+use hipmer_pgas::{
+    AggregatingStores, CommStats, CostModel, DistHashMap, OracleVector, RankCtx, Team, Topology,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #[test]
+    fn chunks_tile_any_input(ranks in 1usize..64, rpn in 1usize..32, n in 0usize..10_000) {
+        let topo = Topology::new(ranks, rpn);
+        let mut covered = 0usize;
+        for r in 0..ranks {
+            let c = topo.chunk(n, r);
+            prop_assert_eq!(c.start, covered);
+            covered = c.end;
+        }
+        prop_assert_eq!(covered, n);
+    }
+
+    #[test]
+    fn dht_agrees_with_reference_hashmap(ops in prop::collection::vec((0u64..64, 0u32..100), 0..300)) {
+        let topo = Topology::new(6, 3);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut reference: HashMap<u64, u32> = HashMap::new();
+        let mut ctx = RankCtx::new(0, topo);
+        for (k, v) in ops {
+            dht.update(&mut ctx, k, || 0, |x| *x += v);
+            *reference.entry(k).or_insert(0) += v;
+        }
+        prop_assert_eq!(dht.len(), reference.len());
+        for (k, v) in reference {
+            prop_assert_eq!(dht.get(&mut ctx, &k), Some(v));
+        }
+    }
+
+    #[test]
+    fn aggregated_and_fine_grained_updates_agree(
+        keys in prop::collection::vec(0u64..200, 1..500),
+        batch in 1usize..64,
+    ) {
+        let topo = Topology::new(8, 4);
+        let fine: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let agg_t: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut ctx = RankCtx::new(2, topo);
+        let mut agg = AggregatingStores::with_batch(&agg_t, |a: &mut u32, b| *a += b, batch);
+        for &k in &keys {
+            fine.update(&mut ctx, k, || 0, |v| *v += 1);
+            agg.push(&mut ctx, k, 1);
+        }
+        agg.flush_all(&mut ctx);
+        drop(agg);
+        let mut a = fine.into_entries();
+        let mut b = agg_t.into_entries();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn modeled_phase_time_is_monotone_in_work(
+        base_ops in 1u64..1_000_000,
+        extra in 1u64..1_000_000,
+        ranks in 1usize..128,
+    ) {
+        let topo = Topology::new(ranks, 24);
+        let model = CostModel::edison();
+        let mk = |ops: u64| {
+            let stats: Vec<CommStats> = (0..ranks)
+                .map(|_| CommStats { compute_ops: ops, ..CommStats::default() })
+                .collect();
+            model.phase_time(&topo, &stats).total()
+        };
+        prop_assert!(mk(base_ops + extra) > mk(base_ops));
+    }
+
+    #[test]
+    fn oracle_lookup_always_in_range(
+        hashes in prop::collection::vec(any::<u64>(), 1..200),
+        slots in 1usize..512,
+        ranks in 1usize..64,
+    ) {
+        let mut o = OracleVector::new(slots, ranks);
+        for (i, &h) in hashes.iter().enumerate() {
+            o.assign(h, i % ranks);
+        }
+        for &h in &hashes {
+            prop_assert!(o.owner(h) < ranks);
+        }
+        // Unseen hashes also resolve in range (cyclic fallback).
+        prop_assert!(o.owner(0xdead_beef) < ranks);
+    }
+
+    #[test]
+    fn team_results_ordered_by_rank(ranks in 1usize..64, threads in 1usize..6) {
+        let team = Team::new(Topology::new(ranks, 8)).with_os_threads(threads);
+        let (out, stats) = team.run(|ctx| ctx.rank * 3);
+        prop_assert_eq!(out, (0..ranks).map(|r| r * 3).collect::<Vec<_>>());
+        prop_assert_eq!(stats.len(), ranks);
+    }
+}

@@ -1,0 +1,353 @@
+//! Synthetic genome generators.
+
+use hipmer_dna::BASES;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A (possibly multi-haplotype) genome.
+#[derive(Clone, Debug)]
+pub struct Genome {
+    /// Display name used in read ids and reports.
+    pub name: String,
+    /// One haplotype for haploid organisms; two for diploid. Reads are
+    /// sampled from all haplotypes evenly.
+    pub haplotypes: Vec<Vec<u8>>,
+}
+
+impl Genome {
+    /// A single-haplotype genome.
+    pub fn haploid(name: impl Into<String>, seq: Vec<u8>) -> Self {
+        Genome {
+            name: name.into(),
+            haplotypes: vec![seq],
+        }
+    }
+
+    /// Total bases across haplotypes.
+    pub fn total_len(&self) -> usize {
+        self.haplotypes.iter().map(Vec::len).sum()
+    }
+
+    /// Length of the reference (first) haplotype.
+    pub fn reference_len(&self) -> usize {
+        self.haplotypes[0].len()
+    }
+
+    /// The reference (first) haplotype.
+    pub fn reference(&self) -> &[u8] {
+        &self.haplotypes[0]
+    }
+}
+
+/// A uniform random genome of `len` bases with the given GC fraction.
+pub fn random_genome(len: usize, gc: f64, rng: &mut StdRng) -> Vec<u8> {
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(gc) {
+                if rng.gen_bool(0.5) {
+                    b'G'
+                } else {
+                    b'C'
+                }
+            } else if rng.gen_bool(0.5) {
+                b'A'
+            } else {
+                b'T'
+            }
+        })
+        .collect()
+}
+
+/// Copy `variant` of a sequence with point mutations at `rate` per base.
+/// Returns the mutated copy and the number of substitutions applied.
+pub fn apply_snps(seq: &[u8], rate: f64, rng: &mut StdRng) -> (Vec<u8>, usize) {
+    let mut out = seq.to_vec();
+    let mut n = 0usize;
+    for b in out.iter_mut() {
+        if rng.gen_bool(rate) {
+            let cur = *b;
+            // Substitute with a different base.
+            loop {
+                let alt = BASES[rng.gen_range(0..4)];
+                if alt != cur {
+                    *b = alt;
+                    break;
+                }
+            }
+            n += 1;
+        }
+    }
+    (out, n)
+}
+
+/// Human-like genome: mostly unique sequence with a few low-copy segmental
+/// duplications, plus a diploid second haplotype differing by ~0.1% SNPs
+/// (the paper: humans differ in 0.1–0.4% of base pairs; heterozygous sites
+/// are what create bubbles).
+pub fn human_like(len: usize, seed: u64) -> Genome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut h1 = random_genome(len, 0.41, &mut rng);
+
+    // A few segmental duplications: copy 0.5–2 kbp blocks to another locus
+    // with 2% divergence. Keeps some forks in the graph without making the
+    // genome wheat-hard.
+    let n_dups = (len / 200_000).max(1);
+    for _ in 0..n_dups {
+        let dlen = rng.gen_range(500..2000).min(len / 10);
+        if len <= 2 * dlen {
+            break;
+        }
+        let src = rng.gen_range(0..len - dlen);
+        let block: Vec<u8> = h1[src..src + dlen].to_vec();
+        let (mutated, _) = apply_snps(&block, 0.02, &mut rng);
+        let dst = rng.gen_range(0..len - dlen);
+        h1[dst..dst + dlen].copy_from_slice(&mutated);
+    }
+
+    let (h2, _) = apply_snps(&h1, 0.001, &mut rng);
+    Genome {
+        name: "human-like".into(),
+        haplotypes: vec![h1, h2],
+    }
+}
+
+/// Wheat-like genome: a repeat library tiles most of the sequence, and a
+/// high-copy tandem array produces k-mers occurring thousands of times —
+/// the skewed frequency distribution of §3.1/§5.1.
+///
+/// Roughly 70% of the genome is near-identical repeat copies (1% diverged),
+/// ~5% is an exact tandem array of a short unit, the rest unique.
+pub fn wheat_like(len: usize, seed: u64) -> Genome {
+    // Extreme parameters: tuned for the k-mer-analysis experiments (§5.1),
+    // where the hot tandem k-mers must tower over the mean depth the way
+    // the real wheat's >10M-count k-mers do.
+    wheat_like_params(len, seed, 0.01, 8)
+}
+
+/// As [`wheat_like`] but with moderate repeat divergence — repetitive
+/// enough to fragment the assembly and stress scaffolding (Figs. 7–8),
+/// while still assembling at k≈31 the way the real wheat assembles at
+/// k=51 (its repeats are diverged enough to be resolvable).
+pub fn wheat_like_moderate(len: usize, seed: u64) -> Genome {
+    // Real wheat transposon families are typically 10-25% diverged between
+    // copies; at 10%, most 31-mers cross a divergent site and the copies
+    // resolve, fragmenting the assembly without destroying it.
+    wheat_like_params(len, seed, 0.10, 30)
+}
+
+/// Parameterized wheat-like generator. `repeat_divergence` is the SNP rate
+/// between repeat copies (lower = harder); the tandem array gets
+/// `len / tandem_denom` bases.
+pub fn wheat_like_params(
+    len: usize,
+    seed: u64,
+    repeat_divergence: f64,
+    tandem_denom: usize,
+) -> Genome {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Repeat library: transposon-like elements.
+    let n_elements = 12;
+    let elements: Vec<Vec<u8>> = (0..n_elements)
+        .map(|_| random_genome(rng.gen_range(400..3000), 0.46, &mut rng))
+        .collect();
+
+    // Tandem unit: source of the extreme heavy hitters.
+    let unit = random_genome(41, 0.5, &mut rng);
+
+    let mut g: Vec<u8> = Vec::with_capacity(len + 4096);
+    let tandem_budget = len / tandem_denom;
+    let mut tandem_written = 0usize;
+    while g.len() < len {
+        let roll: f64 = rng.gen();
+        if roll < 0.70 {
+            // A repeat copy with the configured divergence.
+            let e = &elements[rng.gen_range(0..elements.len())];
+            let (copy, _) = apply_snps(e, repeat_divergence, &mut rng);
+            g.extend_from_slice(&copy);
+        } else if roll < 0.80 && tandem_written < tandem_budget {
+            // A stretch of the exact tandem array.
+            let reps = rng.gen_range(60..260);
+            for _ in 0..reps {
+                g.extend_from_slice(&unit);
+            }
+            tandem_written += reps * unit.len();
+        } else {
+            // Unique sequence.
+            let ulen = rng.gen_range(300..1500);
+            g.extend(random_genome(ulen, 0.46, &mut rng));
+        }
+    }
+    g.truncate(len);
+    Genome::haploid("wheat-like", g)
+}
+
+/// A metagenome community: `species` genomes with lognormal-ish abundances.
+/// Returns each species' genome with its relative abundance (summing to 1).
+///
+/// Sizes vary ~10x across species; the long tail of low-abundance species
+/// is what flattens the k-mer spectrum (§5.4: only 36% singleton k-mers vs
+/// 95% for human — because real singletons from rare organisms mix with
+/// errors).
+pub fn metagenome(total_len: usize, species: usize, seed: u64) -> Vec<(Genome, f64)> {
+    assert!(species >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Genome lengths: uniform in a 10x range, scaled to hit total_len.
+    let raw_lens: Vec<f64> = (0..species).map(|_| rng.gen_range(1.0..10.0)).collect();
+    let len_sum: f64 = raw_lens.iter().sum();
+
+    // Abundances: exp(N(0,1.2)) — lognormal tail.
+    let raw_abund: Vec<f64> = (0..species)
+        .map(|_| {
+            // Box-Muller from two uniforms (avoids a distributions dep).
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (1.2 * z).exp()
+        })
+        .collect();
+    let ab_sum: f64 = raw_abund.iter().sum();
+
+    (0..species)
+        .map(|i| {
+            let len = ((raw_lens[i] / len_sum) * total_len as f64).max(2000.0) as usize;
+            let g = random_genome(len, rng.gen_range(0.3..0.6), &mut rng);
+            (
+                Genome::haploid(format!("species_{i}"), g),
+                raw_abund[i] / ab_sum,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipmer_dna::{Kmer, KmerCodec, KmerHashMap};
+
+    fn kmer_counts(seq: &[u8], k: usize) -> KmerHashMap<Kmer, u32> {
+        let c = KmerCodec::new(k);
+        let mut m: KmerHashMap<Kmer, u32> = KmerHashMap::default();
+        for (_, km) in c.kmers(seq) {
+            *m.entry(c.canonical(km)).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn random_genome_has_requested_gc() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = random_genome(100_000, 0.41, &mut rng);
+        let gc = hipmer_dna::gc_content(&g).unwrap();
+        assert!((gc - 0.41).abs() < 0.02, "gc={gc}");
+    }
+
+    #[test]
+    fn apply_snps_rate_is_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = random_genome(100_000, 0.5, &mut rng);
+        let (v, n) = apply_snps(&g, 0.001, &mut rng);
+        assert_eq!(hipmer_dna::hamming(&g, &v), n);
+        assert!(n > 50 && n < 200, "n={n}");
+    }
+
+    #[test]
+    fn human_like_is_diploid_and_mostly_unique() {
+        let g = human_like(200_000, 3);
+        assert_eq!(g.haplotypes.len(), 2);
+        assert_eq!(g.haplotypes[0].len(), g.haplotypes[1].len());
+        // Haplotypes are close (0.1% SNPs).
+        let d = hipmer_dna::hamming(&g.haplotypes[0], &g.haplotypes[1]);
+        assert!(d > 50 && d < 800, "hamming={d}");
+        // K-mer spectrum dominated by unique k-mers.
+        let counts = kmer_counts(g.reference(), 31);
+        let unique = counts.values().filter(|&&c| c == 1).count();
+        assert!(
+            unique as f64 / counts.len() as f64 > 0.9,
+            "human-like must be mostly unique"
+        );
+    }
+
+    #[test]
+    fn wheat_like_has_heavy_hitters() {
+        let g = wheat_like(400_000, 4);
+        assert_eq!(g.reference_len(), 400_000);
+        let counts = kmer_counts(g.reference(), 31);
+        let max = counts.values().copied().max().unwrap();
+        // The tandem array must generate k-mers with hundreds of copies.
+        assert!(max > 100, "max k-mer count {max} too small for wheat-like");
+        // And substantial repeat content: distinct k-mers well below genome
+        // size.
+        let distinct = counts.len();
+        assert!(
+            (distinct as f64) < 0.6 * 400_000.0,
+            "distinct={distinct} — not repetitive enough"
+        );
+    }
+
+    #[test]
+    fn metagenome_abundances_sum_to_one() {
+        let community = metagenome(500_000, 40, 5);
+        assert_eq!(community.len(), 40);
+        let s: f64 = community.iter().map(|(_, a)| a).sum();
+        assert!((s - 1.0).abs() < 1e-9);
+        let total: usize = community.iter().map(|(g, _)| g.reference_len()).sum();
+        assert!(total > 400_000 && total < 700_000, "total={total}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = human_like(50_000, 42);
+        let b = human_like(50_000, 42);
+        assert_eq!(a.haplotypes, b.haplotypes);
+        let c = wheat_like(50_000, 42);
+        let d = wheat_like(50_000, 42);
+        assert_eq!(c.haplotypes, d.haplotypes);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = human_like(10_000, 1);
+        let b = human_like(10_000, 2);
+        assert_ne!(a.haplotypes[0], b.haplotypes[0]);
+    }
+}
+
+/// A genome engineered to fragment into many contigs: short unique blocks
+/// separated by copies of one exact repeat longer than any practical k.
+/// De Bruijn assembly breaks at every repeat copy, yielding roughly
+/// `len / (unique_block + 60)` contigs — the regime the oracle
+/// partitioning experiments need (the paper's human assembly has millions
+/// of contigs; a scaled-down genome must scale contig *length* down too
+/// if contigs-per-rank is to stay realistic).
+pub fn repeat_fragmented(len: usize, unique_block: usize, seed: u64) -> Genome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let repeat = random_genome(60, 0.5, &mut rng);
+    let mut g = Vec::with_capacity(len + unique_block);
+    while g.len() < len {
+        let blen = rng.gen_range(unique_block / 2..unique_block * 3 / 2);
+        g.extend(random_genome(blen, 0.45, &mut rng));
+        g.extend_from_slice(&repeat);
+    }
+    g.truncate(len);
+    Genome::haploid("repeat-fragmented", g)
+}
+
+#[cfg(test)]
+mod fragmented_tests {
+    use super::*;
+
+    #[test]
+    fn repeat_fragmented_has_many_repeat_copies() {
+        let g = repeat_fragmented(100_000, 400, 9);
+        assert_eq!(g.reference_len(), 100_000);
+        // The repeat appears ~ len / (400+60) times; check k-mer counts.
+        let c = hipmer_dna::KmerCodec::new(31);
+        let mut counts: hipmer_dna::KmerHashMap<hipmer_dna::Kmer, u32> = Default::default();
+        for (_, km) in c.kmers(g.reference()) {
+            *counts.entry(c.canonical(km)).or_insert(0) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max > 100, "repeat k-mers must be high copy, got {max}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Deterministic synthetic genomes and shotgun reads.
+//!
+//! The paper evaluates on three datasets we cannot ship: human NA12878
+//! (3.2 Gbp, diploid), the hexaploid bread wheat line 'Synthetic W7984'
+//! (17 Gbp, extremely repetitive — ~2,000 k-mers occurring >500,000 times),
+//! and the Twitchell Wetlands soil metagenome (1.25 Tbase, >10,000
+//! species, flat k-mer spectrum). Each dataset is in the paper to exercise
+//! one *regime* of the pipeline, and the generators here reproduce exactly
+//! those regimes at configurable (megabase) scale:
+//!
+//! * [`genome::human_like`] — low repeat content plus a diploid second
+//!   haplotype (SNP bubbles for §4.2's bubble finder);
+//! * [`genome::wheat_like`] — a repeat-library genome with high-copy
+//!   tandem arrays, producing the skewed k-mer frequencies that motivate
+//!   the heavy-hitter optimization of §3.1;
+//! * [`genome::metagenome`] — a lognormal-abundance community whose k-mer
+//!   spectrum is flat (few singletons), weakening Bloom filters as in §5.4.
+//!
+//! Reads are sampled as paired-end libraries with configurable insert size,
+//! length, coverage, and a substitution error model with quality scores
+//! (errors get low Phred values, which is what makes Meraculous' quality
+//! filtering meaningful). Everything is seeded and reproducible.
+
+pub mod datasets;
+pub mod genome;
+pub mod reads;
+
+pub use datasets::{human_like_dataset, metagenome_dataset, wheat_like_dataset, wheat_scaffolding_dataset, Dataset};
+pub use genome::{apply_snps, human_like, metagenome, random_genome, repeat_fragmented, wheat_like, wheat_like_moderate, wheat_like_params, Genome};
+pub use reads::{simulate_library, ErrorModel, Library};

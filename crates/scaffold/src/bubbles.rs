@@ -1,0 +1,392 @@
+//! Bubble detection and the bubble–contig graph (§4.2).
+//!
+//! A *bubble* is a pair of contigs flanked by the same fork k-mers — in a
+//! diploid genome, the two haplotype arms around a heterozygous site. The
+//! contig set is contracted into a **bubble–contig graph** (orders of
+//! magnitude smaller than the k-mer graph): vertices are contigs,
+//! connections run through the shared attachment k-mers computed in §4.1.
+//! Qualifying bubbles are merged by keeping the deeper arm, and the
+//! resulting chains of contigs are compressed into single sequences; the
+//! output is what the rest of scaffolding calls "contigs".
+
+use crate::depths::ContigEndInfo;
+use hipmer_contig::ContigSet;
+use hipmer_dna::{revcomp, Kmer, BASES};
+use hipmer_pgas::{AggregatingStores, DistHashMap, PhaseReport, Team};
+
+/// Merge bubbles and compress contig chains.
+///
+/// Returns the new contig set (merged paths plus untouched contigs;
+/// absorbed bubble arms dropped) and the phase report. The final chain
+/// compression is serial (the graph is tiny — the paper's speculative
+/// traversal spends ~99% of its time in parallel walks precisely because
+/// there is so little of it); its wall time is recorded as the report's
+/// serial seconds.
+pub fn merge_bubbles(
+    team: &Team,
+    contigs: &ContigSet,
+    info: &[ContigEndInfo],
+) -> (ContigSet, PhaseReport) {
+    assert_eq!(info.len(), contigs.contigs.len());
+    let n = contigs.contigs.len();
+    let codec = contigs.codec;
+    let k = codec.k();
+
+    // Depth gate for bubble absorption: heterozygous arms carry ~half the
+    // genome-wide depth (one haplotype each), while the divergent bridges
+    // of a segmental duplication carry *full* depth (each copy is
+    // sequenced independently). Absorbing the latter would weld the two
+    // repeat copies into a mosaic — a real misassembly. Use the
+    // length-weighted median depth as the genome-wide reference.
+    let mut weighted: Vec<(f64, usize)> = contigs
+        .contigs
+        .iter()
+        .zip(info)
+        .map(|(c, i)| (i.depth, c.len()))
+        .collect();
+    weighted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let half_bases: usize = weighted.iter().map(|(_, l)| l).sum::<usize>() / 2;
+    let mut acc = 0usize;
+    let mut median_depth = 0.0f64;
+    for (d, l) in &weighted {
+        acc += l;
+        median_depth = *d;
+        if acc >= half_bases {
+            break;
+        }
+    }
+    let max_arm_depth = 0.75 * median_depth;
+
+    // Phase A (parallel): bubble grouping. Key = the normalized pair of
+    // attachment k-mers; contigs sharing both attachments are bubble arms.
+    let bubble_groups: DistHashMap<(Kmer, Kmer), Vec<u32>> = DistHashMap::new(*team.topo());
+    let (_, mut stats) = team.run(|ctx| {
+        let mut agg = AggregatingStores::new(&bubble_groups, |a: &mut Vec<u32>, b: Vec<u32>| {
+            a.extend(b)
+        });
+        for ci in ctx.chunk(n) {
+            let i = &info[ci];
+            if let (Some(la), Some(ra)) = (i.left_attach, i.right_attach) {
+                let key = if la <= ra { (la, ra) } else { (ra, la) };
+                agg.push(ctx, key, vec![ci as u32]);
+            }
+            ctx.stats.compute(1);
+        }
+        agg.flush_all(ctx);
+    });
+    bubble_groups.drain_service_into(&mut stats);
+
+    // Phase B (parallel over local buckets): pick bubble survivors.
+    let (absorbed_lists, stats_b) = team.run(|ctx| {
+        bubble_groups.fold_local(ctx, Vec::<u32>::new(), |mut absorbed, _key, group| {
+            if group.len() >= 2 {
+                // Arms must be length-similar (SNP/small-indel bubbles).
+                let mut arms: Vec<u32> = group.clone();
+                arms.sort_unstable();
+                let base_len = contigs.contigs[arms[0] as usize].len();
+                let similar: Vec<u32> = arms
+                    .into_iter()
+                    .filter(|&c| {
+                        let l = contigs.contigs[c as usize].len();
+                        let lo = base_len.min(l);
+                        let hi = base_len.max(l);
+                        hi - lo <= (hi / 10).max(2)
+                            && info[c as usize].depth <= max_arm_depth
+                    })
+                    .collect();
+                if similar.len() >= 2 {
+                    // Survivor: max depth, then smallest id.
+                    let survivor = *similar
+                        .iter()
+                        .max_by(|&&a, &&b| {
+                            info[a as usize]
+                                .depth
+                                .partial_cmp(&info[b as usize].depth)
+                                .unwrap()
+                                .then(b.cmp(&a))
+                        })
+                        .unwrap();
+                    absorbed.extend(similar.iter().copied().filter(|&c| c != survivor));
+                }
+            }
+            absorbed
+        })
+    });
+    for (a, b) in stats.iter_mut().zip(&stats_b) {
+        a.merge(b);
+    }
+    let mut absorbed = vec![false; n];
+    for c in absorbed_lists.into_iter().flatten() {
+        absorbed[c as usize] = true;
+    }
+
+    // Phase C (parallel): attachment incidence for chain edges.
+    let attachments: DistHashMap<Kmer, Vec<(u32, u8)>> = DistHashMap::new(*team.topo());
+    let (_, stats_c) = team.run(|ctx| {
+        let mut agg = AggregatingStores::new(
+            &attachments,
+            |a: &mut Vec<(u32, u8)>, b: Vec<(u32, u8)>| a.extend(b),
+        );
+        for ci in ctx.chunk(n) {
+            if absorbed[ci] {
+                continue;
+            }
+            let i = &info[ci];
+            if let Some(la) = i.left_attach {
+                agg.push(ctx, la, vec![(ci as u32, 0)]);
+            }
+            if let Some(ra) = i.right_attach {
+                agg.push(ctx, ra, vec![(ci as u32, 1)]);
+            }
+        }
+        agg.flush_all(ctx);
+    });
+    attachments.drain_service_into(&mut stats);
+    for (a, b) in stats.iter_mut().zip(&stats_c) {
+        a.merge(b);
+    }
+
+    // Phase D (parallel): unambiguous joins — exactly two distinct contig
+    // ends at one attachment k-mer.
+    let (edge_lists, stats_d) = team.run(|ctx| {
+        attachments.fold_local(
+            ctx,
+            Vec::<((u32, u8), (u32, u8))>::new(),
+            |mut edges, _km, ends| {
+                if ends.len() == 2 && ends[0].0 != ends[1].0 {
+                    let mut pair = [ends[0], ends[1]];
+                    pair.sort_unstable();
+                    edges.push((pair[0], pair[1]));
+                }
+                edges
+            },
+        )
+    });
+    for (a, b) in stats.iter_mut().zip(&stats_d) {
+        a.merge(b);
+    }
+    let mut edges: Vec<((u32, u8), (u32, u8))> = edge_lists.into_iter().flatten().collect();
+    edges.sort_unstable();
+    edges.dedup();
+
+    // Phase E (serial; tiny graph): walk the chains and stitch sequences.
+    let serial_start = std::time::Instant::now();
+    // adjacency[contig][side] -> (other contig, other side)
+    let mut adj: Vec<[Option<(u32, u8)>; 2]> = vec![[None, None]; n];
+    for ((c1, s1), (c2, s2)) in &edges {
+        // A contig end may appear in several edges only if the attachment
+        // analysis was ambiguous; keep the first (sorted order).
+        if adj[*c1 as usize][*s1 as usize].is_none() && adj[*c2 as usize][*s2 as usize].is_none() {
+            adj[*c1 as usize][*s1 as usize] = Some((*c2, *s2));
+            adj[*c2 as usize][*s2 as usize] = Some((*c1, *s1));
+        }
+    }
+
+    let mut used = vec![false; n];
+    let mut out_seqs: Vec<Vec<u8>> = Vec::new();
+    for start in 0..n {
+        if used[start] || absorbed[start] {
+            continue;
+        }
+        // Find the chain's leftmost element: walk "left" (side 0 in the
+        // walking orientation) until a free end or a cycle closes.
+        let mut cur = (start as u32, 0u8); // (contig, side we entered from)
+        let mut guard = 0usize;
+        while let Some(prev) = adj[cur.0 as usize][cur.1 as usize] {
+            let next = (prev.0, 1 - prev.1);
+            if next.0 as usize == start && guard > 0 {
+                break; // cycle
+            }
+            cur = next;
+            guard += 1;
+            if guard > n {
+                break;
+            }
+        }
+        // Walk right from the chain start, stitching.
+        let first_contig = cur.0 as usize;
+        let first_oriented = if cur.1 == 0 {
+            contigs.contigs[first_contig].seq.clone()
+        } else {
+            revcomp(&contigs.contigs[first_contig].seq)
+        };
+        used[first_contig] = true;
+        let mut seq = first_oriented;
+        let mut cursor = (cur.0, 1 - cur.1); // the end we exit from
+        let mut guard = 0usize;
+        while let Some((nc, ns)) = adj[cursor.0 as usize][cursor.1 as usize] {
+            if used[nc as usize] {
+                break; // cycle closed
+            }
+            // Orient the next contig so that its joining end (ns) is its
+            // left end.
+            let next_oriented = if ns == 0 {
+                contigs.contigs[nc as usize].seq.clone()
+            } else {
+                revcomp(&contigs.contigs[nc as usize].seq)
+            };
+            // Bridge: seq's last k-mer R, fork F = R[1..] + b, next starts
+            // with F[1..]. Find the base b that makes the overlap check out.
+            let tail = &seq[seq.len() - (k - 1)..];
+            let mut bridged = false;
+            for &b in &BASES {
+                // Candidate fork k-mer suffix = tail[1..] + b must equal
+                // next_oriented[..k-1].
+                if next_oriented.len() >= k - 1
+                    && next_oriented[..k - 2] == tail[1..]
+                    && next_oriented[k - 2] == b
+                {
+                    // next_oriented[k-2] IS the fork base b; appending from
+                    // k-2 adds b plus everything after it exactly once.
+                    seq.extend_from_slice(&next_oriented[k - 2..]);
+                    bridged = true;
+                    break;
+                }
+            }
+            if !bridged {
+                break; // inconsistent join; leave the rest as its own chain
+            }
+            used[nc as usize] = true;
+            cursor = (nc, 1 - ns);
+            guard += 1;
+            if guard > n {
+                break;
+            }
+        }
+        out_seqs.push(hipmer_dna::canonical_seq(seq));
+    }
+    let serial_seconds = serial_start.elapsed().as_secs_f64();
+
+    let new_set = ContigSet::from_sequences(codec, out_seqs);
+    let report = PhaseReport::new("scaffold/bubbles", *team.topo(), stats)
+        .with_serial(serial_seconds);
+    (new_set, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depths::compute_depths;
+    use hipmer_contig::{generate_contigs, ContigConfig};
+    use hipmer_kanalysis::{analyze_kmers, KmerAnalysisConfig};
+    use hipmer_pgas::Topology;
+    use hipmer_seqio::SeqRecord;
+
+    fn lcg(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(23);
+                b"ACGT"[(x >> 60) as usize % 4]
+            })
+            .collect()
+    }
+
+    fn tile_reads(genome: &[u8], read_len: usize, depth: usize) -> Vec<SeqRecord> {
+        let mut out = Vec::new();
+        for d in 0..depth {
+            let mut pos = d * 13 % 37;
+            while pos + read_len <= genome.len() {
+                out.push(SeqRecord::with_uniform_quality(
+                    format!("r{d}_{pos}"),
+                    genome[pos..pos + read_len].to_vec(),
+                    35,
+                ));
+                pos += 37;
+            }
+        }
+        out
+    }
+
+    /// Assemble a diploid pair and run depths + bubbles.
+    fn run_bubbles(h1: &[u8], h2: &[u8], topo: Topology) -> (ContigSet, ContigSet) {
+        let team = Team::new(topo);
+        let mut reads = tile_reads(h1, 80, 4);
+        reads.extend(tile_reads(h2, 80, 4));
+        let (spectrum, _) = analyze_kmers(&team, &reads, &KmerAnalysisConfig::new(21));
+        let (contigs, _) = generate_contigs(&team, &spectrum, &ContigConfig::new(21));
+        let (info, _) = compute_depths(&team, &spectrum, &contigs);
+        let (merged, _) = merge_bubbles(&team, &contigs, &info);
+        (contigs, merged)
+    }
+
+    #[test]
+    fn snp_bubble_collapses_to_one_long_contig() {
+        let h1 = lcg(1200, 41);
+        let mut h2 = h1.clone();
+        h2[600] = match h2[600] {
+            b'A' => b'G',
+            b'G' => b'A',
+            b'C' => b'T',
+            _ => b'C',
+        };
+        let (raw, merged) = run_bubbles(&h1, &h2, Topology::new(2, 2));
+        assert!(raw.len() >= 4, "expected a bubble, got {} contigs", raw.len());
+        // After merging, the dominant contig spans (almost) the genome.
+        assert!(
+            merged.max_len() > 1000,
+            "bubble merge failed: max len {} (raw max {})",
+            merged.max_len(),
+            raw.max_len()
+        );
+        // And the merged contig matches one of the haplotypes around the
+        // SNP (no chimera of both).
+        let big = &merged.contigs[0].seq;
+        let h1rc = revcomp(&h1);
+        let h2rc = revcomp(&h2);
+        let contained = [&h1[..], &h2[..], &h1rc[..], &h2rc[..]]
+            .iter()
+            .any(|h| h.windows(big.len()).any(|w| w == &big[..]));
+        assert!(contained, "merged contig is not a haplotype substring");
+    }
+
+    #[test]
+    fn two_bubbles_merge_into_one_chain() {
+        let h1 = lcg(2000, 77);
+        let mut h2 = h1.clone();
+        for &pos in &[500usize, 1400] {
+            h2[pos] = match h2[pos] {
+                b'A' => b'C',
+                b'C' => b'A',
+                b'G' => b'T',
+                _ => b'G',
+            };
+        }
+        let (raw, merged) = run_bubbles(&h1, &h2, Topology::new(4, 2));
+        assert!(raw.len() >= 7, "expected two bubbles, got {}", raw.len());
+        assert!(
+            merged.max_len() > 1800,
+            "chain compression failed: {}",
+            merged.max_len()
+        );
+    }
+
+    #[test]
+    fn haploid_input_is_unchanged() {
+        let g = lcg(1000, 9);
+        let team = Team::new(Topology::new(2, 2));
+        let reads = tile_reads(&g, 80, 4);
+        let (spectrum, _) = analyze_kmers(&team, &reads, &KmerAnalysisConfig::new(21));
+        let (contigs, _) = generate_contigs(&team, &spectrum, &ContigConfig::new(21));
+        let (info, _) = compute_depths(&team, &spectrum, &contigs);
+        let (merged, _) = merge_bubbles(&team, &contigs, &info);
+        let a: Vec<&Vec<u8>> = contigs.contigs.iter().map(|c| &c.seq).collect();
+        let b: Vec<&Vec<u8>> = merged.contigs.iter().map(|c| &c.seq).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bubble_merge_is_schedule_independent() {
+        let h1 = lcg(900, 123);
+        let mut h2 = h1.clone();
+        h2[450] = match h2[450] {
+            b'T' => b'A',
+            _ => b'T',
+        };
+        let (_, m1) = run_bubbles(&h1, &h2, Topology::new(1, 1));
+        let (_, m2) = run_bubbles(&h1, &h2, Topology::new(8, 4));
+        let s1: Vec<&Vec<u8>> = m1.contigs.iter().map(|c| &c.seq).collect();
+        let s2: Vec<&Vec<u8>> = m2.contigs.iter().map(|c| &c.seq).collect();
+        assert_eq!(s1, s2);
+    }
+}

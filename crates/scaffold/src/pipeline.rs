@@ -1,0 +1,269 @@
+//! The complete scaffolding pipeline: §4.1 → §4.8 in order.
+
+use crate::bubbles::merge_bubbles;
+use crate::depths::compute_depths;
+use crate::gapclose::{close_gaps, GapCloseConfig, GapCloseStats};
+use crate::inserts::estimate_insert_size;
+use crate::links::{generate_links, LinkConfig};
+use crate::scaffolds::ScaffoldSet;
+use crate::splints::{locate_splints_and_spans, SplintSpanConfig};
+use crate::ties::order_and_orient;
+use hipmer_align::{align_reads, AlignConfig, Alignment};
+use hipmer_contig::ContigSet;
+use hipmer_kanalysis::KmerSpectrum;
+use hipmer_pgas::{PhaseReport, Team};
+use hipmer_seqio::SeqRecord;
+use std::ops::Range;
+
+/// Scaffolding configuration.
+#[derive(Clone, Debug)]
+pub struct ScaffoldConfig {
+    /// merAligner settings.
+    pub align: AlignConfig,
+    /// Link support thresholds.
+    pub link: LinkConfig,
+    /// Gap-closing settings.
+    pub gap: GapCloseConfig,
+    /// Fallback insert size when a library yields no same-contig pairs.
+    pub default_insert: f64,
+    /// Scaffolding rounds (the paper's wheat pipeline runs four).
+    pub rounds: usize,
+    /// Contigs shorter than this do not participate in links/ties (repeat
+    /// scraps produce conflicting links; Meraculous likewise scaffolds
+    /// only sufficiently long contigs).
+    pub min_tie_contig: usize,
+    /// Contigs whose depth exceeds this factor times the median depth are
+    /// treated as repeats and masked from links/ties.
+    pub repeat_depth_factor: f64,
+}
+
+impl ScaffoldConfig {
+    /// Defaults for a given seed length.
+    pub fn new(seed_len: usize) -> Self {
+        ScaffoldConfig {
+            align: AlignConfig::new(seed_len),
+            link: LinkConfig::default(),
+            gap: GapCloseConfig::default(),
+            default_insert: 400.0,
+            rounds: 1,
+            min_tie_contig: 100,
+            repeat_depth_factor: 1.75,
+        }
+    }
+}
+
+/// Everything the scaffolder produces.
+pub struct ScaffoldOutput {
+    /// Final scaffolds with gap-closed sequences.
+    pub scaffolds: ScaffoldSet,
+    /// The contig set the final round scaffolded (post bubble merging).
+    pub contigs: ContigSet,
+    /// Per-library insert estimates (mean, sd) actually used.
+    pub insert_means: Vec<f64>,
+    /// Gap-closing outcome counters, summed over rounds.
+    pub gap_stats: GapCloseStats,
+    /// One report per module execution, in order.
+    pub reports: Vec<PhaseReport>,
+}
+
+/// Select the alignments belonging to a read-index range (alignments are
+/// sorted by read).
+fn alignment_slice<'a>(alignments: &'a [Alignment], reads: &Range<usize>) -> &'a [Alignment] {
+    let lo = alignments.partition_point(|a| (a.read as usize) < reads.start);
+    let hi = alignments.partition_point(|a| (a.read as usize) < reads.end);
+    &alignments[lo..hi]
+}
+
+/// Run the full scaffolding pipeline.
+///
+/// `lib_ranges` partitions the read indices by library (paired reads
+/// `2i`/`2i+1` must share a library); insert sizes are estimated per
+/// library, exactly as §4.4 prescribes.
+pub fn scaffold_pipeline(
+    team: &Team,
+    spectrum: &KmerSpectrum,
+    raw_contigs: &ContigSet,
+    reads: &[SeqRecord],
+    lib_ranges: &[Range<usize>],
+    cfg: &ScaffoldConfig,
+) -> ScaffoldOutput {
+    let mut reports: Vec<PhaseReport> = Vec::new();
+
+    // §4.1 Contig depths and termination states.
+    let (info, r) = compute_depths(team, spectrum, raw_contigs);
+    reports.push(r);
+
+    // §4.2 Bubble merging (the output is "contigs" from here on).
+    let (mut contigs, r) = merge_bubbles(team, raw_contigs, &info);
+    reports.push(r);
+
+    let mut gap_stats = GapCloseStats::default();
+    let mut insert_means: Vec<f64> = Vec::new();
+    let mut result: Option<ScaffoldSet> = None;
+
+    for round in 0..cfg.rounds.max(1) {
+        // Repeat/short-contig mask: depth and length over the current
+        // contig set. Masked contigs never join ties (they scaffold as
+        // singletons); gap closing can still walk through their sequence.
+        let (round_info, r) = compute_depths(team, spectrum, &contigs);
+        reports.push(r);
+        // Median depth weighted by contig length over tie-eligible contigs:
+        // short error-derived contigs sit at the count threshold and would
+        // otherwise poison the repeat cutoff.
+        let mut weighted: Vec<(f64, usize)> = contigs
+            .contigs
+            .iter()
+            .zip(&round_info)
+            .filter(|(c, _)| c.len() >= cfg.min_tie_contig)
+            .map(|(c, i)| (i.depth, c.len()))
+            .collect();
+        weighted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let half: usize = weighted.iter().map(|(_, l)| l).sum::<usize>() / 2;
+        let mut acc = 0usize;
+        let mut median_depth = 0.0;
+        for (d, l) in &weighted {
+            acc += l;
+            median_depth = *d;
+            if acc >= half {
+                break;
+            }
+        }
+        let masked: Vec<bool> = contigs
+            .contigs
+            .iter()
+            .zip(&round_info)
+            .map(|(c, i)| {
+                c.len() < cfg.min_tie_contig
+                    || (median_depth > 0.0 && i.depth > cfg.repeat_depth_factor * median_depth)
+            })
+            .collect();
+
+        // §4.3 merAligner.
+        let (alignments, rs) = align_reads(team, &contigs, reads, &cfg.align);
+        reports.extend(rs);
+
+        // §4.4 insert sizes + §4.5 splints/spans, per library.
+        let mut splints = Vec::new();
+        let mut spans = Vec::new();
+        insert_means.clear();
+        for range in lib_ranges {
+            let lib_alns = alignment_slice(&alignments, range);
+            let (est, r) = estimate_insert_size(team, lib_alns, 3);
+            reports.push(r);
+            let mean = est.map(|e| e.mean).unwrap_or(cfg.default_insert);
+            insert_means.push(mean);
+            let sscfg = SplintSpanConfig::new(mean);
+            let lens: Vec<usize> = contigs.contigs.iter().map(|c| c.len()).collect();
+            let (sp, sn, r) = locate_splints_and_spans(team, lib_alns, &lens, &sscfg);
+            reports.push(r);
+            splints.extend(sp);
+            spans.extend(sn);
+        }
+        splints.retain(|s| s.ends.iter().all(|(c, _)| !masked[*c as usize]));
+        spans.retain(|s| s.ends.iter().all(|(c, _)| !masked[*c as usize]));
+
+        // §4.6 links.
+        let (links, r) = generate_links(team, &splints, &spans, &cfg.link);
+        reports.push(r);
+
+        // §4.7 ordering and orientation.
+        let (scaffolds, r) = order_and_orient(team, &contigs, &links);
+        reports.push(r);
+
+        // §4.8 gap closing.
+        let (set, gs, r) = close_gaps(team, &contigs, &scaffolds, &alignments, reads, &cfg.gap);
+        reports.push(r);
+        gap_stats.merge_in(&gs);
+
+        if round + 1 < cfg.rounds {
+            // Next round scaffolds the current scaffolds.
+            contigs = ContigSet::from_sequences(contigs.codec, set.sequences.clone());
+            result = Some(set);
+        } else {
+            result = Some(set);
+        }
+    }
+
+    ScaffoldOutput {
+        scaffolds: result.expect("at least one round"),
+        contigs,
+        insert_means,
+        gap_stats,
+        reports,
+    }
+}
+
+impl GapCloseStats {
+    /// Public merge used by the pipeline across rounds.
+    pub fn merge_in(&mut self, o: &GapCloseStats) {
+        let mut tmp = *self;
+        tmp.overlap_joined += o.overlap_joined;
+        tmp.spanned += o.spanned;
+        tmp.walked += o.walked;
+        tmp.patched += o.patched;
+        tmp.nfilled += o.nfilled;
+        *self = tmp;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipmer_contig::{generate_contigs, ContigConfig};
+    use hipmer_kanalysis::{analyze_kmers, KmerAnalysisConfig};
+    use hipmer_pgas::Topology;
+    use hipmer_readsim::{human_like_dataset, Dataset};
+
+    fn run_pipeline(dataset: &Dataset, topo: Topology) -> (ScaffoldOutput, usize) {
+        let team = Team::new(topo);
+        let reads = dataset.all_reads();
+        let mut lib_ranges = Vec::new();
+        let mut start = 0usize;
+        for lib in &dataset.reads_per_library {
+            lib_ranges.push(start..start + lib.len());
+            start += lib.len();
+        }
+        let kcfg = KmerAnalysisConfig::new(21);
+        let (spectrum, _) = analyze_kmers(&team, &reads, &kcfg);
+        let (contigs, _) = generate_contigs(&team, &spectrum, &ContigConfig::new(21));
+        let n_raw = contigs.len();
+        let out = scaffold_pipeline(
+            &team,
+            &spectrum,
+            &contigs,
+            &reads,
+            &lib_ranges,
+            &ScaffoldConfig::new(15),
+        );
+        (out, n_raw)
+    }
+
+    #[test]
+    fn end_to_end_scaffolding_improves_contiguity() {
+        let dataset = human_like_dataset(40_000, 18.0, false, 42);
+        let (out, _) = run_pipeline(&dataset, Topology::new(4, 2));
+        assert!(!out.scaffolds.is_empty());
+        let genome_len = dataset.genomes[0].reference_len();
+        // The scaffold N50 must reach a large fraction of the genome.
+        assert!(
+            out.scaffolds.n50() > genome_len / 3,
+            "scaffold N50 {} vs genome {}",
+            out.scaffolds.n50(),
+            genome_len
+        );
+        // Insert estimation found the short library's ~395bp insert.
+        assert!(
+            (out.insert_means[0] - 395.0).abs() < 40.0,
+            "insert {:?}",
+            out.insert_means
+        );
+    }
+
+    #[test]
+    fn pipeline_is_deterministic_across_concurrency() {
+        let dataset = human_like_dataset(25_000, 16.0, false, 7);
+        let (a, _) = run_pipeline(&dataset, Topology::new(1, 1));
+        let (b, _) = run_pipeline(&dataset, Topology::new(8, 4));
+        assert_eq!(a.scaffolds.sequences, b.scaffolds.sequences);
+    }
+}

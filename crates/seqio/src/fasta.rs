@@ -1,0 +1,106 @@
+//! FASTA parsing and writing (contig and scaffold output).
+
+use crate::record::SeqRecord;
+use std::io::{self, Write};
+
+/// Parse a whole FASTA buffer (multi-line sequences supported).
+pub fn parse_fasta(buf: &[u8]) -> Result<Vec<SeqRecord>, String> {
+    let mut records = Vec::new();
+    let mut id: Option<String> = None;
+    let mut seq: Vec<u8> = Vec::new();
+
+    for line in buf.split(|&b| b == b'\n') {
+        let line = match line.last() {
+            Some(b'\r') => &line[..line.len() - 1],
+            _ => line,
+        };
+        if line.is_empty() {
+            continue;
+        }
+        if line[0] == b'>' {
+            if let Some(prev) = id.take() {
+                records.push(SeqRecord::new(prev, std::mem::take(&mut seq)));
+            }
+            id = Some(String::from_utf8_lossy(&line[1..]).into_owned());
+        } else {
+            if id.is_none() {
+                return Err("sequence data before first '>' header".into());
+            }
+            seq.extend_from_slice(line);
+        }
+    }
+    if let Some(last) = id {
+        records.push(SeqRecord::new(last, seq));
+    }
+    Ok(records)
+}
+
+/// Write records as FASTA, wrapping sequence lines at `width` bases
+/// (0 = no wrapping).
+pub fn write_fasta<W: Write>(w: &mut W, records: &[SeqRecord], width: usize) -> io::Result<()> {
+    for r in records {
+        w.write_all(b">")?;
+        w.write_all(r.id.as_bytes())?;
+        w.write_all(b"\n")?;
+        if width == 0 {
+            w.write_all(&r.seq)?;
+            w.write_all(b"\n")?;
+        } else {
+            for chunk in r.seq.chunks(width) {
+                w.write_all(chunk)?;
+                w.write_all(b"\n")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_unwrapped() {
+        let records = vec![
+            SeqRecord::new("contig_1", *b"ACGTACGT"),
+            SeqRecord::new("contig_2 descr", *b"TTGG"),
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records, 0).unwrap();
+        assert_eq!(parse_fasta(&buf).unwrap(), records);
+    }
+
+    #[test]
+    fn roundtrip_wrapped() {
+        let records = vec![SeqRecord::new("c", vec![b'A'; 250])];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records, 80).unwrap();
+        assert_eq!(buf.iter().filter(|&&b| b == b'\n').count(), 5); // header + 4 seq lines
+        assert_eq!(parse_fasta(&buf).unwrap(), records);
+    }
+
+    #[test]
+    fn multiline_records_concatenate() {
+        let txt = b">a\nACGT\nTTTT\n>b\nGG\n";
+        let records = parse_fasta(txt).unwrap();
+        assert_eq!(records[0].seq, b"ACGTTTTT");
+        assert_eq!(records[1].seq, b"GG");
+    }
+
+    #[test]
+    fn rejects_headerless_data() {
+        assert!(parse_fasta(b"ACGT\n").is_err());
+    }
+
+    #[test]
+    fn empty_ok() {
+        assert!(parse_fasta(b"").unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_sequence_record_preserved() {
+        let records = parse_fasta(b">empty\n>full\nAC\n").unwrap();
+        assert_eq!(records.len(), 2);
+        assert!(records[0].seq.is_empty());
+    }
+}

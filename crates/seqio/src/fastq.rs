@@ -1,0 +1,182 @@
+//! FASTQ parsing and writing.
+//!
+//! The strict 4-line flavor modern sequencers emit: `@id`, bases, `+`,
+//! qualities. The parser is buffer-oriented (parse a whole `&[u8]` already
+//! in memory) because the parallel block reader of §3.3 reads large chunks
+//! with big buffered reads and parses in memory — that is the key to its
+//! I/O performance.
+
+use crate::record::SeqRecord;
+use std::io::{self, Write};
+
+/// Parse every complete FASTQ record in `buf`.
+///
+/// Returns the records and the byte offset one past the last complete
+/// record (callers feeding partial buffers can resume there). Malformed
+/// input yields an error naming the offending record index.
+pub fn parse_fastq(buf: &[u8]) -> Result<(Vec<SeqRecord>, usize), String> {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let mut consumed = 0usize;
+
+    while pos < buf.len() {
+        // A complete record needs four newline-terminated lines; each line
+        // range excludes its terminating newline, so the next line starts
+        // one past the end.
+        let Some(l1) = next_line(buf, pos) else { break };
+        let Some(l2) = next_line(buf, l1.end + 1) else { break };
+        let Some(l3) = next_line(buf, l2.end + 1) else { break };
+        let Some(l4) = next_line(buf, l3.end + 1) else { break };
+
+        let header = &buf[l1.clone()];
+        if header.is_empty() || header[0] != b'@' {
+            return Err(format!(
+                "record {}: header does not start with '@'",
+                records.len()
+            ));
+        }
+        let plus = &buf[l3.clone()];
+        if plus.is_empty() || plus[0] != b'+' {
+            return Err(format!(
+                "record {}: separator does not start with '+'",
+                records.len()
+            ));
+        }
+        let seq = trim_cr(&buf[l2.clone()]);
+        let qual = trim_cr(&buf[l4.clone()]);
+        if seq.len() != qual.len() {
+            return Err(format!(
+                "record {}: sequence/quality length mismatch",
+                records.len()
+            ));
+        }
+        let id = String::from_utf8_lossy(trim_cr(&header[1..])).into_owned();
+        records.push(SeqRecord {
+            id,
+            seq: seq.to_vec(),
+            qual: Some(qual.to_vec()),
+        });
+        pos = l4.end + 1;
+        consumed = pos;
+    }
+    Ok((records, consumed))
+}
+
+/// The byte range of the line starting at `from` (exclusive of the
+/// terminating newline); `None` if no newline before end of buffer.
+fn next_line(buf: &[u8], from: usize) -> Option<std::ops::Range<usize>> {
+    if from >= buf.len() {
+        return None;
+    }
+    memchr_nl(&buf[from..]).map(|nl| from..from + nl)
+}
+
+/// Position of the first `\n` in `buf`.
+#[inline]
+fn memchr_nl(buf: &[u8]) -> Option<usize> {
+    buf.iter().position(|&b| b == b'\n')
+}
+
+/// Strip a trailing `\r` (Windows line endings).
+fn trim_cr(line: &[u8]) -> &[u8] {
+    match line.last() {
+        Some(b'\r') => &line[..line.len() - 1],
+        _ => line,
+    }
+}
+
+/// Write records in 4-line FASTQ. Records without qualities get `I`
+/// (Phred 40) filler, so round-tripping stays well-formed.
+pub fn write_fastq<W: Write>(w: &mut W, records: &[SeqRecord]) -> io::Result<()> {
+    for r in records {
+        w.write_all(b"@")?;
+        w.write_all(r.id.as_bytes())?;
+        w.write_all(b"\n")?;
+        w.write_all(&r.seq)?;
+        w.write_all(b"\n+\n")?;
+        match &r.qual {
+            Some(q) => w.write_all(q)?,
+            None => w.write_all(&vec![b'I'; r.seq.len()])?,
+        }
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<SeqRecord> {
+        vec![
+            SeqRecord::with_uniform_quality("read1/1", *b"ACGTACGT", 35),
+            SeqRecord::with_uniform_quality("read1/2", *b"TTGGCCAA", 20),
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &sample()).unwrap();
+        let (records, consumed) = parse_fastq(&buf).unwrap();
+        assert_eq!(records, sample());
+        assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn partial_record_left_unconsumed() {
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &sample()).unwrap();
+        let cut = buf.len() - 5; // truncate inside the last record
+        let (records, consumed) = parse_fastq(&buf[..cut]).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(consumed < cut);
+        // Resuming from `consumed` with the full tail completes the parse.
+        let (rest, _) = parse_fastq(&buf[consumed..]).unwrap();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0], sample()[1]);
+    }
+
+    #[test]
+    fn rejects_missing_at() {
+        let bad = b"read1\nACGT\n+\nIIII\n";
+        assert!(parse_fastq(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_separator() {
+        let bad = b"@read1\nACGT\nX\nIIII\n";
+        assert!(parse_fastq(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let bad = b"@read1\nACGT\n+\nIII\n";
+        assert!(parse_fastq(bad).is_err());
+    }
+
+    #[test]
+    fn quality_line_may_start_with_at() {
+        // '@' is Phred 31 — legal in quality strings; the 4-line structure
+        // disambiguates.
+        let txt = b"@r1\nACGT\n+\n@@@@\n@r2\nTTTT\n+\nIIII\n";
+        let (records, _) = parse_fastq(txt).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].phred(0), Some(31));
+    }
+
+    #[test]
+    fn handles_crlf() {
+        let txt = b"@r1\r\nACGT\r\n+\r\nIIII\r\n";
+        let (records, _) = parse_fastq(txt).unwrap();
+        assert_eq!(records[0].seq, b"ACGT");
+        assert_eq!(records[0].id, "r1");
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let (records, consumed) = parse_fastq(b"").unwrap();
+        assert!(records.is_empty());
+        assert_eq!(consumed, 0);
+    }
+}

@@ -1,0 +1,336 @@
+//! A SeqDB-like compressed binary read format (§3.3 context).
+//!
+//! HipMer's earlier pipeline read SeqDB (an HDF5-based compressed store,
+//! Howison [16]); the parallel FASTQ reader exists so users don't have to
+//! convert, and the paper reports it reaches "close to the I/O bandwidth
+//! achieved by reading SeqDB (up to compression factor differences)". To
+//! make that comparison runnable, this module provides a simple
+//! self-contained equivalent: 2-bit packed bases (with an N-position
+//! escape list), run-length encoded qualities, and a block index that
+//! lets every rank seek straight to its share — the property that made
+//! SeqDB trivially parallel to read.
+//!
+//! Layout:
+//! ```text
+//! [8B magic "HIPSEQDB"] [u64 record-count] [u64 index-offset]
+//! record*  : varint id_len, id bytes, varint seq_len,
+//!            varint n_count, varint n_positions (delta)...,
+//!            packed 2-bit bases (ceil(seq_len/4) bytes; N slots are 0),
+//!            quality RLE: varint run-count, (varint len, u8 qual)*
+//! index    : u64 block-count, (u64 first-record, u64 byte-offset)*
+//! ```
+
+use crate::record::SeqRecord;
+use hipmer_dna::encode_base;
+use hipmer_pgas::{CommStats, Team};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"HIPSEQDB";
+/// Records per index block.
+const BLOCK: u64 = 1024;
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            w.write_all(&[byte])?;
+            return Ok(());
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint(buf: &[u8], pos: &mut usize) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "varint"))?;
+        *pos += 1;
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "varint overflow"));
+        }
+    }
+}
+
+/// Serialize one record.
+fn encode_record(out: &mut Vec<u8>, r: &SeqRecord) -> io::Result<()> {
+    write_varint(out, r.id.len() as u64)?;
+    out.extend_from_slice(r.id.as_bytes());
+    write_varint(out, r.seq.len() as u64)?;
+    // N positions, delta encoded.
+    let n_positions: Vec<usize> = r
+        .seq
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| encode_base(b).is_none())
+        .map(|(i, _)| i)
+        .collect();
+    write_varint(out, n_positions.len() as u64)?;
+    let mut prev = 0usize;
+    for &p in &n_positions {
+        write_varint(out, (p - prev) as u64)?;
+        prev = p;
+    }
+    // 2-bit packed bases.
+    let mut byte = 0u8;
+    for (i, &b) in r.seq.iter().enumerate() {
+        let code = encode_base(b).unwrap_or(0);
+        byte |= code << ((i % 4) * 2);
+        if i % 4 == 3 {
+            out.push(byte);
+            byte = 0;
+        }
+    }
+    if r.seq.len() % 4 != 0 {
+        out.push(byte);
+    }
+    // Quality RLE.
+    let qual_default = vec![b'I'; r.seq.len()];
+    let qual = r.qual.as_deref().unwrap_or(&qual_default);
+    let mut runs: Vec<(u64, u8)> = Vec::new();
+    for &q in qual {
+        match runs.last_mut() {
+            Some((len, v)) if *v == q => *len += 1,
+            _ => runs.push((1, q)),
+        }
+    }
+    write_varint(out, runs.len() as u64)?;
+    for (len, q) in runs {
+        write_varint(out, len)?;
+        out.push(q);
+    }
+    Ok(())
+}
+
+/// Parse one record starting at `pos`; advances `pos`.
+fn decode_record(buf: &[u8], pos: &mut usize) -> io::Result<SeqRecord> {
+    let id_len = read_varint(buf, pos)? as usize;
+    let id = String::from_utf8_lossy(
+        buf.get(*pos..*pos + id_len)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "id"))?,
+    )
+    .into_owned();
+    *pos += id_len;
+    let seq_len = read_varint(buf, pos)? as usize;
+    let n_count = read_varint(buf, pos)? as usize;
+    let mut n_positions = Vec::with_capacity(n_count);
+    let mut acc = 0usize;
+    for i in 0..n_count {
+        let d = read_varint(buf, pos)? as usize;
+        acc = if i == 0 { d } else { acc + d };
+        n_positions.push(acc);
+    }
+    let packed_len = seq_len.div_ceil(4);
+    let packed = buf
+        .get(*pos..*pos + packed_len)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "bases"))?;
+    *pos += packed_len;
+    let mut seq = Vec::with_capacity(seq_len);
+    for i in 0..seq_len {
+        let code = (packed[i / 4] >> ((i % 4) * 2)) & 0b11;
+        seq.push(hipmer_dna::decode_base(code));
+    }
+    for &p in &n_positions {
+        seq[p] = b'N';
+    }
+    let run_count = read_varint(buf, pos)? as usize;
+    let mut qual = Vec::with_capacity(seq_len);
+    for _ in 0..run_count {
+        let len = read_varint(buf, pos)? as usize;
+        let q = *buf
+            .get(*pos)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "qual"))?;
+        *pos += 1;
+        qual.extend(std::iter::repeat(q).take(len));
+    }
+    if qual.len() != seq_len {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "qual length"));
+    }
+    Ok(SeqRecord {
+        id,
+        seq,
+        qual: Some(qual),
+    })
+}
+
+/// Write a SeqDB file.
+pub fn write_seqdb(path: &Path, records: &[SeqRecord]) -> io::Result<()> {
+    let mut body: Vec<u8> = Vec::new();
+    let mut index: Vec<(u64, u64)> = Vec::new();
+    for (i, r) in records.iter().enumerate() {
+        if i as u64 % BLOCK == 0 {
+            index.push((i as u64, body.len() as u64));
+        }
+        encode_record(&mut body, r)?;
+    }
+    let mut out: Vec<u8> = Vec::with_capacity(body.len() + 24 + index.len() * 16);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(records.len() as u64).to_le_bytes());
+    let index_offset = 24 + body.len() as u64;
+    out.extend_from_slice(&index_offset.to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&(index.len() as u64).to_le_bytes());
+    for (first, off) in index {
+        out.extend_from_slice(&first.to_le_bytes());
+        out.extend_from_slice(&off.to_le_bytes());
+    }
+    std::fs::write(path, out)
+}
+
+/// Read a SeqDB file in parallel: every rank seeks to its block range via
+/// the index (no boundary fix-up needed — that is SeqDB's advantage) and
+/// decodes its records. Returns per-rank record vectors and I/O counters.
+pub fn read_seqdb_parallel(
+    team: &Team,
+    path: &Path,
+) -> io::Result<(Vec<Vec<SeqRecord>>, Vec<CommStats>)> {
+    // Read the header + index once (tiny; the paper's reader samples
+    // similarly).
+    let mut f = std::fs::File::open(path)?;
+    let mut header = [0u8; 24];
+    f.read_exact(&mut header)?;
+    if &header[..8] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let n_records = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let index_offset = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    f.seek(SeekFrom::Start(index_offset))?;
+    let mut count_buf = [0u8; 8];
+    f.read_exact(&mut count_buf)?;
+    let n_blocks = u64::from_le_bytes(count_buf) as usize;
+    let mut index = Vec::with_capacity(n_blocks);
+    let mut entry = [0u8; 16];
+    for _ in 0..n_blocks {
+        f.read_exact(&mut entry)?;
+        index.push((
+            u64::from_le_bytes(entry[..8].try_into().unwrap()),
+            u64::from_le_bytes(entry[8..].try_into().unwrap()),
+        ));
+    }
+    drop(f);
+
+    let (results, stats) = team.run(|ctx| -> io::Result<Vec<SeqRecord>> {
+        // Block range for this rank.
+        let blocks = ctx.chunk(index.len());
+        if blocks.is_empty() {
+            return Ok(Vec::new());
+        }
+        let first_record = index[blocks.start].0;
+        let end_record = if blocks.end < index.len() {
+            index[blocks.end].0
+        } else {
+            n_records
+        };
+        let byte_start = 24 + index[blocks.start].1;
+        let byte_end = if blocks.end < index.len() {
+            24 + index[blocks.end].1
+        } else {
+            index_offset
+        };
+        let mut f = std::fs::File::open(path)?;
+        f.seek(SeekFrom::Start(byte_start))?;
+        let mut buf = vec![0u8; (byte_end - byte_start) as usize];
+        f.read_exact(&mut buf)?;
+        ctx.stats.io_read_bytes += buf.len() as u64 + 24;
+        let mut pos = 0usize;
+        let mut out = Vec::with_capacity((end_record - first_record) as usize);
+        for _ in first_record..end_record {
+            out.push(decode_record(&buf, &mut pos)?);
+        }
+        Ok(out)
+    });
+    let mut per_rank = Vec::with_capacity(results.len());
+    for r in results {
+        per_rank.push(r?);
+    }
+    Ok((per_rank, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipmer_pgas::Topology;
+
+    fn records(n: usize) -> Vec<SeqRecord> {
+        (0..n)
+            .map(|i| {
+                let len = 60 + (i * 17) % 70;
+                let mut seq: Vec<u8> = (0..len).map(|j| b"ACGT"[(i + j) % 4]).collect();
+                if i % 5 == 0 && len > 10 {
+                    seq[3] = b'N';
+                    seq[len - 2] = b'N';
+                }
+                let mut r = SeqRecord::with_uniform_quality(format!("rec{i} lib=x"), seq, 35);
+                if i % 3 == 0 {
+                    r.qual.as_mut().unwrap()[0] = 33 + 2; // non-uniform run
+                }
+                r
+            })
+            .collect()
+    }
+
+    fn tempfile(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("hipmer-seqdb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}.seqdb"))
+    }
+
+    #[test]
+    fn roundtrip_with_ns_and_quality_runs() {
+        let recs = records(300);
+        let path = tempfile("roundtrip");
+        write_seqdb(&path, &recs).unwrap();
+        for ranks in [1usize, 3, 8] {
+            let team = Team::new(Topology::new(ranks, 4));
+            let (per_rank, _) = read_seqdb_parallel(&team, &path).unwrap();
+            let got: Vec<SeqRecord> = per_rank.into_iter().flatten().collect();
+            assert_eq!(got, recs, "ranks={ranks}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compression_beats_fastq() {
+        let recs = records(2000);
+        let path = tempfile("size");
+        write_seqdb(&path, &recs).unwrap();
+        let seqdb_bytes = std::fs::metadata(&path).unwrap().len();
+        let mut fastq = Vec::new();
+        crate::fastq::write_fastq(&mut fastq, &recs).unwrap();
+        assert!(
+            (seqdb_bytes as f64) < 0.5 * fastq.len() as f64,
+            "seqdb {} vs fastq {}",
+            seqdb_bytes,
+            fastq.len()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_roundtrips() {
+        let path = tempfile("empty");
+        write_seqdb(&path, &[]).unwrap();
+        let team = Team::new(Topology::new(4, 2));
+        let (per_rank, _) = read_seqdb_parallel(&team, &path).unwrap();
+        assert!(per_rank.into_iter().flatten().next().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tempfile("bad");
+        std::fs::write(&path, b"NOTSEQDBxxxxxxxxxxxxxxxx").unwrap();
+        let team = Team::new(Topology::new(1, 1));
+        assert!(read_seqdb_parallel(&team, &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

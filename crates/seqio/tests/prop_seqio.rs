@@ -1,0 +1,64 @@
+//! Property tests for sequence I/O: round-trips and the parallel reader's
+//! exact-partition guarantee under arbitrary record shapes.
+
+use hipmer_dna::BASES;
+use hipmer_pgas::{Team, Topology};
+use hipmer_seqio::{parse_fasta, parse_fastq, read_fastq_parallel, write_fasta, write_fastq, SeqRecord};
+use proptest::prelude::*;
+
+fn record_strategy() -> impl Strategy<Value = SeqRecord> {
+    (
+        "[a-zA-Z0-9_/ .:-]{1,30}",
+        prop::collection::vec(prop::sample::select(&BASES[..]), 1..200),
+        2u8..41,
+    )
+        .prop_map(|(id, seq, q)| SeqRecord::with_uniform_quality(id, seq, q))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fastq_roundtrip(records in prop::collection::vec(record_strategy(), 0..40)) {
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &records).unwrap();
+        let (parsed, consumed) = parse_fastq(&buf).unwrap();
+        prop_assert_eq!(parsed, records);
+        prop_assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn fasta_roundtrip(records in prop::collection::vec(record_strategy(), 0..40), width in 0usize..100) {
+        // FASTA drops qualities.
+        let plain: Vec<SeqRecord> = records
+            .iter()
+            .map(|r| SeqRecord::new(r.id.clone(), r.seq.clone()))
+            .collect();
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &plain, width).unwrap();
+        prop_assert_eq!(parse_fasta(&buf).unwrap(), plain);
+    }
+
+    #[test]
+    fn parallel_reader_partitions_exactly(
+        records in prop::collection::vec(record_strategy(), 1..60),
+        ranks in 1usize..24,
+        case in any::<u64>(),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "hipmer-prop-seqio-{}-{case}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reads.fastq");
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &records).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+
+        let team = Team::new(Topology::new(ranks, 4));
+        let (per_rank, _) = read_fastq_parallel(&team, &path).unwrap();
+        let got: Vec<SeqRecord> = per_rank.into_iter().flatten().collect();
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(got, records);
+    }
+}

@@ -1,0 +1,151 @@
+//! HyperLogLog cardinality estimation.
+//!
+//! The first pass of k-mer analysis estimates the number of *distinct*
+//! k-mers so that each rank can size its Bloom filter before the counting
+//! pass (§3.1: "an initial pass over the data is already performed to
+//! estimate the cardinality"). Sketches are mergeable, so each rank
+//! sketches its local read chunk and the team reduces.
+
+/// HyperLogLog sketch with `2^p` registers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HyperLogLog {
+    p: u8,
+    registers: Vec<u8>,
+}
+
+impl HyperLogLog {
+    /// A sketch with `2^p` registers; `p` in `4..=18`. `p = 12` (4096
+    /// registers, ~1.6% standard error) is plenty for Bloom sizing.
+    pub fn new(p: u8) -> Self {
+        assert!((4..=18).contains(&p), "p must be in 4..=18, got {p}");
+        HyperLogLog {
+            p,
+            registers: vec![0u8; 1 << p],
+        }
+    }
+
+    /// Register count.
+    pub fn m(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Observe a pre-hashed item.
+    #[inline]
+    pub fn observe(&mut self, hash: u64) {
+        let idx = (hash >> (64 - self.p)) as usize;
+        let rest = hash << self.p;
+        // Rank = position of the first 1-bit in the remaining bits, 1-based;
+        // all-zero remainder gets the maximum.
+        let rho = (rest.leading_zeros() as u8).min(64 - self.p) + 1;
+        if rho > self.registers[idx] {
+            self.registers[idx] = rho;
+        }
+    }
+
+    /// Merge another sketch (register-wise max).
+    ///
+    /// # Panics
+    /// Panics if precisions differ.
+    pub fn merge(&mut self, other: &HyperLogLog) {
+        assert_eq!(self.p, other.p, "cannot merge sketches of different p");
+        for (a, &b) in self.registers.iter_mut().zip(&other.registers) {
+            if b > *a {
+                *a = b;
+            }
+        }
+    }
+
+    /// The cardinality estimate (bias-corrected for small/large ranges).
+    pub fn estimate(&self) -> f64 {
+        let m = self.m() as f64;
+        let alpha = match self.m() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m),
+        };
+        let sum: f64 = self
+            .registers
+            .iter()
+            .map(|&r| 2.0f64.powi(-(r as i32)))
+            .sum();
+        let raw = alpha * m * m / sum;
+
+        if raw <= 2.5 * m {
+            // Small-range correction: linear counting over empty registers.
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipmer_dna::mix64;
+
+    #[test]
+    fn empty_estimates_zero() {
+        let h = HyperLogLog::new(12);
+        assert_eq!(h.estimate(), 0.0);
+    }
+
+    #[test]
+    fn estimate_within_error_bounds() {
+        for &n in &[100u64, 10_000, 500_000] {
+            let mut h = HyperLogLog::new(12);
+            for x in 0..n {
+                h.observe(mix64(x));
+            }
+            let est = h.estimate();
+            let err = (est - n as f64).abs() / n as f64;
+            assert!(err < 0.08, "n={n}: estimate {est} off by {err}");
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let mut h = HyperLogLog::new(12);
+        for x in 0..1000u64 {
+            for _ in 0..50 {
+                h.observe(mix64(x));
+            }
+        }
+        let est = h.estimate();
+        let err = (est - 1000.0).abs() / 1000.0;
+        assert!(err < 0.1, "estimate {est}");
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = HyperLogLog::new(10);
+        let mut b = HyperLogLog::new(10);
+        let mut whole = HyperLogLog::new(10);
+        for x in 0..20_000u64 {
+            whole.observe(mix64(x));
+            if x % 2 == 0 {
+                a.observe(mix64(x));
+            } else {
+                b.observe(mix64(x));
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "different p")]
+    fn merge_mismatched_precisions_panics() {
+        let mut a = HyperLogLog::new(10);
+        a.merge(&HyperLogLog::new(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be")]
+    fn precision_out_of_range_panics() {
+        HyperLogLog::new(3);
+    }
+}

@@ -1,0 +1,229 @@
+//! Exact integer histograms.
+//!
+//! Used in two places: the k-mer count spectrum (whose shape distinguishes
+//! the single-genome datasets — 95% singletons for human — from the flat
+//! metagenome spectrum of §5.4), and insert-size estimation (§4.4), where
+//! each rank builds a local histogram of sampled same-contig pair
+//! separations and the team merges them into a global one.
+
+/// Histogram over `u64` values with a dense range and an overflow bucket.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CountHistogram {
+    /// `bins[v]` counts observations of value `v` for `v < bins.len()`.
+    bins: Vec<u64>,
+    /// Observations `>= bins.len()`.
+    overflow: u64,
+    /// Sum of all observed values (exact, for the mean).
+    sum: u128,
+    /// Total observations.
+    n: u64,
+}
+
+impl CountHistogram {
+    /// A histogram tracking values `0..max_value` exactly.
+    pub fn new(max_value: usize) -> Self {
+        CountHistogram {
+            bins: vec![0; max_value],
+            overflow: 0,
+            sum: 0,
+            n: 0,
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        if (value as usize) < self.bins.len() {
+            self.bins[value as usize] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.sum += value as u128;
+        self.n += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Observations that exceeded the tracked range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Count of a particular value (`None` if out of tracked range).
+    pub fn bin(&self, value: u64) -> Option<u64> {
+        self.bins.get(value as usize).copied()
+    }
+
+    /// Mean of all observations (including overflowed ones), or `None` if
+    /// empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.n as f64)
+        }
+    }
+
+    /// Standard deviation over the *tracked* range (overflow excluded), or
+    /// `None` if no tracked observations.
+    pub fn stddev(&self) -> Option<f64> {
+        let tracked: u64 = self.bins.iter().sum();
+        if tracked == 0 {
+            return None;
+        }
+        let mean = self
+            .bins
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as f64 * c as f64)
+            .sum::<f64>()
+            / tracked as f64;
+        let var = self
+            .bins
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| {
+                let d = v as f64 - mean;
+                d * d * c as f64
+            })
+            .sum::<f64>()
+            / tracked as f64;
+        Some(var.sqrt())
+    }
+
+    /// The q-quantile (0 ≤ q ≤ 1) over the tracked range; `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let tracked: u64 = self.bins.iter().sum();
+        if tracked == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * (tracked - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (v, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen > target {
+                return Some(v as u64);
+            }
+        }
+        Some(self.bins.len() as u64 - 1)
+    }
+
+    /// Median (the 0.5 quantile).
+    pub fn median(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// Merge another histogram of the same shape.
+    ///
+    /// # Panics
+    /// Panics if tracked ranges differ.
+    pub fn merge(&mut self, other: &CountHistogram) {
+        assert_eq!(self.bins.len(), other.bins.len(), "range mismatch");
+        for (a, &b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.sum += other.sum;
+        self.n += other.n;
+    }
+
+    /// Fraction of observations equal to `value` (0 if out of range/empty).
+    pub fn fraction(&self, value: u64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.bin(value).unwrap_or(0) as f64 / self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut h = CountHistogram::new(10);
+        for v in [1u64, 2, 2, 3, 3, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.bin(3), Some(3));
+        assert_eq!(h.bin(0), Some(0));
+        assert!((h.mean().unwrap() - 14.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.median(), Some(3));
+    }
+
+    #[test]
+    fn overflow_counts_but_keeps_mean_exact() {
+        let mut h = CountHistogram::new(5);
+        h.record(2);
+        h.record(100);
+        assert_eq!(h.overflow(), 1);
+        assert!((h.mean().unwrap() - 51.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_ordered() {
+        let mut h = CountHistogram::new(1000);
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let q1 = h.quantile(0.25).unwrap();
+        let q2 = h.quantile(0.5).unwrap();
+        let q3 = h.quantile(0.75).unwrap();
+        assert!(q1 < q2 && q2 < q3);
+        assert!((q2 as i64 - 500).abs() <= 1);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let mut a = CountHistogram::new(50);
+        let mut b = CountHistogram::new(50);
+        let mut whole = CountHistogram::new(50);
+        for v in 0..200u64 {
+            let val = v % 37;
+            whole.record(val);
+            if v % 2 == 0 {
+                a.record(val);
+            } else {
+                b.record(val);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn empty_histogram_returns_none() {
+        let h = CountHistogram::new(10);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.median(), None);
+        assert_eq!(h.stddev(), None);
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        let mut h = CountHistogram::new(10);
+        for _ in 0..5 {
+            h.record(4);
+        }
+        assert!(h.stddev().unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_singletons() {
+        // Emulates the paper's singleton-fraction metric (95% human vs 36%
+        // metagenome): fraction of k-mers with count 1 in a count spectrum.
+        let mut spectrum = CountHistogram::new(100);
+        for _ in 0..95 {
+            spectrum.record(1);
+        }
+        for _ in 0..5 {
+            spectrum.record(30);
+        }
+        assert!((spectrum.fraction(1) - 0.95).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,21 @@
+//! Streaming/sketching data structures for k-mer analysis (§3.1).
+//!
+//! The paper's k-mer analysis makes one pass over the reads to (a) estimate
+//! the number of distinct k-mers so Bloom filters can be sized, and (b) run
+//! the Misra–Gries frequent-items algorithm so ultra-high-frequency k-mers
+//! ("heavy hitters") can be treated specially; a second pass counts k-mers
+//! through per-owner Bloom filters that suppress the singleton (almost
+//! surely erroneous) k-mers from ever entering the main hash tables.
+//!
+//! Everything here operates on pre-hashed `u64` keys or generic `Eq + Hash`
+//! items, deterministic across ranks and runs.
+
+pub mod bloom;
+pub mod cardinality;
+pub mod histogram;
+pub mod misra_gries;
+
+pub use bloom::BloomFilter;
+pub use cardinality::HyperLogLog;
+pub use histogram::CountHistogram;
+pub use misra_gries::MisraGries;

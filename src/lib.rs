@@ -1,0 +1,2 @@
+//! Workspace root crate: re-exports for the examples and integration tests.
+pub use hipmer;

@@ -1,0 +1,223 @@
+//! Cross-crate integration tests: the full assembler driven through its
+//! public API, checked against the simulated ground truth.
+
+use hipmer::{assemble, assemble_fastq, kmer_containment, PipelineConfig, StageTimes};
+use hipmer_pgas::{CostModel, Team, Topology};
+use hipmer_readsim::{human_like_dataset, metagenome_dataset, wheat_scaffolding_dataset, Dataset};
+use std::ops::Range;
+
+fn lib_ranges(d: &Dataset) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for lib in &d.reads_per_library {
+        out.push(start..start + lib.len());
+        start += lib.len();
+    }
+    out
+}
+
+/// Reference sequence: all haplotypes joined with an N separator.
+fn reference_of(d: &Dataset) -> Vec<u8> {
+    let mut out = Vec::new();
+    for g in &d.genomes {
+        for h in &g.haplotypes {
+            if !out.is_empty() {
+                out.push(b'N');
+            }
+            out.extend_from_slice(h);
+        }
+    }
+    out
+}
+
+#[test]
+fn human_like_with_errors_assembles_accurately() {
+    let dataset = human_like_dataset(50_000, 20.0, true, 123);
+    let team = Team::new(Topology::new(8, 4));
+    let reads = dataset.all_reads();
+    let assembly = assemble(&team, &reads, &lib_ranges(&dataset), &PipelineConfig::new(21));
+
+    let reference = reference_of(&dataset);
+    let (precision, completeness) =
+        kmer_containment(&reference, &assembly.scaffolds.sequences, 21);
+    assert!(
+        precision > 0.97,
+        "erroneous sequence leaked into scaffolds: precision {precision}"
+    );
+    assert!(completeness > 0.85, "genome lost: completeness {completeness}");
+    // Scaffolding must add contiguity beyond raw contigs.
+    assert!(assembly.stats.scaffold_n50 >= assembly.stats.contig_n50);
+}
+
+#[test]
+fn wheat_preset_runs_multiple_rounds_and_improves() {
+    let dataset = wheat_scaffolding_dataset(60_000, 16.0, false, 321);
+    let team = Team::new(Topology::new(6, 3));
+    let reads = dataset.all_reads();
+    let one = assemble(&team, &reads, &lib_ranges(&dataset), &{
+        let mut c = PipelineConfig::new(21);
+        c.scaffold.rounds = 1;
+        c
+    });
+    let four = assemble(
+        &team,
+        &reads,
+        &lib_ranges(&dataset),
+        &PipelineConfig::wheat_preset(21),
+    );
+    assert!(
+        four.stats.scaffold_n50 >= one.stats.scaffold_n50,
+        "extra rounds must not hurt: {} vs {}",
+        four.stats.scaffold_n50,
+        one.stats.scaffold_n50
+    );
+    // Repetitive assembly stays honest: high k-mer precision.
+    let reference = reference_of(&dataset);
+    let (precision, _) = kmer_containment(&reference, &four.scaffolds.sequences, 21);
+    assert!(precision > 0.95, "precision {precision}");
+}
+
+#[test]
+fn metagenome_recovers_abundant_species_only() {
+    let dataset = metagenome_dataset(150_000, 30, 8.0, false, 555);
+    let team = Team::new(Topology::new(8, 4));
+    let reads = dataset.all_reads();
+    let assembly = assemble(
+        &team,
+        &reads,
+        &[0..reads.len()],
+        &PipelineConfig::metagenome_preset(21),
+    );
+    let mut best = 0.0f64;
+    let mut worst = 1.0f64;
+    for g in &dataset.genomes {
+        let (_, completeness) = kmer_containment(g.reference(), &assembly.scaffolds.sequences, 21);
+        best = best.max(completeness);
+        worst = worst.min(completeness);
+    }
+    assert!(best > 0.8, "the most abundant species must assemble: {best}");
+    assert!(
+        worst < 0.7,
+        "some species must be under-sampled (lognormal abundances): {worst}"
+    );
+}
+
+#[test]
+fn assembly_is_invariant_across_machine_shapes() {
+    let dataset = human_like_dataset(25_000, 16.0, true, 99);
+    let reads = dataset.all_reads();
+    let cfg = PipelineConfig::new(21);
+    let run = |ranks: usize, rpn: usize| {
+        let team = Team::new(Topology::new(ranks, rpn));
+        assemble(&team, &reads, &lib_ranges(&dataset), &cfg)
+            .scaffolds
+            .sequences
+    };
+    let a = run(1, 1);
+    let b = run(16, 4);
+    let c = run(48, 24);
+    assert_eq!(a, b);
+    assert_eq!(a, c);
+}
+
+#[test]
+fn file_and_memory_paths_agree() {
+    let dataset = human_like_dataset(15_000, 16.0, false, 7);
+    let reads = dataset.all_reads();
+    let cfg = PipelineConfig::new(21);
+    let team = Team::new(Topology::new(4, 2));
+
+    // In-memory (single-library call to match the file path semantics).
+    let mem = assemble(&team, &reads, &[0..reads.len()], &cfg);
+
+    // Through a FASTQ file.
+    let dir = std::env::temp_dir().join(format!("hipmer-int-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("reads.fastq");
+    let mut buf = Vec::new();
+    hipmer_seqio::write_fastq(&mut buf, &reads).unwrap();
+    std::fs::write(&path, &buf).unwrap();
+    let filed = assemble_fastq(&team, &path, &cfg).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(mem.scaffolds.sequences, filed.scaffolds.sequences);
+    // The file path must additionally price I/O.
+    let t = StageTimes::from_report(&filed.report, &CostModel::edison());
+    assert!(t.io > 0.0);
+}
+
+#[test]
+fn modeled_times_strong_scale_on_meaningful_input() {
+    // Strong scaling sanity at integration level: 4x the ranks on the
+    // same input must cut the modeled end-to-end time.
+    let dataset = human_like_dataset(60_000, 14.0, false, 31);
+    let reads = dataset.all_reads();
+    let cfg = PipelineConfig::new(21);
+    let time_at = |ranks: usize| {
+        let team = Team::new(Topology::edison(ranks));
+        let a = assemble(&team, &reads, &lib_ranges(&dataset), &cfg);
+        StageTimes::from_report(&a.report, &CostModel::edison()).total()
+    };
+    let t12 = time_at(12);
+    let t96 = time_at(96);
+    assert!(
+        t96 < t12 * 0.6,
+        "8x ranks should speed up meaningfully: {t12} -> {t96}"
+    );
+}
+
+#[test]
+fn haploid_assembly_has_no_misassemblies() {
+    // QUAST-style evaluation: with error-free reads from a HAPLOID genome,
+    // scaffolds must anchor colinearly to the source — zero
+    // relocations/inversions. (Diploid assemblies legitimately switch
+    // haplotype phase between bubbles, which single-reference evaluation
+    // counts as breaks; see the diploid test below.)
+    use hipmer_readsim::{simulate_library, ErrorModel, Genome, Library};
+    let genome = Genome::haploid(
+        "hap",
+        hipmer_readsim::human_like(60_000, 777).haplotypes.remove(0),
+    );
+    let mut reads = simulate_library(&genome, &Library::short_insert(16.0), &ErrorModel::perfect(), 1);
+    let r2 = simulate_library(&genome, &Library::long_insert(1000, 4.0), &ErrorModel::perfect(), 2);
+    let split = reads.len();
+    reads.extend(r2);
+    let team = Team::new(Topology::new(8, 4));
+    let assembly = assemble(
+        &team,
+        &reads,
+        &[0..split, split..reads.len()],
+        &PipelineConfig::new(31),
+    );
+    let report = hipmer::evaluate(&[genome.reference()], &assembly.scaffolds.sequences, 31);
+    assert_eq!(
+        report.misassembled_scaffolds, 0,
+        "misassemblies on clean haploid data: {report:?}"
+    );
+    assert!(report.genome_fraction > 0.9, "{report:?}");
+    assert!(report.precision > 0.99, "{report:?}");
+    assert!(report.duplication_ratio < 1.2, "{report:?}");
+}
+
+#[test]
+fn diploid_breaks_are_only_phase_switches() {
+    // Against the two haplotypes separately, the only chain breaks allowed
+    // are haplotype switches (few), not genuine structural errors (which
+    // would also tank precision).
+    let dataset = human_like_dataset(60_000, 18.0, false, 777);
+    let team = Team::new(Topology::new(8, 4));
+    let reads = dataset.all_reads();
+    let assembly = assemble(&team, &reads, &lib_ranges(&dataset), &PipelineConfig::new(31));
+    let refs: Vec<&[u8]> = dataset.genomes[0]
+        .haplotypes
+        .iter()
+        .map(|h| h.as_slice())
+        .collect();
+    let report = hipmer::evaluate(&refs, &assembly.scaffolds.sequences, 31);
+    assert!(
+        report.misassembled_scaffolds <= report.scaffolds_evaluated / 4,
+        "too many breaks for phase switching alone: {report:?}"
+    );
+    assert!(report.precision > 0.99, "{report:?}");
+    assert!(report.genome_fraction > 0.9, "{report:?}");
+}
