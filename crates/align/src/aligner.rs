@@ -139,11 +139,13 @@ fn align_one(
 
     // Extend candidates, best-supported first.
     let mut ordered: Vec<(Candidate, u32)> = candidates.into_iter().collect();
-    ordered.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| {
-        let ka = (a.0.contig, a.0.rc as u8, a.0.diag);
-        let kb = (b.0.contig, b.0.rc as u8, b.0.diag);
-        ka.cmp(&kb)
-    }));
+    ordered.sort_by(|a, b| {
+        b.1.cmp(&a.1).then_with(|| {
+            let ka = (a.0.contig, a.0.rc as u8, a.0.diag);
+            let kb = (b.0.contig, b.0.rc as u8, b.0.diag);
+            ka.cmp(&kb)
+        })
+    });
 
     let mut out: Vec<Alignment> = Vec::new();
     for (cand, _support) in ordered.into_iter().take(2 * cfg.max_alignments_per_read) {
@@ -177,7 +179,8 @@ fn align_one(
             continue;
         }
         // Fast path: ungapped comparison (substitution-only reads).
-        let (matches, aligned) = ungapped_matches(&oriented[r0..r0 + span], &contig.seq[c0..c0 + span]);
+        let (matches, aligned) =
+            ungapped_matches(&oriented[r0..r0 + span], &contig.seq[c0..c0 + span]);
         ctx.stats.compute(aligned as u64);
         let identity = matches as f64 / aligned as f64;
         // Coordinates in the oriented read / contig, possibly refined by
@@ -238,7 +241,7 @@ fn align_one(
     // Drop alignments whose read interval is mostly contained in a better
     // alignment to the same contig/strand (secondary diagonals of one
     // gapped alignment).
-    out.sort_by(|a, b| b.matches.cmp(&a.matches));
+    out.sort_by_key(|a| std::cmp::Reverse(a.matches));
     let mut kept: Vec<Alignment> = Vec::with_capacity(out.len());
     for a in out {
         let contained = kept.iter().any(|k| {
@@ -271,7 +274,7 @@ pub fn align_reads(
 ) -> (Vec<Alignment>, Vec<PhaseReport>) {
     let (index, index_report) = build_seed_index(team, contigs, cfg.seed_len, cfg.max_seed_hits);
 
-    let (chunks, mut stats) = team.run(|ctx| {
+    let (chunks, mut stats) = team.run_named("scaffold/meraligner-align", |ctx| {
         let range = ctx.chunk(reads.len());
         let mut out = Vec::new();
         for ri in range {

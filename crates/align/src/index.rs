@@ -78,7 +78,7 @@ pub fn build_seed_index(
         }
     }
 
-    let (_, mut stats) = team.run(|ctx| {
+    let (_, mut stats) = team.run_named("scaffold/meraligner-index", |ctx| {
         let mut agg = AggregatingStores::new(&table, merge);
         for &(ci, w) in &windows[ctx.chunk(windows.len())] {
             let contig = &contigs.contigs[ci as usize];

@@ -79,8 +79,7 @@ pub fn banded_sw(a: &[u8], b: &[u8], p: &SwParams) -> SwResult {
         let j_lo = ((i as isize - w).max(1)) as usize;
         let j_hi = ((i as isize + w).min(m as isize)) as usize;
         for j in j_lo..=j_hi {
-            let diag = h[idx(i - 1, j - 1)]
-                + if a[i - 1] == b[j - 1] { p.mat } else { p.mis };
+            let diag = h[idx(i - 1, j - 1)] + if a[i - 1] == b[j - 1] { p.mat } else { p.mis };
             let up = if (i as isize - 1 - j as isize).abs() <= w {
                 h[idx(i - 1, j)] + p.gap
             } else {
@@ -202,8 +201,22 @@ mod tests {
         // finds at best a short local match.
         let a = b"AAAAAAAAAAAAACGTACGTCCC";
         let b = b"ACGTACGTCCC";
-        let narrow = banded_sw(a, b, &SwParams { band: 4, ..SwParams::default() });
-        let wide = banded_sw(a, b, &SwParams { band: 16, ..SwParams::default() });
+        let narrow = banded_sw(
+            a,
+            b,
+            &SwParams {
+                band: 4,
+                ..SwParams::default()
+            },
+        );
+        let wide = banded_sw(
+            a,
+            b,
+            &SwParams {
+                band: 16,
+                ..SwParams::default()
+            },
+        );
         assert!(wide.matches > narrow.matches);
         assert!(wide.matches >= 11);
     }

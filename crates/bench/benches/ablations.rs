@@ -23,7 +23,7 @@ use hipmer_contig::{
 use hipmer_kanalysis::{analyze_kmers, KmerAnalysisConfig};
 use hipmer_pgas::{Team, Topology};
 use hipmer_readsim::{human_like_dataset, metagenome_dataset, wheat_like_dataset};
-use hipmer_scaffold::{close_gaps, scaffold_pipeline, GapCloseConfig, ScaffoldConfig};
+use hipmer_scaffold::{close_gaps, GapCloseConfig};
 use std::sync::Arc;
 
 fn main() {
@@ -33,27 +33,36 @@ fn main() {
     let m = model();
 
     // ------------------------------------------------------------------
-    banner("Ablation 1", "aggregating stores: remote messages in k-mer counting");
+    banner(
+        "Ablation 1",
+        "aggregating stores: remote messages in k-mer counting",
+    );
     let human = human_like_dataset(scaled(150_000), 12.0, true, 1001);
     let reads = human.all_reads();
-    println!("{:>10} {:>16} {:>14}", "batch", "remote msgs", "modeled (s)");
+    println!(
+        "{:>10} {:>16} {:>14}",
+        "batch", "remote msgs", "modeled (s)"
+    );
     for batch in [1usize, 16, 256, 1024] {
         let mut cfg = KmerAnalysisConfig::new(k);
         cfg.agg_batch = batch;
         let (_, reports) = analyze_kmers(&team, &reads, &cfg);
-        let msgs: u64 = reports
-            .iter()
-            .map(|r| r.totals().remote_msgs())
-            .sum();
+        let msgs: u64 = reports.iter().map(|r| r.totals().remote_msgs()).sum();
         let secs: f64 = reports.iter().map(|r| r.modeled(&m).total()).sum();
         println!("{:>10} {:>16} {:>14.4}", batch, msgs, secs);
     }
     println!("(batch=1 is the no-aggregation baseline; messages drop ~linearly in batch)");
 
     // ------------------------------------------------------------------
-    banner("Ablation 2", "Bloom filter: k-mer table construction traffic");
+    banner(
+        "Ablation 2",
+        "Bloom filter: k-mer table construction traffic",
+    );
     for (label, dataset) in [
-        ("human-like", human_like_dataset(scaled(150_000), 12.0, true, 1002)),
+        (
+            "human-like",
+            human_like_dataset(scaled(150_000), 12.0, true, 1002),
+        ),
         (
             "metagenome",
             metagenome_dataset(scaled(150_000), 40, 8.0, true, 1003),
@@ -82,7 +91,10 @@ fn main() {
     println!(" and weaker savings on metagenomes whose spectra are flat)");
 
     // ------------------------------------------------------------------
-    banner("Ablation 3", "Misra-Gries theta sweep on wheat-like data (\u{03b8} = 1K..64K)");
+    banner(
+        "Ablation 3",
+        "Misra-Gries theta sweep on wheat-like data (\u{03b8} = 1K..64K)",
+    );
     // Runtime must dwarf the per-rank summary send for the paper's
     // insensitivity claim to be visible (their runs take minutes; a 64K
     // summary is 1.5 MB ~ 1.5 ms on Edison).
@@ -106,7 +118,10 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
-    banner("Ablation 4", "oracle vector size: memory vs collisions vs off-node lookups");
+    banner(
+        "Ablation 4",
+        "oracle vector size: memory vs collisions vs off-node lookups",
+    );
     let base_reads = human.all_reads();
     let (spectrum, _) = analyze_kmers(&team, &base_reads, &KmerAnalysisConfig::new(k));
     let ccfg = ContigConfig::new(k);
@@ -182,7 +197,12 @@ fn main() {
         }
         let contig_set = ContigSet::from_sequences(KmerCodec::new(k), seqs.clone());
         let id_of = |seq: &Vec<u8>| -> u32 {
-            contig_set.contigs.iter().find(|c| &c.seq == seq || c.seq == hipmer_dna::revcomp(seq)).unwrap().id as u32
+            contig_set
+                .contigs
+                .iter()
+                .find(|c| &c.seq == seq || c.seq == hipmer_dna::revcomp(seq))
+                .unwrap()
+                .id as u32
         };
         // Reads tiling each hard gap (so the walks succeed but must work).
         let mut reads: Vec<hipmer_seqio::SeqRecord> = Vec::new();
@@ -205,8 +225,9 @@ fn main() {
             // Paired reads 160bp apart: gap-interior reads are nominated
             // through their contig-aligned mates, as in the real pipeline.
             let pair_off = 160usize;
-            let mut emit = |pos: usize, reads: &mut Vec<hipmer_seqio::SeqRecord>,
-                            alignments: &mut Vec<hipmer_align::Alignment>| {
+            let emit = |pos: usize,
+                        reads: &mut Vec<hipmer_seqio::SeqRecord>,
+                        alignments: &mut Vec<hipmer_align::Alignment>| {
                 let ridx = reads.len() as u32;
                 reads.push(hipmer_seqio::SeqRecord::with_uniform_quality(
                     format!("g{i}_{pos}_{ridx}"),
@@ -251,15 +272,25 @@ fn main() {
             }
         }
         // Fix the wrap-around member list into a simple chain.
-        let hard_scaffold = Scaffold { members: hard_members };
+        let hard_scaffold = Scaffold {
+            members: hard_members,
+        };
         scaffolds.push(hard_scaffold);
         for e in 0..n_easy {
             let a = id_of(&seqs[n_hard + 2 * e]);
             let b = id_of(&seqs[n_hard + 2 * e + 1]);
             scaffolds.push(Scaffold {
                 members: vec![
-                    ScaffoldMember { contig: a, reversed: false, gap_before: 0 },
-                    ScaffoldMember { contig: b, reversed: false, gap_before: -30 },
+                    ScaffoldMember {
+                        contig: a,
+                        reversed: false,
+                        gap_before: 0,
+                    },
+                    ScaffoldMember {
+                        contig: b,
+                        reversed: false,
+                        gap_before: -30,
+                    },
                 ],
             });
         }
@@ -280,7 +311,11 @@ fn main() {
             );
             println!(
                 "{}: modeled {:.4} s, imbalance {:.2} (closed {} of {} gaps)",
-                if round_robin { "round-robin" } else { "blocked    " },
+                if round_robin {
+                    "round-robin"
+                } else {
+                    "blocked    "
+                },
                 report.modeled(&m).total(),
                 report.imbalance(&m),
                 stats.closed(),
@@ -292,7 +327,10 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
-    banner("Ablation 6", "traversal modes: identical contigs, different cost profiles");
+    banner(
+        "Ablation 6",
+        "traversal modes: identical contigs, different cost profiles",
+    );
     for mode in [
         TraversalMode::Cooperative,
         TraversalMode::EndpointWalk,
@@ -314,7 +352,10 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
-    banner("Ablation 7", "parallel FASTQ reader vs SeqDB-like binary store (\u{00a7}3.3)");
+    banner(
+        "Ablation 7",
+        "parallel FASTQ reader vs SeqDB-like binary store (\u{00a7}3.3)",
+    );
     {
         let dataset = human_like_dataset(scaled(100_000), 10.0, true, 1007);
         let reads = dataset.all_reads();

@@ -9,9 +9,9 @@
 //! * I/O is flat across the sweep (Lustre saturated by 960 cores), which
 //!   limits scaling at the top end.
 
-use hipmer_bench::{banner, efficiency, fast, model, scaled};
 #[allow(unused_imports)]
 use hipmer_bench::lib_ranges as _lib_ranges;
+use hipmer_bench::{banner, efficiency, fast, model, scaled};
 use hipmer_kanalysis::{analyze_kmers, KmerAnalysisConfig};
 use hipmer_pgas::{CommStats, PhaseReport, Team, Topology};
 use hipmer_readsim::wheat_like_dataset;
@@ -119,5 +119,7 @@ fn main() {
         );
     }
     let _ = base.map(|(bd, _)| efficiency(bd, bd));
-    println!("\npaper: heavy hitters 2.4x at 15,360 cores; default comm 23%->68%, optimized 16%->22%.");
+    println!(
+        "\npaper: heavy hitters 2.4x at 15,360 cores; default comm 23%->68%, optimized 16%->22%."
+    );
 }

@@ -12,7 +12,9 @@ use hipmer_bench::{banner, fast, model, scaled};
 use hipmer_contig::{build_graph, build_oracle, traverse_graph, ContigConfig};
 use hipmer_kanalysis::{analyze_kmers, KmerAnalysisConfig};
 use hipmer_pgas::{Placement, Team, Topology};
-use hipmer_readsim::{apply_snps, repeat_fragmented, simulate_library, ErrorModel, Genome, Library};
+use hipmer_readsim::{
+    apply_snps, repeat_fragmented, simulate_library, ErrorModel, Genome, Library,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -140,5 +142,7 @@ fn main() {
         );
     }
     println!("\npaper Table 1: speedups 1.4x/2.8x @480, 1.3x/1.9x @1920.");
-    println!("paper Table 2: off-node 92.8/54.6/22.8% @480, 97.2/54.5/23.0% @1920; reductions 41-76%.");
+    println!(
+        "paper Table 2: off-node 92.8/54.6/22.8% @480, 97.2/54.5/23.0% @1920; reductions 41-76%."
+    );
 }

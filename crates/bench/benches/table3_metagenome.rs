@@ -10,7 +10,7 @@
 //! * scaffolding is skipped (single-genome logic would mis-scaffold a
 //!   metagenome).
 
-use hipmer_bench::{banner, fast, model, phase_seconds, scaled};
+use hipmer_bench::{banner, model, phase_seconds, scaled};
 use hipmer_contig::{generate_contigs, ContigConfig};
 use hipmer_kanalysis::{analyze_kmers, KmerAnalysisConfig};
 use hipmer_pgas::{CommStats, RankCtx, Team, Topology};
@@ -37,7 +37,7 @@ fn main() {
     let m = model();
     // Paper: 10K and 20K cores on 1.25 Tbase. Same one-doubling contrast
     // at a concurrency matched to our data volume.
-    let concurrencies: Vec<usize> = if fast() { vec![128, 256] } else { vec![128, 256] };
+    let concurrencies: Vec<usize> = vec![128, 256];
 
     println!(
         "\n{:>7} {:>16} {:>18} {:>10}",
@@ -59,7 +59,10 @@ fn main() {
             })
             .collect();
         let io_s = m.io_seconds(&topo, &io_stats);
-        println!("{:>7} {:>16.3} {:>18.3} {:>10.3}", ranks, kmer_s, contig_s, io_s);
+        println!(
+            "{:>7} {:>16.3} {:>18.3} {:>10.3}",
+            ranks, kmer_s, contig_s, io_s
+        );
 
         if spectra_singleton.is_none() {
             let mut ctx0 = RankCtx::new(0, topo);

@@ -27,7 +27,9 @@ pub fn scale() -> f64 {
 
 /// Whether to run the reduced sweep (`HIPMER_BENCH_FAST`).
 pub fn fast() -> bool {
-    std::env::var("HIPMER_BENCH_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("HIPMER_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// A genome size scaled by [`scale`].

@@ -44,7 +44,11 @@ impl ContigSet {
         let contigs = seqs
             .into_iter()
             .enumerate()
-            .map(|(id, seq)| Contig { id, seq, depth: 0.0 })
+            .map(|(id, seq)| Contig {
+                id,
+                seq,
+                depth: 0.0,
+            })
             .collect();
         ContigSet { contigs, codec }
     }

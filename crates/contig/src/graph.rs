@@ -2,7 +2,7 @@
 
 use hipmer_dna::{ExtensionPair, Kmer, KmerCodec};
 use hipmer_kanalysis::KmerSpectrum;
-use hipmer_pgas::{DistHashMap, Placement, PhaseReport, Team};
+use hipmer_pgas::{DistHashMap, PhaseReport, Placement, Team};
 
 /// A graph vertex: one UU k-mer with its unique extensions.
 #[derive(Clone, Copy, Debug)]
@@ -41,10 +41,9 @@ pub fn build_graph(
     spectrum: &KmerSpectrum,
     placement: Placement,
 ) -> (DebruijnGraph, PhaseReport) {
-    let nodes: DistHashMap<Kmer, GraphNode> =
-        DistHashMap::with_placement(*team.topo(), placement);
+    let nodes: DistHashMap<Kmer, GraphNode> = DistHashMap::with_placement(*team.topo(), placement);
 
-    let (_, mut stats) = team.run(|ctx| {
+    let (_, mut stats) = team.run_named("contig/graph-build", |ctx| {
         let mut uu: Vec<(Kmer, GraphNode)> = Vec::new();
         spectrum.table.fold_local(ctx, (), |(), km, entry| {
             if entry.exts.is_uu() {
@@ -93,13 +92,12 @@ mod tests {
             let km = codec.pack(s.as_bytes()).unwrap();
             let canon = codec.canonical(km);
             // Re-orient the given (forward-sense) extensions to canonical.
-            let fwd = ExtensionPair { left: *l, right: *r };
+            let fwd = ExtensionPair {
+                left: *l,
+                right: *r,
+            };
             let exts = if canon == km { fwd } else { fwd.flip() };
-            table.insert(
-                &mut ctx,
-                canon,
-                KmerEntry { count: 3, exts },
-            );
+            table.insert(&mut ctx, canon, KmerEntry { count: 3, exts });
         }
         let _ = ExtVotes::new();
         KmerSpectrum { codec, table }
@@ -141,8 +139,7 @@ mod tests {
                 ("GCG", ExtChoice::Unique(3), ExtChoice::Unique(0)),
             ],
         );
-        let everything_on_3 =
-            Placement::Custom(std::sync::Arc::new(|_h| 3usize));
+        let everything_on_3 = Placement::Custom(std::sync::Arc::new(|_h| 3usize));
         let (graph, _) = build_graph(&team, &spectrum, everything_on_3);
         assert_eq!(graph.nodes.shard_sizes(), vec![0, 0, 0, 3]);
     }

@@ -48,10 +48,12 @@ pub fn build_oracle_for_k(
     // longest-processing-time assignment (contigs are already sorted
     // longest-first): each contig goes to the currently lightest rank, so
     // per-rank k-mer loads stay even. Deterministic tie-break by rank id.
-    let mut heap: std::collections::BinaryHeap<(std::cmp::Reverse<usize>, std::cmp::Reverse<usize>)> =
-        (0..topo.ranks())
-            .map(|r| (std::cmp::Reverse(0usize), std::cmp::Reverse(r)))
-            .collect();
+    let mut heap: std::collections::BinaryHeap<(
+        std::cmp::Reverse<usize>,
+        std::cmp::Reverse<usize>,
+    )> = (0..topo.ranks())
+        .map(|r| (std::cmp::Reverse(0usize), std::cmp::Reverse(r)))
+        .collect();
     for contig in contigs.contigs.iter() {
         let (std::cmp::Reverse(load), std::cmp::Reverse(rank)) =
             heap.pop().expect("at least one rank");
@@ -104,7 +106,7 @@ mod tests {
                 .collect();
             // Nearly all k-mers of one contig land on one rank; slot
             // collisions with other contigs leak a small fraction.
-            let mut per_rank = vec![0usize; 8];
+            let mut per_rank = [0usize; 8];
             for &r in &ranks {
                 per_rank[r] += 1;
             }

@@ -17,7 +17,7 @@ use crate::contig_set::ContigSet;
 use crate::graph::{DebruijnGraph, GraphNode};
 use hipmer_dna::{canonical_seq, decode_base, ExtensionPair, Kmer, KmerCodec};
 use hipmer_kanalysis::KmerSpectrum;
-use hipmer_pgas::{Placement, PhaseReport, RankCtx, Team};
+use hipmer_pgas::{PhaseReport, Placement, RankCtx, Team};
 
 /// Which traversal algorithm to run (ablation hook; all three emit the
 /// identical contig set).
@@ -246,156 +246,161 @@ fn traverse_cooperative(
     let run_pass = |pass: u8| {
         let capped = pass < 2;
         let native_only = pass == 0;
-        team.run(|ctx| {
-        // Seed scan: a snapshot of the local shard. Already-claimed
-        // vertices are skipped from the (possibly stale) snapshot without
-        // a table lookup — claims never revert, so a stale "claimed" is
-        // always correct to skip.
-        let local = graph.nodes.snapshot_local(ctx);
-        let rank_cap = if capped {
-            (local.len() * 3 / 2).max(64)
-        } else {
-            usize::MAX
+        let label = match pass {
+            0 => "contig/traversal/pass-native",
+            1 => "contig/traversal/pass-capped",
+            _ => "contig/traversal/pass-final",
         };
-        let mut claimed_total = 0usize;
-        let mut subs: Vec<Subcontig> = Vec::new();
+        team.run_named(label, |ctx| {
+            // Seed scan: a snapshot of the local shard. Already-claimed
+            // vertices are skipped from the (possibly stale) snapshot without
+            // a table lookup — claims never revert, so a stale "claimed" is
+            // always correct to skip.
+            let local = graph.nodes.snapshot_local(ctx);
+            let rank_cap = if capped {
+                (local.len() * 3 / 2).max(64)
+            } else {
+                usize::MAX
+            };
+            let mut claimed_total = 0usize;
+            let mut subs: Vec<Subcontig> = Vec::new();
 
-        for (seed, snapshot_node) in local {
-            if claimed_total >= rank_cap {
-                break;
-            }
-            if snapshot_node.visited {
-                continue;
-            }
-            if native_only {
-                // Neighbor ownership is pure placement arithmetic — no
-                // table lookups.
-                let mut native = false;
-                ctx.stats.compute(2);
-                if let Some(b) = snapshot_node.exts.left.unique_base() {
-                    let n = codec.canonical(codec.extend_left(seed, b));
-                    native |= graph.nodes.owner(&n) == ctx.rank;
+            for (seed, snapshot_node) in local {
+                if claimed_total >= rank_cap {
+                    break;
                 }
-                if !native {
-                    if let Some(b) = snapshot_node.exts.right.unique_base() {
-                        let n = codec.canonical(codec.extend_right(seed, b));
-                        native |= graph.nodes.owner(&n) == ctx.rank;
-                    }
-                }
-                if !native {
+                if snapshot_node.visited {
                     continue;
                 }
-            }
-            // Claim the seed (processors pick seeds from local buckets).
-            let seed_node = graph.nodes.with_mut(ctx, &seed, |slot| {
-                let node = slot.expect("local key exists");
-                if node.visited {
-                    None
-                } else {
-                    node.visited = true;
-                    Some(*node)
+                if native_only {
+                    // Neighbor ownership is pure placement arithmetic — no
+                    // table lookups.
+                    let mut native = false;
+                    ctx.stats.compute(2);
+                    if let Some(b) = snapshot_node.exts.left.unique_base() {
+                        let n = codec.canonical(codec.extend_left(seed, b));
+                        native |= graph.nodes.owner(&n) == ctx.rank;
+                    }
+                    if !native {
+                        if let Some(b) = snapshot_node.exts.right.unique_base() {
+                            let n = codec.canonical(codec.extend_right(seed, b));
+                            native |= graph.nodes.owner(&n) == ctx.rank;
+                        }
+                    }
+                    if !native {
+                        continue;
+                    }
                 }
-            });
-            let Some(seed_node) = seed_node else { continue };
-            claimed_total += 1;
+                // Claim the seed (processors pick seeds from local buckets).
+                let seed_node = graph.nodes.with_mut(ctx, &seed, |slot| {
+                    let node = slot.expect("local key exists");
+                    if node.visited {
+                        None
+                    } else {
+                        node.visited = true;
+                        Some(*node)
+                    }
+                });
+                let Some(seed_node) = seed_node else { continue };
+                claimed_total += 1;
 
-            let start = Oriented {
-                kmer: seed,
-                canon: seed,
-                flipped: false,
-            };
-            // Extend right in canonical orientation.
-            let mut seq = codec.unpack(seed);
-            let mut right_end = seed;
-            let mut right_link = None;
-            let mut cur = start;
-            let mut cur_node = seed_node;
-            let mut hit_cap = true;
-            for _ in 0..cfg.walk_cap {
-                match step_claim(graph, ctx, cur, &cur_node) {
-                    ClaimStep::Claimed(next, node, b) => {
-                        claimed_total += 1;
-                        seq.push(decode_base(b));
-                        right_end = next.canon;
-                        cur = next;
-                        cur_node = node;
-                    }
-                    ClaimStep::Boundary(km) => {
-                        right_link = Some(km);
-                        hit_cap = false;
-                        break;
-                    }
-                    ClaimStep::End => {
-                        hit_cap = false;
-                        break;
+                let start = Oriented {
+                    kmer: seed,
+                    canon: seed,
+                    flipped: false,
+                };
+                // Extend right in canonical orientation.
+                let mut seq = codec.unpack(seed);
+                let mut right_end = seed;
+                let mut right_link = None;
+                let mut cur = start;
+                let mut cur_node = seed_node;
+                let mut hit_cap = true;
+                for _ in 0..cfg.walk_cap {
+                    match step_claim(graph, ctx, cur, &cur_node) {
+                        ClaimStep::Claimed(next, node, b) => {
+                            claimed_total += 1;
+                            seq.push(decode_base(b));
+                            right_end = next.canon;
+                            cur = next;
+                            cur_node = node;
+                        }
+                        ClaimStep::Boundary(km) => {
+                            right_link = Some(km);
+                            hit_cap = false;
+                            break;
+                        }
+                        ClaimStep::End => {
+                            hit_cap = false;
+                            break;
+                        }
                     }
                 }
-            }
-            if hit_cap && exts_of(&cur_node, cur.flipped).right.is_unique() {
-                // Hit the cap mid-path: the next (unclaimed) vertex is the
-                // boundary another subcontig will seed from.
-                let b = exts_of(&cur_node, cur.flipped).right.unique_base().unwrap();
-                let next = orient(&codec, codec.extend_right(cur.kmer, b));
-                if graph.nodes.get(ctx, &next.canon).is_some() {
-                    right_link = Some(next.canon);
+                if hit_cap && exts_of(&cur_node, cur.flipped).right.is_unique() {
+                    // Hit the cap mid-path: the next (unclaimed) vertex is the
+                    // boundary another subcontig will seed from.
+                    let b = exts_of(&cur_node, cur.flipped).right.unique_base().unwrap();
+                    let next = orient(&codec, codec.extend_right(cur.kmer, b));
+                    if graph.nodes.get(ctx, &next.canon).is_some() {
+                        right_link = Some(next.canon);
+                    }
                 }
-            }
 
-            // Extend left: walk right in the flipped orientation and
-            // prepend complements.
-            let mut left_end = seed;
-            let mut left_link = None;
-            let mut cur = Oriented {
-                kmer: codec.revcomp(seed),
-                canon: seed,
-                flipped: true,
-            };
-            let mut cur_node = seed_node;
-            let mut prepended: Vec<u8> = Vec::new();
-            let mut hit_cap = true;
-            for _ in 0..cfg.walk_cap {
-                match step_claim(graph, ctx, cur, &cur_node) {
-                    ClaimStep::Claimed(next, node, b) => {
-                        claimed_total += 1;
-                        // Base b extends the flipped orientation; in
-                        // forward orientation it prepends complement(b).
-                        prepended.push(decode_base(3 - b));
-                        left_end = next.canon;
-                        cur = next;
-                        cur_node = node;
-                    }
-                    ClaimStep::Boundary(km) => {
-                        left_link = Some(km);
-                        hit_cap = false;
-                        break;
-                    }
-                    ClaimStep::End => {
-                        hit_cap = false;
-                        break;
+                // Extend left: walk right in the flipped orientation and
+                // prepend complements.
+                let mut left_end = seed;
+                let mut left_link = None;
+                let mut cur = Oriented {
+                    kmer: codec.revcomp(seed),
+                    canon: seed,
+                    flipped: true,
+                };
+                let mut cur_node = seed_node;
+                let mut prepended: Vec<u8> = Vec::new();
+                let mut hit_cap = true;
+                for _ in 0..cfg.walk_cap {
+                    match step_claim(graph, ctx, cur, &cur_node) {
+                        ClaimStep::Claimed(next, node, b) => {
+                            claimed_total += 1;
+                            // Base b extends the flipped orientation; in
+                            // forward orientation it prepends complement(b).
+                            prepended.push(decode_base(3 - b));
+                            left_end = next.canon;
+                            cur = next;
+                            cur_node = node;
+                        }
+                        ClaimStep::Boundary(km) => {
+                            left_link = Some(km);
+                            hit_cap = false;
+                            break;
+                        }
+                        ClaimStep::End => {
+                            hit_cap = false;
+                            break;
+                        }
                     }
                 }
-            }
-            if hit_cap && exts_of(&cur_node, cur.flipped).right.is_unique() {
-                let b = exts_of(&cur_node, cur.flipped).right.unique_base().unwrap();
-                let next = orient(&codec, codec.extend_right(cur.kmer, b));
-                if graph.nodes.get(ctx, &next.canon).is_some() {
-                    left_link = Some(next.canon);
+                if hit_cap && exts_of(&cur_node, cur.flipped).right.is_unique() {
+                    let b = exts_of(&cur_node, cur.flipped).right.unique_base().unwrap();
+                    let next = orient(&codec, codec.extend_right(cur.kmer, b));
+                    if graph.nodes.get(ctx, &next.canon).is_some() {
+                        left_link = Some(next.canon);
+                    }
                 }
+                if !prepended.is_empty() {
+                    prepended.reverse();
+                    prepended.extend_from_slice(&seq);
+                    seq = prepended;
+                }
+                subs.push(Subcontig {
+                    seq,
+                    left_end,
+                    right_end,
+                    left_link,
+                    right_link,
+                });
             }
-            if !prepended.is_empty() {
-                prepended.reverse();
-                prepended.extend_from_slice(&seq);
-                seq = prepended;
-            }
-            subs.push(Subcontig {
-                seq,
-                left_end,
-                right_end,
-                left_link,
-                right_link,
-            });
-        }
-        subs
+            subs
         })
     };
     let (subs_native, mut stats) = run_pass(0);
@@ -452,7 +457,9 @@ fn traverse_cooperative(
                 subs[cur.0].right_link
             };
             let Some(km) = link else { break };
-            let Some((pi, pside)) = owner_of(km, cur.0) else { break };
+            let Some((pi, pside)) = owner_of(km, cur.0) else {
+                break;
+            };
             if pi == start && hops > 0 {
                 break; // cycle
             }
@@ -501,7 +508,9 @@ fn traverse_cooperative(
                 subs[cursor.0].right_link
             };
             let Some(km) = link else { break };
-            let Some((ni, _)) = owner_of(km, cursor.0) else { break };
+            let Some((ni, _)) = owner_of(km, cursor.0) else {
+                break;
+            };
             if used[ni] {
                 break;
             }
@@ -528,7 +537,9 @@ fn traverse_cooperative(
                 hipmer_dna::revcomp(&subs[ni].seq)
             };
             // Adjacent subcontigs overlap by exactly k-1 bases.
-            if next_seq.len() >= k - 1 && seq.len() >= k - 1 && next_seq[..k - 1] == seq[seq.len() - (k - 1)..]
+            if next_seq.len() >= k - 1
+                && seq.len() >= k - 1
+                && next_seq[..k - 1] == seq[seq.len() - (k - 1)..]
             {
                 seq.extend_from_slice(&next_seq[k - 1..]);
             } else {
@@ -550,9 +561,13 @@ fn traverse_cooperative(
 }
 
 /// The deterministic endpoint traversal (default mode).
-fn traverse_endpoints(team: &Team, graph: &DebruijnGraph, cfg: &ContigConfig) -> (Vec<Vec<u8>>, Vec<hipmer_pgas::CommStats>) {
+fn traverse_endpoints(
+    team: &Team,
+    graph: &DebruijnGraph,
+    cfg: &ContigConfig,
+) -> (Vec<Vec<u8>>, Vec<hipmer_pgas::CommStats>) {
     // Pass 1: endpoint walks.
-    let (seqs, stats) = team.run(|ctx| {
+    let (seqs, stats) = team.run_named("contig/traversal/endpoints", |ctx| {
         let local = graph.nodes.snapshot_local(ctx);
         let mut out: Vec<Vec<u8>> = Vec::new();
         for (km, node) in local {
@@ -598,7 +613,7 @@ fn traverse_endpoints(team: &Team, graph: &DebruijnGraph, cfg: &ContigConfig) ->
 
     // Pass 2: cycle cleanup. Any vertex still unvisited lies on a cycle;
     // walk it, and the walker whose start is the cycle's minimum key emits.
-    let (cycle_seqs, cycle_stats) = team.run(|ctx| {
+    let (cycle_seqs, cycle_stats) = team.run_named("contig/traversal/cycles", |ctx| {
         let local: Vec<(Kmer, GraphNode)> = graph
             .nodes
             .snapshot_local(ctx)
@@ -647,8 +662,12 @@ fn traverse_endpoints(team: &Team, graph: &DebruijnGraph, cfg: &ContigConfig) ->
 /// full path. Ranks racing on one connected component produce duplicate
 /// candidates; deduplication of the canonical sequences resolves them
 /// (playing the role of the paper's lightweight synchronization scheme).
-pub fn speculative(team: &Team, graph: &DebruijnGraph, cfg: &ContigConfig) -> (Vec<Vec<u8>>, Vec<hipmer_pgas::CommStats>) {
-    let (seqs, stats) = team.run(|ctx| {
+pub fn speculative(
+    team: &Team,
+    graph: &DebruijnGraph,
+    cfg: &ContigConfig,
+) -> (Vec<Vec<u8>>, Vec<hipmer_pgas::CommStats>) {
+    let (seqs, stats) = team.run_named("contig/traversal/speculative", |ctx| {
         let local = graph.nodes.snapshot_local(ctx);
         let mut out: Vec<Vec<u8>> = Vec::new();
         for (km, node) in local {
@@ -741,7 +760,9 @@ mod tests {
         let mut x = seed;
         (0..len)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 b"ACGT"[(x >> 60) as usize % 4]
             })
             .collect()
@@ -803,9 +824,8 @@ mod tests {
         let a = assemble(&genome, Topology::new(1, 1), TraversalMode::Cooperative);
         let b = assemble(&genome, Topology::new(7, 3), TraversalMode::Cooperative);
         let c = assemble(&genome, Topology::new(16, 4), TraversalMode::Cooperative);
-        let seqs = |s: &ContigSet| -> Vec<Vec<u8>> {
-            s.contigs.iter().map(|c| c.seq.clone()).collect()
-        };
+        let seqs =
+            |s: &ContigSet| -> Vec<Vec<u8>> { s.contigs.iter().map(|c| c.seq.clone()).collect() };
         assert_eq!(seqs(&a), seqs(&b));
         assert_eq!(seqs(&a), seqs(&c));
     }
@@ -816,9 +836,8 @@ mod tests {
         let det = assemble(&genome, Topology::new(4, 2), TraversalMode::EndpointWalk);
         let spec = assemble(&genome, Topology::new(4, 2), TraversalMode::Speculative);
         let coop = assemble(&genome, Topology::new(4, 2), TraversalMode::Cooperative);
-        let seqs = |s: &ContigSet| -> Vec<Vec<u8>> {
-            s.contigs.iter().map(|c| c.seq.clone()).collect()
-        };
+        let seqs =
+            |s: &ContigSet| -> Vec<Vec<u8>> { s.contigs.iter().map(|c| c.seq.clone()).collect() };
         assert_eq!(seqs(&det), seqs(&spec));
         assert_eq!(seqs(&det), seqs(&coop));
     }
@@ -890,9 +909,8 @@ mod tests {
         ocfg.placement = std::sync::Arc::new(oracle).placement();
         let (oracle_set, oracle_reports) = generate_contigs(&team, &spectrum, &ocfg);
 
-        let seqs = |s: &ContigSet| -> Vec<Vec<u8>> {
-            s.contigs.iter().map(|c| c.seq.clone()).collect()
-        };
+        let seqs =
+            |s: &ContigSet| -> Vec<Vec<u8>> { s.contigs.iter().map(|c| c.seq.clone()).collect() };
         assert_eq!(seqs(&base_set), seqs(&oracle_set), "same contigs");
 
         let offnode = |reports: &[PhaseReport]| -> f64 {

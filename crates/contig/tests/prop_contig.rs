@@ -27,14 +27,8 @@ fn tile(genome: &[u8], read_len: usize) -> Vec<SeqRecord> {
             }
             pos += read_len / 2;
         }
-        // Second copy for the count threshold.
-        let n = out.len();
-        for i in 0..n {
-            if out[i].id.starts_with('r') && offset == 0 {
-                break;
-            }
-        }
     }
+    // Second copy for the count threshold.
     let copy: Vec<SeqRecord> = out
         .iter()
         .map(|r| SeqRecord::with_uniform_quality(format!("{}x", r.id), r.seq.clone(), 35))

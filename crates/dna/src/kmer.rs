@@ -63,7 +63,10 @@ impl KmerCodec {
     /// # Panics
     /// Panics unless `1 <= k <= MAX_K`.
     pub fn new(k: usize) -> Self {
-        assert!(k >= 1 && k <= MAX_K, "k must be in 1..={MAX_K}, got {k}");
+        assert!(
+            (1..=MAX_K).contains(&k),
+            "k must be in 1..={MAX_K}, got {k}"
+        );
         let mask = if k == MAX_K {
             u128::MAX
         } else {
@@ -270,7 +273,9 @@ mod tests {
         for k in [1, 2, 3, 15, 16, 31, 32, 33, 63, 64] {
             let c = KmerCodec::new(k);
             // Deterministic pseudo-random bases.
-            let seq: Vec<u8> = (0..k).map(|i| crate::base::BASES[(i * 7 + 3) % 4]).collect();
+            let seq: Vec<u8> = (0..k)
+                .map(|i| crate::base::BASES[(i * 7 + 3) % 4])
+                .collect();
             let kmer = c.pack(&seq).unwrap();
             assert_eq!(c.revcomp(c.revcomp(kmer)), kmer, "k={k}");
         }

@@ -133,7 +133,12 @@ mod tests {
     fn is_canonical_agrees_with_canonical_seq() {
         for s in [&b"ACGTT"[..], b"TTTTT", b"GATC", b"ACGT", b"CCC"] {
             let canon = canonical_seq(s.to_vec());
-            assert_eq!(is_canonical_seq(s), canon == s, "{:?}", std::str::from_utf8(s));
+            assert_eq!(
+                is_canonical_seq(s),
+                canon == s,
+                "{:?}",
+                std::str::from_utf8(s)
+            );
         }
     }
 

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! hipmer assemble reads.fastq -o scaffolds.fasta [-k 31] [--ranks 480] \
-//!        [--ranks-per-node 24] [--rounds 1] [--metagenome] [--report]
+//!        [--ranks-per-node 24] [--rounds 1] [--metagenome] [--report] \
+//!        [--trace trace.json] [--trace-ranks N] [--report-json report.json]
 //! hipmer simulate human|wheat|meta -o reads.fastq [--len 100000] [--cov 16]
 //! ```
 //!
@@ -10,16 +11,25 @@
 //! the full pipeline on the requested virtual-machine shape, writes the
 //! scaffolds as FASTA, and (with `--report`) prints the per-phase modeled
 //! times on the Edison-like cost model.
+//!
+//! Observability: `--trace <path>` (or the `HIPMER_TRACE=<path>` env var)
+//! records per-rank execution spans for every phase and writes them as
+//! Chrome trace-event JSON (load in `chrome://tracing` or Perfetto);
+//! `--trace-ranks N` caps the number of traced ranks (0 = all, default 16).
+//! `--report-json <path>` writes the full machine-readable pipeline report:
+//! per-phase counter totals, modeled-time breakdown, off-node fraction,
+//! imbalance, and heavy-hitter keys.
 
 use hipmer::{assemble_fastq, PipelineConfig, StageTimes};
-use hipmer_pgas::{CostModel, Team, Topology};
+use hipmer_pgas::{trace, CostModel, Team, Topology};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  hipmer assemble <reads.fastq> -o <scaffolds.fasta> [-k K] [--ranks N]\n\
-         \x20         [--ranks-per-node N] [--rounds N] [--metagenome] [--report]\n  \
+         \x20         [--ranks-per-node N] [--rounds N] [--metagenome] [--report]\n\
+         \x20         [--trace <trace.json>] [--trace-ranks N] [--report-json <report.json>]\n  \
          hipmer simulate <human|wheat|meta> -o <reads.fastq> [--len BP] [--cov X] [--seed S]"
     );
     ExitCode::from(2)
@@ -33,6 +43,16 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> 
             .ok_or_else(|| format!("{flag} needs a value"))?
             .parse()
             .map_err(|_| format!("bad value for {flag}")),
+    }
+}
+
+fn parse_path_flag(args: &[String], flag: &str) -> Result<Option<PathBuf>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|v| Some(PathBuf::from(v)))
+            .ok_or_else(|| format!("{flag} needs a value")),
     }
 }
 
@@ -73,6 +93,31 @@ fn main() -> ExitCode {
             if cfg.scaffolding_enabled() {
                 cfg.scaffold.rounds = rounds;
             }
+            // `--trace` wins over the HIPMER_TRACE env var; either turns
+            // the span recorder on for the whole run.
+            let (trace_out, report_json) = match (
+                parse_path_flag(&args, "--trace"),
+                parse_path_flag(&args, "--report-json"),
+            ) {
+                (Ok(t), Ok(r)) => (t, r),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            };
+            let trace_out =
+                trace_out.or_else(|| std::env::var_os("HIPMER_TRACE").map(PathBuf::from));
+            let trace_ranks = match parse_flag(&args, "--trace-ranks", 16usize) {
+                Ok(n) => n,
+                _ => return usage(),
+            };
+            if trace_out.is_some() {
+                trace::enable(trace_ranks);
+            }
+            if trace_out.is_some() || report_json.is_some() {
+                // Hash tables built from here on track their hottest keys.
+                trace::set_hotkey_capacity(64);
+            }
             let team = Team::new(Topology::new(ranks, rpn));
             eprintln!("assembling {input} on {ranks} virtual ranks ({rpn}/node), k={k}...");
             let assembly = match assemble_fastq(&team, std::path::Path::new(input), &cfg) {
@@ -82,6 +127,31 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            if let Some(path) = &trace_out {
+                let events = trace::take_events();
+                if let Err(e) = std::fs::write(path, trace::chrome_trace_json(&events)) {
+                    eprintln!("error writing {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                let sampled = if trace_ranks == 0 {
+                    "all ranks".to_string()
+                } else {
+                    format!("{trace_ranks} ranks sampled")
+                };
+                eprintln!(
+                    "wrote {} trace spans ({sampled}) -> {}",
+                    events.len(),
+                    path.display()
+                );
+            }
+            if let Some(path) = &report_json {
+                let json = assembly.report.to_json(&CostModel::edison());
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("error writing {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote pipeline report -> {}", path.display());
+            }
             let records: Vec<hipmer_seqio::SeqRecord> = assembly
                 .scaffolds
                 .sequences
@@ -90,8 +160,8 @@ fn main() -> ExitCode {
                 .map(|(i, s)| hipmer_seqio::SeqRecord::new(format!("scaffold_{i}"), s.clone()))
                 .collect();
             let mut buf = Vec::new();
-            if let Err(e) =
-                hipmer_seqio::write_fasta(&mut buf, &records, 80).and_then(|_| std::fs::write(&out, &buf))
+            if let Err(e) = hipmer_seqio::write_fasta(&mut buf, &records, 80)
+                .and_then(|_| std::fs::write(&out, &buf))
             {
                 eprintln!("error writing {}: {e}", out.display());
                 return ExitCode::FAILURE;
@@ -119,7 +189,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "simulate" => {
-            let Some(kind) = args.get(1) else { return usage() };
+            let Some(kind) = args.get(1) else {
+                return usage();
+            };
             let Some(out) = out else {
                 eprintln!("error: -o <reads.fastq> is required");
                 return usage();

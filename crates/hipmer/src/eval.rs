@@ -135,16 +135,14 @@ pub fn evaluate(references: &[&[u8]], scaffolds: &[Vec<u8>], k: usize) -> EvalRe
         for w in chain.windows(2) {
             let ((p1, a1), (p2, a2)) = (w[0], w[1]);
             let step = p2 - p1;
-            let colinear = a1.seq == a2.seq
-                && a1.rc == a2.rc
-                && {
-                    let rstep = if a1.rc {
-                        a1.pos as i64 - a2.pos as i64
-                    } else {
-                        a2.pos as i64 - a1.pos as i64
-                    };
-                    (rstep - step).abs() <= MAX_JUMP
+            let colinear = a1.seq == a2.seq && a1.rc == a2.rc && {
+                let rstep = if a1.rc {
+                    a1.pos as i64 - a2.pos as i64
+                } else {
+                    a2.pos as i64 - a1.pos as i64
                 };
+                (rstep - step).abs() <= MAX_JUMP
+            };
             if colinear {
                 run_len += 1;
             } else {
@@ -286,7 +284,7 @@ mod tests {
         // Chimeric scaffold: [1000..2000] glued to [7000..8000].
         let mut chimera = reference[1_000..2_000].to_vec();
         chimera.extend_from_slice(&reference[7_000..8_000]);
-        let r = evaluate(&[&reference], &vec![chimera], 21);
+        let r = evaluate(&[&reference], &[chimera], 21);
         assert_eq!(r.misassembled_scaffolds, 1, "{r:?}");
         // The k-mers themselves are all real.
         assert!(r.precision > 0.97);
@@ -297,7 +295,7 @@ mod tests {
         let reference = lcg(8_000, 4);
         let mut inv = reference[..2_000].to_vec();
         inv.extend(hipmer_dna::revcomp(&reference[2_000..4_000]));
-        let r = evaluate(&[&reference], &vec![inv], 21);
+        let r = evaluate(&[&reference], &[inv], 21);
         assert_eq!(r.misassembled_scaffolds, 1);
     }
 
@@ -307,7 +305,7 @@ mod tests {
         let ref_b = lcg(5_000, 6);
         let mut chimera = ref_a[..1_500].to_vec();
         chimera.extend_from_slice(&ref_b[..1_500]);
-        let r = evaluate(&[&ref_a, &ref_b], &vec![chimera], 21);
+        let r = evaluate(&[&ref_a, &ref_b], &[chimera], 21);
         assert_eq!(r.misassembled_scaffolds, 1);
     }
 
@@ -316,9 +314,9 @@ mod tests {
         // A scaffold that simply spans a small N gap stays clean.
         let reference = lcg(6_000, 7);
         let mut scaffold = reference[..3_000].to_vec();
-        scaffold.extend(std::iter::repeat(b'N').take(50));
+        scaffold.extend(std::iter::repeat_n(b'N', 50));
         scaffold.extend_from_slice(&reference[3_050..6_000]);
-        let r = evaluate(&[&reference], &vec![scaffold], 21);
+        let r = evaluate(&[&reference], &[scaffold], 21);
         assert_eq!(r.misassembled_scaffolds, 0, "{r:?}");
         assert!(r.genome_fraction > 0.95);
     }
@@ -345,7 +343,7 @@ mod tests {
     #[test]
     fn render_contains_key_fields() {
         let reference = lcg(2_000, 10);
-        let r = evaluate(&[&reference], &vec![reference.clone()], 21);
+        let r = evaluate(&[&reference], std::slice::from_ref(&reference), 21);
         let text = r.render();
         assert!(text.contains("N50"));
         assert!(text.contains("genome fraction"));

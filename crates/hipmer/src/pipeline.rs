@@ -98,11 +98,15 @@ pub fn assemble(
 pub fn assemble_fastq(team: &Team, path: &Path, cfg: &PipelineConfig) -> std::io::Result<Assembly> {
     let (per_rank, io_stats) = read_fastq_parallel(team, path)?;
     let reads: Vec<SeqRecord> = per_rank.into_iter().flatten().collect();
-    let lib_ranges = vec![0..reads.len()];
-    let mut assembly = assemble(team, &reads, &lib_ranges, cfg);
+    let lib_range = 0..reads.len();
+    let mut assembly = assemble(team, &reads, std::slice::from_ref(&lib_range), cfg);
     // Prepend the I/O phase so stage grouping sees it.
     let mut report = PipelineReport::new();
-    report.push(hipmer_pgas::PhaseReport::new("io/fastq", *team.topo(), io_stats));
+    report.push(hipmer_pgas::PhaseReport::new(
+        "io/fastq",
+        *team.topo(),
+        io_stats,
+    ));
     for p in assembly.report.phases.drain(..) {
         report.push(p);
     }
@@ -227,7 +231,12 @@ mod indel_tests {
             45,
         );
         let team = Team::new(Topology::new(6, 3));
-        let assembly = assemble(&team, &reads, &[0..reads.len()], &PipelineConfig::new(21));
+        let assembly = assemble(
+            &team,
+            &reads,
+            std::slice::from_ref(&(0..reads.len())),
+            &PipelineConfig::new(21),
+        );
         let mut reference = genome.haplotypes[0].clone();
         reference.push(b'N');
         reference.extend_from_slice(&genome.haplotypes[1]);

@@ -156,7 +156,7 @@ mod tests {
     #[test]
     fn containment_exact_and_partial() {
         let reference = b"ACGTACGTTGCAACGGATCGATCGAAT".to_vec();
-        let (p, c) = kmer_containment(&reference, &[reference.clone()], 11);
+        let (p, c) = kmer_containment(&reference, std::slice::from_ref(&reference), 11);
         assert!((p - 1.0).abs() < 1e-12);
         assert!((c - 1.0).abs() < 1e-12);
         // Half-matching query.

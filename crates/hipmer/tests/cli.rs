@@ -29,7 +29,11 @@ fn simulate_then_assemble_roundtrip() {
         ])
         .output()
         .expect("simulate runs");
-    assert!(sim.status.success(), "{}", String::from_utf8_lossy(&sim.stderr));
+    assert!(
+        sim.status.success(),
+        "{}",
+        String::from_utf8_lossy(&sim.stderr)
+    );
     assert!(reads.exists());
 
     let asm = Command::new(bin())
@@ -48,10 +52,17 @@ fn simulate_then_assemble_roundtrip() {
         ])
         .output()
         .expect("assemble runs");
-    assert!(asm.status.success(), "{}", String::from_utf8_lossy(&asm.stderr));
+    assert!(
+        asm.status.success(),
+        "{}",
+        String::from_utf8_lossy(&asm.stderr)
+    );
     let stderr = String::from_utf8_lossy(&asm.stderr);
     assert!(stderr.contains("scaffolds"), "{stderr}");
-    assert!(stderr.contains("TOTAL"), "--report must print modeled times");
+    assert!(
+        stderr.contains("TOTAL"),
+        "--report must print modeled times"
+    );
 
     // The FASTA parses and contains real sequence.
     let fasta = std::fs::read(&out).unwrap();
@@ -63,6 +74,130 @@ fn simulate_then_assemble_roundtrip() {
         assert!(hipmer_dna::validate_dna(&r.seq).is_ok());
         assert!(r.id.starts_with("scaffold_"));
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_and_report_json_outputs_are_valid() {
+    use hipmer_pgas::json::Value;
+
+    let dir = std::env::temp_dir().join(format!("hipmer-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let reads = dir.join("reads.fastq");
+    let out = dir.join("scaffolds.fasta");
+    let trace = dir.join("trace.json");
+    let report = dir.join("report.json");
+
+    let sim = Command::new(bin())
+        .args([
+            "simulate",
+            "human",
+            "-o",
+            reads.to_str().unwrap(),
+            "--len",
+            "15000",
+            "--cov",
+            "14",
+            "--seed",
+            "9",
+        ])
+        .output()
+        .expect("simulate runs");
+    assert!(
+        sim.status.success(),
+        "{}",
+        String::from_utf8_lossy(&sim.stderr)
+    );
+
+    let asm = Command::new(bin())
+        .args([
+            "assemble",
+            reads.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+            "-k",
+            "21",
+            "--ranks",
+            "8",
+            "--ranks-per-node",
+            "4",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--trace-ranks",
+            "4",
+            "--report-json",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .expect("assemble runs");
+    assert!(
+        asm.status.success(),
+        "{}",
+        String::from_utf8_lossy(&asm.stderr)
+    );
+
+    // The trace is a Chrome trace-event JSON array: complete ("X") spans
+    // carrying pid/tid/ts/dur, restricted to the sampled ranks.
+    let trace_doc = Value::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+    let events = trace_doc.as_arr().expect("trace is a JSON array");
+    let spans: Vec<&Value> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .collect();
+    assert!(!spans.is_empty(), "trace must contain complete events");
+    for s in &spans {
+        assert!(s.get("name").and_then(Value::as_str).is_some());
+        assert_eq!(s.get("pid").and_then(Value::as_u64), Some(1));
+        let tid = s.get("tid").and_then(Value::as_u64).unwrap();
+        assert!(tid < 4, "rank {tid} exceeds --trace-ranks 4");
+        assert!(s.get("ts").and_then(Value::as_f64).is_some());
+        assert!(s.get("dur").and_then(Value::as_f64).unwrap() >= 0.0);
+    }
+    // Every pipeline stage shows up at least once.
+    for stage in ["io/", "kmer-analysis/", "contig/", "scaffold/"] {
+        assert!(
+            spans.iter().any(|s| s
+                .get("name")
+                .and_then(Value::as_str)
+                .unwrap()
+                .starts_with(stage)),
+            "no trace span for stage {stage}"
+        );
+    }
+
+    // The report is the schema-versioned pipeline document with per-phase
+    // metrics, and the traced run recorded hot keys on the count phase.
+    let report_doc = Value::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+    assert_eq!(
+        report_doc.get("schema_version").and_then(Value::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        report_doc
+            .get("topology")
+            .and_then(|t| t.get("ranks"))
+            .and_then(Value::as_u64),
+        Some(8)
+    );
+    let phases = report_doc.get("phases").unwrap().as_arr().unwrap();
+    assert!(phases.len() >= 8, "only {} phases reported", phases.len());
+    for p in phases {
+        assert!(p.get("wall_seconds").and_then(Value::as_f64).unwrap() > 0.0);
+        assert!(p.get("offnode_fraction").and_then(Value::as_f64).is_some());
+        assert!(p.get("imbalance").and_then(Value::as_f64).unwrap() >= 1.0);
+        assert!(p
+            .get("modeled")
+            .and_then(|m| m.get("total_seconds"))
+            .is_some());
+    }
+    let count = phases
+        .iter()
+        .find(|p| p.get("name").and_then(Value::as_str) == Some("kmer-analysis/count"))
+        .expect("count phase present");
+    assert!(
+        !count.get("hot_keys").unwrap().as_arr().unwrap().is_empty(),
+        "traced run must surface hot keys"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

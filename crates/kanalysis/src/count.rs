@@ -80,7 +80,7 @@ fn bloom_pass(
         .map(|_| Mutex::new(BloomFilter::with_rate(per_rank_items, cfg.bloom_fp_rate)))
         .collect();
 
-    let (_, mut stats) = team.run(|ctx| {
+    let (_, mut stats) = team.run_named("kmer-analysis/bloom", |ctx| {
         let mut outbox: Outbox<Kmer> = Outbox::new(*ctx.topo(), cfg.agg_batch);
         let mut apply = |dest: usize, kmers: Vec<Kmer>| {
             let mut bloom = blooms[dest].lock();
@@ -125,7 +125,7 @@ fn count_pass(
     let codec = KmerCodec::new(cfg.k);
     let merge = |a: &mut ExtVotes, b: ExtVotes| a.merge(&b);
 
-    let (_, mut stats) = team.run(|ctx| {
+    let (_, mut stats) = team.run_named("kmer-analysis/count", |ctx| {
         let mut outbox: Outbox<(Kmer, ExtVotes)> = Outbox::new(*ctx.topo(), cfg.agg_batch);
         let mut apply = |dest: usize, entries: Vec<(Kmer, ExtVotes)>| {
             if cfg.use_bloom {
@@ -157,8 +157,7 @@ fn count_pass(
         // per owner holding this rank's partial counts (O(p) messages per
         // heavy k-mer across the team instead of O(count)).
         if !hh_local.is_empty() {
-            let mut hh_outbox: Outbox<(Kmer, ExtVotes)> =
-                Outbox::new(*ctx.topo(), usize::MAX >> 1);
+            let mut hh_outbox: Outbox<(Kmer, ExtVotes)> = Outbox::new(*ctx.topo(), usize::MAX >> 1);
             let mut hh_apply = |dest: usize, entries: Vec<(Kmer, ExtVotes)>| {
                 table.merge_batch(dest, entries, merge);
             };
@@ -170,7 +169,9 @@ fn count_pass(
         }
     });
     table.drain_service_into(&mut stats);
-    PhaseReport::new("kmer-analysis/count", *team.topo(), stats)
+    // Surface the most-hit keys of the vote table (only populated when
+    // hot-key tracking is enabled, e.g. under `--trace`).
+    PhaseReport::new("kmer-analysis/count", *team.topo(), stats).with_hot_keys(table.hot_keys(16))
 }
 
 /// Finalize: drop below-threshold k-mers, decide extensions, and build the
@@ -181,7 +182,7 @@ fn finalize(
     table: DistHashMap<Kmer, ExtVotes>,
     final_table: &DistHashMap<Kmer, KmerEntry>,
 ) -> PhaseReport {
-    let (_, mut stats) = team.run(|ctx| {
+    let (_, mut stats) = team.run_named("kmer-analysis/finalize", |ctx| {
         let entries = table.drain_local(ctx);
         let mut keep: Vec<(Kmer, KmerEntry)> = Vec::with_capacity(entries.len());
         for (km, votes) in entries {
@@ -260,7 +261,9 @@ mod tests {
         let mut x = seed;
         (0..len)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 b"ACGT"[(x >> 60) as usize % 4]
             })
             .collect()
@@ -325,9 +328,11 @@ mod tests {
         let mut total = 0usize;
         for rank in 0..2 {
             let mut c = RankCtx::new(rank, *team.topo());
-            let (u, t) = spectrum.table.fold_local(&mut c, (0usize, 0usize), |(u, t), _, e| {
-                (u + usize::from(e.exts.is_uu()), t + 1)
-            });
+            let (u, t) = spectrum
+                .table
+                .fold_local(&mut c, (0usize, 0usize), |(u, t), _, e| {
+                    (u + usize::from(e.exts.is_uu()), t + 1)
+                });
             uu += u;
             total += t;
         }
@@ -371,7 +376,11 @@ mod tests {
         } else {
             entry.exts.flip()
         };
-        assert_eq!(exts.right, ExtChoice::None, "low-quality base must not vote");
+        assert_eq!(
+            exts.right,
+            ExtChoice::None,
+            "low-quality base must not vote"
+        );
         assert_eq!(exts.left, ExtChoice::None, "no left neighbor at read start");
     }
 

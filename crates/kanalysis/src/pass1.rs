@@ -32,7 +32,7 @@ pub fn sketch_reads(
 ) -> (SketchResult, PhaseReport) {
     let codec = KmerCodec::new(cfg.k);
 
-    let (partials, mut stats) = team.run(|ctx| {
+    let (partials, mut stats) = team.run_named("kmer-analysis/sketch", |ctx| {
         let mut hll = HyperLogLog::new(HLL_P);
         let mut mg: MisraGries<Kmer> = MisraGries::new(cfg.theta);
         let chunk = ctx.chunk(reads.len());
@@ -106,7 +106,9 @@ mod tests {
         let mut seq = Vec::new();
         let mut x: u64 = 12345;
         for _ in 0..50_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             seq.push(b"ACGT"[(x >> 60) as usize % 4]);
         }
         let reads = reads_from(&[&seq]);
@@ -115,8 +117,10 @@ mod tests {
         let (res, _) = sketch_reads(&team, &reads, &cfg);
         let truth = {
             let codec = KmerCodec::new(21);
-            let set: KmerHashSet<Kmer> =
-                codec.kmers(&seq).map(|(_, km)| codec.canonical(km)).collect();
+            let set: KmerHashSet<Kmer> = codec
+                .kmers(&seq)
+                .map(|(_, km)| codec.canonical(km))
+                .collect();
             set.len() as f64
         };
         let err = (res.cardinality - truth).abs() / truth;

@@ -49,9 +49,11 @@ impl KmerSpectrum {
     /// Fraction of UU k-mers (unique extension both sides) on this rank's
     /// shard — the de Bruijn graph vertices.
     pub fn uu_fraction_local(&self, ctx: &mut RankCtx) -> f64 {
-        let (uu, total) = self.table.fold_local(ctx, (0usize, 0usize), |(uu, t), _, e| {
-            (uu + usize::from(e.exts.is_uu()), t + 1)
-        });
+        let (uu, total) = self
+            .table
+            .fold_local(ctx, (0usize, 0usize), |(uu, t), _, e| {
+                (uu + usize::from(e.exts.is_uu()), t + 1)
+            });
         if total == 0 {
             0.0
         } else {

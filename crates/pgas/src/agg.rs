@@ -62,8 +62,12 @@ impl<T> Outbox<T> {
         if items.is_empty() {
             return;
         }
-        ctx.stats
-            .access(&self.topo, ctx.rank, dest, items.len() as u64 * self.item_bytes);
+        ctx.stats.access(
+            &self.topo,
+            ctx.rank,
+            dest,
+            items.len() as u64 * self.item_bytes,
+        );
         apply(dest, items);
     }
 
@@ -157,7 +161,6 @@ where
             self.ship(ctx, dest);
         }
     }
-
 }
 
 impl<K, V, M> AggregatingStores<'_, K, V, M>

@@ -45,6 +45,27 @@ impl ModeledTime {
     }
 }
 
+/// One rank's priced non-I/O seconds, split by mechanism: time spent
+/// doing work, time spent paying per-message latency, and time spent
+/// moving payload bytes. `compute + latency + bandwidth` is the rank's
+/// contribution to the phase critical path.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RankBreakdown {
+    /// Computation + local accesses + service work, seconds.
+    pub compute: f64,
+    /// Per-message latency (on-node + off-node), seconds.
+    pub latency: f64,
+    /// Payload bytes over on-node and network bandwidth, seconds.
+    pub bandwidth: f64,
+}
+
+impl RankBreakdown {
+    /// Total priced seconds for the rank.
+    pub fn total(&self) -> f64 {
+        self.compute + self.latency + self.bandwidth
+    }
+}
+
 /// Prices for the events counted in [`CommStats`].
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CostModel {
@@ -101,22 +122,41 @@ impl CostModel {
         }
     }
 
+    /// Price one rank's non-I/O work, split by mechanism.
+    pub fn rank_breakdown(&self, s: &CommStats) -> RankBreakdown {
+        RankBreakdown {
+            compute: s.compute_ops as f64 * self.t_compute
+                + s.local_ops as f64 * self.t_local
+                + s.service_ops as f64 * self.t_service,
+            latency: s.onnode_msgs as f64 * self.t_onnode + s.offnode_msgs as f64 * self.t_offnode,
+            bandwidth: s.onnode_bytes as f64 / self.bw_onnode
+                + s.offnode_bytes as f64 / self.bw_offnode,
+        }
+    }
+
+    /// The [`RankBreakdown`] of the critical (slowest-priced) rank — the
+    /// rank whose work sets the phase's critical path. Zero for no ranks.
+    pub fn critical_rank_breakdown(&self, stats: &[CommStats]) -> RankBreakdown {
+        stats
+            .iter()
+            .map(|s| self.rank_breakdown(s))
+            .max_by(|a, b| a.total().total_cmp(&b.total()))
+            .unwrap_or_default()
+    }
+
     /// Price one rank's non-I/O work.
     fn rank_seconds(&self, s: &CommStats) -> f64 {
-        s.compute_ops as f64 * self.t_compute
-            + s.local_ops as f64 * self.t_local
-            + s.onnode_msgs as f64 * self.t_onnode
-            + s.offnode_msgs as f64 * self.t_offnode
-            + s.onnode_bytes as f64 / self.bw_onnode
-            + s.offnode_bytes as f64 / self.bw_offnode
-            + s.service_ops as f64 * self.t_service
+        self.rank_breakdown(s).total()
     }
 
     /// Shared-filesystem time for the phase: total bytes moved divided by
     /// the effective bandwidth, which grows with ranks until the aggregate
     /// cap saturates it.
     pub fn io_seconds(&self, topo: &Topology, stats: &[CommStats]) -> f64 {
-        let bytes: u64 = stats.iter().map(|s| s.io_read_bytes + s.io_write_bytes).sum();
+        let bytes: u64 = stats
+            .iter()
+            .map(|s| s.io_read_bytes + s.io_write_bytes)
+            .sum();
         if bytes == 0 {
             return 0.0;
         }
@@ -180,8 +220,7 @@ mod tests {
     fn io_saturates_with_ranks() {
         let model = CostModel::edison();
         // Enough ranks that per-rank bandwidth would exceed the aggregate cap.
-        let saturation_ranks =
-            (model.io_bw_aggregate / model.io_bw_per_rank).ceil() as usize;
+        let saturation_ranks = (model.io_bw_aggregate / model.io_bw_per_rank).ceil() as usize;
         let bytes_per_rank = 1 << 20;
 
         let time_at = |p: usize| {

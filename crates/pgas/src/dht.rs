@@ -15,7 +15,9 @@
 
 use crate::team::RankCtx;
 use crate::topology::Topology;
+use crate::trace;
 use hipmer_dna::KmerBuildHasher;
+use hipmer_sketch::MisraGries;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash};
@@ -53,6 +55,11 @@ pub struct DistHashMap<K, V> {
     hasher: KmerBuildHasher,
     /// Logical payload bytes per transferred entry (key + value estimate).
     entry_bytes: u64,
+    /// Misra–Gries summary over the key hashes of service operations, for
+    /// naming the heavy hitters behind `service_ops` skew. `None` (free)
+    /// unless [`trace::hotkey_capacity`] was nonzero at construction or
+    /// tracking was requested via [`DistHashMap::with_hot_key_tracking`].
+    hot_keys: Option<Mutex<MisraGries<u64>>>,
 }
 
 impl<K, V> DistHashMap<K, V>
@@ -68,6 +75,10 @@ where
     /// An empty table with an explicit placement function.
     pub fn with_placement(topo: Topology, placement: Placement) -> Self {
         let ranks = topo.ranks();
+        let hot_keys = match trace::hotkey_capacity() {
+            0 => None,
+            cap => Some(Mutex::new(MisraGries::new(cap))),
+        };
         DistHashMap {
             topo,
             placement,
@@ -75,6 +86,36 @@ where
             service: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
             hasher: KmerBuildHasher::default(),
             entry_bytes: (std::mem::size_of::<K>() + std::mem::size_of::<V>()) as u64,
+            hot_keys,
+        }
+    }
+
+    /// Enable hot-key tracking on this table with an explicit Misra–Gries
+    /// capacity, regardless of the process-global setting.
+    pub fn with_hot_key_tracking(mut self, capacity: usize) -> Self {
+        self.hot_keys = Some(Mutex::new(MisraGries::new(capacity)));
+        self
+    }
+
+    /// Observe one service operation on `key` in the hot-key summary.
+    #[inline]
+    fn track_hot_key(&self, key: &K) {
+        if let Some(mg) = &self.hot_keys {
+            mg.lock().observe(self.key_hash(key));
+        }
+    }
+
+    /// The `top_k` heaviest key hashes seen by service operations, as
+    /// `(key_hash, estimated_count)` sorted by descending count. Empty when
+    /// tracking is off. Counts are Misra–Gries lower bounds.
+    pub fn hot_keys(&self, top_k: usize) -> Vec<(u64, u64)> {
+        match &self.hot_keys {
+            None => Vec::new(),
+            Some(mg) => {
+                let mut all = mg.lock().heavy_hitters(1);
+                all.truncate(top_k);
+                all
+            }
         }
     }
 
@@ -107,7 +148,8 @@ where
     /// Record one one-sided access by `ctx.rank` against `owner`'s shard.
     #[inline]
     fn account(&self, ctx: &mut RankCtx, owner: usize) {
-        ctx.stats.access(&self.topo, ctx.rank, owner, self.entry_bytes);
+        ctx.stats
+            .access(&self.topo, ctx.rank, owner, self.entry_bytes);
     }
 
     /// One-sided read. Returns a clone of the value.
@@ -133,6 +175,7 @@ where
         let owner = self.owner(&key);
         self.account(ctx, owner);
         self.service[owner].fetch_add(1, Ordering::Relaxed);
+        self.track_hot_key(&key);
         self.shards[owner].lock().insert(key, value)
     }
 
@@ -147,6 +190,7 @@ where
         let owner = self.owner(&key);
         self.account(ctx, owner);
         self.service[owner].fetch_add(1, Ordering::Relaxed);
+        self.track_hot_key(&key);
         let mut shard = self.shards[owner].lock();
         f(shard.entry(key).or_insert_with(default));
     }
@@ -178,6 +222,11 @@ where
         M: Fn(&mut V, V),
     {
         self.service[dest].fetch_add(entries.len() as u64, Ordering::Relaxed);
+        if self.hot_keys.is_some() {
+            for (k, _) in &entries {
+                self.track_hot_key(k);
+            }
+        }
         let mut shard = self.shards[dest].lock();
         for (k, v) in entries {
             match shard.entry(k) {
@@ -199,6 +248,11 @@ where
         M: Fn(&mut V, V),
     {
         self.service[dest].fetch_add(entries.len() as u64, Ordering::Relaxed);
+        if self.hot_keys.is_some() {
+            for (k, _) in &entries {
+                self.track_hot_key(k);
+            }
+        }
         let mut shard = self.shards[dest].lock();
         for (k, v) in entries {
             if let Some(slot) = shard.get_mut(&k) {
@@ -450,6 +504,36 @@ mod tests {
         dht.insert(&mut c, 9, 1);
         dht.with_mut(&mut c, &9, |slot| *slot.unwrap() = 99);
         assert_eq!(dht.get(&mut c, &9), Some(99));
+    }
+
+    #[test]
+    fn hot_key_tracking_names_the_heavy_hitter() {
+        let topo = Topology::new(4, 2);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo).with_hot_key_tracking(16);
+        let mut c = ctx(0, topo);
+        // One ultra-frequent key among a uniform background.
+        for i in 0..500u64 {
+            dht.update(&mut c, 7777, || 0, |v| *v += 1);
+            dht.update(&mut c, i, || 0, |v| *v += 1);
+        }
+        let hot = dht.hot_keys(3);
+        assert!(!hot.is_empty());
+        assert_eq!(hot[0].0, dht.key_hash(&7777));
+        assert!(hot[0].1 > 100, "count {} too low", hot[0].1);
+        for w in hot.windows(2) {
+            assert!(w[0].1 >= w[1].1, "sorted descending");
+        }
+    }
+
+    #[test]
+    fn hot_key_tracking_off_by_default_and_free() {
+        let topo = Topology::new(2, 2);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut c = ctx(0, topo);
+        for i in 0..100u64 {
+            dht.insert(&mut c, i % 3, 0);
+        }
+        assert!(dht.hot_keys(10).is_empty());
     }
 
     #[test]

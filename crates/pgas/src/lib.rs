@@ -27,14 +27,16 @@
 pub mod agg;
 pub mod cost;
 pub mod dht;
+pub mod json;
 pub mod oracle;
 pub mod report;
 pub mod stats;
 pub mod team;
 pub mod topology;
+pub mod trace;
 
 pub use agg::{AggregatingStores, Outbox};
-pub use cost::{CostModel, ModeledTime};
+pub use cost::{CostModel, ModeledTime, RankBreakdown};
 pub use dht::{DistHashMap, Placement};
 pub use oracle::OracleVector;
 pub use report::{PhaseReport, PipelineReport};

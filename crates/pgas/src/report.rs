@@ -6,6 +6,7 @@
 //! within scaffolding: merAligner / gap closing / rest).
 
 use crate::cost::{CostModel, ModeledTime};
+use crate::json::Value;
 use crate::stats::{total, CommStats};
 use crate::topology::Topology;
 
@@ -19,25 +20,41 @@ pub struct PhaseReport {
     /// Per-rank counters (indexed by rank).
     pub stats: Vec<CommStats>,
     /// Real wall-clock seconds the simulation took (diagnostics only).
+    /// Derived automatically from the per-rank [`CommStats::exec_nanos`]
+    /// that [`crate::Team::run`] stamps (max over ranks, i.e. the slowest
+    /// rank's measured time); [`PhaseReport::with_wall`] overrides it.
     pub wall_seconds: f64,
     /// Inherently serial seconds this stage adds (e.g. the serial tie
     /// traversal of §4.7), already priced by the stage.
     pub serial_seconds: f64,
+    /// Heavy-hitter key hashes observed by this phase's hash-table service
+    /// operations, as `(key_hash, estimated_count)` sorted by descending
+    /// count. Empty unless hot-key tracking was enabled
+    /// ([`crate::trace::set_hotkey_capacity`]) and the stage attached them.
+    pub hot_keys: Vec<(u64, u64)>,
+}
+
+/// The measured wall time of a phase: its slowest rank's execution time.
+fn derived_wall_seconds(stats: &[CommStats]) -> f64 {
+    stats.iter().map(|s| s.exec_nanos).max().unwrap_or(0) as f64 / 1e9
 }
 
 impl PhaseReport {
     /// Build a report from a finished [`crate::Team::run`] invocation.
+    /// `wall_seconds` is derived from the stamped per-rank execution times.
     pub fn new(name: impl Into<String>, topo: Topology, stats: Vec<CommStats>) -> Self {
+        let wall_seconds = derived_wall_seconds(&stats);
         PhaseReport {
             name: name.into(),
             topo,
             stats,
-            wall_seconds: 0.0,
+            wall_seconds,
             serial_seconds: 0.0,
+            hot_keys: Vec::new(),
         }
     }
 
-    /// Attach measured wall time.
+    /// Override the derived measured wall time.
     pub fn with_wall(mut self, seconds: f64) -> Self {
         self.wall_seconds = seconds;
         self
@@ -49,13 +66,22 @@ impl PhaseReport {
         self
     }
 
+    /// Attach heavy-hitter keys (`(key_hash, estimated_count)`, sorted by
+    /// descending count).
+    pub fn with_hot_keys(mut self, hot_keys: Vec<(u64, u64)>) -> Self {
+        self.hot_keys = hot_keys;
+        self
+    }
+
     /// Fold additional per-rank counters into this report (for stages made
-    /// of several `Team::run` calls over the same topology).
+    /// of several `Team::run` calls over the same topology). Re-derives
+    /// `wall_seconds` from the merged execution times.
     pub fn absorb(&mut self, more: &[CommStats]) {
         assert_eq!(more.len(), self.stats.len());
         for (mine, extra) in self.stats.iter_mut().zip(more) {
             mine.merge(extra);
         }
+        self.wall_seconds = derived_wall_seconds(&self.stats);
     }
 
     /// Modeled execution time under `model`.
@@ -154,6 +180,91 @@ impl PipelineReport {
         out.push_str(&format!("{:<28} {:>12.4}\n", "TOTAL", total));
         out
     }
+
+    /// Serialize the whole pipeline report as a machine-readable JSON
+    /// document (schema version 1; see `DESIGN.md` §"Observability").
+    ///
+    /// Per phase it carries the measured wall seconds, the modeled-time
+    /// breakdown, the critical rank's compute/latency/bandwidth split, the
+    /// off-node fraction and load imbalance (exactly the values the
+    /// [`PhaseReport`] methods return), the machine-wide counter totals,
+    /// and any heavy-hitter keys the stage attached.
+    pub fn to_json(&self, model: &CostModel) -> String {
+        let mut doc = Value::obj();
+        doc.set("schema_version", 1u64)
+            .set("generator", "hipmer-pgas");
+        if let Some(p) = self.phases.first() {
+            let mut topo = Value::obj();
+            topo.set("ranks", p.topo.ranks())
+                .set("ranks_per_node", p.topo.ranks_per_node())
+                .set("nodes", p.topo.nodes());
+            doc.set("topology", topo);
+        }
+        doc.set("modeled_total", modeled_json(&self.total_modeled(model)));
+        doc.set(
+            "wall_seconds",
+            self.phases.iter().map(|p| p.wall_seconds).sum::<f64>(),
+        );
+        let phases: Vec<Value> = self.phases.iter().map(|p| phase_json(p, model)).collect();
+        doc.set("phases", Value::Arr(phases));
+        doc.to_json()
+    }
+}
+
+fn modeled_json(t: &ModeledTime) -> Value {
+    let mut v = Value::obj();
+    v.set("critical_path_seconds", t.critical_path)
+        .set("sync_seconds", t.sync)
+        .set("io_seconds", t.io)
+        .set("serial_seconds", t.serial)
+        .set("total_seconds", t.total());
+    v
+}
+
+fn phase_json(p: &PhaseReport, model: &CostModel) -> Value {
+    let totals = p.totals();
+    let breakdown = model.critical_rank_breakdown(&p.stats);
+
+    let mut v = Value::obj();
+    v.set("name", p.name.as_str())
+        .set("ranks", p.topo.ranks())
+        .set("wall_seconds", p.wall_seconds)
+        .set("modeled", modeled_json(&p.modeled(model)));
+
+    let mut crit = Value::obj();
+    crit.set("compute_seconds", breakdown.compute)
+        .set("latency_seconds", breakdown.latency)
+        .set("bandwidth_seconds", breakdown.bandwidth);
+    v.set("critical_rank", crit)
+        .set("offnode_fraction", p.offnode_fraction())
+        .set("imbalance", p.imbalance(model));
+
+    let mut t = Value::obj();
+    t.set("compute_ops", totals.compute_ops)
+        .set("local_ops", totals.local_ops)
+        .set("onnode_msgs", totals.onnode_msgs)
+        .set("offnode_msgs", totals.offnode_msgs)
+        .set("onnode_bytes", totals.onnode_bytes)
+        .set("offnode_bytes", totals.offnode_bytes)
+        .set("service_ops", totals.service_ops)
+        .set("io_read_bytes", totals.io_read_bytes)
+        .set("io_write_bytes", totals.io_write_bytes)
+        .set("barriers", totals.barriers)
+        .set("exec_nanos", totals.exec_nanos);
+    v.set("totals", t);
+
+    let hot: Vec<Value> = p
+        .hot_keys
+        .iter()
+        .map(|&(hash, count)| {
+            let mut h = Value::obj();
+            h.set("key_hash", format!("{hash:#018x}"))
+                .set("estimated_count", count);
+            h
+        })
+        .collect();
+    v.set("hot_keys", Value::Arr(hot));
+    v
 }
 
 #[cfg(test)]
@@ -206,6 +317,161 @@ mod tests {
         p.absorb(&extra);
         assert_eq!(p.stats[0].compute_ops, 15);
         assert_eq!(p.stats[1].compute_ops, 25);
+    }
+
+    /// A two-phase pipeline with enough counter variety to exercise every
+    /// field of the JSON serialization.
+    fn busy_pipeline() -> PipelineReport {
+        let topo = Topology::new(4, 2);
+        let stats: Vec<CommStats> = (0..4u64)
+            .map(|r| CommStats {
+                compute_ops: 1_000 * (r + 1),
+                local_ops: 500,
+                onnode_msgs: 40,
+                offnode_msgs: 60 + 10 * r,
+                onnode_bytes: 4_000,
+                offnode_bytes: 9_000,
+                service_ops: 700,
+                io_read_bytes: 1 << 20,
+                barriers: 2,
+                exec_nanos: 1_000_000 * (r + 1),
+                ..CommStats::default()
+            })
+            .collect();
+        let mut pr = PipelineReport::new();
+        pr.push(
+            PhaseReport::new("kmer-analysis/count", topo, stats.clone())
+                .with_hot_keys(vec![(0xdead_beef, 41), (0x1234, 7)]),
+        );
+        pr.push(PhaseReport::new("contig/traversal", topo, stats).with_serial(0.125));
+        pr
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        let model = CostModel::edison();
+        let text = busy_pipeline().to_json(&model);
+        let parsed = Value::parse(&text).expect("report must be valid JSON");
+        // Serializing the parsed document reproduces the original text
+        // byte-for-byte (ordered object pairs make this deterministic).
+        assert_eq!(parsed.to_json(), text);
+    }
+
+    #[test]
+    fn json_report_schema_is_stable() {
+        // Guards the field names downstream tooling depends on; renaming
+        // any of these is a schema break and must bump `schema_version`.
+        let model = CostModel::edison();
+        let doc = Value::parse(&busy_pipeline().to_json(&model)).unwrap();
+        assert_eq!(doc.get("schema_version").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            doc.keys(),
+            vec![
+                "schema_version",
+                "generator",
+                "topology",
+                "modeled_total",
+                "wall_seconds",
+                "phases"
+            ]
+        );
+        let topo = doc.get("topology").unwrap();
+        assert_eq!(topo.keys(), vec!["ranks", "ranks_per_node", "nodes"]);
+        let phases = doc.get("phases").unwrap().as_arr().unwrap();
+        assert_eq!(phases.len(), 2);
+        let p = &phases[0];
+        assert_eq!(
+            p.keys(),
+            vec![
+                "name",
+                "ranks",
+                "wall_seconds",
+                "modeled",
+                "critical_rank",
+                "offnode_fraction",
+                "imbalance",
+                "totals",
+                "hot_keys"
+            ]
+        );
+        assert_eq!(
+            p.get("modeled").unwrap().keys(),
+            vec![
+                "critical_path_seconds",
+                "sync_seconds",
+                "io_seconds",
+                "serial_seconds",
+                "total_seconds"
+            ]
+        );
+        assert_eq!(
+            p.get("critical_rank").unwrap().keys(),
+            vec!["compute_seconds", "latency_seconds", "bandwidth_seconds"]
+        );
+        assert_eq!(
+            p.get("totals").unwrap().keys(),
+            vec![
+                "compute_ops",
+                "local_ops",
+                "onnode_msgs",
+                "offnode_msgs",
+                "onnode_bytes",
+                "offnode_bytes",
+                "service_ops",
+                "io_read_bytes",
+                "io_write_bytes",
+                "barriers",
+                "exec_nanos"
+            ]
+        );
+        let hot = p.get("hot_keys").unwrap().as_arr().unwrap();
+        assert_eq!(hot.len(), 2);
+        assert_eq!(
+            hot[0].get("key_hash").and_then(Value::as_str),
+            Some("0x00000000deadbeef")
+        );
+        assert_eq!(
+            hot[0].get("estimated_count").and_then(Value::as_u64),
+            Some(41)
+        );
+    }
+
+    #[test]
+    fn json_report_matches_phase_methods() {
+        // Golden check: the serialized metrics are exactly what the
+        // `PhaseReport` accessors compute, not a parallel implementation.
+        let model = CostModel::edison();
+        let pr = busy_pipeline();
+        let doc = Value::parse(&pr.to_json(&model)).unwrap();
+        let phases = doc.get("phases").unwrap().as_arr().unwrap();
+        for (p, v) in pr.phases.iter().zip(phases) {
+            assert_eq!(v.get("name").and_then(Value::as_str), Some(p.name.as_str()));
+            let off = v.get("offnode_fraction").and_then(Value::as_f64).unwrap();
+            assert!((off - p.offnode_fraction()).abs() < 1e-12);
+            assert!(off > 0.0, "fixture must exercise a nonzero fraction");
+            let imb = v.get("imbalance").and_then(Value::as_f64).unwrap();
+            assert!((imb - p.imbalance(&model)).abs() < 1e-12);
+            assert!(imb > 1.0, "fixture must exercise real skew");
+            let wall = v.get("wall_seconds").and_then(Value::as_f64).unwrap();
+            assert!((wall - p.wall_seconds).abs() < 1e-12);
+            let modeled = v.get("modeled").unwrap();
+            let total = modeled
+                .get("total_seconds")
+                .and_then(Value::as_f64)
+                .unwrap();
+            assert!((total - p.modeled(&model).total()).abs() < 1e-12);
+            let exec = v
+                .get("totals")
+                .unwrap()
+                .get("exec_nanos")
+                .and_then(Value::as_u64)
+                .unwrap();
+            assert_eq!(exec, p.totals().exec_nanos);
+        }
+        // Pipeline-level sums.
+        let wall = doc.get("wall_seconds").and_then(Value::as_f64).unwrap();
+        let expect: f64 = pr.phases.iter().map(|p| p.wall_seconds).sum();
+        assert!((wall - expect).abs() < 1e-12);
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub struct CommStats {
     pub io_write_bytes: u64,
     /// Barriers this rank participated in.
     pub barriers: u64,
+    /// Measured nanoseconds this rank's phase body actually executed
+    /// (stamped by [`crate::Team::run`]; sums across merged sub-phases).
+    /// This is *host* time of the simulation, not modeled machine time.
+    pub exec_nanos: u64,
 }
 
 impl CommStats {
@@ -96,6 +100,7 @@ impl CommStats {
         self.io_read_bytes += o.io_read_bytes;
         self.io_write_bytes += o.io_write_bytes;
         self.barriers += o.barriers;
+        self.exec_nanos += o.exec_nanos;
     }
 }
 

@@ -12,7 +12,9 @@
 
 use crate::stats::CommStats;
 use crate::topology::Topology;
+use crate::trace;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Per-rank execution context handed to a phase body.
 pub struct RankCtx {
@@ -70,15 +72,48 @@ pub struct Team {
 /// host's available parallelism).
 fn default_os_threads() -> usize {
     if let Ok(v) = std::env::var("HIPMER_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => eprintln!(
+                "hipmer: ignoring HIPMER_THREADS={v:?} (expected a positive \
+                 integer); falling back to available parallelism"
+            ),
         }
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Execute one rank's phase body, stamping measured execution time into its
+/// stats and producing a trace span when this rank is sampled.
+fn run_rank<R, F>(
+    f: &F,
+    rank: usize,
+    topo: Topology,
+    phase_start: Instant,
+    label: Option<&str>,
+) -> (R, CommStats, Option<trace::SpanEvent>)
+where
+    F: Fn(&mut RankCtx) -> R,
+{
+    let rank_start = Instant::now();
+    let mut ctx = RankCtx::new(rank, topo);
+    let out = f(&mut ctx);
+    ctx.barrier();
+    let dur_nanos = rank_start.elapsed().as_nanos() as u64;
+    ctx.stats.exec_nanos = dur_nanos;
+    let span = label.map(|label| trace::SpanEvent {
+        phase: label.to_string(),
+        rank,
+        start_nanos: rank_start
+            .saturating_duration_since(trace::epoch())
+            .as_nanos() as u64,
+        dur_nanos,
+        queue_nanos: rank_start.saturating_duration_since(phase_start).as_nanos() as u64,
+        barriers: ctx.stats.barriers,
+    });
+    (out, ctx.stats, span)
 }
 
 impl Team {
@@ -113,8 +148,26 @@ impl Team {
     /// per-rank results and per-rank communication counters, both indexed by
     /// rank.
     ///
-    /// The implicit barrier at phase end is recorded in every rank's stats.
+    /// Identical to [`Team::run_named`] with the placeholder label
+    /// `"phase"`; pipeline stages should prefer `run_named` so traces and
+    /// reports carry meaningful names.
     pub fn run<R, F>(&self, f: F) -> (Vec<R>, Vec<CommStats>)
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
+        self.run_named("phase", f)
+    }
+
+    /// Execute one named SPMD phase: `f` runs once per virtual rank.
+    /// Returns the per-rank results and per-rank communication counters,
+    /// both indexed by rank.
+    ///
+    /// The implicit barrier at phase end is recorded in every rank's stats,
+    /// and each rank's measured execution time is stamped into
+    /// [`CommStats::exec_nanos`]. When [`crate::trace`] is enabled, a span
+    /// per sampled rank is recorded under `label`.
+    pub fn run_named<R, F>(&self, label: &str, f: F) -> (Vec<R>, Vec<CommStats>)
     where
         R: Send,
         F: Fn(&mut RankCtx) -> R + Sync,
@@ -124,13 +177,22 @@ impl Team {
         let next = AtomicUsize::new(0);
         let mut collected: Vec<Vec<(usize, R, CommStats)>> = Vec::with_capacity(workers);
 
+        let phase_start = Instant::now();
+        let tracing = trace::is_enabled();
+        let sample = trace::sample_ranks();
+        let span_label = |rank: usize| (tracing && rank < sample).then_some(label);
+
         if workers <= 1 {
             let mut local = Vec::with_capacity(ranks);
+            let mut spans = Vec::new();
             for rank in 0..ranks {
-                let mut ctx = RankCtx::new(rank, self.topo);
-                let out = f(&mut ctx);
-                ctx.barrier();
-                local.push((rank, out, ctx.stats));
+                let (out, stats, span) =
+                    run_rank(&f, rank, self.topo, phase_start, span_label(rank));
+                spans.extend(span);
+                local.push((rank, out, stats));
+            }
+            if !spans.is_empty() {
+                trace::record(spans);
             }
             collected.push(local);
         } else {
@@ -139,18 +201,23 @@ impl Team {
                     .map(|_| {
                         let next = &next;
                         let f = &f;
+                        let span_label = &span_label;
                         let topo = self.topo;
                         scope.spawn(move |_| {
                             let mut local = Vec::new();
+                            let mut spans = Vec::new();
                             loop {
                                 let rank = next.fetch_add(1, Ordering::Relaxed);
                                 if rank >= ranks {
                                     break;
                                 }
-                                let mut ctx = RankCtx::new(rank, topo);
-                                let out = f(&mut ctx);
-                                ctx.barrier();
-                                local.push((rank, out, ctx.stats));
+                                let (out, stats, span) =
+                                    run_rank(f, rank, topo, phase_start, span_label(rank));
+                                spans.extend(span);
+                                local.push((rank, out, stats));
+                            }
+                            if !spans.is_empty() {
+                                trace::record(spans);
                             }
                             local
                         })
@@ -225,6 +292,58 @@ mod tests {
             covered = c.end;
         }
         assert_eq!(covered, n);
+    }
+
+    #[test]
+    fn exec_nanos_are_stamped_for_every_rank() {
+        let team = Team::new(Topology::new(4, 4)).with_os_threads(2);
+        let (_, stats) = team.run_named("test/exec-nanos", |_| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        });
+        assert!(stats.iter().all(|s| s.exec_nanos >= 1_000_000), "{stats:?}");
+    }
+
+    /// Serializes tests that toggle the process-global tracer.
+    static TRACE_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn tracing_records_spans_for_sampled_ranks_only() {
+        let _guard = TRACE_TEST_LOCK.lock().unwrap();
+        // The recorder is process-global; concurrent tests may add their
+        // own "phase" spans while tracing is on, so assertions filter by
+        // this test's unique label.
+        let label = "test/tracing-sampled-spans";
+        let team = Team::new(Topology::new(8, 4)).with_os_threads(3);
+        crate::trace::enable(2);
+        team.run_named(label, |ctx| {
+            ctx.barrier();
+            ctx.rank
+        });
+        crate::trace::disable();
+        let mine: Vec<_> = crate::trace::take_events()
+            .into_iter()
+            .filter(|e| e.phase == label)
+            .collect();
+        let mut ranks: Vec<usize> = mine.iter().map(|e| e.rank).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![0, 1], "only sampled ranks recorded");
+        for e in &mine {
+            assert_eq!(e.barriers, 2, "explicit + implicit barrier");
+            assert!(e.dur_nanos > 0);
+        }
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing_for_this_phase() {
+        let _guard = TRACE_TEST_LOCK.lock().unwrap();
+        let label = "test/tracing-disabled";
+        let team = Team::new(Topology::new(4, 4)).with_os_threads(2);
+        team.run_named(label, |ctx| ctx.rank);
+        // Don't drain the global buffer (a concurrent test may be
+        // tracing); just check nothing carries this label.
+        let stolen: Vec<_> = crate::trace::take_events();
+        assert!(stolen.iter().all(|e| e.phase != label));
+        crate::trace::record(stolen); // put concurrent tests' spans back
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Structured tracing for SPMD phase execution.
+//!
+//! When enabled, [`crate::Team::run_named`] records one span per *sampled*
+//! virtual rank per phase: when the rank started executing (relative to the
+//! trace epoch), how long its body ran, how long it sat in the OS-thread
+//! multiplex queue before starting, and how many barriers it crossed. The
+//! recorder is process-global so one flag covers every `Team` a pipeline
+//! constructs internally; when disabled (the default) the only cost on the
+//! phase path is one relaxed atomic load per rank.
+//!
+//! [`chrome_trace_json`] serializes the collected spans in the Chrome
+//! trace-event format (`chrome://tracing`, Perfetto): one process, one lane
+//! (`tid`) per rank, one `ph:"X"` complete event per phase execution, with
+//! queue delay and barrier count attached as event `args`.
+//!
+//! The module also owns the process-global *hot-key tracking capacity*:
+//! when nonzero, every [`crate::DistHashMap`] created afterwards keeps a
+//! Misra–Gries summary of the key hashes its service operations touch, so
+//! reports can name the heavy hitters responsible for service-op skew
+//! (the paper's Fig. 6 load-imbalance story).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Default number of ranks whose spans are recorded per phase.
+pub const DEFAULT_SAMPLE_RANKS: usize = 16;
+
+/// One recorded rank-execution span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanEvent {
+    /// Phase label (e.g. `"contig/traverse"`).
+    pub phase: String,
+    /// Virtual rank the span belongs to.
+    pub rank: usize,
+    /// Nanoseconds from the trace epoch to the start of the rank body.
+    pub start_nanos: u64,
+    /// Nanoseconds the rank body ran.
+    pub dur_nanos: u64,
+    /// Nanoseconds the rank waited in the multiplex queue: time from phase
+    /// launch until an OS worker picked this rank up.
+    pub queue_nanos: u64,
+    /// Barriers the rank participated in during the span.
+    pub barriers: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SAMPLE_RANKS: AtomicUsize = AtomicUsize::new(DEFAULT_SAMPLE_RANKS);
+static HOTKEY_CAPACITY: AtomicUsize = AtomicUsize::new(0);
+static EVENTS: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+
+/// The instant trace timestamps are measured from (fixed at first use).
+pub fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Start recording spans for the first `sample_ranks` ranks of every phase
+/// (0 disables sampling caps entirely and records every rank).
+pub fn enable(sample_ranks: usize) {
+    epoch(); // pin the epoch before any span is recorded
+    SAMPLE_RANKS.store(
+        if sample_ranks == 0 {
+            usize::MAX
+        } else {
+            sample_ranks
+        },
+        Ordering::Relaxed,
+    );
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Stop recording. Already-collected spans stay until [`take_events`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether spans are being recorded.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Ranks per phase whose spans are recorded while tracing is enabled.
+#[inline]
+pub fn sample_ranks() -> usize {
+    SAMPLE_RANKS.load(Ordering::Relaxed)
+}
+
+/// Set the Misra–Gries capacity for per-table hot-key tracking. Takes
+/// effect for `DistHashMap`s created afterwards; 0 (the default) disables
+/// tracking.
+pub fn set_hotkey_capacity(capacity: usize) {
+    HOTKEY_CAPACITY.store(capacity, Ordering::Relaxed);
+}
+
+/// The current hot-key tracking capacity (0 = off).
+#[inline]
+pub fn hotkey_capacity() -> usize {
+    HOTKEY_CAPACITY.load(Ordering::Relaxed)
+}
+
+/// Record a batch of spans (called by `Team::run_named`; public so other
+/// executors can feed the same trace).
+pub fn record(events: impl IntoIterator<Item = SpanEvent>) {
+    EVENTS.lock().extend(events);
+}
+
+/// Drain all collected spans, oldest first.
+pub fn take_events() -> Vec<SpanEvent> {
+    std::mem::take(&mut *EVENTS.lock())
+}
+
+/// Serialize spans in the Chrome trace-event JSON array format readable by
+/// `chrome://tracing` and Perfetto: `ph:"X"` complete events with `ts` and
+/// `dur` in microseconds, `pid` 1, and one `tid` lane per rank, preceded by
+/// `ph:"M"` metadata events naming the process and each rank lane.
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    use crate::json::Value;
+
+    let mut out: Vec<Value> = Vec::with_capacity(events.len() + 8);
+
+    let mut meta = Value::obj();
+    meta.set("ph", "M")
+        .set("name", "process_name")
+        .set("pid", 1u64)
+        .set("tid", 0u64);
+    let mut args = Value::obj();
+    args.set("name", "hipmer pgas ranks");
+    meta.set("args", args);
+    out.push(meta);
+
+    let mut ranks: Vec<usize> = events.iter().map(|e| e.rank).collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    for &rank in &ranks {
+        let mut lane = Value::obj();
+        lane.set("ph", "M")
+            .set("name", "thread_name")
+            .set("pid", 1u64)
+            .set("tid", rank)
+            .set("sort_index", rank);
+        let mut args = Value::obj();
+        args.set("name", format!("rank {rank}"));
+        lane.set("args", args);
+        out.push(lane);
+    }
+
+    for e in events {
+        let mut span = Value::obj();
+        span.set("ph", "X")
+            .set("name", e.phase.as_str())
+            .set("cat", "phase")
+            .set("pid", 1u64)
+            .set("tid", e.rank)
+            .set("ts", e.start_nanos as f64 / 1e3)
+            .set("dur", e.dur_nanos as f64 / 1e3);
+        let mut args = Value::obj();
+        args.set("queue_us", e.queue_nanos as f64 / 1e3)
+            .set("barriers", e.barriers);
+        span.set("args", args);
+        out.push(span);
+    }
+
+    Value::Arr(out).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+
+    fn span(phase: &str, rank: usize, start: u64, dur: u64) -> SpanEvent {
+        SpanEvent {
+            phase: phase.to_string(),
+            rank,
+            start_nanos: start,
+            dur_nanos: dur,
+            queue_nanos: 250,
+            barriers: 1,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let events = vec![
+            span("stage/a", 0, 1_000, 2_000),
+            span("stage/b", 3, 5_000, 500),
+        ];
+        let text = chrome_trace_json(&events);
+        let doc = Value::parse(&text).unwrap();
+        let arr = doc.as_arr().unwrap();
+
+        let metas: Vec<_> = arr
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .collect();
+        // process_name + one thread_name per distinct rank.
+        assert_eq!(metas.len(), 3);
+
+        let spans: Vec<_> = arr
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        let s = spans[0];
+        assert_eq!(s.get("name").and_then(Value::as_str), Some("stage/a"));
+        assert_eq!(s.get("pid").and_then(Value::as_u64), Some(1));
+        assert_eq!(s.get("tid").and_then(Value::as_u64), Some(0));
+        assert_eq!(s.get("ts").and_then(Value::as_f64), Some(1.0)); // µs
+        assert_eq!(s.get("dur").and_then(Value::as_f64), Some(2.0));
+        let args = s.get("args").unwrap();
+        assert_eq!(args.get("queue_us").and_then(Value::as_f64), Some(0.25));
+        assert_eq!(args.get("barriers").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn hotkey_capacity_round_trip() {
+        // Touches only the capacity cell; other tests don't read it.
+        assert_eq!(hotkey_capacity(), 0);
+        set_hotkey_capacity(12);
+        assert_eq!(hotkey_capacity(), 12);
+        set_hotkey_capacity(0);
+        assert_eq!(hotkey_capacity(), 0);
+    }
+}

@@ -81,7 +81,12 @@ pub fn wheat_like_dataset(genome_len: usize, coverage: f64, errors: bool, seed: 
 /// end-to-end experiments (Figs. 7–8), with multiple insert libraries
 /// (the paper uses five paired-end plus 1 kbp and 4.2 kbp long-insert
 /// libraries for the wheat scaffolding rounds).
-pub fn wheat_scaffolding_dataset(genome_len: usize, coverage: f64, errors: bool, seed: u64) -> Dataset {
+pub fn wheat_scaffolding_dataset(
+    genome_len: usize,
+    coverage: f64,
+    errors: bool,
+    seed: u64,
+) -> Dataset {
     let g = wheat_like_moderate(genome_len, seed);
     wheat_dataset_from(g, coverage, errors, seed)
 }

@@ -68,7 +68,7 @@ pub fn apply_snps(seq: &[u8], rate: f64, rng: &mut StdRng) -> (Vec<u8>, usize) {
             let cur = *b;
             // Substitute with a different base.
             loop {
-                let alt = BASES[rng.gen_range(0..4)];
+                let alt = BASES[rng.gen_range(0..4usize)];
                 if alt != cur {
                     *b = alt;
                     break;
@@ -93,7 +93,7 @@ pub fn human_like(len: usize, seed: u64) -> Genome {
     // genome wheat-hard.
     let n_dups = (len / 200_000).max(1);
     for _ in 0..n_dups {
-        let dlen = rng.gen_range(500..2000).min(len / 10);
+        let dlen = rng.gen_range(500..2000usize).min(len / 10);
         if len <= 2 * dlen {
             break;
         }

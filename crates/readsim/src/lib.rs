@@ -25,6 +25,11 @@ pub mod datasets;
 pub mod genome;
 pub mod reads;
 
-pub use datasets::{human_like_dataset, metagenome_dataset, wheat_like_dataset, wheat_scaffolding_dataset, Dataset};
-pub use genome::{apply_snps, human_like, metagenome, random_genome, repeat_fragmented, wheat_like, wheat_like_moderate, wheat_like_params, Genome};
+pub use datasets::{
+    human_like_dataset, metagenome_dataset, wheat_like_dataset, wheat_scaffolding_dataset, Dataset,
+};
+pub use genome::{
+    apply_snps, human_like, metagenome, random_genome, repeat_fragmented, wheat_like,
+    wheat_like_moderate, wheat_like_params, Genome,
+};
 pub use reads::{simulate_library, ErrorModel, Library};

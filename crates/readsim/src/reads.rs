@@ -124,7 +124,7 @@ fn sequence_with_errors(
             continue;
         }
         if err.ins_rate > 0.0 && rng.gen_bool(err.ins_rate) {
-            read.push(hipmer_dna::BASES[rng.gen_range(0..4)]);
+            read.push(hipmer_dna::BASES[rng.gen_range(0..4usize)]);
             qual.push(err.qual_lo + 33);
             continue; // template position unchanged
         }
@@ -132,7 +132,7 @@ fn sequence_with_errors(
         let mut q = err.qual_hi + 33;
         if err.sub_rate > 0.0 && rng.gen_bool(err.sub_rate) {
             loop {
-                let alt = hipmer_dna::BASES[rng.gen_range(0..4)];
+                let alt = hipmer_dna::BASES[rng.gen_range(0..4usize)];
                 if alt != b {
                     b = alt;
                     break;
@@ -158,7 +158,12 @@ fn sequence_with_errors(
 /// (`2i` forward mate, `2i+1` reverse mate), ids
 /// `{genome}:{lib}:{pair}/1|2`. Fragments sample all haplotypes evenly and
 /// both strands.
-pub fn simulate_library(genome: &Genome, lib: &Library, err: &ErrorModel, seed: u64) -> Vec<SeqRecord> {
+pub fn simulate_library(
+    genome: &Genome,
+    lib: &Library,
+    err: &ErrorModel,
+    seed: u64,
+) -> Vec<SeqRecord> {
     let mut rng = StdRng::seed_from_u64(seed);
     let hap_len = genome.reference_len();
     let n_pairs = ((hap_len as f64 * lib.coverage) / (2.0 * lib.read_len as f64)).ceil() as usize;
@@ -289,7 +294,10 @@ mod tests {
     #[test]
     fn insert_size_distribution_matches_library() {
         // Pair separation on the reference must center on insert_mean.
-        let g = Genome::haploid("ref", crate::genome::random_genome(100_000, 0.5, &mut rand::rngs::StdRng::seed_from_u64(7)));
+        let g = Genome::haploid(
+            "ref",
+            crate::genome::random_genome(100_000, 0.5, &mut rand::rngs::StdRng::seed_from_u64(7)),
+        );
         let lib = Library {
             name: "t".into(),
             read_len: 80,
@@ -303,8 +311,10 @@ mod tests {
         let mut seps = Vec::new();
         for pair in reads.chunks(2).take(100) {
             let (r1, r2) = (&pair[0], &pair[1]);
-            let p1 = find_sub(reference, &r1.seq).or_else(|| find_sub(reference, &revcomp(&r1.seq)));
-            let p2 = find_sub(reference, &r2.seq).or_else(|| find_sub(reference, &revcomp(&r2.seq)));
+            let p1 =
+                find_sub(reference, &r1.seq).or_else(|| find_sub(reference, &revcomp(&r1.seq)));
+            let p2 =
+                find_sub(reference, &r2.seq).or_else(|| find_sub(reference, &revcomp(&r2.seq)));
             if let (Some(a), Some(b)) = (p1, p2) {
                 let lo = a.min(b);
                 let hi = a.max(b) + lib.read_len;
@@ -366,8 +376,18 @@ mod indel_tests {
         // End-to-end sanity lives in the hipmer crate; here just confirm
         // determinism of the noisy model.
         let g = human_like(10_000, 5);
-        let a = simulate_library(&g, &Library::short_insert(4.0), &ErrorModel::illumina_with_indels(), 9);
-        let b = simulate_library(&g, &Library::short_insert(4.0), &ErrorModel::illumina_with_indels(), 9);
+        let a = simulate_library(
+            &g,
+            &Library::short_insert(4.0),
+            &ErrorModel::illumina_with_indels(),
+            9,
+        );
+        let b = simulate_library(
+            &g,
+            &Library::short_insert(4.0),
+            &ErrorModel::illumina_with_indels(),
+            9,
+        );
         assert_eq!(a, b);
     }
 }

@@ -60,10 +60,9 @@ pub fn merge_bubbles(
     // Phase A (parallel): bubble grouping. Key = the normalized pair of
     // attachment k-mers; contigs sharing both attachments are bubble arms.
     let bubble_groups: DistHashMap<(Kmer, Kmer), Vec<u32>> = DistHashMap::new(*team.topo());
-    let (_, mut stats) = team.run(|ctx| {
-        let mut agg = AggregatingStores::new(&bubble_groups, |a: &mut Vec<u32>, b: Vec<u32>| {
-            a.extend(b)
-        });
+    let (_, mut stats) = team.run_named("scaffold/bubbles/group", |ctx| {
+        let mut agg =
+            AggregatingStores::new(&bubble_groups, |a: &mut Vec<u32>, b: Vec<u32>| a.extend(b));
         for ci in ctx.chunk(n) {
             let i = &info[ci];
             if let (Some(la), Some(ra)) = (i.left_attach, i.right_attach) {
@@ -77,7 +76,7 @@ pub fn merge_bubbles(
     bubble_groups.drain_service_into(&mut stats);
 
     // Phase B (parallel over local buckets): pick bubble survivors.
-    let (absorbed_lists, stats_b) = team.run(|ctx| {
+    let (absorbed_lists, stats_b) = team.run_named("scaffold/bubbles/survivors", |ctx| {
         bubble_groups.fold_local(ctx, Vec::<u32>::new(), |mut absorbed, _key, group| {
             if group.len() >= 2 {
                 // Arms must be length-similar (SNP/small-indel bubbles).
@@ -90,8 +89,7 @@ pub fn merge_bubbles(
                         let l = contigs.contigs[c as usize].len();
                         let lo = base_len.min(l);
                         let hi = base_len.max(l);
-                        hi - lo <= (hi / 10).max(2)
-                            && info[c as usize].depth <= max_arm_depth
+                        hi - lo <= (hi / 10).max(2) && info[c as usize].depth <= max_arm_depth
                     })
                     .collect();
                 if similar.len() >= 2 {
@@ -122,11 +120,11 @@ pub fn merge_bubbles(
 
     // Phase C (parallel): attachment incidence for chain edges.
     let attachments: DistHashMap<Kmer, Vec<(u32, u8)>> = DistHashMap::new(*team.topo());
-    let (_, stats_c) = team.run(|ctx| {
-        let mut agg = AggregatingStores::new(
-            &attachments,
-            |a: &mut Vec<(u32, u8)>, b: Vec<(u32, u8)>| a.extend(b),
-        );
+    let (_, stats_c) = team.run_named("scaffold/bubbles/attachments", |ctx| {
+        let mut agg =
+            AggregatingStores::new(&attachments, |a: &mut Vec<(u32, u8)>, b: Vec<(u32, u8)>| {
+                a.extend(b)
+            });
         for ci in ctx.chunk(n) {
             if absorbed[ci] {
                 continue;
@@ -148,7 +146,7 @@ pub fn merge_bubbles(
 
     // Phase D (parallel): unambiguous joins — exactly two distinct contig
     // ends at one attachment k-mer.
-    let (edge_lists, stats_d) = team.run(|ctx| {
+    let (edge_lists, stats_d) = team.run_named("scaffold/bubbles/joins", |ctx| {
         attachments.fold_local(
             ctx,
             Vec::<((u32, u8), (u32, u8))>::new(),
@@ -258,8 +256,8 @@ pub fn merge_bubbles(
     let serial_seconds = serial_start.elapsed().as_secs_f64();
 
     let new_set = ContigSet::from_sequences(codec, out_seqs);
-    let report = PhaseReport::new("scaffold/bubbles", *team.topo(), stats)
-        .with_serial(serial_seconds);
+    let report =
+        PhaseReport::new("scaffold/bubbles", *team.topo(), stats).with_serial(serial_seconds);
     (new_set, report)
 }
 
@@ -321,7 +319,11 @@ mod tests {
             _ => b'C',
         };
         let (raw, merged) = run_bubbles(&h1, &h2, Topology::new(2, 2));
-        assert!(raw.len() >= 4, "expected a bubble, got {} contigs", raw.len());
+        assert!(
+            raw.len() >= 4,
+            "expected a bubble, got {} contigs",
+            raw.len()
+        );
         // After merging, the dominant contig spans (almost) the genome.
         assert!(
             merged.max_len() > 1000,

@@ -126,7 +126,7 @@ pub fn compute_depths(
         }
     }
 
-    let (chunks, mut stats) = team.run(|ctx| {
+    let (chunks, mut stats) = team.run_named("scaffold/depths", |ctx| {
         // Per-window partial sums plus end info computed by the windows
         // that hold the contig's first/last k-mer.
         let mut partial: Vec<(usize, u64, u64)> = Vec::new(); // (contig, sum, n)
@@ -269,7 +269,7 @@ mod tests {
     #[test]
     fn snp_bubble_ends_report_fork_and_shared_attachment() {
         // Two haplotypes differing by one SNP in the middle.
-        let mut h1 = lcg(800, 5);
+        let h1 = lcg(800, 5);
         let mut h2 = h1.clone();
         h2[400] = match h2[400] {
             b'A' => b'C',

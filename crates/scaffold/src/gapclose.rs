@@ -260,7 +260,9 @@ fn close_one(
             for seq in [&r.seq, &rc] {
                 ctx.stats.compute(seq.len() as u64);
                 let Some(p1) = find(seq, a1) else { continue };
-                let Some(off2) = find(&seq[p1..], a2) else { continue };
+                let Some(off2) = find(&seq[p1..], a2) else {
+                    continue;
+                };
                 let p2 = p1 + off2;
                 if p2 >= p1 + m {
                     stats.spanned += 1;
@@ -387,9 +389,8 @@ pub fn close_gaps(
 ) -> (ScaffoldSet, GapCloseStats, PhaseReport) {
     // Phase 1 (parallel): project alignments into contig-end read buckets.
     let buckets: DistHashMap<(u32, ContigEnd), Vec<u32>> = DistHashMap::new(*team.topo());
-    let (_, mut stats) = team.run(|ctx| {
-        let mut agg =
-            AggregatingStores::new(&buckets, |a: &mut Vec<u32>, b: Vec<u32>| a.extend(b));
+    let (_, mut stats) = team.run_named("scaffold/gap-closing/buckets", |ctx| {
+        let mut agg = AggregatingStores::new(&buckets, |a: &mut Vec<u32>, b: Vec<u32>| a.extend(b));
         for a in &alignments[ctx.chunk(alignments.len())] {
             ctx.stats.compute(1);
             let len = contigs.contigs[a.contig as usize].len();
@@ -418,7 +419,7 @@ pub fn close_gaps(
 
     // Phase 2 (parallel, round-robin): close gaps.
     let ranks = team.ranks();
-    let (closure_lists, stats2) = team.run(|ctx| {
+    let (closure_lists, stats2) = team.run_named("scaffold/gap-closing/close", |ctx| {
         let my_chunk = ctx.chunk(gaps.len());
         let my_rank = ctx.rank;
         let mine = move |g_idx: usize| -> bool {
@@ -480,10 +481,8 @@ pub fn close_gaps(
         (out, local_stats)
     });
     let mut gstats = GapCloseStats::default();
-    let mut closures: Vec<Vec<Option<Closure>>> = scaffolds
-        .iter()
-        .map(|s| vec![None; s.gaps()])
-        .collect();
+    let mut closures: Vec<Vec<Option<Closure>>> =
+        scaffolds.iter().map(|s| vec![None; s.gaps()]).collect();
     for (list, ls) in closure_lists {
         gstats.merge(&ls);
         for (si, j, c) in list {
@@ -495,14 +494,14 @@ pub fn close_gaps(
     }
 
     // Phase 3 (parallel over scaffolds): stitch final sequences.
-    let (seq_lists, stats3) = team.run(|ctx| {
+    let (seq_lists, stats3) = team.run_named("scaffold/gap-closing/stitch", |ctx| {
         let mut out: Vec<(usize, Vec<u8>)> = Vec::new();
         for si in ctx.chunk(scaffolds.len()) {
             let s = &scaffolds[si];
             let mut seq = member_seq(contigs, s, 0);
-            for j in 0..s.gaps() {
+            for (j, closure) in closures[si].iter().enumerate().take(s.gaps()) {
                 let next = member_seq(contigs, s, j + 1);
-                match closures[si][j].as_ref().expect("every gap was processed") {
+                match closure.as_ref().expect("every gap was processed") {
                     Closure::Overlap(o) => {
                         let o = (*o).min(next.len());
                         seq.extend_from_slice(&next[o..]);
@@ -512,7 +511,7 @@ pub fn close_gaps(
                         seq.extend_from_slice(&next);
                     }
                     Closure::NFill(n) => {
-                        seq.extend(std::iter::repeat(b'N').take(*n));
+                        seq.extend(std::iter::repeat_n(b'N', *n));
                         seq.extend_from_slice(&next);
                     }
                 }
@@ -603,7 +602,7 @@ mod tests {
             let hi = (400 + gap_len + 200).min(genome.len()) - read_len - pair_off;
             let mut idx = 0u32;
             // Emit an alignment for a read wherever it overlaps a contig.
-            let mut align_if_on_contig = |idx: u32, start: usize, alignments: &mut Vec<Alignment>| {
+            let align_if_on_contig = |idx: u32, start: usize, alignments: &mut Vec<Alignment>| {
                 if start < 400 {
                     let ce = 400.min(start + read_len);
                     alignments.push(Alignment {
@@ -764,21 +763,11 @@ mod tests {
         }
         let team = Team::new(Topology::new(4, 2));
         let cfg = GapCloseConfig::default();
-        let (_, stats, report) = close_gaps(
-            &team,
-            &f.contigs,
-            &scaffolds,
-            &f.alignments,
-            &f.reads,
-            &cfg,
-        );
+        let (_, stats, report) =
+            close_gaps(&team, &f.contigs, &scaffolds, &f.alignments, &f.reads, &cfg);
         assert_eq!(stats.total(), 8);
         // Every rank did some gap work (compute ops from closures).
-        let busy = report
-            .stats
-            .iter()
-            .filter(|s| s.compute_ops > 0)
-            .count();
+        let busy = report.stats.iter().filter(|s| s.compute_ops > 0).count();
         assert_eq!(busy, 4, "all ranks must close gaps");
     }
 }

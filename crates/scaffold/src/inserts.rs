@@ -52,7 +52,7 @@ pub fn estimate_insert_size(
         }
     }
 
-    let (histograms, stats) = team.run(|ctx| {
+    let (histograms, stats) = team.run_named("scaffold/insert-size", |ctx| {
         let mut h = CountHistogram::new(MAX_INSERT);
         for &(start, end) in &pair_ranges[ctx.chunk(pair_ranges.len())] {
             ctx.stats.compute((end - start) as u64);

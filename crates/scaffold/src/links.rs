@@ -107,7 +107,7 @@ pub fn generate_links(
 ) -> (Vec<Link>, PhaseReport) {
     let table: DistHashMap<EndKey, LinkAgg> = DistHashMap::new(*team.topo());
 
-    let (_, mut stats) = team.run(|ctx| {
+    let (_, mut stats) = team.run_named("scaffold/links/aggregate", |ctx| {
         let mut agg = AggregatingStores::new(&table, |a: &mut LinkAgg, b| a.merge(b));
         for s in &splints[ctx.chunk(splints.len())] {
             ctx.stats.compute(1);
@@ -138,7 +138,7 @@ pub fn generate_links(
     table.drain_service_into(&mut stats);
 
     // Assess local buckets.
-    let (link_lists, stats_b) = team.run(|ctx| {
+    let (link_lists, stats_b) = team.run_named("scaffold/links/assess", |ctx| {
         table.fold_local(ctx, Vec::<Link>::new(), |mut out, key, agg| {
             if agg.splint_count >= cfg.min_splints {
                 out.push(Link {
@@ -242,12 +242,7 @@ mod tests {
     #[test]
     fn deterministic_across_rank_counts() {
         let splints: Vec<Splint> = (0..50)
-            .flat_map(|i| {
-                vec![
-                    splint(i, ContigEnd::Right, i + 1, ContigEnd::Left, -10);
-                    3
-                ]
-            })
+            .flat_map(|i| vec![splint(i, ContigEnd::Right, i + 1, ContigEnd::Left, -10); 3])
             .collect();
         let run = |ranks| {
             let team = Team::new(Topology::new(ranks, 4));

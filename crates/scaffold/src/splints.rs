@@ -108,7 +108,7 @@ pub fn locate_splints_and_spans(
         }
     }
 
-    let (results, stats) = team.run(|ctx| {
+    let (results, stats) = team.run_named("scaffold/splints-spans", |ctx| {
         let mut splints = Vec::new();
         let mut spans = Vec::new();
         for &(start, end) in &pair_ranges[ctx.chunk(pair_ranges.len())] {
@@ -221,8 +221,7 @@ mod tests {
     fn junction_read_produces_splint() {
         let g1 = lcg(300, 1);
         let g2 = lcg(300, 2);
-        let contigs =
-            ContigSet::from_sequences(KmerCodec::new(21), vec![g1.clone(), g2.clone()]);
+        let contigs = ContigSet::from_sequences(KmerCodec::new(21), vec![g1.clone(), g2.clone()]);
         // Contig ids: sorted by length then sequence; equal lengths -> by
         // sequence. Find which is which.
         let id_of = |seq: &Vec<u8>| -> u32 {
@@ -289,8 +288,7 @@ mod tests {
         assert_eq!(s.gap, 100);
         // A faced via its right end, B via its left end (modulo the
         // canonical orientation of the stored contigs).
-        let ends: std::collections::HashMap<u32, ContigEnd> =
-            s.ends.iter().copied().collect();
+        let ends: std::collections::HashMap<u32, ContigEnd> = s.ends.iter().copied().collect();
         assert_eq!(ends.len(), 2);
     }
 

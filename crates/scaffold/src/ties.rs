@@ -23,7 +23,7 @@ pub fn order_and_orient(
 ) -> (Vec<Scaffold>, PhaseReport) {
     // Parallel part: each rank consolidates 1/p of the links into per-end
     // best candidates (in UPC this walks the links table's local buckets).
-    let (best_lists, stats) = team.run(|ctx| {
+    let (best_lists, stats) = team.run_named("scaffold/ties", |ctx| {
         let mut best: HashMap<(u32, ContigEnd), Link> = HashMap::new();
         for l in &links[ctx.chunk(links.len())] {
             ctx.stats.compute(1);

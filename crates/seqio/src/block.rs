@@ -114,7 +114,7 @@ pub fn read_fastq_parallel(
     let file_len = std::fs::metadata(path)?.len();
     let ranks = team.ranks() as u64;
 
-    let (results, stats) = team.run(|ctx| -> io::Result<Vec<SeqRecord>> {
+    let (results, stats) = team.run_named("io/fastq", |ctx| -> io::Result<Vec<SeqRecord>> {
         let mut file = File::open(path)?;
         let mut io_bytes = 0u64;
 
@@ -149,15 +149,12 @@ pub fn read_fastq_parallel(
             file.seek(SeekFrom::Start(start))?;
             file.read_exact(&mut buf)?;
             io_bytes += len as u64;
-            let (records, consumed) = parse_fastq(&buf)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            let (records, consumed) =
+                parse_fastq(&buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
             if consumed != len {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
-                    format!(
-                        "rank {} range [{start},{end}) ended mid-record",
-                        ctx.rank
-                    ),
+                    format!("rank {} range [{start},{end}) ended mid-record", ctx.rank),
                 ));
             }
             records

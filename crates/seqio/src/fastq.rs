@@ -24,9 +24,15 @@ pub fn parse_fastq(buf: &[u8]) -> Result<(Vec<SeqRecord>, usize), String> {
         // range excludes its terminating newline, so the next line starts
         // one past the end.
         let Some(l1) = next_line(buf, pos) else { break };
-        let Some(l2) = next_line(buf, l1.end + 1) else { break };
-        let Some(l3) = next_line(buf, l2.end + 1) else { break };
-        let Some(l4) = next_line(buf, l3.end + 1) else { break };
+        let Some(l2) = next_line(buf, l1.end + 1) else {
+            break;
+        };
+        let Some(l3) = next_line(buf, l2.end + 1) else {
+            break;
+        };
+        let Some(l4) = next_line(buf, l3.end + 1) else {
+            break;
+        };
 
         let header = &buf[l1.clone()];
         if header.is_empty() || header[0] != b'@' {

@@ -56,7 +56,10 @@ fn read_varint(buf: &[u8], pos: &mut usize) -> io::Result<u64> {
         }
         shift += 7;
         if shift > 63 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "varint overflow"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflow",
+            ));
         }
     }
 }
@@ -90,7 +93,7 @@ fn encode_record(out: &mut Vec<u8>, r: &SeqRecord) -> io::Result<()> {
             byte = 0;
         }
     }
-    if r.seq.len() % 4 != 0 {
+    if !r.seq.len().is_multiple_of(4) {
         out.push(byte);
     }
     // Quality RLE.
@@ -150,7 +153,7 @@ fn decode_record(buf: &[u8], pos: &mut usize) -> io::Result<SeqRecord> {
             .get(*pos)
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "qual"))?;
         *pos += 1;
-        qual.extend(std::iter::repeat(q).take(len));
+        qual.extend(std::iter::repeat_n(q, len));
     }
     if qual.len() != seq_len {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "qual length"));
@@ -167,7 +170,7 @@ pub fn write_seqdb(path: &Path, records: &[SeqRecord]) -> io::Result<()> {
     let mut body: Vec<u8> = Vec::new();
     let mut index: Vec<(u64, u64)> = Vec::new();
     for (i, r) in records.iter().enumerate() {
-        if i as u64 % BLOCK == 0 {
+        if (i as u64).is_multiple_of(BLOCK) {
             index.push((i as u64, body.len() as u64));
         }
         encode_record(&mut body, r)?;
@@ -218,7 +221,7 @@ pub fn read_seqdb_parallel(
     }
     drop(f);
 
-    let (results, stats) = team.run(|ctx| -> io::Result<Vec<SeqRecord>> {
+    let (results, stats) = team.run_named("io/seqdb", |ctx| -> io::Result<Vec<SeqRecord>> {
         // Block range for this rank.
         let blocks = ctx.chunk(index.len());
         if blocks.is_empty() {

@@ -3,7 +3,9 @@
 
 use hipmer_dna::BASES;
 use hipmer_pgas::{Team, Topology};
-use hipmer_seqio::{parse_fasta, parse_fastq, read_fastq_parallel, write_fasta, write_fastq, SeqRecord};
+use hipmer_seqio::{
+    parse_fasta, parse_fastq, read_fastq_parallel, write_fasta, write_fastq, SeqRecord,
+};
 use proptest::prelude::*;
 
 fn record_strategy() -> impl Strategy<Value = SeqRecord> {

@@ -1,0 +1,244 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the benchmark API surface it uses: `criterion_group!` /
+//! `criterion_main!`, [`Criterion`] with the builder knobs, benchmark
+//! groups, `Bencher::iter`, [`Throughput`], and [`black_box`]. Instead of
+//! criterion's statistics it runs a plain warm-up + sampling loop and
+//! prints mean ns/iteration (and elements/s when a throughput is set) —
+//! enough to compare runs by eye or with a one-line awk.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Untimed warm-up budget before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run one benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let (sample_size, measurement, warm_up) =
+            (self.sample_size, self.measurement_time, self.warm_up_time);
+        run_one(name, None, sample_size, measurement, warm_up, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(
+            &full,
+            self.throughput,
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            self.criterion.warm_up_time,
+            f,
+        );
+        self
+    }
+
+    /// End the group (upstream finalizes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Handed to benchmark closures; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, running it as many times as the harness requested.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_batch<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    mut f: F,
+) {
+    // Warm up and discover a batch size whose runtime fits the
+    // measurement budget across the requested samples.
+    let warm_start = Instant::now();
+    let mut batch = 1u64;
+    let mut per_iter = loop {
+        let t = time_batch(&mut f, batch);
+        if warm_start.elapsed() >= warm_up {
+            break t.as_secs_f64() / batch as f64;
+        }
+        if t < Duration::from_millis(1) {
+            batch = batch.saturating_mul(2);
+        }
+    };
+    if per_iter <= 0.0 {
+        per_iter = 1e-9;
+    }
+    let budget_per_sample = measurement.as_secs_f64() / sample_size as f64;
+    let iters = ((budget_per_sample / per_iter).ceil() as u64).clamp(1, u64::MAX);
+
+    let mut best = f64::INFINITY;
+    let mut total = 0.0f64;
+    for _ in 0..sample_size {
+        let t = time_batch(&mut f, iters).as_secs_f64() / iters as f64;
+        best = best.min(t);
+        total += t;
+    }
+    let mean = total / sample_size as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!(", {:.3e} elem/s", n as f64 / mean),
+        Some(Throughput::Bytes(n)) => format!(", {:.3e} B/s", n as f64 / mean),
+        None => String::new(),
+    };
+    println!(
+        "bench {name:<40} mean {:>12.1} ns/iter, best {:>12.1} ns/iter{rate}",
+        mean * 1e9,
+        best * 1e9,
+    );
+}
+
+/// Declare a benchmark group the way criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut c: $crate::Criterion = $cfg;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(64));
+        let mut ran = false;
+        g.bench_function("sum", |b| {
+            ran = true;
+            b.iter(|| (0..64u64).sum::<u64>())
+        });
+        g.finish();
+        assert!(ran);
+        c.bench_function("free", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,74 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the one API it uses: `crossbeam::thread::scope`, implemented on
+//! top of `std::thread::scope` (stable since Rust 1.63). The signature
+//! differences from the real crate are minimal: the scope value passed to
+//! closures is `Copy` and taken by value, which the `|scope|` / `|_|`
+//! call sites accept either way.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of a scope: `Err` holds a panic payload from the closure.
+    pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle to a spawned scoped thread (std's handle; `join` returns a
+    /// `std::thread::Result`).
+    pub use std::thread::ScopedJoinHandle;
+
+    /// A scope within which threads borrowing local state may be spawned.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope
+        /// (so it can spawn further threads), like crossbeam's.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(scope))
+        }
+    }
+
+    /// Run `f` with a thread scope; all spawned threads are joined before
+    /// this returns. Panics escaping `f` itself are reported as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = vec![1u64, 2, 3, 4];
+            let sum = super::scope(|scope| {
+                let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 10)).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("no panic"))
+                    .sum::<u64>()
+            })
+            .expect("scope ok");
+            assert_eq!(sum, 100);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let n = super::scope(|scope| {
+                let h = scope.spawn(|inner| inner.spawn(|_| 7u32).join().unwrap());
+                h.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(n, 7);
+        }
+    }
+}

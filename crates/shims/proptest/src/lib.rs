@@ -1,0 +1,349 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of proptest it uses: the [`proptest!`] macro, the
+//! `prop_assert*` macros, [`strategy::Strategy`] with `prop_map`, integer
+//! range / tuple / `any::<T>()` / `collection::vec` / `sample::select`
+//! strategies, and a minimal character-class regex string strategy
+//! (`"[class]{m,n}"`). Cases are generated from a deterministic per-test
+//! seed; there is **no shrinking** — a failure reports its case number so
+//! it can be replayed (the runner is deterministic per test name).
+
+pub mod strategy;
+
+/// Deterministic case runner pieces used by the [`proptest!`] expansion.
+pub mod test_runner {
+    /// Per-test-block configuration (only `cases` is honored).
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        /// 64 cases — smaller than upstream's 256 to keep the offline test
+        /// suite quick; tests that need fewer set `with_cases` themselves.
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// The deterministic generator behind every strategy draw
+    /// (splitmix64 over a hash of the test name and case index).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        x: u64,
+    }
+
+    impl TestRng {
+        /// The generator for case `case` of the named test.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in test_name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            TestRng {
+                x: h ^ ((case as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15)),
+            }
+        }
+
+        /// Next 64 random bits (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.x = self.x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[lo, hi)` (u128 arithmetic, no overflow).
+        pub fn below(&mut self, lo: u128, hi: u128) -> u128 {
+            assert!(lo < hi, "empty range in strategy");
+            let span = hi - lo;
+            let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+            lo + wide % span
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            u128::arbitrary(rng) as i128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len_exclusive: usize,
+    }
+
+    /// Length specifications accepted by [`vec`].
+    pub trait IntoLenRange {
+        /// `(min, max_exclusive)` element counts.
+        fn into_len_range(self) -> (usize, usize);
+    }
+
+    impl IntoLenRange for std::ops::Range<usize> {
+        fn into_len_range(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoLenRange for std::ops::RangeInclusive<usize> {
+        fn into_len_range(self) -> (usize, usize) {
+            let (a, b) = self.into_inner();
+            (a, b + 1)
+        }
+    }
+
+    impl IntoLenRange for usize {
+        fn into_len_range(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    /// A vector of `element` draws with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
+        let (min_len, max_len_exclusive) = len.into_len_range();
+        assert!(min_len < max_len_exclusive, "empty vec length range");
+        VecStrategy {
+            element,
+            min_len,
+            max_len_exclusive,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.below(self.min_len as u128, self.max_len_exclusive as u128) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy drawing uniformly from a fixed set of values.
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    /// Uniform choice among `values` (cloned out on each draw).
+    pub fn select<T: Clone>(values: &[T]) -> Select<T> {
+        assert!(!values.is_empty(), "select over an empty slice");
+        Select {
+            values: values.to_vec(),
+        }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(0, self.values.len() as u128) as usize;
+            self.values[i].clone()
+        }
+    }
+}
+
+/// `prop::...` namespace, as the upstream prelude exposes it.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property test (no shrinking: plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the upstream forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn holds(x in 0usize..10, v in prop::collection::vec(any::<u64>(), 1..5)) {
+///         prop_assert!(x < 10 && !v.is_empty());
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            @cfg(<$crate::test_runner::ProptestConfig as ::std::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || $body),
+                );
+                if let ::std::result::Result::Err(__payload) = __outcome {
+                    ::std::eprintln!(
+                        "proptest shim: {} failed at case {}/{} (deterministic; rerun reproduces it)",
+                        stringify!($name),
+                        __case,
+                        __cfg.cases,
+                    );
+                    ::std::panic::resume_unwind(__payload);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 1usize..=64, (a, b) in (0u64..10, 5u32..6), v in prop::collection::vec(any::<u64>(), 1..8)) {
+            prop_assert!((1..=64).contains(&x));
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 5);
+            prop_assert!(!v.is_empty() && v.len() < 8);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn select_map_and_regex(c in prop::sample::select(&b"ACGT"[..]), s in "[a-z0-9_ .:-]{1,30}", n in (0u8..4).prop_map(|x| x * 2)) {
+            prop_assert!(b"ACGT".contains(&c));
+            prop_assert!(!s.is_empty() && s.len() <= 30);
+            prop_assert!(s.bytes().all(|ch| ch.is_ascii_lowercase()
+                || ch.is_ascii_digit()
+                || b"_ .:-".contains(&ch)));
+            prop_assert!(n % 2 == 0 && n < 8);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = prop::collection::vec(any::<u64>(), 3..10);
+        let a = strat.generate(&mut crate::test_runner::TestRng::for_case("t", 0));
+        let b = strat.generate(&mut crate::test_runner::TestRng::for_case("t", 0));
+        let c = strat.generate(&mut crate::test_runner::TestRng::for_case("t", 1));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

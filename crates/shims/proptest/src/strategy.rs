@@ -1,0 +1,193 @@
+//! The [`Strategy`] trait and the primitive strategies the workspace uses.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no shrinking and no intermediate
+/// value tree: a strategy is just a deterministic function of the case RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy applying `f` to every generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.below(self.start as u128, self.end as u128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.below(*self.start() as u128, *self.end() as u128 + 1) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                // Shift to unsigned space to keep `below` arithmetic simple.
+                const BIAS: i128 = <$t>::MIN as i128;
+                let lo = (self.start as i128 - BIAS) as u128;
+                let hi = (self.end as i128 - BIAS) as u128;
+                (rng.below(lo, hi) as i128 + BIAS) as $t
+            }
+        }
+    )*};
+}
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $i:tt),+),)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+);
+
+/// The one regex shape the workspace's tests use: `[class]{min,max}`,
+/// where `class` is literal characters and `a-z` ranges (a trailing `-`
+/// is literal, as in standard regex character classes).
+fn unsupported(pattern: &str) -> ! {
+    panic!(
+        "proptest shim: unsupported string strategy {pattern:?}; only \"[class]{{min,max}}\" is implemented"
+    );
+}
+
+fn parse_class_repeat(pattern: &str) -> (Vec<char>, usize, usize) {
+    let Some(rest) = pattern.strip_prefix('[') else {
+        unsupported(pattern)
+    };
+    let Some((class, rest)) = rest.split_once(']') else {
+        unsupported(pattern)
+    };
+    let Some(counts) = rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) else {
+        unsupported(pattern)
+    };
+    let Some((min, max)) = counts.split_once(',') else {
+        unsupported(pattern)
+    };
+    let (Ok(min), Ok(max)) = (min.trim().parse::<usize>(), max.trim().parse::<usize>()) else {
+        unsupported(pattern)
+    };
+    assert!(min <= max, "bad repetition in {pattern:?}");
+
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "inverted range in {pattern:?}");
+            for c in lo..=hi {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
+    (alphabet, min, max)
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_class_repeat(self);
+        let n = rng.below(min as u128, max as u128 + 1) as usize;
+        (0..n)
+            .map(|_| alphabet[rng.below(0, alphabet.len() as u128) as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_regex_parses_workspace_pattern() {
+        let (alphabet, min, max) = parse_class_repeat("[a-zA-Z0-9_/ .:-]{1,30}");
+        assert_eq!((min, max), (1, 30));
+        for c in ['a', 'z', 'A', 'Z', '0', '9', '_', '/', ' ', '.', ':', '-'] {
+            assert!(alphabet.contains(&c), "missing {c:?}");
+        }
+        assert!(!alphabet.contains(&'!'));
+    }
+
+    #[test]
+    fn signed_ranges_cover_negatives() {
+        let mut rng = TestRng::for_case("signed", 0);
+        let mut seen_neg = false;
+        for _ in 0..200 {
+            let v = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&v));
+            seen_neg |= v < 0;
+        }
+        assert!(seen_neg);
+    }
+
+    #[test]
+    fn just_and_map() {
+        let mut rng = TestRng::for_case("just", 0);
+        assert_eq!(Just(41).generate(&mut rng), 41);
+        assert_eq!(Just(20).prop_map(|x| x * 2 + 2).generate(&mut rng), 42);
+    }
+}

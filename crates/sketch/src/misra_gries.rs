@@ -123,7 +123,7 @@ impl<K: Eq + Hash + Clone> MisraGries<K> {
             .filter(|(_, &c)| c >= min_count)
             .map(|(k, &c)| (k.clone(), c))
             .collect();
-        out.sort_by(|a, b| b.1.cmp(&a.1));
+        out.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
         out
     }
 

@@ -20,11 +20,7 @@ use hipmer_pgas::{CostModel, RankCtx, Team, Topology};
 use hipmer_readsim::{human_like_dataset, metagenome_dataset};
 use hipmer_sketch::CountHistogram;
 
-fn spectrum_histogram(
-    team: &Team,
-    reads: &[hipmer_seqio::SeqRecord],
-    k: usize,
-) -> CountHistogram {
+fn spectrum_histogram(team: &Team, reads: &[hipmer_seqio::SeqRecord], k: usize) -> CountHistogram {
     let (spectrum, _) = analyze_kmers(team, reads, &KmerAnalysisConfig::new(k));
     let mut hist = CountHistogram::new(256);
     for r in 0..team.ranks() {
@@ -49,8 +45,9 @@ fn main() {
     let ranks = 1024;
     let team = Team::new(Topology::edison(ranks));
     let cfg = PipelineConfig::metagenome_preset(k);
-    let lib_ranges = vec![0..reads.len()];
-    let assembly = assemble(&team, &reads, &lib_ranges, &cfg);
+    let lib_range = 0..reads.len();
+    let lib_ranges = std::slice::from_ref(&lib_range);
+    let assembly = assemble(&team, &reads, lib_ranges, &cfg);
 
     println!("\n--- contig generation only (scaffolding skipped by design, §5.4) ---");
     println!(
@@ -68,9 +65,7 @@ fn main() {
     let meta_hist = spectrum_histogram(&small_team, &reads, k);
     let isolate = human_like_dataset(total_len / 4, 12.0, true, 778);
     let iso_hist = spectrum_histogram(&small_team, &isolate.all_reads(), k);
-    let low = |h: &CountHistogram| {
-        (2..=4u64).map(|v| h.fraction(v)).sum::<f64>()
-    };
+    let low = |h: &CountHistogram| (2..=4u64).map(|v| h.fraction(v)).sum::<f64>();
     println!(
         "\nk-mer spectrum shape (fraction of surviving k-mers at count 2-4):\n  \
          metagenome {:.1}%  vs  isolate genome {:.1}%",
@@ -88,7 +83,10 @@ fn main() {
         rows.push((g.name.clone(), g.reference_len(), completeness));
     }
     rows.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
-    println!("{:<14} {:>10} {:>14}", "species", "size (bp)", "completeness");
+    println!(
+        "{:<14} {:>10} {:>14}",
+        "species", "size (bp)", "completeness"
+    );
     for (name, len, c) in rows.iter().take(8) {
         println!("{:<14} {:>10} {:>13.1}%", name, len, 100.0 * c);
     }

@@ -15,7 +15,9 @@
 use hipmer_contig::{build_graph, build_oracle, build_oracle_for_k, traverse_graph, ContigConfig};
 use hipmer_kanalysis::{analyze_kmers, KmerAnalysisConfig};
 use hipmer_pgas::{CostModel, Placement, Team, Topology};
-use hipmer_readsim::{apply_snps, human_like_dataset, simulate_library, ErrorModel, Genome, Library};
+use hipmer_readsim::{
+    apply_snps, human_like_dataset, simulate_library, ErrorModel, Genome, Library,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -48,7 +50,11 @@ fn main() {
     );
 
     // Build the oracle from those contigs (offline, off the critical path).
-    let oracle = Arc::new(build_oracle(&contigs1, &topo, (genome_len * 4).next_power_of_two()));
+    let oracle = Arc::new(build_oracle(
+        &contigs1,
+        &topo,
+        (genome_len * 4).next_power_of_two(),
+    ));
     println!(
         "oracle: {} KB replicated per rank, {} collisions",
         oracle.memory_bytes() / 1024,

@@ -51,7 +51,10 @@ fn main() -> std::io::Result<()> {
     println!("reads            : {} ({} bases)", s.n_reads, s.read_bases);
     println!("distinct k-mers  : {}", s.distinct_kmers);
     println!("contigs          : {} (N50 {})", s.n_contigs, s.contig_n50);
-    println!("scaffolds        : {} (N50 {})", s.n_scaffolds, s.scaffold_n50);
+    println!(
+        "scaffolds        : {} (N50 {})",
+        s.n_scaffolds, s.scaffold_n50
+    );
     println!(
         "gap closing      : {} spanned, {} walked, {} patched, {} overlap-joined, {} N-filled",
         s.gaps.spanned, s.gaps.walked, s.gaps.patched, s.gaps.overlap_joined, s.gaps.nfilled
@@ -63,8 +66,13 @@ fn main() -> std::io::Result<()> {
     println!("file I/O         : {:>9.4} s", t.io);
     println!("k-mer analysis   : {:>9.4} s", t.kmer_analysis);
     println!("contig generation: {:>9.4} s", t.contig_generation);
-    println!("scaffolding      : {:>9.4} s  (merAligner {:.4}, gap closing {:.4}, rest {:.4})",
-        t.scaffolding(), t.meraligner, t.gap_closing, t.rest_scaffolding);
+    println!(
+        "scaffolding      : {:>9.4} s  (merAligner {:.4}, gap closing {:.4}, rest {:.4})",
+        t.scaffolding(),
+        t.meraligner,
+        t.gap_closing,
+        t.rest_scaffolding
+    );
     println!("TOTAL            : {:>9.4} s", t.total());
 
     // Accuracy vs the known truth (QUAST-style evaluation).

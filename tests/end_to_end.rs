@@ -35,16 +35,23 @@ fn human_like_with_errors_assembles_accurately() {
     let dataset = human_like_dataset(50_000, 20.0, true, 123);
     let team = Team::new(Topology::new(8, 4));
     let reads = dataset.all_reads();
-    let assembly = assemble(&team, &reads, &lib_ranges(&dataset), &PipelineConfig::new(21));
+    let assembly = assemble(
+        &team,
+        &reads,
+        &lib_ranges(&dataset),
+        &PipelineConfig::new(21),
+    );
 
     let reference = reference_of(&dataset);
-    let (precision, completeness) =
-        kmer_containment(&reference, &assembly.scaffolds.sequences, 21);
+    let (precision, completeness) = kmer_containment(&reference, &assembly.scaffolds.sequences, 21);
     assert!(
         precision > 0.97,
         "erroneous sequence leaked into scaffolds: precision {precision}"
     );
-    assert!(completeness > 0.85, "genome lost: completeness {completeness}");
+    assert!(
+        completeness > 0.85,
+        "genome lost: completeness {completeness}"
+    );
     // Scaffolding must add contiguity beyond raw contigs.
     assert!(assembly.stats.scaffold_n50 >= assembly.stats.contig_n50);
 }
@@ -85,7 +92,7 @@ fn metagenome_recovers_abundant_species_only() {
     let assembly = assemble(
         &team,
         &reads,
-        &[0..reads.len()],
+        std::slice::from_ref(&(0..reads.len())),
         &PipelineConfig::metagenome_preset(21),
     );
     let mut best = 0.0f64;
@@ -95,7 +102,10 @@ fn metagenome_recovers_abundant_species_only() {
         best = best.max(completeness);
         worst = worst.min(completeness);
     }
-    assert!(best > 0.8, "the most abundant species must assemble: {best}");
+    assert!(
+        best > 0.8,
+        "the most abundant species must assemble: {best}"
+    );
     assert!(
         worst < 0.7,
         "some species must be under-sampled (lognormal abundances): {worst}"
@@ -128,7 +138,7 @@ fn file_and_memory_paths_agree() {
     let team = Team::new(Topology::new(4, 2));
 
     // In-memory (single-library call to match the file path semantics).
-    let mem = assemble(&team, &reads, &[0..reads.len()], &cfg);
+    let mem = assemble(&team, &reads, std::slice::from_ref(&(0..reads.len())), &cfg);
 
     // Through a FASTQ file.
     let dir = std::env::temp_dir().join(format!("hipmer-int-{}", std::process::id()));
@@ -178,8 +188,18 @@ fn haploid_assembly_has_no_misassemblies() {
         "hap",
         hipmer_readsim::human_like(60_000, 777).haplotypes.remove(0),
     );
-    let mut reads = simulate_library(&genome, &Library::short_insert(16.0), &ErrorModel::perfect(), 1);
-    let r2 = simulate_library(&genome, &Library::long_insert(1000, 4.0), &ErrorModel::perfect(), 2);
+    let mut reads = simulate_library(
+        &genome,
+        &Library::short_insert(16.0),
+        &ErrorModel::perfect(),
+        1,
+    );
+    let r2 = simulate_library(
+        &genome,
+        &Library::long_insert(1000, 4.0),
+        &ErrorModel::perfect(),
+        2,
+    );
     let split = reads.len();
     reads.extend(r2);
     let team = Team::new(Topology::new(8, 4));
@@ -207,7 +227,12 @@ fn diploid_breaks_are_only_phase_switches() {
     let dataset = human_like_dataset(60_000, 18.0, false, 777);
     let team = Team::new(Topology::new(8, 4));
     let reads = dataset.all_reads();
-    let assembly = assemble(&team, &reads, &lib_ranges(&dataset), &PipelineConfig::new(31));
+    let assembly = assemble(
+        &team,
+        &reads,
+        &lib_ranges(&dataset),
+        &PipelineConfig::new(31),
+    );
     let refs: Vec<&[u8]> = dataset.genomes[0]
         .haplotypes
         .iter()

@@ -16,13 +16,14 @@ fn communication_fraction_grows_with_node_count() {
     let offnode_at = |ranks: usize, rpn: usize| {
         let team = Team::new(Topology::new(ranks, rpn));
         let (_, reports) = analyze_kmers(&team, &reads, &cfg);
-        let t = reports
-            .iter()
-            .map(|r| r.totals())
-            .fold(hipmer_pgas::CommStats::new(), |mut acc, s| {
-                acc.merge(&s);
-                acc
-            });
+        let t =
+            reports
+                .iter()
+                .map(|r| r.totals())
+                .fold(hipmer_pgas::CommStats::new(), |mut acc, s| {
+                    acc.merge(&s);
+                    acc
+                });
         t.offnode_msgs as f64 / (t.offnode_msgs + t.onnode_msgs).max(1) as f64
     };
     let single_node = offnode_at(24, 24);
@@ -61,7 +62,10 @@ fn heavy_hitter_optimization_pays_off_at_scale_only() {
         high_gain > low_gain,
         "heavy-hitter gain must grow with concurrency: {low_gain:.2} -> {high_gain:.2}"
     );
-    assert!(high_gain > 1.2, "at scale the optimization must win: {high_gain:.2}");
+    assert!(
+        high_gain > 1.2,
+        "at scale the optimization must win: {high_gain:.2}"
+    );
 }
 
 #[test]

@@ -17,7 +17,7 @@ fn assembly_invariants(genome_len: usize, coverage: f64, seed: u64, ranks: usize
     );
     let team = Team::new(Topology::new(ranks, 4));
     let cfg = PipelineConfig::new(21);
-    let assembly = assemble(&team, &reads, &[0..reads.len()], &cfg);
+    let assembly = assemble(&team, &reads, std::slice::from_ref(&(0..reads.len())), &cfg);
 
     // 1. Scaffold sequences contain only ACGTN.
     for s in &assembly.scaffolds.sequences {
@@ -34,7 +34,10 @@ fn assembly_invariants(genome_len: usize, coverage: f64, seed: u64, ranks: usize
         "seed {seed}: precision {precision} (invented sequence!)"
     );
     // 3. Stats agree with the structures.
-    assert_eq!(assembly.stats.n_scaffolds, assembly.scaffolds.sequences.len());
+    assert_eq!(
+        assembly.stats.n_scaffolds,
+        assembly.scaffolds.sequences.len()
+    );
     assert_eq!(
         assembly.stats.scaffold_bases,
         assembly.scaffolds.total_bases()
@@ -85,7 +88,7 @@ proptest! {
         let cfg = PipelineConfig::new(21);
         let run = |ranks: usize| {
             let team = Team::new(Topology::new(ranks, 4));
-            assemble(&team, &reads, &[0..reads.len()], &cfg).scaffolds.sequences
+            assemble(&team, &reads, std::slice::from_ref(&(0..reads.len())), &cfg).scaffolds.sequences
         };
         prop_assert_eq!(run(ranks_a), run(ranks_b));
     }
