@@ -1,9 +1,19 @@
 //! The seed-and-extend alignment driver.
+//!
+//! Communication structure (merAligner §4.4): each rank streams **all** its
+//! reads' seed lookups through one [`LookupBatch`] (stage 1), consulting a
+//! per-rank [`SoftwareCache`] of seed hit lists first, then runs the
+//! candidate-clustering and extension logic per read on the resolved lists
+//! (stage 2) with a second cache of contig replicas. Both optimizations are
+//! result-transparent — alignments are byte-identical to the fine-grained
+//! path — and both are ablatable via [`AlignConfig::lookup_batch`] and
+//! [`AlignConfig::cache_entries`].
 
-use crate::index::{build_seed_index, SeedIndex};
+use crate::index::{build_seed_index, HitList, SeedIndex};
 use crate::sw::ungapped_matches;
 use hipmer_contig::ContigSet;
-use hipmer_pgas::{PhaseReport, RankCtx, Team};
+use hipmer_dna::Kmer;
+use hipmer_pgas::{LookupBatch, PhaseReport, RankCtx, SoftwareCache, Team};
 use hipmer_seqio::SeqRecord;
 use std::collections::HashMap;
 
@@ -22,6 +32,15 @@ pub struct AlignConfig {
     pub min_aligned: usize,
     /// Keep at most this many alignments per read (best first).
     pub max_alignments_per_read: usize,
+    /// Seed lookups buffered per destination rank before they ship as one
+    /// [`LookupBatch`] message. `<= 1` disables batching and issues one
+    /// fine-grained get per seed — the unoptimized baseline, kept as an
+    /// ablation hook.
+    pub lookup_batch: usize,
+    /// Capacity of the per-rank seed cache (which caches *negatively*:
+    /// absent seeds are remembered as absent) and of the per-rank contig
+    /// replica cache. `0` disables both caches.
+    pub cache_entries: usize,
 }
 
 impl AlignConfig {
@@ -34,6 +53,8 @@ impl AlignConfig {
             min_identity: 0.92,
             min_aligned: 30,
             max_alignments_per_read: 4,
+            lookup_batch: 256,
+            cache_entries: 4096,
         }
     }
 }
@@ -88,7 +109,112 @@ struct Candidate {
     diag: i64,
 }
 
-/// Align one read against the contigs using the seed index.
+/// One stride-selected seed of a read with its resolved hit list.
+struct ResolvedSeed {
+    /// Seed position in the read (forward coordinates).
+    rpos: usize,
+    /// Canonical seed appears reverse-complemented in the read.
+    read_rc: bool,
+    /// Canonical seed k-mer (the index key).
+    canon: Kmer,
+    /// The hit list, once resolved (`None` = seed absent from the index).
+    list: Option<HitList>,
+}
+
+/// Write one resolved lookup back into its seed slot, remembering the
+/// result (present *or* absent) in the seed cache.
+fn deliver_seed(
+    resolved: &mut [Vec<ResolvedSeed>],
+    cache: &mut Option<SoftwareCache<Kmer, Option<HitList>>>,
+    (slot, s): (usize, usize),
+    list: Option<HitList>,
+) {
+    if let Some(c) = cache.as_mut() {
+        c.insert(resolved[slot][s].canon, list.clone());
+    }
+    resolved[slot][s].list = list;
+}
+
+/// Stage 1: resolve every stride-selected seed of the rank's read chunk.
+///
+/// Cache-first, then one streaming [`LookupBatch`] over all misses of all
+/// reads — seeds from different reads that hash to the same owner share a
+/// message, which is what makes batching effective at high rank counts
+/// (a single read's ~two dozen seeds scatter too thinly). Results are
+/// byte-identical to per-seed [`DistHashMap::get`]s; only the message
+/// accounting differs.
+///
+/// [`DistHashMap::get`]: hipmer_pgas::DistHashMap::get
+fn resolve_seeds(
+    ctx: &mut RankCtx,
+    index: &SeedIndex,
+    reads: &[SeqRecord],
+    range: std::ops::Range<usize>,
+    cfg: &AlignConfig,
+) -> Vec<Vec<ResolvedSeed>> {
+    let codec = &index.codec;
+    let mut resolved: Vec<Vec<ResolvedSeed>> = range
+        .map(|ri| {
+            codec
+                .kmers(&reads[ri].seq)
+                .enumerate()
+                .filter(|(i, _)| i % cfg.seed_stride == 0)
+                .map(|(_, (pos, km))| {
+                    let canon = codec.canonical(km);
+                    ResolvedSeed {
+                        rpos: pos,
+                        read_rc: canon != km,
+                        canon,
+                        list: None,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut cache: Option<SoftwareCache<Kmer, Option<HitList>>> =
+        (cfg.cache_entries > 0).then(|| SoftwareCache::new(cfg.cache_entries));
+
+    if cfg.lookup_batch > 1 {
+        let mut lb: LookupBatch<'_, Kmer, HitList, (usize, usize)> =
+            LookupBatch::with_batch(&index.table, cfg.lookup_batch);
+        for slot in 0..resolved.len() {
+            for s in 0..resolved[slot].len() {
+                let canon = resolved[slot][s].canon;
+                if let Some(c) = cache.as_mut() {
+                    if let Some(list) = c.get(ctx, &canon) {
+                        resolved[slot][s].list = list;
+                        continue;
+                    }
+                }
+                lb.push(ctx, canon, (slot, s), &mut |_: &mut RankCtx, tag, v| {
+                    deliver_seed(&mut resolved, &mut cache, tag, v)
+                });
+            }
+        }
+        lb.finish(ctx, &mut |_: &mut RankCtx, tag, v| {
+            deliver_seed(&mut resolved, &mut cache, tag, v)
+        });
+    } else {
+        for slot in 0..resolved.len() {
+            for s in 0..resolved[slot].len() {
+                let canon = resolved[slot][s].canon;
+                if let Some(c) = cache.as_mut() {
+                    if let Some(list) = c.get(ctx, &canon) {
+                        resolved[slot][s].list = list;
+                        continue;
+                    }
+                }
+                let v = index.table.get(ctx, &canon);
+                deliver_seed(&mut resolved, &mut cache, (slot, s), v);
+            }
+        }
+    }
+    resolved
+}
+
+/// Stage 2: align one read against the contigs from its resolved seeds.
+#[allow(clippy::too_many_arguments)]
 fn align_one(
     ctx: &mut RankCtx,
     index: &SeedIndex,
@@ -96,36 +222,30 @@ fn align_one(
     read: &SeqRecord,
     read_idx: u32,
     cfg: &AlignConfig,
+    seeds: &[ResolvedSeed],
+    mut contig_cache: Option<&mut SoftwareCache<u32, ()>>,
 ) -> Vec<Alignment> {
     let codec = &index.codec;
     let mut candidates: HashMap<Candidate, u32> = HashMap::new();
 
-    let mut seed_positions: Vec<(usize, hipmer_dna::Kmer)> = Vec::new();
-    for (i, (pos, km)) in codec.kmers(&read.seq).enumerate() {
-        if i % cfg.seed_stride == 0 {
-            seed_positions.push((pos, km));
-        }
-    }
-    for &(rpos, km) in &seed_positions {
-        let canon = codec.canonical(km);
-        let read_rc = canon != km; // canonical seed appears RC'd in the read
-        let Some(list) = index.table.get(ctx, &canon) else {
+    for seed in seeds {
+        let Some(list) = &seed.list else {
             continue;
         };
         ctx.stats.compute(1);
-        if index.is_repeat(&list) {
+        if index.is_repeat(list) {
             continue;
         }
         for hit in &list.hits {
             // Strand of the read relative to the contig: the seed is RC'd
             // in the contig (hit.rc) and/or in the read (read_rc).
-            let rc = hit.rc != read_rc;
+            let rc = hit.rc != seed.read_rc;
             let diag = if rc {
                 // On the reverse strand the read position counts from the
                 // read's end.
-                hit.pos as i64 + (rpos + codec.k()) as i64
+                hit.pos as i64 + (seed.rpos + codec.k()) as i64
             } else {
-                hit.pos as i64 - rpos as i64
+                hit.pos as i64 - seed.rpos as i64
             };
             *candidates
                 .entry(Candidate {
@@ -150,10 +270,21 @@ fn align_one(
     let mut out: Vec<Alignment> = Vec::new();
     for (cand, _support) in ordered.into_iter().take(2 * cfg.max_alignments_per_read) {
         let contig = &contigs.contigs[cand.contig as usize];
-        // Fetch the contig window: one one-sided access to the contig's
-        // owner (contigs are distributed cyclically by id).
         let owner = cand.contig as usize % ctx.topo().ranks();
-        ctx.access(owner, read.seq.len() as u64);
+        match contig_cache.as_deref_mut() {
+            // Replica-cached path: a miss fetches the whole contig once
+            // (contig-length bytes, one message); every later candidate on
+            // this contig is served from the local replica.
+            Some(cache) => {
+                if cache.get(ctx, &cand.contig).is_none() {
+                    ctx.access(owner, contig.seq.len() as u64);
+                    cache.insert(cand.contig, ());
+                }
+            }
+            // Fine-grained path: fetch a read-length contig window per
+            // candidate from the contig's owner (cyclic by id).
+            None => ctx.access(owner, read.seq.len() as u64),
+        }
 
         // Orient the read to the contig's forward strand.
         let oriented: std::borrow::Cow<[u8]> = if cand.rc {
@@ -276,9 +407,25 @@ pub fn align_reads(
 
     let (chunks, mut stats) = team.run_named("scaffold/meraligner-align", |ctx| {
         let range = ctx.chunk(reads.len());
+        // Stage 1: every seed of every read in the chunk goes through the
+        // seed cache and one streaming lookup batch.
+        let resolved = resolve_seeds(ctx, &index, reads, range.clone(), cfg);
+        // Stage 2: candidate clustering and extension on resolved lists,
+        // with contig replicas cached per rank.
+        let mut contig_cache: Option<SoftwareCache<u32, ()>> =
+            (cfg.cache_entries > 0).then(|| SoftwareCache::new(cfg.cache_entries));
         let mut out = Vec::new();
-        for ri in range {
-            out.extend(align_one(ctx, &index, contigs, &reads[ri], ri as u32, cfg));
+        for (slot, ri) in range.enumerate() {
+            out.extend(align_one(
+                ctx,
+                &index,
+                contigs,
+                &reads[ri],
+                ri as u32,
+                cfg,
+                &resolved[slot],
+                contig_cache.as_mut(),
+            ));
         }
         out
     });
@@ -433,6 +580,53 @@ mod tests {
             align_reads(&team, &contigs, &reads, &AlignConfig::new(15)).0
         };
         assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn batching_and_caching_are_result_transparent_and_save_messages() {
+        let genome = lcg(1200, 31);
+        let contigs = one_contig_set(genome.clone());
+        // Overlapping reads so seeds repeat across reads (cache fodder).
+        let reads: Vec<SeqRecord> = (0..30)
+            .map(|i| read(&format!("r{i}"), genome[i * 20..i * 20 + 100].to_vec()))
+            .collect();
+        let run = |lookup_batch: usize, cache_entries: usize| {
+            let team = Team::new(Topology::new(6, 3));
+            let cfg = AlignConfig {
+                lookup_batch,
+                cache_entries,
+                ..AlignConfig::new(15)
+            };
+            let (alns, reports) = align_reads(&team, &contigs, &reads, &cfg);
+            let align_phase = reports
+                .iter()
+                .find(|r| r.name == "scaffold/meraligner-align")
+                .unwrap();
+            (alns, align_phase.totals())
+        };
+        let (base_alns, base) = run(1, 0); // fine-grained baseline
+        let (batch_alns, batch) = run(64, 0); // batch only
+        let (full_alns, full) = run(64, 4096); // batch + caches
+
+        // Alignments are byte-identical under every configuration.
+        assert_eq!(base_alns, batch_alns);
+        assert_eq!(base_alns, full_alns);
+
+        // Batching cuts messages without touching bytes or compute.
+        assert!(batch.total_accesses() < base.total_accesses());
+        assert!(batch.lookup_batches > 0);
+        assert_eq!(base.compute_ops, batch.compute_ops);
+        assert_eq!(
+            base.onnode_bytes + base.offnode_bytes,
+            batch.onnode_bytes + batch.offnode_bytes
+        );
+
+        // Caching cuts messages further and records its effectiveness.
+        assert!(full.total_accesses() < batch.total_accesses());
+        assert!(full.cache_hits > 0);
+        assert!(full.cache_misses > 0);
+        assert_eq!(base.cache_hits, 0);
+        assert_eq!(batch.cache_hits, 0);
     }
 }
 

@@ -102,7 +102,7 @@ pub fn build_seed_index(
                 );
             }
         }
-        agg.flush_all(ctx);
+        agg.finish(ctx);
     });
     table.drain_service_into(&mut stats);
     let report = PhaseReport::new("scaffold/meraligner-index", *team.topo(), stats);

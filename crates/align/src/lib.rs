@@ -1,5 +1,5 @@
 //! merAligner: parallel seed-and-extend read-to-contig alignment (§4.3,
-//! and [12] in the paper).
+//! and reference \[12\] in the paper).
 //!
 //! merAligner is the most expensive scaffolding module (Fig. 7 plots it
 //! separately). It builds a **distributed seed index** over the contigs —

@@ -31,7 +31,7 @@ pub struct DebruijnGraph {
 /// for the communication-avoiding traversal).
 ///
 /// Only UU k-mers become vertices (§2: "for k-mers where the extensions
-/// are [unique] in both directions"). Each rank streams its local spectrum
+/// are \[unique\] in both directions"). Each rank streams its local spectrum
 /// shard into the graph table; with cyclic→cyclic placement this is mostly
 /// rank-local, while an oracle placement reshuffles vertices to their
 /// contig's rank (paying the one-time movement the paper folds into graph

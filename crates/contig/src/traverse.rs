@@ -17,7 +17,7 @@ use crate::contig_set::ContigSet;
 use crate::graph::{DebruijnGraph, GraphNode};
 use hipmer_dna::{canonical_seq, decode_base, ExtensionPair, Kmer, KmerCodec};
 use hipmer_kanalysis::KmerSpectrum;
-use hipmer_pgas::{PhaseReport, Placement, RankCtx, Team};
+use hipmer_pgas::{PhaseReport, Placement, RankCtx, SoftwareCache, Team};
 
 /// Which traversal algorithm to run (ablation hook; all three emit the
 /// identical contig set).
@@ -50,6 +50,13 @@ pub struct ContigConfig {
     /// Cooperative mode: cap on steps per walk before the subcontig is
     /// closed with a boundary link (keeps per-rank work bounded).
     pub walk_cap: usize,
+    /// Capacity of the per-rank node cache fronting *extension-only* reads
+    /// of the graph table (endpoint checks, walk steps, boundary probes).
+    /// `exts` never changes after the graph is built, so those reads obey
+    /// the [`SoftwareCache`] coherence contract; reads that consult the
+    /// mutable `visited` flag, and all claiming writes, bypass the cache.
+    /// `0` disables caching (ablation hook).
+    pub node_cache: usize,
 }
 
 impl ContigConfig {
@@ -60,7 +67,31 @@ impl ContigConfig {
             placement: Placement::Cyclic,
             mode: TraversalMode::Cooperative,
             walk_cap: 2048,
+            node_cache: 16384,
         }
+    }
+
+    /// The per-rank node cache for this configuration (`None` if disabled).
+    fn make_cache(&self) -> Option<SoftwareCache<Kmer, GraphNode>> {
+        (self.node_cache > 0).then(|| SoftwareCache::new(self.node_cache))
+    }
+}
+
+/// A node read that only consults the immutable `exts` field (and
+/// existence), served through the per-rank cache when one is configured.
+///
+/// Coherence: a cached [`GraphNode`] may carry a **stale `visited` flag** —
+/// callers must not read it. Freshness checks and claims go through
+/// `graph.nodes` directly.
+fn node_for_exts(
+    graph: &DebruijnGraph,
+    ctx: &mut RankCtx,
+    cache: &mut Option<SoftwareCache<Kmer, GraphNode>>,
+    key: &Kmer,
+) -> Option<GraphNode> {
+    match cache.as_mut() {
+        Some(c) => c.get_through(ctx, &graph.nodes, key),
+        None => graph.nodes.get(ctx, key),
     }
 }
 
@@ -99,13 +130,14 @@ fn exts_of(node: &GraphNode, flipped: bool) -> ExtensionPair {
 fn step_right(
     graph: &DebruijnGraph,
     ctx: &mut RankCtx,
+    cache: &mut Option<SoftwareCache<Kmer, GraphNode>>,
     cur: Oriented,
     cur_node: &GraphNode,
 ) -> Option<(Oriented, GraphNode, u8)> {
     let codec = &graph.codec;
     let b = exts_of(cur_node, cur.flipped).right.unique_base()?;
     let next = orient(codec, codec.extend_right(cur.kmer, b));
-    let node = graph.nodes.get(ctx, &next.canon)?;
+    let node = node_for_exts(graph, ctx, cache, &next.canon)?;
     ctx.stats.compute(1);
     // Mutual check: the next vertex's left extension must point back at the
     // base we dropped (the current k-mer's first base).
@@ -116,13 +148,19 @@ fn step_right(
 }
 
 /// Whether the vertex has a mutual left neighbor (one lookup).
-fn has_left(graph: &DebruijnGraph, ctx: &mut RankCtx, cur: Oriented, cur_node: &GraphNode) -> bool {
+fn has_left(
+    graph: &DebruijnGraph,
+    ctx: &mut RankCtx,
+    cache: &mut Option<SoftwareCache<Kmer, GraphNode>>,
+    cur: Oriented,
+    cur_node: &GraphNode,
+) -> bool {
     let codec = &graph.codec;
     let Some(b) = exts_of(cur_node, cur.flipped).left.unique_base() else {
         return false;
     };
     let prev = orient(codec, codec.extend_left(cur.kmer, b));
-    let Some(pnode) = graph.nodes.get(ctx, &prev.canon) else {
+    let Some(pnode) = node_for_exts(graph, ctx, cache, &prev.canon) else {
         return false;
     };
     ctx.stats.compute(1);
@@ -134,6 +172,7 @@ fn has_left(graph: &DebruijnGraph, ctx: &mut RankCtx, cur: Oriented, cur_node: &
 fn walk_right(
     graph: &DebruijnGraph,
     ctx: &mut RankCtx,
+    cache: &mut Option<SoftwareCache<Kmer, GraphNode>>,
     start: Oriented,
     start_node: GraphNode,
 ) -> (Vec<u8>, Vec<Kmer>, Oriented) {
@@ -142,7 +181,7 @@ fn walk_right(
     let mut path = vec![start.canon];
     let mut cur = start;
     let mut cur_node = start_node;
-    while let Some((next, node, b)) = step_right(graph, ctx, cur, &cur_node) {
+    while let Some((next, node, b)) = step_right(graph, ctx, cache, cur, &cur_node) {
         // A walk from a true endpoint cannot revisit (in/out degree ≤ 1),
         // but a cycle walk returns to its start; callers handle that — here
         // we guard against it to keep linear walks finite in all cases.
@@ -252,6 +291,10 @@ fn traverse_cooperative(
             _ => "contig/traversal/pass-final",
         };
         team.run_named(label, |ctx| {
+            // Per-rank node cache: in cooperative mode only the cap-boundary
+            // existence probes are exts-only reads (claims must see fresh
+            // `visited` and always bypass it).
+            let mut cache = cfg.make_cache();
             // Seed scan: a snapshot of the local shard. Already-claimed
             // vertices are skipped from the (possibly stale) snapshot without
             // a table lookup — claims never revert, so a stale "claimed" is
@@ -341,7 +384,7 @@ fn traverse_cooperative(
                     // boundary another subcontig will seed from.
                     let b = exts_of(&cur_node, cur.flipped).right.unique_base().unwrap();
                     let next = orient(&codec, codec.extend_right(cur.kmer, b));
-                    if graph.nodes.get(ctx, &next.canon).is_some() {
+                    if node_for_exts(graph, ctx, &mut cache, &next.canon).is_some() {
                         right_link = Some(next.canon);
                     }
                 }
@@ -383,7 +426,7 @@ fn traverse_cooperative(
                 if hit_cap && exts_of(&cur_node, cur.flipped).right.is_unique() {
                     let b = exts_of(&cur_node, cur.flipped).right.unique_base().unwrap();
                     let next = orient(&codec, codec.extend_right(cur.kmer, b));
-                    if graph.nodes.get(ctx, &next.canon).is_some() {
+                    if node_for_exts(graph, ctx, &mut cache, &next.canon).is_some() {
                         left_link = Some(next.canon);
                     }
                 }
@@ -566,8 +609,12 @@ fn traverse_endpoints(
     graph: &DebruijnGraph,
     cfg: &ContigConfig,
 ) -> (Vec<Vec<u8>>, Vec<hipmer_pgas::CommStats>) {
-    // Pass 1: endpoint walks.
+    // Pass 1: endpoint walks. Every endpoint check and walk step is an
+    // exts-only read, so the whole pass runs through the node cache: path
+    // vertices are read several times (once per orientation check of their
+    // own endpoint role, once per walk over the path) and repeats hit.
     let (seqs, stats) = team.run_named("contig/traversal/endpoints", |ctx| {
+        let mut cache = cfg.make_cache();
         let local = graph.nodes.snapshot_local(ctx);
         let mut out: Vec<Vec<u8>> = Vec::new();
         for (km, node) in local {
@@ -587,10 +634,10 @@ fn traverse_endpoints(
                         flipped: false,
                     }
                 };
-                if has_left(graph, ctx, oriented, &node) {
+                if has_left(graph, ctx, &mut cache, oriented, &node) {
                     continue;
                 }
-                let (seq, path, end) = walk_right(graph, ctx, oriented, node);
+                let (seq, path, end) = walk_right(graph, ctx, &mut cache, oriented, node);
                 // Tie-break: of the two endpoint walks over this path, emit
                 // the one whose start key is smaller; single-vertex paths
                 // (start == end) emit from the canonical orientation only.
@@ -614,6 +661,7 @@ fn traverse_endpoints(
     // Pass 2: cycle cleanup. Any vertex still unvisited lies on a cycle;
     // walk it, and the walker whose start is the cycle's minimum key emits.
     let (cycle_seqs, cycle_stats) = team.run_named("contig/traversal/cycles", |ctx| {
+        let mut cache = cfg.make_cache();
         let local: Vec<(Kmer, GraphNode)> = graph
             .nodes
             .snapshot_local(ctx)
@@ -623,7 +671,7 @@ fn traverse_endpoints(
         let mut out: Vec<Vec<u8>> = Vec::new();
         for (km, node) in local {
             // Re-check visited (an earlier walk this pass may have claimed
-            // the cycle).
+            // the cycle). Reads `visited`, so it must bypass the cache.
             let still = graph
                 .nodes
                 .get(ctx, &km)
@@ -637,7 +685,7 @@ fn traverse_endpoints(
                 canon: km,
                 flipped: false,
             };
-            let (seq, path, _) = walk_right(graph, ctx, start, node);
+            let (seq, path, _) = walk_right(graph, ctx, &mut cache, start, node);
             let min = path.iter().min().copied().expect("non-empty path");
             if min == km {
                 mark_visited(graph, ctx, &path);
@@ -668,10 +716,12 @@ pub fn speculative(
     cfg: &ContigConfig,
 ) -> (Vec<Vec<u8>>, Vec<hipmer_pgas::CommStats>) {
     let (seqs, stats) = team.run_named("contig/traversal/speculative", |ctx| {
+        let mut cache = cfg.make_cache();
         let local = graph.nodes.snapshot_local(ctx);
         let mut out: Vec<Vec<u8>> = Vec::new();
         for (km, node) in local {
-            // Skip seeds already swallowed by a completed walk.
+            // Skip seeds already swallowed by a completed walk. Reads
+            // `visited`, so it must bypass the cache.
             let fresh = graph
                 .nodes
                 .get(ctx, &km)
@@ -686,16 +736,16 @@ pub fn speculative(
                 canon: km,
                 flipped: true,
             };
-            let (_, lpath, left_end) = walk_right(graph, ctx, flipped_seed, node);
+            let (_, lpath, left_end) = walk_right(graph, ctx, &mut cache, flipped_seed, node);
             let _ = lpath;
             // left_end is the path's left endpoint in flipped orientation;
-            // re-flip to walk the path forward.
+            // re-flip to walk the path forward (exts-only read).
             let start = orient(&graph.codec, graph.codec.revcomp(left_end.kmer));
-            let start_node = match graph.nodes.get(ctx, &start.canon) {
+            let start_node = match node_for_exts(graph, ctx, &mut cache, &start.canon) {
                 Some(n) => n,
                 None => continue,
             };
-            let (seq, path, _) = walk_right(graph, ctx, start, start_node);
+            let (seq, path, _) = walk_right(graph, ctx, &mut cache, start, start_node);
             mark_visited(graph, ctx, &path);
             if seq.len() >= cfg.min_contig_len {
                 out.push(canonical_seq(seq));

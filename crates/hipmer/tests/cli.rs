@@ -170,7 +170,7 @@ fn trace_and_report_json_outputs_are_valid() {
     let report_doc = Value::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
     assert_eq!(
         report_doc.get("schema_version").and_then(Value::as_u64),
-        Some(1)
+        Some(2)
     );
     assert_eq!(
         report_doc
@@ -198,6 +198,26 @@ fn trace_and_report_json_outputs_are_valid() {
         !count.get("hot_keys").unwrap().as_arr().unwrap().is_empty(),
         "traced run must surface hot keys"
     );
+    // Schema v2: the read-side communication-avoidance counters are
+    // reported, and the aligner exercises both batching and caching.
+    let align = phases
+        .iter()
+        .find(|p| p.get("name").and_then(Value::as_str) == Some("scaffold/meraligner-align"))
+        .expect("align phase present");
+    let totals = align.get("totals").expect("phase totals present");
+    assert!(
+        totals
+            .get("lookup_batches")
+            .and_then(Value::as_u64)
+            .unwrap()
+            > 0,
+        "aligner must ship batched lookups"
+    );
+    assert!(
+        totals.get("cache_hits").and_then(Value::as_u64).unwrap() > 0,
+        "aligner caches must see hits"
+    );
+    assert!(totals.get("cache_misses").and_then(Value::as_u64).is_some());
     std::fs::remove_dir_all(&dir).ok();
 }
 

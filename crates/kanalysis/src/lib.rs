@@ -12,12 +12,12 @@
 //!    θ = 32,000 in the paper). Summaries are merged in a reduction —
 //!    "essentially free in terms of I/O costs" because the pass shares the
 //!    cardinality scan.
-//! 2. **Bloom pass** ([`count::bloom_pass`]): each k-mer occurrence is
+//! 2. **Bloom pass** (`count::bloom_pass`): each k-mer occurrence is
 //!    routed to its owner (aggregating stores); the owner inserts the key
 //!    hash into its Bloom filter and creates a table entry the *second*
 //!    time it sees the key. Singletons — overwhelmingly sequencing errors —
 //!    never enter the table, the paper's up-to-85% memory saving.
-//! 3. **Count pass** ([`count::count_pass`]): occurrences are routed again
+//! 3. **Count pass** (`count::count_pass`): occurrences are routed again
 //!    with their quality-filtered extension votes and merged into existing
 //!    entries only. Heavy hitters bypass the owner-computes path: every
 //!    rank accumulates them locally and one final global reduction merges

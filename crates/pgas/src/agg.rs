@@ -1,4 +1,4 @@
-//! Aggregating stores (§4.1 of the paper, introduced in [13]).
+//! Aggregating stores (§4.1 of the paper, introduced in \[13\]).
 //!
 //! Fine-grained remote upserts — one per k-mer, splint, or span — would put
 //! one message on the network each. The aggregating-stores optimization
@@ -10,6 +10,10 @@
 //! The buffered elements still pay bandwidth (bytes are accounted in full);
 //! only the per-message latency and per-element lock traffic are saved —
 //! the same trade the paper's UPC implementation makes.
+//!
+//! This module batches the *write* path; [`crate::LookupBatch`] and
+//! [`crate::SoftwareCache`] in [`crate::lookup`] are the read-side
+//! counterparts, with the same accounting contract.
 
 use crate::dht::DistHashMap;
 use crate::team::RankCtx;
@@ -81,9 +85,31 @@ impl<T> Outbox<T> {
         }
     }
 
+    /// Consume the outbox: flush every buffer, then hard-assert nothing is
+    /// left pending. Prefer this over a bare [`flush_all`](Self::flush_all)
+    /// at the end of a phase — it cannot be silently skipped on an early
+    /// return path, and it runs the check in release builds too.
+    pub fn finish<F>(mut self, ctx: &mut RankCtx, apply: &mut F)
+    where
+        F: FnMut(usize, Vec<T>),
+    {
+        self.flush_all(ctx, apply);
+        assert_eq!(self.pending(), 0, "Outbox::finish left items pending");
+    }
+
     /// Items currently buffered.
     pub fn pending(&self) -> usize {
         self.buffers.iter().map(Vec::len).sum()
+    }
+}
+
+impl<T> Drop for Outbox<T> {
+    fn drop(&mut self) {
+        debug_assert_eq!(
+            self.pending(),
+            0,
+            "Outbox dropped with un-shipped items; call finish(ctx, ..)"
+        );
     }
 }
 
@@ -96,8 +122,11 @@ pub const DEFAULT_BATCH: usize = 256;
 ///
 /// One `AggregatingStores` is created per acting rank per phase (it is not
 /// shared between ranks). Call [`push`](Self::push) for each update and
-/// [`flush_all`](Self::flush_all) before the phase ends; un-flushed updates
-/// are lost (a `debug_assert` guards against it).
+/// consume the aggregator with [`finish`](Self::finish) (or at least
+/// [`flush_all`](Self::flush_all)) before the phase ends; un-flushed
+/// updates are lost (`finish` asserts in all builds, and a `debug_assert`
+/// in `Drop` catches aggregators abandoned at phase end). The read-side
+/// mirror of this type is [`crate::LookupBatch`].
 pub struct AggregatingStores<'a, K, V, M>
 where
     M: Fn(&mut V, V),
@@ -160,6 +189,19 @@ where
         for dest in 0..self.buffers.len() {
             self.ship(ctx, dest);
         }
+    }
+
+    /// Consume the aggregator: flush every buffer, then hard-assert all
+    /// buffers drained. Unlike the `Drop` debug assertion this also fires
+    /// in release builds, closing the flush-on-drop hole for phases whose
+    /// updates must not be silently lost.
+    pub fn finish(mut self, ctx: &mut RankCtx) {
+        self.flush_all(ctx);
+        assert_eq!(
+            self.pending(),
+            0,
+            "AggregatingStores::finish left updates pending"
+        );
     }
 }
 
@@ -252,6 +294,19 @@ mod tests {
         assert_eq!(agg.pending(), 5);
         agg.flush_all(&mut ctx);
         assert_eq!(agg.pending(), 0);
+        assert_eq!(dht.len(), 5);
+    }
+
+    #[test]
+    fn finish_flushes_and_consumes() {
+        let topo = Topology::new(2, 2);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut ctx = RankCtx::new(0, topo);
+        let mut agg = AggregatingStores::new(&dht, |a: &mut u32, b| *a += b);
+        for k in 0..5u64 {
+            agg.push(&mut ctx, k, 1);
+        }
+        agg.finish(&mut ctx);
         assert_eq!(dht.len(), 5);
     }
 

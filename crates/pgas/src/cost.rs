@@ -83,6 +83,13 @@ pub struct CostModel {
     pub bw_offnode: f64,
     /// Seconds of service work at the owner per remotely-landed update.
     pub t_service: f64,
+    /// Seconds per [`SoftwareCache`](crate::SoftwareCache) probe (hit *or*
+    /// miss): a local hash lookup with no shard lock, cheaper than
+    /// `t_local`. Batched lookups need no price of their own — a shipped
+    /// batch is one message (priced by `t_onnode`/`t_offnode`) carrying
+    /// full bytes (priced by the bandwidth terms), so the saving falls out
+    /// of the existing terms.
+    pub t_cache: f64,
     /// Barrier cost: `t_barrier_base * log2(ranks)` per barrier.
     pub t_barrier_base: f64,
     /// Per-rank storage bandwidth, bytes/second (before saturation).
@@ -104,6 +111,7 @@ impl CostModel {
             bw_onnode: 4.0e9,
             bw_offnode: 1.0e9,
             t_service: 1.5e-7,
+            t_cache: 2.0e-8,
             t_barrier_base: 5.0e-6,
             io_bw_per_rank: 8.0e7,
             io_bw_aggregate: 7.2e10,
@@ -127,7 +135,8 @@ impl CostModel {
         RankBreakdown {
             compute: s.compute_ops as f64 * self.t_compute
                 + s.local_ops as f64 * self.t_local
-                + s.service_ops as f64 * self.t_service,
+                + s.service_ops as f64 * self.t_service
+                + (s.cache_hits + s.cache_misses) as f64 * self.t_cache,
             latency: s.onnode_msgs as f64 * self.t_onnode + s.offnode_msgs as f64 * self.t_offnode,
             bandwidth: s.onnode_bytes as f64 / self.bw_onnode
                 + s.offnode_bytes as f64 / self.bw_offnode,
@@ -214,6 +223,26 @@ mod tests {
         let model = CostModel::edison();
         assert!(model.t_offnode > model.t_onnode);
         assert!(model.t_onnode > model.t_local);
+    }
+
+    #[test]
+    fn cache_probe_is_cheaper_than_any_access() {
+        let model = CostModel::edison();
+        assert!(model.t_cache < model.t_local);
+        // A workload served from cache must price below the same workload
+        // hitting remote owners.
+        let cached = CommStats {
+            cache_hits: 10_000,
+            ..CommStats::default()
+        };
+        let remote = CommStats {
+            offnode_msgs: 10_000,
+            offnode_bytes: 160_000,
+            ..CommStats::default()
+        };
+        assert!(
+            model.rank_breakdown(&cached).total() * 10.0 < model.rank_breakdown(&remote).total()
+        );
     }
 
     #[test]

@@ -125,6 +125,14 @@ where
         &self.topo
     }
 
+    /// Logical payload bytes accounted per transferred entry (key + value
+    /// size estimate). Batched reads and writes charge `n * entry_bytes`
+    /// per shipped buffer so bandwidth totals match the fine-grained path.
+    #[inline]
+    pub fn entry_bytes(&self) -> u64 {
+        self.entry_bytes
+    }
+
     /// The 64-bit hash used for placement (stable across ranks and runs).
     #[inline]
     pub fn key_hash(&self, key: &K) -> u64 {
@@ -212,6 +220,72 @@ where
         let owner = self.owner(key);
         self.account(ctx, owner);
         self.shards[owner].lock().remove(key)
+    }
+
+    /// Answer a batch of lookups that arrived as **one** multi-get message
+    /// (see [`crate::LookupBatch`] / [`multi_get`](Self::multi_get)). The
+    /// caller has already accounted the message; like
+    /// [`get`](Self::get) — and unlike [`merge_batch`](Self::merge_batch) —
+    /// this tallies **no** service ops and does not touch the hot-key
+    /// summary, so converting a loop of `get`s into one `fetch_batch` leaves
+    /// every counter except the message count unchanged.
+    ///
+    /// Every key must be owned by `dest` (checked in debug builds). Results
+    /// come back in key order; the owner's shard lock is taken once for the
+    /// whole batch — the read-side analogue of the aggregated-store lock
+    /// saving documented in [`crate::agg`].
+    pub fn fetch_batch(&self, dest: usize, keys: &[&K]) -> Vec<Option<V>>
+    where
+        V: Clone,
+    {
+        let shard = self.shards[dest].lock();
+        keys.iter()
+            .map(|k| {
+                debug_assert_eq!(self.owner(k), dest, "fetch_batch key not owned by dest");
+                shard.get(*k).cloned()
+            })
+            .collect()
+    }
+
+    /// Batched one-sided read: group `keys` by owner, ship **one** message
+    /// per distinct owner (bytes accounted in full — `group_len *
+    /// entry_bytes` — mirroring [`crate::Outbox`] semantics), and return the
+    /// values in input-key order.
+    ///
+    /// Results are byte-identical to `keys.iter().map(|k| self.get(ctx,
+    /// k))`; only the accounting differs: per-message latency is divided by
+    /// the group size, bandwidth is not saved, and
+    /// [`CommStats::lookup_batches`](crate::CommStats::lookup_batches) is
+    /// incremented once per shipped group. For streaming call sites that
+    /// cannot collect keys up front, use [`crate::LookupBatch`].
+    pub fn multi_get(&self, ctx: &mut RankCtx, keys: &[K]) -> Vec<Option<V>>
+    where
+        V: Clone,
+    {
+        let ranks = self.topo.ranks();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); ranks];
+        for (i, k) in keys.iter().enumerate() {
+            groups[self.owner(k)].push(i);
+        }
+        let mut out: Vec<Option<V>> = Vec::with_capacity(keys.len());
+        out.resize_with(keys.len(), || None);
+        for (dest, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            ctx.stats.access(
+                &self.topo,
+                ctx.rank,
+                dest,
+                group.len() as u64 * self.entry_bytes,
+            );
+            ctx.stats.lookup_batches += 1;
+            let batch_keys: Vec<&K> = group.iter().map(|&i| &keys[i]).collect();
+            for (i, v) in group.into_iter().zip(self.fetch_batch(dest, &batch_keys)) {
+                out[i] = v;
+            }
+        }
+        out
     }
 
     /// Apply a batch of merged updates that arrived as **one** aggregated

@@ -15,6 +15,10 @@
 //!   [`CommStats`];
 //! * [`AggregatingStores`] implements the paper's "aggregating stores"
 //!   optimization: per-destination batching of fine-grained updates;
+//! * [`LookupBatch`] and [`SoftwareCache`] are the read-side counterparts
+//!   (§4.4's seed-index batching and contig caching): batched multi-gets
+//!   that pay one message of latency per buffer, and a per-rank CLOCK
+//!   cache for immutable-after-build tables;
 //! * a [`CostModel`] converts the per-rank counters of a finished phase into
 //!   modeled wall-clock seconds (critical-path max over ranks, plus barrier
 //!   and I/O terms with aggregate-bandwidth saturation).
@@ -24,10 +28,13 @@
 //! ranks) report modeled time derived from the same event counts the Aries
 //! network would have carried. `DESIGN.md` §1 documents this substitution.
 
+#![warn(missing_docs)]
+
 pub mod agg;
 pub mod cost;
 pub mod dht;
 pub mod json;
+pub mod lookup;
 pub mod oracle;
 pub mod report;
 pub mod stats;
@@ -38,6 +45,7 @@ pub mod trace;
 pub use agg::{AggregatingStores, Outbox};
 pub use cost::{CostModel, ModeledTime, RankBreakdown};
 pub use dht::{DistHashMap, Placement};
+pub use lookup::{LookupBatch, SoftwareCache};
 pub use oracle::OracleVector;
 pub use report::{PhaseReport, PipelineReport};
 pub use stats::CommStats;

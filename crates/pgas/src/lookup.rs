@@ -1,0 +1,432 @@
+//! Read-side communication avoidance: batched multi-gets and per-rank
+//! software caching.
+//!
+//! [`crate::AggregatingStores`] batches the *store* path; the lookup path —
+//! de Bruijn traversal probes, merAligner seed lookups, scaffolding bucket
+//! reads — is just as irregular and, un-batched, pays one message of
+//! latency per key. This module provides the two levers the paper (§4.4)
+//! and its follow-ups use to close that gap:
+//!
+//! * [`LookupBatch`] — an [`Outbox`](crate::Outbox)-shaped buffer of key
+//!   requests per destination rank. Each full buffer ships as **one**
+//!   message (answered by [`DistHashMap::fetch_batch`]) and results are
+//!   delivered through a per-key callback. Per-message latency and
+//!   per-key shard-lock traffic are divided by the batch factor; bytes are
+//!   accounted in full — batching never saves bandwidth.
+//! * [`SoftwareCache`] — a bounded per-rank read-only cache (CLOCK
+//!   replacement) for tables that are **immutable after build** (seed
+//!   index, contig lookup, oracle partition map). A hit avoids the remote
+//!   access entirely — latency *and* bandwidth — at the price of a local
+//!   probe ([`CostModel::t_cache`](crate::CostModel::t_cache)).
+//!
+//! Cache coherence contract: the cache holds snapshots and is never
+//! invalidated, so it may only front tables that no rank mutates while the
+//! cache is live. Callers that read a mutable field (e.g. a traversal
+//! `visited` flag) must bypass the cache and use [`DistHashMap::get`]
+//! directly. Hits and misses are tallied into
+//! [`CommStats::cache_hits`](crate::CommStats::cache_hits) /
+//! [`CommStats::cache_misses`](crate::CommStats::cache_misses) so cache
+//! effectiveness is visible in `--report-json` (schema v2).
+
+use crate::dht::DistHashMap;
+use crate::team::RankCtx;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A per-destination buffer set for batched one-sided reads from a
+/// [`DistHashMap`] — the read-side mirror of [`crate::AggregatingStores`].
+///
+/// Each queued key carries a caller-supplied *tag* (e.g. a read index or
+/// sequence position) handed back to the delivery callback alongside the
+/// looked-up value, so streaming call sites can route results without
+/// holding their own key→context map. One `LookupBatch` is created per
+/// acting rank per phase; it is not shared between ranks.
+///
+/// Unlike the write-side aggregator, un-flushed lookups are not merely
+/// *lost* — the caller never observes its results — so the batch must be
+/// consumed with [`finish`](Self::finish) (which hard-asserts all buffers
+/// drained) or explicitly [`flush_all`](Self::flush_all)ed; a
+/// `debug_assert` in `Drop` catches batches abandoned at phase end.
+pub struct LookupBatch<'a, K, V, T> {
+    dht: &'a DistHashMap<K, V>,
+    buffers: Vec<Vec<(K, T)>>,
+    batch: usize,
+}
+
+impl<'a, K, V, T> LookupBatch<'a, K, V, T>
+where
+    K: Hash + Eq + Send,
+    V: Clone + Send,
+{
+    /// New buffer set reading from `dht` with the default batch size
+    /// ([`crate::agg::DEFAULT_BATCH`]).
+    pub fn new(dht: &'a DistHashMap<K, V>) -> Self {
+        Self::with_batch(dht, crate::agg::DEFAULT_BATCH)
+    }
+
+    /// As [`new`](Self::new) with an explicit batch size (ablation hook).
+    pub fn with_batch(dht: &'a DistHashMap<K, V>, batch: usize) -> Self {
+        assert!(batch >= 1);
+        let ranks = dht.topo().ranks();
+        LookupBatch {
+            dht,
+            buffers: (0..ranks).map(|_| Vec::new()).collect(),
+            batch,
+        }
+    }
+
+    /// Queue a lookup of `key`, remembering `tag`; if the owner's buffer is
+    /// full it ships as one message and `deliver` is called once per
+    /// resolved key (in queue order) with the tag and the value clone.
+    pub fn push<F>(&mut self, ctx: &mut RankCtx, key: K, tag: T, deliver: &mut F)
+    where
+        F: FnMut(&mut RankCtx, T, Option<V>),
+    {
+        let dest = self.dht.owner(&key);
+        self.buffers[dest].push((key, tag));
+        if self.buffers[dest].len() >= self.batch {
+            self.ship(ctx, dest, deliver);
+        }
+    }
+
+    /// Ship one destination's buffer as a single multi-get message.
+    fn ship<F>(&mut self, ctx: &mut RankCtx, dest: usize, deliver: &mut F)
+    where
+        F: FnMut(&mut RankCtx, T, Option<V>),
+    {
+        let entries = std::mem::take(&mut self.buffers[dest]);
+        if entries.is_empty() {
+            return;
+        }
+        // One message event carrying the whole request batch; bytes in
+        // full, exactly like the write-side Outbox.
+        ctx.stats.access(
+            self.dht.topo(),
+            ctx.rank,
+            dest,
+            entries.len() as u64 * self.dht.entry_bytes(),
+        );
+        ctx.stats.lookup_batches += 1;
+        let keys: Vec<&K> = entries.iter().map(|(k, _)| k).collect();
+        let values = self.dht.fetch_batch(dest, &keys);
+        for ((_, tag), value) in entries.into_iter().zip(values) {
+            deliver(ctx, tag, value);
+        }
+    }
+
+    /// Ship every non-empty buffer (call before the phase barrier).
+    pub fn flush_all<F>(&mut self, ctx: &mut RankCtx, deliver: &mut F)
+    where
+        F: FnMut(&mut RankCtx, T, Option<V>),
+    {
+        for dest in 0..self.buffers.len() {
+            self.ship(ctx, dest, deliver);
+        }
+    }
+
+    /// Consume the batch: flush every buffer, then hard-assert nothing is
+    /// left pending. Prefer this over a bare [`flush_all`](Self::flush_all)
+    /// at the end of a phase — it cannot be silently skipped on an early
+    /// return path.
+    pub fn finish<F>(mut self, ctx: &mut RankCtx, deliver: &mut F)
+    where
+        F: FnMut(&mut RankCtx, T, Option<V>),
+    {
+        self.flush_all(ctx, deliver);
+        assert_eq!(
+            self.pending(),
+            0,
+            "LookupBatch::finish left requests pending"
+        );
+    }
+}
+
+impl<K, V, T> LookupBatch<'_, K, V, T> {
+    /// Requests currently buffered (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.buffers.iter().map(Vec::len).sum()
+    }
+}
+
+impl<K, V, T> Drop for LookupBatch<'_, K, V, T> {
+    fn drop(&mut self) {
+        debug_assert_eq!(
+            self.pending(),
+            0,
+            "LookupBatch dropped with unresolved requests; call finish(ctx, ..)"
+        );
+    }
+}
+
+/// A bounded per-rank read-only cache with CLOCK (second-chance)
+/// replacement.
+///
+/// Fronting a [`DistHashMap`] whose contents are immutable for the
+/// lifetime of the cache (see the coherence contract in the
+/// [module docs](crate::lookup)), a hit returns a local clone and records
+/// [`CommStats::cache_hits`](crate::CommStats::cache_hits) — no message,
+/// no bytes. A miss records
+/// [`CommStats::cache_misses`](crate::CommStats::cache_misses); the
+/// fall-through lookup (if any) is accounted by whoever performs it.
+///
+/// CLOCK is chosen over LRU for the same reason production caches choose
+/// it: eviction is O(1) amortized with no list splicing, and one bit of
+/// recency per slot is enough when the working set is streaming (seed
+/// lookups from overlapping reads, contig replicas under high coverage).
+///
+/// The value type is arbitrary: call sites that want *negative* caching
+/// (remembering that a key is absent) simply use `V = Option<..>` and
+/// [`insert`](Self::insert) the `None`s too. The
+/// [`get_through`](Self::get_through) convenience does **positive caching
+/// only** — absent keys are re-fetched on every probe, the right trade
+/// when misses are dominated by unique erroneous k-mers that would only
+/// pollute the cache.
+pub struct SoftwareCache<K, V> {
+    /// `(key, value, referenced)` slots; the clock hand sweeps these.
+    slots: Vec<(K, V, bool)>,
+    /// Key → slot index.
+    index: HashMap<K, usize>,
+    hand: usize,
+    capacity: usize,
+}
+
+impl<K, V> SoftwareCache<K, V>
+where
+    K: Hash + Eq + Clone,
+    V: Clone,
+{
+    /// An empty cache holding at most `capacity` entries (must be ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "SoftwareCache capacity must be >= 1");
+        SoftwareCache {
+            slots: Vec::with_capacity(capacity.min(1 << 20)),
+            index: HashMap::new(),
+            hand: 0,
+            capacity,
+        }
+    }
+
+    /// Probe the cache, tallying a hit or miss into `ctx.stats`. A hit
+    /// sets the slot's reference bit and returns a clone.
+    pub fn get(&mut self, ctx: &mut RankCtx, key: &K) -> Option<V> {
+        match self.index.get(key) {
+            Some(&slot) => {
+                ctx.stats.cache_hits += 1;
+                self.slots[slot].2 = true;
+                Some(self.slots[slot].1.clone())
+            }
+            None => {
+                ctx.stats.cache_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) an entry, evicting via the clock hand when at
+    /// capacity. Insertion is a local operation and is not accounted —
+    /// the fetch that produced the value already was.
+    pub fn insert(&mut self, key: K, value: V) {
+        if let Some(&slot) = self.index.get(&key) {
+            self.slots[slot] = (key, value, true);
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            self.index.insert(key.clone(), self.slots.len());
+            self.slots.push((key, value, false));
+            return;
+        }
+        // Sweep: clear reference bits until an unreferenced victim appears.
+        loop {
+            let slot = &mut self.slots[self.hand];
+            if slot.2 {
+                slot.2 = false;
+                self.hand = (self.hand + 1) % self.capacity;
+            } else {
+                break;
+            }
+        }
+        let victim = self.hand;
+        self.index.remove(&self.slots[victim].0);
+        self.index.insert(key.clone(), victim);
+        self.slots[victim] = (key, value, false);
+        self.hand = (victim + 1) % self.capacity;
+    }
+
+    /// Read-through probe: a hit is served locally; a miss falls through
+    /// to [`DistHashMap::get`] (which accounts the remote access as usual)
+    /// and caches `Some` results. Absent keys are **not** negatively
+    /// cached — see the type-level docs.
+    pub fn get_through(&mut self, ctx: &mut RankCtx, dht: &DistHashMap<K, V>, key: &K) -> Option<V>
+    where
+        K: Send,
+        V: Send,
+    {
+        if let Some(v) = self.get(ctx, key) {
+            return Some(v);
+        }
+        let fetched = dht.get(ctx, key);
+        if let Some(v) = &fetched {
+            self.insert(key.clone(), v.clone());
+        }
+        fetched
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CommStats, Topology};
+
+    fn ctx(rank: usize, topo: Topology) -> RankCtx {
+        RankCtx::new(rank, topo)
+    }
+
+    #[test]
+    fn lookup_batch_matches_sequential_gets_with_fewer_messages() {
+        let topo = Topology::new(8, 4);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut setup = ctx(0, topo);
+        for k in 0..500u64 {
+            dht.insert(&mut setup, k, (k * 3) as u32);
+        }
+
+        // Fine-grained baseline (also probes absent keys).
+        let mut fine = ctx(0, topo);
+        let keys: Vec<u64> = (0..600).collect();
+        let fine_vals: Vec<Option<u32>> = keys.iter().map(|k| dht.get(&mut fine, k)).collect();
+
+        // Batched.
+        let mut bat = ctx(0, topo);
+        let mut got: Vec<(u64, Option<u32>)> = Vec::new();
+        let mut deliver = |_: &mut RankCtx, tag: u64, v: Option<u32>| got.push((tag, v));
+        let mut lb = LookupBatch::with_batch(&dht, 64);
+        for &k in &keys {
+            lb.push(&mut bat, k, k, &mut deliver);
+        }
+        lb.finish(&mut bat, &mut deliver);
+
+        got.sort_by_key(|(tag, _)| *tag);
+        let batch_vals: Vec<Option<u32>> = got.into_iter().map(|(_, v)| v).collect();
+        assert_eq!(fine_vals, batch_vals);
+        assert!(bat.stats.remote_msgs() * 16 < fine.stats.remote_msgs());
+        // Bandwidth is NOT saved.
+        assert_eq!(
+            fine.stats.onnode_bytes + fine.stats.offnode_bytes,
+            bat.stats.onnode_bytes + bat.stats.offnode_bytes
+        );
+        assert!(bat.stats.lookup_batches > 0);
+        // Reads never count service work at the owner.
+        let mut svc = vec![CommStats::new(); 8];
+        dht.drain_service_into(&mut svc);
+        let total: u64 = svc.iter().map(|s| s.service_ops).sum();
+        assert_eq!(total, 500, "only the setup inserts service the shards");
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let topo = Topology::new(2, 2);
+        let mut c = ctx(0, topo);
+        let mut cache: SoftwareCache<u64, u32> = SoftwareCache::new(4);
+        assert_eq!(cache.get(&mut c, &1), None);
+        cache.insert(1, 10);
+        assert_eq!(cache.get(&mut c, &1), Some(10));
+        assert_eq!(cache.get(&mut c, &1), Some(10));
+        assert_eq!(c.stats.cache_hits, 2);
+        assert_eq!(c.stats.cache_misses, 1);
+    }
+
+    #[test]
+    fn clock_evicts_unreferenced_first() {
+        let topo = Topology::new(1, 1);
+        let mut c = ctx(0, topo);
+        let mut cache: SoftwareCache<u64, u32> = SoftwareCache::new(3);
+        cache.insert(1, 1);
+        cache.insert(2, 2);
+        cache.insert(3, 3);
+        // Touch 1 and 3 so their reference bits are set; 2 is the victim.
+        cache.get(&mut c, &1);
+        cache.get(&mut c, &3);
+        cache.insert(4, 4);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.get(&mut c, &2), None, "unreferenced entry evicted");
+        assert_eq!(cache.get(&mut c, &1), Some(1));
+        assert_eq!(cache.get(&mut c, &3), Some(3));
+        assert_eq!(cache.get(&mut c, &4), Some(4));
+    }
+
+    #[test]
+    fn clock_hand_eventually_evicts_referenced_entries() {
+        let topo = Topology::new(1, 1);
+        let mut c = ctx(0, topo);
+        let mut cache: SoftwareCache<u64, u32> = SoftwareCache::new(2);
+        cache.insert(1, 1);
+        cache.insert(2, 2);
+        cache.get(&mut c, &1);
+        cache.get(&mut c, &2);
+        // All referenced: the sweep must clear bits and still find a victim.
+        cache.insert(3, 3);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.capacity() == 2);
+        let survivors = [1u64, 2, 3]
+            .iter()
+            .filter(|k| cache.get(&mut c, k).is_some())
+            .count();
+        assert_eq!(survivors, 2);
+        assert_eq!(cache.get(&mut c, &3), Some(3), "new entry resident");
+    }
+
+    #[test]
+    fn get_through_saves_messages_on_repeats() {
+        let topo = Topology::new(8, 4);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut setup = ctx(0, topo);
+        for k in 0..64u64 {
+            dht.insert(&mut setup, k, k as u32);
+        }
+        let mut c = ctx(0, topo);
+        let mut cache: SoftwareCache<u64, u32> = SoftwareCache::new(128);
+        for _round in 0..10 {
+            for k in 0..64u64 {
+                assert_eq!(cache.get_through(&mut c, &dht, &k), Some(k as u32));
+            }
+        }
+        assert_eq!(c.stats.cache_hits, 64 * 9);
+        assert_eq!(c.stats.cache_misses, 64);
+        // Only the first round touched owners.
+        assert_eq!(c.stats.total_accesses(), 64);
+        // Absent keys are never cached: every probe falls through.
+        let before = c.stats.total_accesses();
+        for _ in 0..5 {
+            assert_eq!(cache.get_through(&mut c, &dht, &9999), None);
+        }
+        assert_eq!(c.stats.total_accesses(), before + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unresolved requests")]
+    #[cfg(debug_assertions)]
+    fn dropping_pending_lookups_panics_in_debug() {
+        let topo = Topology::new(2, 2);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut c = ctx(0, topo);
+        let mut sink = |_: &mut RankCtx, _t: u64, _v: Option<u32>| {};
+        let mut lb = LookupBatch::new(&dht);
+        lb.push(&mut c, 7, 7, &mut sink);
+        drop(lb);
+    }
+}

@@ -182,16 +182,25 @@ impl PipelineReport {
     }
 
     /// Serialize the whole pipeline report as a machine-readable JSON
-    /// document (schema version 1; see `DESIGN.md` §"Observability").
+    /// document (schema version 2; see `DESIGN.md` §"Observability").
     ///
     /// Per phase it carries the measured wall seconds, the modeled-time
     /// breakdown, the critical rank's compute/latency/bandwidth split, the
     /// off-node fraction and load imbalance (exactly the values the
     /// [`PhaseReport`] methods return), the machine-wide counter totals,
     /// and any heavy-hitter keys the stage attached.
+    ///
+    /// Schema v2 (this PR) adds three read-path counters to each phase's
+    /// `totals` object: `lookup_batches`
+    /// ([`CommStats::lookup_batches`]), `cache_hits` and `cache_misses`
+    /// ([`CommStats::cache_hits`], [`CommStats::cache_misses`]) — the
+    /// observability surface for [`crate::LookupBatch`] and
+    /// [`crate::SoftwareCache`]. v1 consumers that indexed `totals` by key
+    /// name are unaffected; consumers that enumerated keys must accept the
+    /// new ones.
     pub fn to_json(&self, model: &CostModel) -> String {
         let mut doc = Value::obj();
-        doc.set("schema_version", 1u64)
+        doc.set("schema_version", 2u64)
             .set("generator", "hipmer-pgas");
         if let Some(p) = self.phases.first() {
             let mut topo = Value::obj();
@@ -247,6 +256,9 @@ fn phase_json(p: &PhaseReport, model: &CostModel) -> Value {
         .set("onnode_bytes", totals.onnode_bytes)
         .set("offnode_bytes", totals.offnode_bytes)
         .set("service_ops", totals.service_ops)
+        .set("lookup_batches", totals.lookup_batches)
+        .set("cache_hits", totals.cache_hits)
+        .set("cache_misses", totals.cache_misses)
         .set("io_read_bytes", totals.io_read_bytes)
         .set("io_write_bytes", totals.io_write_bytes)
         .set("barriers", totals.barriers)
@@ -332,6 +344,9 @@ mod tests {
                 onnode_bytes: 4_000,
                 offnode_bytes: 9_000,
                 service_ops: 700,
+                lookup_batches: 12,
+                cache_hits: 300 + 5 * r,
+                cache_misses: 44,
                 io_read_bytes: 1 << 20,
                 barriers: 2,
                 exec_nanos: 1_000_000 * (r + 1),
@@ -363,7 +378,7 @@ mod tests {
         // any of these is a schema break and must bump `schema_version`.
         let model = CostModel::edison();
         let doc = Value::parse(&busy_pipeline().to_json(&model)).unwrap();
-        assert_eq!(doc.get("schema_version").and_then(Value::as_u64), Some(1));
+        assert_eq!(doc.get("schema_version").and_then(Value::as_u64), Some(2));
         assert_eq!(
             doc.keys(),
             vec![
@@ -418,6 +433,9 @@ mod tests {
                 "onnode_bytes",
                 "offnode_bytes",
                 "service_ops",
+                "lookup_batches",
+                "cache_hits",
+                "cache_misses",
                 "io_read_bytes",
                 "io_write_bytes",
                 "barriers",
@@ -460,13 +478,23 @@ mod tests {
                 .and_then(Value::as_f64)
                 .unwrap();
             assert!((total - p.modeled(&model).total()).abs() < 1e-12);
-            let exec = v
-                .get("totals")
-                .unwrap()
-                .get("exec_nanos")
+            let totals = v.get("totals").unwrap();
+            let exec = totals.get("exec_nanos").and_then(Value::as_u64).unwrap();
+            assert_eq!(exec, p.totals().exec_nanos);
+            // Schema-v2 read-path counters carry the merged CommStats values.
+            let hits = totals.get("cache_hits").and_then(Value::as_u64).unwrap();
+            assert_eq!(hits, p.totals().cache_hits);
+            assert!(hits > 0, "fixture must exercise cache accounting");
+            let batches = totals
+                .get("lookup_batches")
                 .and_then(Value::as_u64)
                 .unwrap();
-            assert_eq!(exec, p.totals().exec_nanos);
+            assert_eq!(batches, p.totals().lookup_batches);
+            assert!(batches > 0, "fixture must exercise batch accounting");
+            assert_eq!(
+                totals.get("cache_misses").and_then(Value::as_u64).unwrap(),
+                p.totals().cache_misses
+            );
         }
         // Pipeline-level sums.
         let wall = doc.get("wall_seconds").and_then(Value::as_f64).unwrap();

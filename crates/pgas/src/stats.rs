@@ -27,6 +27,19 @@ pub struct CommStats {
     /// (remote inserts/updates landing in its shard). This is what load
     /// imbalance from heavy hitters shows up in.
     pub service_ops: u64,
+    /// Batched one-sided operations shipped as single messages: multi-get
+    /// buffers flushed by [`crate::LookupBatch`] / [`crate::DistHashMap::multi_get`]
+    /// and coalesced read gathers. Each batch also counts exactly one
+    /// on-node or off-node message (or one local op), so
+    /// `remote_msgs / lookup_batches` approximates the inverse batching
+    /// factor of the read path.
+    pub lookup_batches: u64,
+    /// Remote lookups answered from a per-rank [`crate::SoftwareCache`]
+    /// without touching the owner (no message, no bytes).
+    pub cache_hits: u64,
+    /// Cache probes that missed and fell through to a real lookup. The
+    /// fall-through access is accounted separately by whoever performs it.
+    pub cache_misses: u64,
     /// Bytes read from storage by this rank.
     pub io_read_bytes: u64,
     /// Bytes written to storage by this rank.
@@ -97,6 +110,9 @@ impl CommStats {
         self.onnode_bytes += o.onnode_bytes;
         self.offnode_bytes += o.offnode_bytes;
         self.service_ops += o.service_ops;
+        self.lookup_batches += o.lookup_batches;
+        self.cache_hits += o.cache_hits;
+        self.cache_misses += o.cache_misses;
         self.io_read_bytes += o.io_read_bytes;
         self.io_write_bytes += o.io_write_bytes;
         self.barriers += o.barriers;

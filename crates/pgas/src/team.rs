@@ -112,6 +112,9 @@ where
         dur_nanos,
         queue_nanos: rank_start.saturating_duration_since(phase_start).as_nanos() as u64,
         barriers: ctx.stats.barriers,
+        lookup_batches: ctx.stats.lookup_batches,
+        cache_hits: ctx.stats.cache_hits,
+        cache_misses: ctx.stats.cache_misses,
     });
     (out, ctx.stats, span)
 }

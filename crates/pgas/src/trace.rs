@@ -43,6 +43,15 @@ pub struct SpanEvent {
     pub queue_nanos: u64,
     /// Barriers the rank participated in during the span.
     pub barriers: u64,
+    /// Batched multi-get messages the rank shipped during the span (see
+    /// [`crate::CommStats::lookup_batches`]).
+    pub lookup_batches: u64,
+    /// Software-cache hits the rank scored during the span (see
+    /// [`crate::CommStats::cache_hits`]).
+    pub cache_hits: u64,
+    /// Software-cache misses during the span (see
+    /// [`crate::CommStats::cache_misses`]).
+    pub cache_misses: u64,
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -158,7 +167,10 @@ pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
             .set("dur", e.dur_nanos as f64 / 1e3);
         let mut args = Value::obj();
         args.set("queue_us", e.queue_nanos as f64 / 1e3)
-            .set("barriers", e.barriers);
+            .set("barriers", e.barriers)
+            .set("lookup_batches", e.lookup_batches)
+            .set("cache_hits", e.cache_hits)
+            .set("cache_misses", e.cache_misses);
         span.set("args", args);
         out.push(span);
     }
@@ -179,6 +191,9 @@ mod tests {
             dur_nanos: dur,
             queue_nanos: 250,
             barriers: 1,
+            lookup_batches: 3,
+            cache_hits: 40,
+            cache_misses: 2,
         }
     }
 
@@ -213,6 +228,9 @@ mod tests {
         let args = s.get("args").unwrap();
         assert_eq!(args.get("queue_us").and_then(Value::as_f64), Some(0.25));
         assert_eq!(args.get("barriers").and_then(Value::as_u64), Some(1));
+        assert_eq!(args.get("lookup_batches").and_then(Value::as_u64), Some(3));
+        assert_eq!(args.get("cache_hits").and_then(Value::as_u64), Some(40));
+        assert_eq!(args.get("cache_misses").and_then(Value::as_u64), Some(2));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Property tests for the PGAS runtime simulator.
 
 use hipmer_pgas::{
-    AggregatingStores, CommStats, CostModel, DistHashMap, OracleVector, RankCtx, Team, Topology,
+    AggregatingStores, CommStats, CostModel, DistHashMap, LookupBatch, OracleVector, RankCtx,
+    SoftwareCache, Team, Topology,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -56,6 +57,116 @@ proptest! {
         a.sort();
         b.sort();
         prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multi_get_matches_sequential_gets_with_fewer_messages(
+        present in prop::collection::vec(0u64..300, 1..400),
+        probes in prop::collection::vec(0u64..400, 2..400),
+        acting in 0usize..8,
+    ) {
+        let topo = Topology::new(8, 4);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut setup = RankCtx::new(0, topo);
+        for &k in &present {
+            dht.insert(&mut setup, k, (k as u32).wrapping_mul(7));
+        }
+
+        // Fine-grained baseline: one get (one message) per key.
+        let mut fine = RankCtx::new(acting, topo);
+        let fine_vals: Vec<Option<u32>> =
+            probes.iter().map(|k| dht.get(&mut fine, k)).collect();
+
+        // One multi-get over the same keys, same acting rank.
+        let mut bat = RankCtx::new(acting, topo);
+        let batch_vals = dht.multi_get(&mut bat, &probes);
+
+        // Byte-identical results, byte-identical bandwidth, strictly fewer
+        // messages whenever any owner serves more than one key.
+        prop_assert_eq!(fine_vals, batch_vals);
+        prop_assert_eq!(
+            fine.stats.onnode_bytes + fine.stats.offnode_bytes,
+            bat.stats.onnode_bytes + bat.stats.offnode_bytes
+        );
+        prop_assert!(bat.stats.total_accesses() <= fine.stats.total_accesses());
+        let distinct_owners = {
+            let mut owners: Vec<usize> = probes.iter().map(|k| dht.owner(k)).collect();
+            owners.sort_unstable();
+            owners.dedup();
+            owners.len()
+        };
+        prop_assert_eq!(bat.stats.total_accesses(), distinct_owners as u64);
+        if distinct_owners < probes.len() {
+            prop_assert!(bat.stats.total_accesses() < fine.stats.total_accesses());
+        }
+        prop_assert_eq!(bat.stats.lookup_batches, distinct_owners as u64);
+        // Reads never service the owner: totals beyond setup stay zero.
+        let mut svc = vec![CommStats::new(); 8];
+        dht.drain_service_into(&mut svc);
+        let serviced: u64 = svc.iter().map(|s| s.service_ops).sum();
+        prop_assert_eq!(serviced, present.len() as u64);
+    }
+
+    #[test]
+    fn streaming_lookup_batch_agrees_with_multi_get(
+        present in prop::collection::vec(0u64..300, 1..300),
+        probes in prop::collection::vec(0u64..400, 1..300),
+        batch in 1usize..64,
+    ) {
+        let topo = Topology::new(6, 3);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut setup = RankCtx::new(0, topo);
+        for &k in &present {
+            dht.insert(&mut setup, k, k as u32);
+        }
+        let mut c1 = RankCtx::new(1, topo);
+        let direct = dht.multi_get(&mut c1, &probes);
+
+        let mut c2 = RankCtx::new(1, topo);
+        let mut got: Vec<(usize, Option<u32>)> = Vec::new();
+        let mut deliver = |_: &mut RankCtx, tag: usize, v: Option<u32>| got.push((tag, v));
+        let mut lb = LookupBatch::with_batch(&dht, batch);
+        for (i, &k) in probes.iter().enumerate() {
+            lb.push(&mut c2, k, i, &mut deliver);
+        }
+        lb.finish(&mut c2, &mut deliver);
+        got.sort_by_key(|(tag, _)| *tag);
+        let streamed: Vec<Option<u32>> = got.into_iter().map(|(_, v)| v).collect();
+        prop_assert_eq!(direct, streamed);
+        prop_assert_eq!(
+            c1.stats.onnode_bytes + c1.stats.offnode_bytes,
+            c2.stats.onnode_bytes + c2.stats.offnode_bytes
+        );
+    }
+
+    #[test]
+    fn cached_reads_are_transparent(
+        present in prop::collection::vec(0u64..200, 1..200),
+        probes in prop::collection::vec(0u64..300, 1..500),
+        capacity in 1usize..64,
+    ) {
+        let topo = Topology::new(4, 2);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut setup = RankCtx::new(0, topo);
+        for &k in &present {
+            dht.insert(&mut setup, k, k as u32 ^ 0x5a5a);
+        }
+        let mut c = RankCtx::new(3, topo);
+        let mut cache: SoftwareCache<u64, u32> = SoftwareCache::new(capacity);
+        for k in &probes {
+            let direct = dht.get(&mut RankCtx::new(3, topo), k);
+            prop_assert_eq!(cache.get_through(&mut c, &dht, k), direct);
+        }
+        prop_assert!(cache.len() <= capacity);
+        prop_assert_eq!(
+            c.stats.cache_hits + c.stats.cache_misses,
+            probes.len() as u64
+        );
+        // Every access the cache saved is a hit; misses fall through 1:1.
+        prop_assert_eq!(
+            c.stats.total_accesses() + c.stats.cache_hits,
+            probes.len() as u64
+        );
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub fn merge_bubbles(
             }
             ctx.stats.compute(1);
         }
-        agg.flush_all(ctx);
+        agg.finish(ctx);
     });
     bubble_groups.drain_service_into(&mut stats);
 
@@ -137,7 +137,7 @@ pub fn merge_bubbles(
                 agg.push(ctx, ra, vec![(ci as u32, 1)]);
             }
         }
-        agg.flush_all(ctx);
+        agg.finish(ctx);
     });
     attachments.drain_service_into(&mut stats);
     for (a, b) in stats.iter_mut().zip(&stats_c) {

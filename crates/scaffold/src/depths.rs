@@ -4,6 +4,12 @@
 //! the k-mer table (one-sided reads; the table is only read after
 //! construction, so no synchronization), sums the counts into a mean
 //! depth, and classifies why each contig end stopped extending.
+//!
+//! The per-window lookups ship as batched multi-gets
+//! ([`hipmer_pgas::DistHashMap::multi_get`] via
+//! [`KmerSpectrum::get_batch`]): one message per owner rank per window
+//! instead of one per k-mer, with identical results — the read-side
+//! analogue of the aggregating stores used to build the table.
 
 use hipmer_contig::ContigSet;
 use hipmer_dna::{ExtChoice, Kmer};
@@ -29,7 +35,7 @@ pub enum TerminationState {
 pub struct ContigEndInfo {
     /// Mean k-mer count over the contig.
     pub depth: f64,
-    /// Termination at the sequence's left (seq[0]) end.
+    /// Termination at the sequence's left (`seq[0]`) end.
     pub left_state: TerminationState,
     /// The k-mer just beyond the left end (canonical), if derivable — the
     /// "attachment" the bubble finder keys on.
@@ -136,17 +142,19 @@ pub fn compute_depths(
             let n_kmers = contig.seq.len() - k + 1;
             let lo = w * WINDOW;
             let hi = (lo + WINDOW).min(n_kmers);
+            // Resolve the window's k-mers as one batched multi-get per
+            // owner rank instead of one message per k-mer; the k-mer table
+            // is frozen after analysis, so the batch sees the same values a
+            // get-per-key loop would.
+            let kmers: Vec<Kmer> = (lo..hi)
+                .filter_map(|off| codec.pack(&contig.seq[off..off + k]))
+                .collect();
+            ctx.stats.compute((hi - lo) as u64);
             let mut sum = 0u64;
             let mut n = 0u64;
-            for off in lo..hi {
-                if let Some(km) = codec.pack(&contig.seq[off..off + k]) {
-                    let canon = codec.canonical(km);
-                    if let Some(entry) = spectrum.table.get(ctx, &canon) {
-                        sum += entry.count as u64;
-                        n += 1;
-                    }
-                }
-                ctx.stats.compute(1);
+            for entry in spectrum.get_batch(ctx, &kmers).into_iter().flatten() {
+                sum += entry.count as u64;
+                n += 1;
             }
             partial.push((ci, sum, n));
             if lo == 0 {

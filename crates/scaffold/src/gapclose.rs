@@ -24,6 +24,7 @@ use hipmer_contig::ContigSet;
 use hipmer_dna::{revcomp, Kmer, KmerCodec, KmerHashMap};
 use hipmer_pgas::{AggregatingStores, DistHashMap, PhaseReport, RankCtx, Team};
 use hipmer_seqio::SeqRecord;
+use std::collections::HashMap;
 
 /// Gap-closing configuration.
 #[derive(Clone, Debug)]
@@ -402,7 +403,7 @@ pub fn close_gaps(
                 agg.push(ctx, (a.contig, ContigEnd::Right), vec![a.read, mate]);
             }
         }
-        agg.flush_all(ctx);
+        agg.finish(ctx);
     });
     buckets.drain_service_into(&mut stats);
 
@@ -449,22 +450,35 @@ pub fn close_gaps(
                 scaffold.members[gap.junction + 1].contig,
                 gap_side_end(scaffold, gap.junction + 1, false),
             );
+            // One multi-get resolves both flank buckets (at most two
+            // owners, so at most two messages instead of two per key).
             let mut read_ids: Vec<u32> = Vec::new();
-            for key in [prev_end, next_end] {
-                if let Some(list) = buckets.get(ctx, &key) {
-                    read_ids.extend(list);
-                }
+            for list in buckets
+                .multi_get(ctx, &[prev_end, next_end])
+                .into_iter()
+                .flatten()
+            {
+                read_ids.extend(list);
             }
             read_ids.sort_unstable();
             read_ids.dedup();
-            // Fetch the read sequences (one-sided gets to their owners).
+            // Fetch the read sequences, coalesced by owner rank: each
+            // owner is asked once per gap with one message carrying all
+            // of its candidate reads (bytes in full, as always).
+            let mut per_owner: HashMap<usize, u64> = HashMap::new();
             let mut candidates: Vec<&SeqRecord> = Vec::with_capacity(read_ids.len());
             for &ri in &read_ids {
                 let ri = ri as usize;
                 if ri < reads.len() {
-                    ctx.access(ri % ranks, reads[ri].seq.len() as u64);
+                    *per_owner.entry(ri % ranks).or_insert(0) += reads[ri].seq.len() as u64;
                     candidates.push(&reads[ri]);
                 }
+            }
+            let mut owners: Vec<(usize, u64)> = per_owner.into_iter().collect();
+            owners.sort_unstable();
+            for (owner, bytes) in owners {
+                ctx.access(owner, bytes);
+                ctx.stats.lookup_batches += 1;
             }
 
             let closure = close_one(

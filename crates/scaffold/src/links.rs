@@ -133,7 +133,7 @@ pub fn generate_links(
                 },
             );
         }
-        agg.flush_all(ctx);
+        agg.finish(ctx);
     });
     table.drain_service_into(&mut stats);
 

@@ -1,7 +1,7 @@
 //! A SeqDB-like compressed binary read format (§3.3 context).
 //!
 //! HipMer's earlier pipeline read SeqDB (an HDF5-based compressed store,
-//! Howison [16]); the parallel FASTQ reader exists so users don't have to
+//! Howison \[16\]); the parallel FASTQ reader exists so users don't have to
 //! convert, and the paper reports it reaches "close to the I/O bandwidth
 //! achieved by reading SeqDB (up to compression factor differences)". To
 //! make that comparison runnable, this module provides a simple

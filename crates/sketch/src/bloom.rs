@@ -1,4 +1,4 @@
-//! Bloom filter (Bloom 1970, [3] in the paper).
+//! Bloom filter (Bloom 1970, \[3\] in the paper).
 //!
 //! K-mer analysis inserts every k-mer occurrence into its owner's Bloom
 //! filter first; only k-mers seen **at least twice** enter the counting

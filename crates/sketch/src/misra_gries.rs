@@ -1,4 +1,4 @@
-//! The Misra–Gries frequent-items ("heavy hitters") summary [24].
+//! The Misra–Gries frequent-items ("heavy hitters") summary \[24\].
 //!
 //! With θ counter slots, the summary reports every item whose true
 //! frequency exceeds `N/θ` over a stream of length `N`, and the reported
@@ -10,10 +10,10 @@
 //! ultra-frequent wheat k-mers (70 k-mers with count > 10⁷) otherwise
 //! cause.
 //!
-//! Summaries are *mergeable* (Agarwal et al. [1]): merging per-rank
+//! Summaries are *mergeable* (Agarwal et al. \[1\]): merging per-rank
 //! summaries and re-pruning yields a summary with the same guarantee over
 //! the concatenated stream, which is how the parallel version (Cafaro &
-//! Tempesta [7]) works.
+//! Tempesta \[7\]) works.
 
 use std::collections::HashMap;
 use std::hash::Hash;

@@ -158,9 +158,13 @@ fn file_and_memory_paths_agree() {
 
 #[test]
 fn modeled_times_strong_scale_on_meaningful_input() {
-    // Strong scaling sanity at integration level: 4x the ranks on the
-    // same input must cut the modeled end-to-end time.
-    let dataset = human_like_dataset(60_000, 14.0, false, 31);
+    // Strong scaling sanity at integration level: 8x the ranks on the
+    // same input must cut the modeled end-to-end time. The input must be
+    // large enough that per-rank communication still dominates the fixed
+    // latency floor at 96 ranks — read-side batching/caching (DESIGN.md
+    // §5) cut the per-key latency share, so a smaller genome flattens
+    // the modeled curve before the rank sweep ends.
+    let dataset = human_like_dataset(200_000, 14.0, false, 31);
     let reads = dataset.all_reads();
     let cfg = PipelineConfig::new(21);
     let time_at = |ranks: usize| {
