@@ -18,6 +18,10 @@
 //! 8. Read-side communication avoidance — seed-lookup batching and
 //!    software caching in the aligner (§4.4), with results recorded to
 //!    `BENCH_lookup_avoidance.json`.
+//! 9. Fault-tolerance overhead — checkpoint-interval × retry-budget sweep
+//!    under seeded transient faults and a hard rank failure, with results
+//!    recorded to `BENCH_fault_overhead.json`. All variants must produce
+//!    byte-identical assemblies.
 
 use hipmer_bench::{banner, model, scaled};
 use hipmer_contig::{
@@ -467,5 +471,122 @@ fn main() {
             .set("rows", Value::Arr(rows));
         std::fs::write("BENCH_lookup_avoidance.json", doc.to_json()).unwrap();
         println!("(identical alignments in all three variants; wrote BENCH_lookup_avoidance.json)");
+    }
+
+    // ------------------------------------------------------------------
+    banner(
+        "Ablation 9",
+        "fault tolerance: checkpoint + retry overhead vs a fault-free run",
+    );
+    {
+        use hipmer::{run_assembly, PipelineConfig, RunOptions};
+        use hipmer_pgas::json::Value;
+        use hipmer_pgas::FaultPlan;
+
+        let dataset = human_like_dataset(scaled(60_000), 14.0, true, 1009);
+        let reads = dataset.all_reads();
+        let mut lib_ranges = Vec::new();
+        let mut start = 0usize;
+        for lib in &dataset.reads_per_library {
+            lib_ranges.push(start..start + lib.len());
+            start += lib.len();
+        }
+        let cfg = PipelineConfig::new(k);
+        let ft_topo = Topology::edison(96);
+        let dir = std::env::temp_dir().join(format!("hipmer-ablation9-{}", std::process::id()));
+
+        // variant label, checkpoint interval (0 = none), transient prob,
+        // per-message retry budget, one-shot hard kill (rank, event).
+        type FaultVariant = (&'static str, usize, f64, u32, Option<(usize, u64)>);
+        let variants: [FaultVariant; 5] = [
+            ("fault-free", 0, 0.0, 4, None),
+            ("ckpt-every-stage", 1, 0.0, 4, None),
+            ("ckpt-every-2nd", 2, 0.0, 4, None),
+            ("transient-2e-3", 1, 2e-3, 4, None),
+            ("kill+restart", 1, 2e-3, 4, Some((7, 500))),
+        ];
+        println!(
+            "{:<16} {:>12} {:>10} {:>10} {:>12} {:>12}",
+            "variant", "modeled (s)", "faults", "retries", "ckpt bytes", "re-execs"
+        );
+        let mut rows: Vec<Value> = Vec::new();
+        let mut baseline_seqs: Option<Vec<Vec<u8>>> = None;
+        let mut baseline_secs = 0.0f64;
+        for (label, interval, transient, budget, kill) in variants {
+            let team = if transient > 0.0 || kill.is_some() {
+                let mut plan = FaultPlan::new(4242, ft_topo.ranks())
+                    .with_transient(transient)
+                    .with_max_retries(budget);
+                if let Some((rank, event)) = kill {
+                    plan = plan.with_rank_failure(rank, event);
+                }
+                Team::new(ft_topo).with_fault_plan(Arc::new(plan))
+            } else {
+                Team::new(ft_topo)
+            };
+            std::fs::remove_dir_all(&dir).ok();
+            let opts = RunOptions {
+                checkpoint_dir: (interval > 0).then(|| dir.clone()),
+                checkpoint_interval: interval.max(1),
+                stage_retries: 2,
+                ..RunOptions::default()
+            };
+            let assembly = run_assembly(&team, &reads, &lib_ranges, &cfg, &opts)
+                .expect("every variant must recover");
+            // Fault tolerance must be result-transparent.
+            match &baseline_seqs {
+                None => baseline_seqs = Some(assembly.scaffolds.sequences.clone()),
+                Some(base) => assert_eq!(
+                    base, &assembly.scaffolds.sequences,
+                    "assembly must be byte-identical under faults"
+                ),
+            }
+            let secs = assembly.report.total_modeled(&m).total();
+            if label == "fault-free" {
+                baseline_secs = secs;
+            }
+            let totals: Vec<_> = assembly.report.phases.iter().map(|p| p.totals()).collect();
+            let faults: u64 = totals.iter().map(|t| t.transient_faults).sum();
+            let retries: u64 = totals.iter().map(|t| t.retries).sum();
+            let ckpt_bytes: u64 = assembly
+                .report
+                .checkpoints
+                .iter()
+                .filter(|c| c.action == "save")
+                .map(|c| c.bytes)
+                .sum();
+            let reexecs: u64 = assembly
+                .report
+                .stage_attempts
+                .iter()
+                .map(|a| a.executions.saturating_sub(1))
+                .sum();
+            println!(
+                "{:<16} {:>12.4} {:>10} {:>10} {:>12} {:>12}",
+                label, secs, faults, retries, ckpt_bytes, reexecs
+            );
+            let mut row = Value::obj();
+            row.set("variant", label)
+                .set("checkpoint_interval", interval)
+                .set("transient_probability", transient)
+                .set("retry_budget", budget as u64)
+                .set("hard_kill", kill.is_some())
+                .set("modeled_seconds", secs)
+                .set("overhead_fraction", secs / baseline_secs - 1.0)
+                .set("transient_faults", faults)
+                .set("retries", retries)
+                .set("checkpoint_bytes", ckpt_bytes)
+                .set("stage_reexecutions", reexecs);
+            rows.push(row);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        let mut doc = Value::obj();
+        doc.set("bench", "fault_overhead")
+            .set("ranks", ft_topo.ranks())
+            .set("k", k)
+            .set("fault_seed", 4242u64)
+            .set("rows", Value::Arr(rows));
+        std::fs::write("BENCH_fault_overhead.json", doc.to_json()).unwrap();
+        println!("(identical scaffolds in all five variants; wrote BENCH_fault_overhead.json)");
     }
 }

@@ -18,18 +18,34 @@
 //! `--trace-ranks N` caps the number of traced ranks (0 = all, default 16).
 //! `--report-json <path>` writes the full machine-readable pipeline report:
 //! per-phase counter totals, modeled-time breakdown, off-node fraction,
-//! imbalance, and heavy-hitter keys.
+//! imbalance, heavy-hitter keys, and (schema v3) the per-stage attempt and
+//! checkpoint bookkeeping.
+//!
+//! Fault tolerance: `--checkpoint-dir <dir>` persists each completed
+//! stage's artifact (every Nth stage with `--checkpoint-interval N`);
+//! `--resume` validates the directory and skips completed stages;
+//! `--halt-after <stage>` stops (successfully) after the named stage —
+//! the restart test hook. `--stage-retries N` re-executes an aborted
+//! stage up to N times. Fault injection: `--fault-seed S`,
+//! `--fault-transient P` (per-message transient fault probability),
+//! `--fault-retries N` (per-message retry budget), and
+//! `--fault-kill R:E` (hard-kill rank R at its Eth remote event) arm a
+//! deterministic [`hipmer_pgas::FaultPlan`] on the team.
 
-use hipmer::{assemble_fastq, PipelineConfig, StageTimes};
-use hipmer_pgas::{trace, CostModel, Team, Topology};
+use hipmer::{run_assembly_fastq, PipelineConfig, PipelineError, RunOptions, StageTimes};
+use hipmer_pgas::{trace, CostModel, FaultPlan, Team, Topology};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  hipmer assemble <reads.fastq> -o <scaffolds.fasta> [-k K] [--ranks N]\n\
          \x20         [--ranks-per-node N] [--rounds N] [--metagenome] [--report]\n\
-         \x20         [--trace <trace.json>] [--trace-ranks N] [--report-json <report.json>]\n  \
+         \x20         [--trace <trace.json>] [--trace-ranks N] [--report-json <report.json>]\n\
+         \x20         [--checkpoint-dir <dir>] [--resume] [--checkpoint-interval N]\n\
+         \x20         [--stage-retries N] [--halt-after <stage>] [--fault-seed S]\n\
+         \x20         [--fault-transient P] [--fault-retries N] [--fault-kill R:E]\n  \
          hipmer simulate <human|wheat|meta> -o <reads.fastq> [--len BP] [--cov X] [--seed S]"
     );
     ExitCode::from(2)
@@ -54,6 +70,44 @@ fn parse_path_flag(args: &[String], flag: &str) -> Result<Option<PathBuf>, Strin
             .map(|v| Some(PathBuf::from(v)))
             .ok_or_else(|| format!("{flag} needs a value")),
     }
+}
+
+fn parse_string_flag(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|v| Some(v.clone()))
+            .ok_or_else(|| format!("{flag} needs a value")),
+    }
+}
+
+/// Build the fault plan requested by the `--fault-*` flags, if any.
+fn fault_plan_from_args(args: &[String], ranks: usize) -> Result<Option<FaultPlan>, String> {
+    let armed = args.iter().any(|a| a.starts_with("--fault-"));
+    if !armed {
+        return Ok(None);
+    }
+    let seed: u64 = parse_flag(args, "--fault-seed", 1)?;
+    let transient: f64 = parse_flag(args, "--fault-transient", 0.0)?;
+    let mut plan = FaultPlan::new(seed, ranks).with_transient(transient);
+    if let Some(n) = parse_string_flag(args, "--fault-retries")? {
+        let n: u32 = n
+            .parse()
+            .map_err(|_| "bad value for --fault-retries".to_string())?;
+        plan = plan.with_max_retries(n);
+    }
+    if let Some(spec) = parse_string_flag(args, "--fault-kill")? {
+        let (rank, event) = spec
+            .split_once(':')
+            .and_then(|(r, e)| Some((r.parse().ok()?, e.parse().ok()?)))
+            .ok_or_else(|| "--fault-kill wants RANK:EVENT".to_string())?;
+        if rank >= ranks {
+            return Err(format!("--fault-kill rank {rank} out of range"));
+        }
+        plan = plan.with_rank_failure(rank, event);
+    }
+    Ok(Some(plan))
 }
 
 fn main() -> ExitCode {
@@ -118,10 +172,47 @@ fn main() -> ExitCode {
                 // Hash tables built from here on track their hottest keys.
                 trace::set_hotkey_capacity(64);
             }
-            let team = Team::new(Topology::new(ranks, rpn));
+            let opts = {
+                let (dir, interval, retries, halt) = match (
+                    parse_path_flag(&args, "--checkpoint-dir"),
+                    parse_flag(&args, "--checkpoint-interval", 1usize),
+                    parse_flag(&args, "--stage-retries", 1usize),
+                    parse_string_flag(&args, "--halt-after"),
+                ) {
+                    (Ok(a), Ok(b), Ok(c), Ok(d)) => (a, b, c, d),
+                    (Err(e), ..) | (_, Err(e), ..) | (_, _, Err(e), _) | (_, _, _, Err(e)) => {
+                        eprintln!("error: {e}");
+                        return usage();
+                    }
+                };
+                RunOptions {
+                    checkpoint_dir: dir,
+                    resume: args.iter().any(|a| a == "--resume"),
+                    checkpoint_interval: interval,
+                    stage_retries: retries,
+                    halt_after: halt,
+                }
+            };
+            let mut team = Team::new(Topology::new(ranks, rpn));
+            match fault_plan_from_args(&args, ranks) {
+                Ok(Some(plan)) => {
+                    eprintln!("fault injection armed (seed, transient, kill per --fault-* flags)");
+                    team = team.with_fault_plan(Arc::new(plan));
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            }
             eprintln!("assembling {input} on {ranks} virtual ranks ({rpn}/node), k={k}...");
-            let assembly = match assemble_fastq(&team, std::path::Path::new(input), &cfg) {
+            let assembly = match run_assembly_fastq(&team, std::path::Path::new(input), &cfg, &opts)
+            {
                 Ok(a) => a,
+                Err(PipelineError::Halted { stage }) => {
+                    eprintln!("halted after stage {stage:?} (checkpoints saved); no FASTA written");
+                    return ExitCode::SUCCESS;
+                }
                 Err(e) => {
                     eprintln!("error: {e}");
                     return ExitCode::FAILURE;

@@ -30,12 +30,16 @@
 //! execution times; [`StageTimes`] groups them the way the paper's figures
 //! do.
 
+pub mod checkpoint;
 pub mod config;
 pub mod eval;
 pub mod pipeline;
 pub mod stats;
 
+pub use checkpoint::{CheckpointStore, Fingerprint, ScaffoldState};
 pub use config::PipelineConfig;
 pub use eval::{evaluate, EvalReport};
-pub use pipeline::{assemble, assemble_fastq, Assembly};
+pub use pipeline::{
+    assemble, assemble_fastq, run_assembly, run_assembly_fastq, Assembly, PipelineError, RunOptions,
+};
 pub use stats::{kmer_containment, AssemblyStats, StageTimes};

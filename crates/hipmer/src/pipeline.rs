@@ -1,14 +1,31 @@
-//! The end-to-end assembly driver.
+//! The end-to-end assembly driver, with stage-level fault recovery.
+//!
+//! The pipeline decomposes into five checkpointable stages —
+//! `kmer-analysis`, `contig-generation`, `scaffold-prep`, `alignment`,
+//! `scaffolding` — each run inside [`hipmer_pgas::catch_stage_abort`] so
+//! an injected (or modeled) rank failure aborts only the stage, not the
+//! process. [`run_assembly`] retries an aborted stage up to
+//! [`RunOptions::stage_retries`] times, rolling the [`PipelineReport`]
+//! back to the stage's mark first so a retried attempt *replaces* the
+//! aborted one in the wall-clock and counter totals. With a
+//! [`RunOptions::checkpoint_dir`], each completed stage's artifact is
+//! persisted (see [`crate::checkpoint`]), and `--resume` skips validated
+//! stages entirely — the recovery guarantee is that a resumed or retried
+//! run produces a byte-identical assembly to an undisturbed one.
 
+use crate::checkpoint::{self, CheckpointStore, Fingerprint, ScaffoldState};
 use crate::config::PipelineConfig;
 use crate::stats::AssemblyStats;
+use hipmer_align::align_reads;
 use hipmer_contig::{generate_contigs, ContigSet};
 use hipmer_kanalysis::analyze_kmers;
-use hipmer_pgas::{PipelineReport, Team};
-use hipmer_scaffold::{scaffold_pipeline, ScaffoldSet};
+use hipmer_pgas::{catch_stage_abort, CheckpointEvent, StageAttempt};
+use hipmer_pgas::{CommStats, PhaseReport, PipelineReport, Team, Topology};
+use hipmer_scaffold::{prepare_contigs, scaffold_rounds, ScaffoldSet};
 use hipmer_seqio::{read_fastq_parallel, SeqRecord};
 use std::ops::Range;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// A finished assembly.
 pub struct Assembly {
@@ -23,35 +40,334 @@ pub struct Assembly {
     pub report: PipelineReport,
 }
 
-/// Assemble reads end-to-end. `lib_ranges` partitions read indices by
-/// library (see [`hipmer_scaffold::scaffold_pipeline`]).
-pub fn assemble(
+/// Checkpoint/restart knobs for [`run_assembly`]. [`Default`] gives the
+/// classic in-memory pipeline: no checkpoint directory, one retry per
+/// stage.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Directory for stage checkpoints (`None` disables persistence;
+    /// stage retries then restart from in-memory inputs).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Validate an existing checkpoint directory and skip its completed
+    /// stages instead of starting fresh.
+    pub resume: bool,
+    /// Save a checkpoint every Nth stage (1 = every stage). A skipped
+    /// save invalidates later on-disk artifacts so `--resume` can never
+    /// jump a gap.
+    pub checkpoint_interval: usize,
+    /// How many times an aborted stage is re-executed before the run
+    /// gives up with [`PipelineError::StageAborted`].
+    pub stage_retries: usize,
+    /// Stop (successfully) after the named stage completes — the
+    /// checkpoint-then-resume test harness hook.
+    pub halt_after: Option<String>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            checkpoint_dir: None,
+            resume: false,
+            checkpoint_interval: 1,
+            stage_retries: 1,
+            halt_after: None,
+        }
+    }
+}
+
+/// Why [`run_assembly`] did not return an assembly.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Checkpoint store I/O or validation failure.
+    Io(std::io::Error),
+    /// A stage kept aborting after exhausting its retry budget.
+    StageAborted {
+        /// The stage that failed.
+        stage: String,
+        /// The failing rank of the last attempt.
+        rank: usize,
+        /// Total attempts made (1 + retries).
+        attempts: usize,
+    },
+    /// The run stopped early as requested by [`RunOptions::halt_after`].
+    Halted {
+        /// The stage after which the run halted.
+        stage: String,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            PipelineError::StageAborted {
+                stage,
+                rank,
+                attempts,
+            } => write!(
+                f,
+                "stage {stage:?} aborted on rank {rank} after {attempts} attempts"
+            ),
+            PipelineError::Halted { stage } => write!(f, "halted after stage {stage:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<std::io::Error> for PipelineError {
+    fn from(e: std::io::Error) -> Self {
+        PipelineError::Io(e)
+    }
+}
+
+/// Spread `bytes` of checkpoint I/O over the topology's ranks (the way a
+/// real stage writes its shard of the artifact to the parallel FS), so
+/// the shared-I/O saturation model prices it like any other I/O phase.
+fn io_phase(name: String, topo: Topology, bytes: u64, write: bool, wall: f64) -> PhaseReport {
+    let ranks = topo.ranks() as u64;
+    let mut stats = vec![CommStats::new(); topo.ranks()];
+    for (i, s) in stats.iter_mut().enumerate() {
+        let share = bytes / ranks + u64::from((i as u64) < bytes % ranks);
+        if write {
+            s.io_write_bytes = share;
+        } else {
+            s.io_read_bytes = share;
+        }
+    }
+    PhaseReport::new(name, topo, stats).with_wall(wall)
+}
+
+/// Drives the stages of one [`run_assembly`] call: retry-with-rollback on
+/// stage aborts, checkpoint save/load, and the per-stage bookkeeping that
+/// lands in the schema-v3 report (`stage_attempts`, `checkpoints`).
+struct StageRunner<'a> {
+    report: PipelineReport,
+    store: Option<CheckpointStore>,
+    opts: &'a RunOptions,
+    topo: Topology,
+    next_index: usize,
+}
+
+impl StageRunner<'_> {
+    /// Run (or resume) one stage. `run` executes the stage body and may
+    /// unwind with a [`hipmer_pgas::StageAbort`]; `encode`/`decode` are
+    /// the stage's checkpoint codec.
+    fn stage<T>(
+        &mut self,
+        name: &str,
+        mut run: impl FnMut() -> (T, Vec<PhaseReport>),
+        encode: impl FnOnce(&T) -> Vec<u8>,
+        decode: impl FnOnce(&[u8]) -> std::io::Result<T>,
+    ) -> Result<T, PipelineError> {
+        let index = self.next_index;
+        self.next_index += 1;
+
+        // Resume path: a validated artifact satisfies the stage outright.
+        if self.opts.resume {
+            if let Some(store) = &self.store {
+                if store.completed(name) {
+                    let t0 = Instant::now();
+                    let (payload, bytes, checksum) = store.load(name)?;
+                    let value = decode(&payload)?;
+                    let wall = t0.elapsed().as_secs_f64();
+                    self.report.push(io_phase(
+                        format!("checkpoint/load-{name}"),
+                        self.topo,
+                        bytes,
+                        false,
+                        wall,
+                    ));
+                    self.report.stage_attempts.push(StageAttempt {
+                        stage: name.to_string(),
+                        executions: 0,
+                        aborted: 0,
+                        resumed: true,
+                    });
+                    self.report.checkpoints.push(CheckpointEvent {
+                        stage: name.to_string(),
+                        action: "load".to_string(),
+                        bytes,
+                        checksum,
+                    });
+                    return self.maybe_halt(name, value);
+                }
+            }
+        }
+
+        // Live path: execute, retrying after stage aborts with the report
+        // rolled back so the failed attempt's phases don't double-count.
+        let mark = self.report.mark();
+        let mut aborted = 0u64;
+        loop {
+            match catch_stage_abort(&mut run) {
+                Ok((value, phases)) => {
+                    for p in phases {
+                        self.report.push(p);
+                    }
+                    self.report.stage_attempts.push(StageAttempt {
+                        stage: name.to_string(),
+                        executions: aborted + 1,
+                        aborted,
+                        resumed: false,
+                    });
+                    if let Some(store) = &mut self.store {
+                        if index.is_multiple_of(self.opts.checkpoint_interval.max(1)) {
+                            let payload = encode(&value);
+                            let t0 = Instant::now();
+                            let (bytes, checksum) = store.save(index, name, &payload)?;
+                            let wall = t0.elapsed().as_secs_f64();
+                            self.report.push(io_phase(
+                                format!("checkpoint/save-{name}"),
+                                self.topo,
+                                bytes,
+                                true,
+                                wall,
+                            ));
+                            self.report.checkpoints.push(CheckpointEvent {
+                                stage: name.to_string(),
+                                action: "save".to_string(),
+                                bytes,
+                                checksum,
+                            });
+                        } else {
+                            // This stage's output exists only in memory:
+                            // anything later on disk is now stale.
+                            store.invalidate_from(index);
+                        }
+                    }
+                    return self.maybe_halt(name, value);
+                }
+                Err(abort) => {
+                    self.report.rollback_to(mark);
+                    aborted += 1;
+                    if aborted as usize > self.opts.stage_retries {
+                        self.report.stage_attempts.push(StageAttempt {
+                            stage: name.to_string(),
+                            executions: aborted,
+                            aborted,
+                            resumed: false,
+                        });
+                        return Err(PipelineError::StageAborted {
+                            stage: name.to_string(),
+                            rank: abort.rank,
+                            attempts: aborted as usize,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn maybe_halt<T>(&self, name: &str, value: T) -> Result<T, PipelineError> {
+        if self.opts.halt_after.as_deref() == Some(name) {
+            Err(PipelineError::Halted {
+                stage: name.to_string(),
+            })
+        } else {
+            Ok(value)
+        }
+    }
+}
+
+/// Assemble reads end-to-end with checkpoint/restart and stage-abort
+/// recovery. `lib_ranges` partitions read indices by library (see
+/// [`hipmer_scaffold::scaffold_pipeline`]).
+pub fn run_assembly(
     team: &Team,
     reads: &[SeqRecord],
     lib_ranges: &[Range<usize>],
     cfg: &PipelineConfig,
-) -> Assembly {
-    let mut report = PipelineReport::new();
+    opts: &RunOptions,
+) -> Result<Assembly, PipelineError> {
+    let topo = *team.topo();
+    let fingerprint = Fingerprint {
+        k: cfg.k,
+        ranks: topo.ranks(),
+        ranks_per_node: topo.ranks_per_node(),
+        n_reads: reads.len(),
+        read_bases: reads.iter().map(|r| r.len()).sum(),
+        rounds: if cfg.scaffolding_enabled() {
+            cfg.scaffold.rounds
+        } else {
+            0
+        },
+    };
+    let store = match &opts.checkpoint_dir {
+        Some(dir) if opts.resume => Some(CheckpointStore::open_for_resume(dir, fingerprint)?),
+        Some(dir) => Some(CheckpointStore::create(dir, fingerprint)?),
+        None => None,
+    };
+    let mut runner = StageRunner {
+        report: PipelineReport::new(),
+        store,
+        opts,
+        topo,
+        next_index: 0,
+    };
 
-    // Stage 1: k-mer analysis.
-    let (spectrum, phases) = analyze_kmers(team, reads, &cfg.kanalysis);
-    for p in phases {
-        report.push(p);
-    }
+    // Stage 0: k-mer analysis.
+    let spectrum = runner.stage(
+        "kmer-analysis",
+        || analyze_kmers(team, reads, &cfg.kanalysis),
+        checkpoint::encode_spectrum,
+        |b| checkpoint::decode_spectrum(b, topo),
+    )?;
 
-    // Stage 2: contig generation.
-    let (contigs, phases) = generate_contigs(team, &spectrum, &cfg.contig);
-    for p in phases {
-        report.push(p);
-    }
+    // Stage 1: contig generation (the raw, pre-bubble contig set).
+    let contigs = runner.stage(
+        "contig-generation",
+        || generate_contigs(team, &spectrum, &cfg.contig),
+        checkpoint::encode_contigs,
+        checkpoint::decode_contigs,
+    )?;
 
-    // Stage 3: scaffolding (unless disabled).
+    // Stages 2-4: scaffolding (unless disabled).
     let (scaffolds, gaps) = if cfg.scaffolding_enabled() {
-        let out = scaffold_pipeline(team, &spectrum, &contigs, reads, lib_ranges, &cfg.scaffold);
-        for p in out.reports {
-            report.push(p);
-        }
-        (out.scaffolds, out.gap_stats)
+        // Stage 2: depths + bubble merging.
+        let prepared = runner.stage(
+            "scaffold-prep",
+            || prepare_contigs(team, &spectrum, &contigs),
+            checkpoint::encode_contigs,
+            checkpoint::decode_contigs,
+        )?;
+
+        // Stage 3: round-0 merAligner (depends only on the prepared
+        // contigs, so it can be hoisted out of the round loop and
+        // checkpointed — see `hipmer_scaffold::scaffold_rounds`).
+        let alignments = runner.stage(
+            "alignment",
+            || align_reads(team, &prepared, reads, &cfg.scaffold.align),
+            |alns| checkpoint::encode_alignments(alns),
+            checkpoint::decode_alignments,
+        )?;
+
+        // Stage 4: the scaffolding rounds proper.
+        let state = runner.stage(
+            "scaffolding",
+            || {
+                let out = scaffold_rounds(
+                    team,
+                    &spectrum,
+                    prepared.clone(),
+                    reads,
+                    lib_ranges,
+                    &cfg.scaffold,
+                    Some(alignments.clone()),
+                );
+                (
+                    ScaffoldState {
+                        scaffolds: out.scaffolds,
+                        gap_stats: out.gap_stats,
+                        insert_means: out.insert_means,
+                    },
+                    out.reports,
+                )
+            },
+            checkpoint::encode_scaffold_state,
+            checkpoint::decode_scaffold_state,
+        )?;
+        (state.scaffolds, state.gap_stats)
     } else {
         // Contigs become singleton "scaffolds" verbatim.
         let sequences: Vec<Vec<u8>> = contigs.contigs.iter().map(|c| c.seq.clone()).collect();
@@ -84,34 +400,59 @@ pub fn assemble(
         gaps,
     };
 
-    Assembly {
+    Ok(Assembly {
         scaffolds,
         contigs,
         stats,
-        report,
-    }
+        report: runner.report,
+    })
 }
 
-/// Assemble straight from a FASTQ file using the §3.3 parallel block
-/// reader; the I/O phase is measured and priced like every other phase.
-/// The file is treated as a single library.
-pub fn assemble_fastq(team: &Team, path: &Path, cfg: &PipelineConfig) -> std::io::Result<Assembly> {
+/// Assemble reads end-to-end. `lib_ranges` partitions read indices by
+/// library (see [`hipmer_scaffold::scaffold_pipeline`]). Thin wrapper
+/// over [`run_assembly`] with default [`RunOptions`].
+///
+/// # Panics
+/// Panics if a stage aborts past its retry budget (arm a fault plan and
+/// call [`run_assembly`] instead to handle that case).
+pub fn assemble(
+    team: &Team,
+    reads: &[SeqRecord],
+    lib_ranges: &[Range<usize>],
+    cfg: &PipelineConfig,
+) -> Assembly {
+    run_assembly(team, reads, lib_ranges, cfg, &RunOptions::default())
+        .expect("assembly failed without checkpointing enabled")
+}
+
+/// [`run_assembly`] straight from a FASTQ file using the §3.3 parallel
+/// block reader; the I/O phase is measured and priced like every other
+/// phase. The file is treated as a single library.
+pub fn run_assembly_fastq(
+    team: &Team,
+    path: &Path,
+    cfg: &PipelineConfig,
+    opts: &RunOptions,
+) -> Result<Assembly, PipelineError> {
     let (per_rank, io_stats) = read_fastq_parallel(team, path)?;
     let reads: Vec<SeqRecord> = per_rank.into_iter().flatten().collect();
     let lib_range = 0..reads.len();
-    let mut assembly = assemble(team, &reads, std::slice::from_ref(&lib_range), cfg);
+    let mut assembly = run_assembly(team, &reads, std::slice::from_ref(&lib_range), cfg, opts)?;
     // Prepend the I/O phase so stage grouping sees it.
-    let mut report = PipelineReport::new();
-    report.push(hipmer_pgas::PhaseReport::new(
-        "io/fastq",
-        *team.topo(),
-        io_stats,
-    ));
-    for p in assembly.report.phases.drain(..) {
-        report.push(p);
-    }
-    assembly.report = report;
+    assembly.report.phases.insert(
+        0,
+        hipmer_pgas::PhaseReport::new("io/fastq", *team.topo(), io_stats),
+    );
     Ok(assembly)
+}
+
+/// Assemble straight from a FASTQ file with default [`RunOptions`].
+pub fn assemble_fastq(team: &Team, path: &Path, cfg: &PipelineConfig) -> std::io::Result<Assembly> {
+    match run_assembly_fastq(team, path, cfg, &RunOptions::default()) {
+        Ok(a) => Ok(a),
+        Err(PipelineError::Io(e)) => Err(e),
+        Err(e) => panic!("assembly failed without checkpointing enabled: {e}"),
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +548,213 @@ mod tests {
         assert!(assembly.stats.n_reads > 0);
         let t = StageTimes::from_report(&assembly.report, &CostModel::edison());
         assert!(t.io > 0.0, "I/O phase must be priced");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn ckpt_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hipmer-run-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run() {
+        let dataset = human_like_dataset(15_000, 16.0, false, 11);
+        let team = Team::new(Topology::new(4, 2));
+        let reads = dataset.all_reads();
+        let cfg = PipelineConfig::new(21);
+        let ranges = lib_ranges_of(&dataset);
+
+        let plain = assemble(&team, &reads, &ranges, &cfg);
+
+        let dir = ckpt_dir("plainmatch");
+        let opts = RunOptions {
+            checkpoint_dir: Some(dir.clone()),
+            ..RunOptions::default()
+        };
+        let ckpt = run_assembly(&team, &reads, &ranges, &cfg, &opts).unwrap();
+        assert_eq!(plain.scaffolds.sequences, ckpt.scaffolds.sequences);
+        // Every stage saved an artifact…
+        assert_eq!(
+            ckpt.report
+                .checkpoints
+                .iter()
+                .filter(|c| c.action == "save")
+                .count(),
+            5
+        );
+        // …and the I/O was priced into the report.
+        assert!(ckpt
+            .report
+            .phases
+            .iter()
+            .any(|p| p.name.starts_with("checkpoint/save-")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn halt_and_resume_reproduces_the_assembly() {
+        let dataset = human_like_dataset(15_000, 16.0, false, 12);
+        let team = Team::new(Topology::new(4, 2));
+        let reads = dataset.all_reads();
+        let cfg = PipelineConfig::new(21);
+        let ranges = lib_ranges_of(&dataset);
+
+        let plain = assemble(&team, &reads, &ranges, &cfg);
+
+        let dir = ckpt_dir("resume");
+        let halted = run_assembly(
+            &team,
+            &reads,
+            &ranges,
+            &cfg,
+            &RunOptions {
+                checkpoint_dir: Some(dir.clone()),
+                halt_after: Some("scaffold-prep".into()),
+                ..RunOptions::default()
+            },
+        );
+        assert!(matches!(
+            halted,
+            Err(PipelineError::Halted { ref stage }) if stage == "scaffold-prep"
+        ));
+
+        let resumed = run_assembly(
+            &team,
+            &reads,
+            &ranges,
+            &cfg,
+            &RunOptions {
+                checkpoint_dir: Some(dir.clone()),
+                resume: true,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.scaffolds.sequences, resumed.scaffolds.sequences);
+        // The first three stages were satisfied from checkpoints.
+        let resumed_stages: Vec<_> = resumed
+            .report
+            .stage_attempts
+            .iter()
+            .filter(|a| a.resumed)
+            .map(|a| a.stage.as_str())
+            .collect();
+        assert_eq!(
+            resumed_stages,
+            ["kmer-analysis", "contig-generation", "scaffold-prep"]
+        );
+        assert!(resumed
+            .report
+            .phases
+            .iter()
+            .any(|p| p.name.starts_with("checkpoint/load-")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_rank_failure_recovers_to_identical_assembly() {
+        use hipmer_pgas::FaultPlan;
+        use std::sync::Arc;
+
+        let dataset = human_like_dataset(15_000, 16.0, false, 13);
+        let reads = dataset.all_reads();
+        let cfg = PipelineConfig::new(21);
+        let ranges = lib_ranges_of(&dataset);
+        let topo = Topology::new(4, 2);
+
+        let plain = assemble(&Team::new(topo), &reads, &ranges, &cfg);
+
+        // Kill rank 2 partway through; the stage aborts once, is rolled
+        // back, and the retry (the kill is one-shot) must reproduce the
+        // fault-free assembly exactly.
+        let plan = FaultPlan::new(99, topo.ranks()).with_rank_failure(2, 1_000);
+        let team = Team::new(topo).with_fault_plan(Arc::new(plan));
+        let faulty = run_assembly(&team, &reads, &ranges, &cfg, &RunOptions::default()).unwrap();
+        assert_eq!(plain.scaffolds.sequences, faulty.scaffolds.sequences);
+
+        let aborted: u64 = faulty.report.stage_attempts.iter().map(|a| a.aborted).sum();
+        assert_eq!(aborted, 1, "exactly one stage attempt was killed");
+        let retried = faulty
+            .report
+            .stage_attempts
+            .iter()
+            .find(|a| a.aborted > 0)
+            .unwrap();
+        assert_eq!(retried.executions, 2);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_surfaces_the_failing_stage() {
+        use hipmer_pgas::FaultPlan;
+        use std::sync::Arc;
+
+        let dataset = human_like_dataset(8_000, 14.0, false, 14);
+        let reads = dataset.all_reads();
+        let cfg = PipelineConfig::new(21);
+        let ranges = lib_ranges_of(&dataset);
+        let topo = Topology::new(2, 2);
+
+        // Transient probability 1.0 exhausts any retry budget immediately
+        // and escalates to a hard failure on the first remote access.
+        let plan = FaultPlan::new(7, topo.ranks()).with_transient(1.0);
+        let team = Team::new(topo).with_fault_plan(Arc::new(plan));
+        let err = match run_assembly(
+            &team,
+            &reads,
+            &ranges,
+            &cfg,
+            &RunOptions {
+                stage_retries: 1,
+                ..RunOptions::default()
+            },
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("expected the run to fail"),
+        };
+        match err {
+            PipelineError::StageAborted {
+                stage, attempts, ..
+            } => {
+                assert_eq!(stage, "kmer-analysis");
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("expected StageAborted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_interval_gates_saves() {
+        let dataset = human_like_dataset(10_000, 14.0, false, 15);
+        let team = Team::new(Topology::new(2, 2));
+        let reads = dataset.all_reads();
+        let cfg = PipelineConfig::new(21);
+        let ranges = lib_ranges_of(&dataset);
+
+        let dir = ckpt_dir("interval");
+        let out = run_assembly(
+            &team,
+            &reads,
+            &ranges,
+            &cfg,
+            &RunOptions {
+                checkpoint_dir: Some(dir.clone()),
+                checkpoint_interval: 2,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        // Stages 0, 2, 4 saved; 1 and 3 skipped — and each skip
+        // invalidates what came after, so only the last save survives
+        // contiguously... the store keeps records per its prefix rule.
+        let saves: Vec<_> = out
+            .report
+            .checkpoints
+            .iter()
+            .filter(|c| c.action == "save")
+            .map(|c| c.stage.as_str())
+            .collect();
+        assert_eq!(saves, ["kmer-analysis", "scaffold-prep", "scaffolding"]);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

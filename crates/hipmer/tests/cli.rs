@@ -170,8 +170,23 @@ fn trace_and_report_json_outputs_are_valid() {
     let report_doc = Value::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
     assert_eq!(
         report_doc.get("schema_version").and_then(Value::as_u64),
-        Some(2)
+        Some(3)
     );
+    // Schema v3: per-stage attempt bookkeeping is always present; a
+    // fault-free, checkpoint-free run shows one clean execution per stage
+    // and no checkpoint events.
+    let attempts = report_doc.get("stage_attempts").unwrap().as_arr().unwrap();
+    assert_eq!(attempts.len(), 5, "five pipeline stages");
+    for a in attempts {
+        assert_eq!(a.get("executions").and_then(Value::as_u64), Some(1));
+        assert_eq!(a.get("aborted").and_then(Value::as_u64), Some(0));
+    }
+    assert!(report_doc
+        .get("checkpoints")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .is_empty());
     assert_eq!(
         report_doc
             .get("topology")
@@ -218,6 +233,227 @@ fn trace_and_report_json_outputs_are_valid() {
         "aligner caches must see hits"
     );
     assert!(totals.get("cache_misses").and_then(Value::as_u64).is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_halt_then_resume_is_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("hipmer-cli-resume-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let reads = dir.join("reads.fastq");
+
+    let sim = Command::new(bin())
+        .args([
+            "simulate",
+            "human",
+            "-o",
+            reads.to_str().unwrap(),
+            "--len",
+            "15000",
+            "--cov",
+            "14",
+            "--seed",
+            "21",
+        ])
+        .output()
+        .expect("simulate runs");
+    assert!(sim.status.success());
+
+    let base = dir.join("base.fasta");
+    let common = [
+        "assemble",
+        reads.to_str().unwrap(),
+        "-k",
+        "21",
+        "--ranks",
+        "8",
+        "--ranks-per-node",
+        "4",
+    ];
+    let run = |extra: &[&str]| {
+        let out = Command::new(bin())
+            .args(common)
+            .args(extra)
+            .output()
+            .unwrap();
+        (out.status, String::from_utf8_lossy(&out.stderr).to_string())
+    };
+    let (st, err) = run(&["-o", base.to_str().unwrap()]);
+    assert!(st.success(), "{err}");
+
+    // Kill the run after stage 2 (scaffold-prep): exit 0, no FASTA.
+    let ckpt = dir.join("ckpt");
+    let halted = dir.join("halted.fasta");
+    let (st, err) = run(&[
+        "-o",
+        halted.to_str().unwrap(),
+        "--checkpoint-dir",
+        ckpt.to_str().unwrap(),
+        "--halt-after",
+        "scaffold-prep",
+    ]);
+    assert!(st.success(), "{err}");
+    assert!(err.contains("halted after stage"), "{err}");
+    assert!(!halted.exists(), "halted run must not write a FASTA");
+
+    // Resume: completed stages load from checkpoints, the assembly is
+    // byte-identical, and the report records the loads.
+    let resumed = dir.join("resumed.fasta");
+    let report = dir.join("resume-report.json");
+    let (st, err) = run(&[
+        "-o",
+        resumed.to_str().unwrap(),
+        "--checkpoint-dir",
+        ckpt.to_str().unwrap(),
+        "--resume",
+        "--report-json",
+        report.to_str().unwrap(),
+    ]);
+    assert!(st.success(), "{err}");
+    assert_eq!(
+        std::fs::read(&base).unwrap(),
+        std::fs::read(&resumed).unwrap(),
+        "resumed assembly must be byte-identical"
+    );
+    let doc = hipmer_pgas::json::Value::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+    use hipmer_pgas::json::Value;
+    let resumed_stages: Vec<&str> = doc
+        .get("stage_attempts")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .filter(|a| a.get("resumed").and_then(Value::as_bool) == Some(true))
+        .map(|a| a.get("stage").and_then(Value::as_str).unwrap())
+        .collect();
+    assert_eq!(
+        resumed_stages,
+        ["kmer-analysis", "contig-generation", "scaffold-prep"]
+    );
+    let loads = doc
+        .get("checkpoints")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .filter(|c| c.get("action").and_then(Value::as_str) == Some("load"))
+        .count();
+    assert_eq!(loads, 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fault_injection_recovers_byte_identically() {
+    use hipmer_pgas::json::Value;
+
+    let dir = std::env::temp_dir().join(format!("hipmer-cli-fault-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let reads = dir.join("reads.fastq");
+
+    let sim = Command::new(bin())
+        .args([
+            "simulate",
+            "human",
+            "-o",
+            reads.to_str().unwrap(),
+            "--len",
+            "15000",
+            "--cov",
+            "14",
+            "--seed",
+            "33",
+        ])
+        .output()
+        .expect("simulate runs");
+    assert!(sim.status.success());
+
+    let common = [
+        "assemble",
+        reads.to_str().unwrap(),
+        "-k",
+        "21",
+        "--ranks",
+        "8",
+        "--ranks-per-node",
+        "4",
+    ];
+    let base = dir.join("base.fasta");
+    let out = Command::new(bin())
+        .args(common)
+        .args(["-o", base.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Seeded transient faults plus a one-shot hard kill of rank 3: the
+    // transient faults retry transparently, the kill aborts its stage,
+    // and the retry (from checkpoints) must reproduce the assembly.
+    let faulty = dir.join("faulty.fasta");
+    let ckpt = dir.join("ckpt");
+    let report = dir.join("fault-report.json");
+    let out = Command::new(bin())
+        .args(common)
+        .args([
+            "-o",
+            faulty.to_str().unwrap(),
+            "--checkpoint-dir",
+            ckpt.to_str().unwrap(),
+            "--stage-retries",
+            "2",
+            "--fault-seed",
+            "7",
+            "--fault-transient",
+            "0.002",
+            "--fault-kill",
+            "3:2000",
+            "--report-json",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&base).unwrap(),
+        std::fs::read(&faulty).unwrap(),
+        "recovered assembly must be byte-identical to the fault-free one"
+    );
+
+    let doc = Value::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+    let attempts = doc.get("stage_attempts").unwrap().as_arr().unwrap();
+    let aborted: u64 = attempts
+        .iter()
+        .map(|a| a.get("aborted").and_then(Value::as_u64).unwrap())
+        .sum();
+    assert_eq!(aborted, 1, "the kill must abort exactly one stage attempt");
+    // The injected transient faults and their retries are visible in the
+    // phase totals.
+    let phases = doc.get("phases").unwrap().as_arr().unwrap();
+    let faults: u64 = phases
+        .iter()
+        .map(|p| {
+            p.get("totals")
+                .and_then(|t| t.get("transient_faults"))
+                .and_then(Value::as_u64)
+                .unwrap_or(0)
+        })
+        .sum();
+    let retries: u64 = phases
+        .iter()
+        .map(|p| {
+            p.get("totals")
+                .and_then(|t| t.get("retries"))
+                .and_then(Value::as_u64)
+                .unwrap_or(0)
+        })
+        .sum();
+    assert!(faults > 0, "transient faults must be injected and counted");
+    assert!(retries >= faults, "every transient fault costs a retry");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -1,7 +1,7 @@
 //! The k-mer analysis output: the table of non-erroneous k-mers.
 
 use hipmer_dna::{ExtensionPair, Kmer, KmerCodec};
-use hipmer_pgas::{DistHashMap, RankCtx};
+use hipmer_pgas::{DistHashMap, RankCtx, Topology};
 use hipmer_sketch::CountHistogram;
 
 /// One surviving canonical k-mer: exact count plus decided extensions.
@@ -56,6 +56,32 @@ impl KmerSpectrum {
             h.record(entry.count as u64);
         });
         h
+    }
+
+    /// Export every entry in a canonical order (ascending packed k-mer
+    /// bits), uncounted — the checkpoint serialization path, whose I/O is
+    /// priced by the checkpoint machinery rather than as table traffic.
+    /// The ordering makes the serialized artifact byte-identical across
+    /// runs and topologies.
+    pub fn export_entries(&self) -> Vec<(Kmer, KmerEntry)> {
+        let mut entries = self.table.snapshot_entries();
+        entries.sort_unstable_by_key(|(km, _)| km.0);
+        entries
+    }
+
+    /// Rebuild a spectrum from exported entries over a (possibly
+    /// different) topology, uncounted — the checkpoint restore path.
+    /// Entries land on the owners the placement function dictates, so the
+    /// restored table is indistinguishable from a freshly-counted one.
+    pub fn from_entries(
+        topo: Topology,
+        k: usize,
+        entries: impl IntoIterator<Item = (Kmer, KmerEntry)>,
+    ) -> Self {
+        let codec = KmerCodec::new(k);
+        let table = DistHashMap::new(topo);
+        table.preload(entries);
+        KmerSpectrum { codec, table }
     }
 
     /// Fraction of UU k-mers (unique extension both sides) on this rank's
@@ -135,6 +161,35 @@ mod tests {
         assert_eq!(one_by_one, batched);
         assert!(bat.stats.total_accesses() <= seq.stats.total_accesses());
         assert!(bat.stats.lookup_batches > 0);
+    }
+
+    #[test]
+    fn export_entries_round_trip_across_topologies() {
+        let topo = Topology::new(4, 2);
+        let codec = KmerCodec::new(5);
+        let table = DistHashMap::new(topo);
+        let spectrum = KmerSpectrum { codec, table };
+        let mut ctx = RankCtx::new(0, topo);
+        for (i, s) in ["AACGT", "CGTAA", "TTACG", "GGGCA"].iter().enumerate() {
+            let km = codec.canonical(codec.pack(s.as_bytes()).unwrap());
+            spectrum
+                .table
+                .insert(&mut ctx, km, entry(i as u32 + 2, i % 2 == 0));
+        }
+        let exported = spectrum.export_entries();
+        assert!(
+            exported.windows(2).all(|w| w[0].0 .0 < w[1].0 .0),
+            "entries sorted by packed bits"
+        );
+        // Restore onto a different topology: contents and canonical export
+        // order are identical.
+        let restored = KmerSpectrum::from_entries(Topology::new(7, 3), 5, exported.clone());
+        assert_eq!(restored.codec.k(), 5);
+        assert_eq!(restored.export_entries(), exported);
+        let mut c2 = RankCtx::new(0, Topology::new(7, 3));
+        for &(km, e) in &exported {
+            assert_eq!(restored.get(&mut c2, km), Some(e));
+        }
     }
 
     #[test]

@@ -66,12 +66,8 @@ impl<T> Outbox<T> {
         if items.is_empty() {
             return;
         }
-        ctx.stats.access(
-            &self.topo,
-            ctx.rank,
-            dest,
-            items.len() as u64 * self.item_bytes,
-        );
+        let topo = self.topo;
+        ctx.comm(&topo, dest, items.len() as u64 * self.item_bytes);
         apply(dest, items);
     }
 
@@ -101,10 +97,26 @@ impl<T> Outbox<T> {
     pub fn pending(&self) -> usize {
         self.buffers.iter().map(Vec::len).sum()
     }
+
+    /// Discard every buffered item without shipping it. The abort-safe
+    /// teardown for a stage that failed mid-flight: the un-shipped work is
+    /// intentionally thrown away (the stage will be re-executed from
+    /// scratch), and the `Drop` drained-buffer assertion is disarmed.
+    pub fn abandon(mut self) {
+        for buf in &mut self.buffers {
+            buf.clear();
+        }
+    }
 }
 
 impl<T> Drop for Outbox<T> {
     fn drop(&mut self) {
+        // An injected rank failure unwinds through pending buffers by
+        // design; asserting then would turn an orderly stage abort into a
+        // double-panic process abort.
+        if std::thread::panicking() {
+            return;
+        }
         debug_assert_eq!(
             self.pending(),
             0,
@@ -180,7 +192,8 @@ where
         }
         let bytes = entries.len() as u64 * self.entry_bytes;
         // One message event carrying the whole batch.
-        ctx.stats.access(self.dht.topo(), ctx.rank, dest, bytes);
+        let topo = *self.dht.topo();
+        ctx.comm(&topo, dest, bytes);
         self.dht.merge_batch(dest, entries, &self.merge);
     }
 
@@ -213,6 +226,15 @@ where
     pub fn pending(&self) -> usize {
         self.buffers.iter().map(Vec::len).sum()
     }
+
+    /// Discard every buffered update without flushing it — the abort-safe
+    /// teardown for a stage that failed mid-flight (the stage re-executes
+    /// from scratch, so the pending upserts must *not* land).
+    pub fn abandon(mut self) {
+        for buf in &mut self.buffers {
+            buf.clear();
+        }
+    }
 }
 
 impl<K, V, M> Drop for AggregatingStores<'_, K, V, M>
@@ -220,6 +242,11 @@ where
     M: Fn(&mut V, V),
 {
     fn drop(&mut self) {
+        // See Outbox::drop: never assert while a rank-failure panic is
+        // already unwinding through this aggregator.
+        if std::thread::panicking() {
+            return;
+        }
         debug_assert_eq!(
             self.pending(),
             0,
@@ -311,6 +338,19 @@ mod tests {
     }
 
     #[test]
+    fn abandon_discards_pending_updates() {
+        let topo = Topology::new(2, 2);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut ctx = RankCtx::new(0, topo);
+        let mut agg = AggregatingStores::new(&dht, |a: &mut u32, b| *a += b);
+        for k in 0..5u64 {
+            agg.push(&mut ctx, k, 1);
+        }
+        agg.abandon(); // no drop assertion, and nothing lands
+        assert_eq!(dht.len(), 0);
+    }
+
+    #[test]
     fn service_ops_still_counted_at_owner() {
         let topo = Topology::new(4, 2);
         let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
@@ -353,5 +393,18 @@ mod outbox_tests {
         // items; rank 0 messages are local ops.
         let msgs = ctx.stats.total_accesses();
         assert!(msgs <= 12, "messages {msgs}");
+    }
+
+    #[test]
+    fn outbox_abandon_discards_pending() {
+        let topo = Topology::new(4, 2);
+        let mut ctx = RankCtx::new(0, topo);
+        let mut outbox: Outbox<u64> = Outbox::new(topo, 100);
+        let mut apply = |_dest: usize, _items: Vec<u64>| panic!("nothing may ship");
+        for i in 0..7u64 {
+            outbox.push(&mut ctx, (i % 4) as usize, i, &mut apply);
+        }
+        assert_eq!(outbox.pending(), 7);
+        outbox.abandon();
     }
 }

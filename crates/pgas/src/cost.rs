@@ -90,6 +90,11 @@ pub struct CostModel {
     /// full bytes (priced by the bandwidth terms), so the saving falls out
     /// of the existing terms.
     pub t_cache: f64,
+    /// Seconds per exponential-backoff unit accumulated while waiting to
+    /// re-deliver a transiently-faulted message (see
+    /// [`CommStats::backoff_units`]): attempt `n` waits
+    /// `2^min(n-1, cap) * t_backoff` seconds.
+    pub t_backoff: f64,
     /// Barrier cost: `t_barrier_base * log2(ranks)` per barrier.
     pub t_barrier_base: f64,
     /// Per-rank storage bandwidth, bytes/second (before saturation).
@@ -112,6 +117,7 @@ impl CostModel {
             bw_offnode: 1.0e9,
             t_service: 1.5e-7,
             t_cache: 2.0e-8,
+            t_backoff: 1.0e-4,
             t_barrier_base: 5.0e-6,
             io_bw_per_rank: 8.0e7,
             io_bw_aggregate: 7.2e10,
@@ -137,7 +143,9 @@ impl CostModel {
                 + s.local_ops as f64 * self.t_local
                 + s.service_ops as f64 * self.t_service
                 + (s.cache_hits + s.cache_misses) as f64 * self.t_cache,
-            latency: s.onnode_msgs as f64 * self.t_onnode + s.offnode_msgs as f64 * self.t_offnode,
+            latency: s.onnode_msgs as f64 * self.t_onnode
+                + s.offnode_msgs as f64 * self.t_offnode
+                + s.backoff_units as f64 * self.t_backoff,
             bandwidth: s.onnode_bytes as f64 / self.bw_onnode
                 + s.offnode_bytes as f64 / self.bw_offnode,
         }
@@ -243,6 +251,22 @@ mod tests {
         assert!(
             model.rank_breakdown(&cached).total() * 10.0 < model.rank_breakdown(&remote).total()
         );
+    }
+
+    #[test]
+    fn backoff_units_price_into_latency() {
+        let model = CostModel::edison();
+        let clean = CommStats {
+            offnode_msgs: 100,
+            ..CommStats::default()
+        };
+        let faulted = CommStats {
+            offnode_msgs: 100,
+            backoff_units: 7, // e.g. retries at attempts 1..=3: 1+2+4
+            ..CommStats::default()
+        };
+        let delta = model.rank_breakdown(&faulted).latency - model.rank_breakdown(&clean).latency;
+        assert!((delta - 7.0 * model.t_backoff).abs() < 1e-12);
     }
 
     #[test]

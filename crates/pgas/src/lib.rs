@@ -33,6 +33,7 @@
 pub mod agg;
 pub mod cost;
 pub mod dht;
+pub mod fault;
 pub mod json;
 pub mod lookup;
 pub mod oracle;
@@ -45,9 +46,12 @@ pub mod trace;
 pub use agg::{AggregatingStores, Outbox};
 pub use cost::{CostModel, ModeledTime, RankBreakdown};
 pub use dht::{DistHashMap, Placement};
+pub use fault::{
+    catch_stage_abort, FailureCause, FaultEvent, FaultPlan, RankFailure, StageAbort, StageOutcome,
+};
 pub use lookup::{LookupBatch, SoftwareCache};
 pub use oracle::OracleVector;
-pub use report::{PhaseReport, PipelineReport};
+pub use report::{CheckpointEvent, PhaseReport, PipelineReport, StageAttempt};
 pub use stats::CommStats;
 pub use team::{RankCtx, Team};
 pub use topology::Topology;

@@ -100,12 +100,8 @@ where
         }
         // One message event carrying the whole request batch; bytes in
         // full, exactly like the write-side Outbox.
-        ctx.stats.access(
-            self.dht.topo(),
-            ctx.rank,
-            dest,
-            entries.len() as u64 * self.dht.entry_bytes(),
-        );
+        let topo = *self.dht.topo();
+        ctx.comm(&topo, dest, entries.len() as u64 * self.dht.entry_bytes());
         ctx.stats.lookup_batches += 1;
         let keys: Vec<&K> = entries.iter().map(|(k, _)| k).collect();
         let values = self.dht.fetch_batch(dest, &keys);
@@ -146,10 +142,25 @@ impl<K, V, T> LookupBatch<'_, K, V, T> {
     pub fn pending(&self) -> usize {
         self.buffers.iter().map(Vec::len).sum()
     }
+
+    /// Discard every queued request without resolving it — the abort-safe
+    /// teardown for a stage that failed mid-flight (the stage re-executes
+    /// from scratch, so the unanswered lookups are moot).
+    pub fn abandon(mut self) {
+        for buf in &mut self.buffers {
+            buf.clear();
+        }
+    }
 }
 
 impl<K, V, T> Drop for LookupBatch<'_, K, V, T> {
     fn drop(&mut self) {
+        // An injected rank failure unwinds through pending requests by
+        // design; asserting then would turn an orderly stage abort into a
+        // double-panic process abort.
+        if std::thread::panicking() {
+            return;
+        }
         debug_assert_eq!(
             self.pending(),
             0,
@@ -415,6 +426,18 @@ mod tests {
             assert_eq!(cache.get_through(&mut c, &dht, &9999), None);
         }
         assert_eq!(c.stats.total_accesses(), before + 5);
+    }
+
+    #[test]
+    fn abandon_disarms_the_drop_assertion() {
+        let topo = Topology::new(2, 2);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut c = ctx(0, topo);
+        let mut sink = |_: &mut RankCtx, _t: u64, _v: Option<u32>| panic!("nothing may resolve");
+        let mut lb = LookupBatch::with_batch(&dht, 100);
+        lb.push(&mut c, 7, 7, &mut sink);
+        assert_eq!(lb.pending(), 1);
+        lb.abandon();
     }
 
     #[test]

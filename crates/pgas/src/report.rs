@@ -122,11 +122,46 @@ impl PhaseReport {
     }
 }
 
+/// One pipeline stage's execution bookkeeping under fault injection and
+/// checkpoint/restart: how many times the stage body ran, how many of
+/// those attempts aborted (injected rank failure or retry-budget
+/// exhaustion), and whether it was skipped entirely by `--resume`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageAttempt {
+    /// Stage name, e.g. `"contig-generation"`.
+    pub stage: String,
+    /// Times the stage body was executed (0 when resumed from checkpoint).
+    pub executions: u64,
+    /// Executions that ended in a stage abort and were rolled back.
+    pub aborted: u64,
+    /// Whether the stage was satisfied from a checkpoint instead of run.
+    pub resumed: bool,
+}
+
+/// One checkpoint interaction: an artifact saved after a stage completed,
+/// or loaded to satisfy a `--resume`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointEvent {
+    /// Stage the artifact belongs to.
+    pub stage: String,
+    /// `"save"` or `"load"`.
+    pub action: String,
+    /// Serialized artifact size in bytes.
+    pub bytes: u64,
+    /// FNV-1a 64 checksum of the artifact bytes.
+    pub checksum: u64,
+}
+
 /// An ordered collection of phase reports for one pipeline run.
 #[derive(Clone, Debug, Default)]
 pub struct PipelineReport {
     /// The phases in execution order.
     pub phases: Vec<PhaseReport>,
+    /// Per-stage execution bookkeeping (empty unless the run used the
+    /// fault/checkpoint machinery).
+    pub stage_attempts: Vec<StageAttempt>,
+    /// Checkpoint saves and loads performed during the run.
+    pub checkpoints: Vec<CheckpointEvent>,
 }
 
 impl PipelineReport {
@@ -138,6 +173,21 @@ impl PipelineReport {
     /// Append a finished phase.
     pub fn push(&mut self, phase: PhaseReport) {
         self.phases.push(phase);
+    }
+
+    /// A rollback marker: the current phase count. Take one before running
+    /// a stage that may abort, and pass it to
+    /// [`rollback_to`](Self::rollback_to) if it does.
+    pub fn mark(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Discard every phase appended after `mark` was taken. This is how a
+    /// re-executed stage *replaces* its aborted attempt: without the
+    /// rollback, the aborted attempt's phases would double-count their
+    /// wall seconds (and counters) in the pipeline totals.
+    pub fn rollback_to(&mut self, mark: usize) {
+        self.phases.truncate(mark);
     }
 
     /// Modeled total time across all phases.
@@ -182,7 +232,7 @@ impl PipelineReport {
     }
 
     /// Serialize the whole pipeline report as a machine-readable JSON
-    /// document (schema version 2; see `DESIGN.md` §"Observability").
+    /// document (schema version 3; see `DESIGN.md` §"Observability").
     ///
     /// Per phase it carries the measured wall seconds, the modeled-time
     /// breakdown, the critical rank's compute/latency/bandwidth split, the
@@ -190,17 +240,22 @@ impl PipelineReport {
     /// [`PhaseReport`] methods return), the machine-wide counter totals,
     /// and any heavy-hitter keys the stage attached.
     ///
-    /// Schema v2 (this PR) adds three read-path counters to each phase's
-    /// `totals` object: `lookup_batches`
-    /// ([`CommStats::lookup_batches`]), `cache_hits` and `cache_misses`
-    /// ([`CommStats::cache_hits`], [`CommStats::cache_misses`]) — the
-    /// observability surface for [`crate::LookupBatch`] and
-    /// [`crate::SoftwareCache`]. v1 consumers that indexed `totals` by key
-    /// name are unaffected; consumers that enumerated keys must accept the
-    /// new ones.
+    /// Schema v2 added three read-path counters to each phase's `totals`
+    /// object: `lookup_batches` ([`CommStats::lookup_batches`]),
+    /// `cache_hits` and `cache_misses`.
+    ///
+    /// Schema v3 (this PR) adds the fault/recovery surface: per-phase
+    /// `totals` gain `transient_faults`, `retries` and `backoff_units`
+    /// ([`CommStats::transient_faults`], [`CommStats::retries`],
+    /// [`CommStats::backoff_units`]), and the document gains two top-level
+    /// arrays — `stage_attempts` ([`StageAttempt`]: execution/abort/resume
+    /// bookkeeping per pipeline stage) and `checkpoints`
+    /// ([`CheckpointEvent`]: artifact saves and loads with byte counts and
+    /// checksums). Consumers that indexed by key name are unaffected;
+    /// consumers that enumerated keys must accept the new ones.
     pub fn to_json(&self, model: &CostModel) -> String {
         let mut doc = Value::obj();
-        doc.set("schema_version", 2u64)
+        doc.set("schema_version", 3u64)
             .set("generator", "hipmer-pgas");
         if let Some(p) = self.phases.first() {
             let mut topo = Value::obj();
@@ -214,6 +269,32 @@ impl PipelineReport {
             "wall_seconds",
             self.phases.iter().map(|p| p.wall_seconds).sum::<f64>(),
         );
+        let attempts: Vec<Value> = self
+            .stage_attempts
+            .iter()
+            .map(|a| {
+                let mut v = Value::obj();
+                v.set("stage", a.stage.as_str())
+                    .set("executions", a.executions)
+                    .set("aborted", a.aborted)
+                    .set("resumed", a.resumed);
+                v
+            })
+            .collect();
+        doc.set("stage_attempts", Value::Arr(attempts));
+        let ckpts: Vec<Value> = self
+            .checkpoints
+            .iter()
+            .map(|c| {
+                let mut v = Value::obj();
+                v.set("stage", c.stage.as_str())
+                    .set("action", c.action.as_str())
+                    .set("bytes", c.bytes)
+                    .set("checksum", format!("{:#018x}", c.checksum));
+                v
+            })
+            .collect();
+        doc.set("checkpoints", Value::Arr(ckpts));
         let phases: Vec<Value> = self.phases.iter().map(|p| phase_json(p, model)).collect();
         doc.set("phases", Value::Arr(phases));
         doc.to_json()
@@ -259,6 +340,9 @@ fn phase_json(p: &PhaseReport, model: &CostModel) -> Value {
         .set("lookup_batches", totals.lookup_batches)
         .set("cache_hits", totals.cache_hits)
         .set("cache_misses", totals.cache_misses)
+        .set("transient_faults", totals.transient_faults)
+        .set("retries", totals.retries)
+        .set("backoff_units", totals.backoff_units)
         .set("io_read_bytes", totals.io_read_bytes)
         .set("io_write_bytes", totals.io_write_bytes)
         .set("barriers", totals.barriers)
@@ -347,6 +431,9 @@ mod tests {
                 lookup_batches: 12,
                 cache_hits: 300 + 5 * r,
                 cache_misses: 44,
+                transient_faults: 3 + r,
+                retries: 3,
+                backoff_units: 7,
                 io_read_bytes: 1 << 20,
                 barriers: 2,
                 exec_nanos: 1_000_000 * (r + 1),
@@ -359,6 +446,24 @@ mod tests {
                 .with_hot_keys(vec![(0xdead_beef, 41), (0x1234, 7)]),
         );
         pr.push(PhaseReport::new("contig/traversal", topo, stats).with_serial(0.125));
+        pr.stage_attempts.push(StageAttempt {
+            stage: "kmer-analysis".to_string(),
+            executions: 2,
+            aborted: 1,
+            resumed: false,
+        });
+        pr.stage_attempts.push(StageAttempt {
+            stage: "contig-generation".to_string(),
+            executions: 0,
+            aborted: 0,
+            resumed: true,
+        });
+        pr.checkpoints.push(CheckpointEvent {
+            stage: "kmer-analysis".to_string(),
+            action: "save".to_string(),
+            bytes: 4096,
+            checksum: 0xfeed_f00d,
+        });
         pr
     }
 
@@ -378,7 +483,7 @@ mod tests {
         // any of these is a schema break and must bump `schema_version`.
         let model = CostModel::edison();
         let doc = Value::parse(&busy_pipeline().to_json(&model)).unwrap();
-        assert_eq!(doc.get("schema_version").and_then(Value::as_u64), Some(2));
+        assert_eq!(doc.get("schema_version").and_then(Value::as_u64), Some(3));
         assert_eq!(
             doc.keys(),
             vec![
@@ -387,8 +492,37 @@ mod tests {
                 "topology",
                 "modeled_total",
                 "wall_seconds",
+                "stage_attempts",
+                "checkpoints",
                 "phases"
             ]
+        );
+        let attempts = doc.get("stage_attempts").unwrap().as_arr().unwrap();
+        assert_eq!(attempts.len(), 2);
+        assert_eq!(
+            attempts[0].keys(),
+            vec!["stage", "executions", "aborted", "resumed"]
+        );
+        assert_eq!(
+            attempts[0].get("stage").and_then(Value::as_str),
+            Some("kmer-analysis")
+        );
+        assert_eq!(attempts[0].get("aborted").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            attempts[1].get("resumed").and_then(Value::as_bool),
+            Some(true)
+        );
+        let ckpts = doc.get("checkpoints").unwrap().as_arr().unwrap();
+        assert_eq!(ckpts.len(), 1);
+        assert_eq!(
+            ckpts[0].keys(),
+            vec!["stage", "action", "bytes", "checksum"]
+        );
+        assert_eq!(ckpts[0].get("action").and_then(Value::as_str), Some("save"));
+        assert_eq!(ckpts[0].get("bytes").and_then(Value::as_u64), Some(4096));
+        assert_eq!(
+            ckpts[0].get("checksum").and_then(Value::as_str),
+            Some("0x00000000feedf00d")
         );
         let topo = doc.get("topology").unwrap();
         assert_eq!(topo.keys(), vec!["ranks", "ranks_per_node", "nodes"]);
@@ -436,6 +570,9 @@ mod tests {
                 "lookup_batches",
                 "cache_hits",
                 "cache_misses",
+                "transient_faults",
+                "retries",
+                "backoff_units",
                 "io_read_bytes",
                 "io_write_bytes",
                 "barriers",
@@ -495,11 +632,42 @@ mod tests {
                 totals.get("cache_misses").and_then(Value::as_u64).unwrap(),
                 p.totals().cache_misses
             );
+            // Schema-v3 fault counters carry the merged CommStats values.
+            let faults = totals
+                .get("transient_faults")
+                .and_then(Value::as_u64)
+                .unwrap();
+            assert_eq!(faults, p.totals().transient_faults);
+            assert!(faults > 0, "fixture must exercise fault accounting");
+            assert_eq!(
+                totals.get("retries").and_then(Value::as_u64).unwrap(),
+                p.totals().retries
+            );
+            assert_eq!(
+                totals.get("backoff_units").and_then(Value::as_u64).unwrap(),
+                p.totals().backoff_units
+            );
         }
         // Pipeline-level sums.
         let wall = doc.get("wall_seconds").and_then(Value::as_f64).unwrap();
         let expect: f64 = pr.phases.iter().map(|p| p.wall_seconds).sum();
         assert!((wall - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rollback_replaces_aborted_attempt() {
+        // A stage runs, aborts, and re-runs: the re-execution must replace
+        // the aborted attempt's phases, not pile on top of them.
+        let mut pr = PipelineReport::new();
+        pr.push(phase_with(&[10, 10]).with_wall(1.0)); // upstream stage A
+        let mark = pr.mark();
+        pr.push(phase_with(&[20, 20]).with_wall(5.0)); // stage B, attempt 1 (aborts)
+        pr.push(phase_with(&[5, 5]).with_wall(2.0)); // partial sub-phase of attempt 1
+        pr.rollback_to(mark);
+        pr.push(phase_with(&[20, 20]).with_wall(5.5)); // stage B, attempt 2
+        let wall: f64 = pr.phases.iter().map(|p| p.wall_seconds).sum();
+        assert_eq!(pr.phases.len(), 2);
+        assert!((wall - 6.5).abs() < 1e-12, "A + B2 only, got {wall}");
     }
 
     #[test]

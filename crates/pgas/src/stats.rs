@@ -40,6 +40,18 @@ pub struct CommStats {
     /// Cache probes that missed and fell through to a real lookup. The
     /// fall-through access is accounted separately by whoever performs it.
     pub cache_misses: u64,
+    /// Transient message faults injected against this rank's remote
+    /// accesses by an attached [`crate::FaultPlan`] (each lost delivery
+    /// attempt counts once, so a message retried twice adds two).
+    pub transient_faults: u64,
+    /// Message re-deliveries performed after transient faults. Each retry
+    /// also re-accounts the message itself (latency + bytes), so retried
+    /// traffic is visible in the ordinary message/byte counters too.
+    pub retries: u64,
+    /// Exponential-backoff penalty units accumulated while waiting to
+    /// retry: attempt `n` adds `2^min(n-1, cap)` units, priced by
+    /// [`crate::CostModel::t_backoff`].
+    pub backoff_units: u64,
     /// Bytes read from storage by this rank.
     pub io_read_bytes: u64,
     /// Bytes written to storage by this rank.
@@ -113,6 +125,9 @@ impl CommStats {
         self.lookup_batches += o.lookup_batches;
         self.cache_hits += o.cache_hits;
         self.cache_misses += o.cache_misses;
+        self.transient_faults += o.transient_faults;
+        self.retries += o.retries;
+        self.backoff_units += o.backoff_units;
         self.io_read_bytes += o.io_read_bytes;
         self.io_write_bytes += o.io_write_bytes;
         self.barriers += o.barriers;

@@ -10,10 +10,13 @@
 //! paper's own algorithms are asynchronous one-sided for the same reason:
 //! to avoid synchronization and message-matching logic).
 
+use crate::fault::{self, FailureCause, FaultEvent, FaultPlan, StageAbort, StageOutcome};
 use crate::stats::CommStats;
 use crate::topology::Topology;
 use crate::trace;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Per-rank execution context handed to a phase body.
@@ -23,6 +26,9 @@ pub struct RankCtx {
     topo: Topology,
     /// Counters the phase body and the data structures tally into.
     pub stats: CommStats,
+    /// Fault schedule consulted by [`RankCtx::comm`] (set by
+    /// [`Team::with_fault_plan`]; `None` = fault-free).
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl RankCtx {
@@ -32,7 +38,15 @@ impl RankCtx {
             rank,
             topo,
             stats: CommStats::new(),
+            faults: None,
         }
+    }
+
+    /// Attach a fault plan to a forged context (tests; `Team` does this for
+    /// real phase executions).
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// The machine topology this phase runs on.
@@ -57,7 +71,48 @@ impl RankCtx {
     #[inline]
     pub fn access(&mut self, to: usize, bytes: u64) {
         let topo = self.topo;
-        self.stats.access(&topo, self.rank, to, bytes);
+        self.comm(&topo, to, bytes);
+    }
+
+    /// Record one classified communication event from this rank to `to`
+    /// under `topo` — **the** choke point every one-sided access, batched
+    /// flush, and multi-get message goes through. With no
+    /// [`FaultPlan`] attached this is exactly
+    /// [`CommStats::access`]; with one, remote events additionally consult
+    /// the plan: a transient fault re-sends the message (re-accounted in
+    /// full, with capped exponential backoff tallied in
+    /// [`CommStats::backoff_units`]), and a hard fault unwinds the rank
+    /// (see [`crate::fault`]).
+    #[inline]
+    pub fn comm(&mut self, topo: &Topology, to: usize, bytes: u64) {
+        self.stats.access(topo, self.rank, to, bytes);
+        if to != self.rank && self.faults.is_some() {
+            self.comm_faulty(topo, to, bytes);
+        }
+    }
+
+    /// Out-of-line fault path of [`RankCtx::comm`].
+    #[cold]
+    fn comm_faulty(&mut self, topo: &Topology, to: usize, bytes: u64) {
+        let plan = self.faults.clone().expect("checked by caller");
+        let mut attempt = 0u32;
+        loop {
+            match plan.on_remote_event(self.rank) {
+                FaultEvent::Delivered => return,
+                FaultEvent::Kill => FaultPlan::fail_rank(self.rank, FailureCause::Injected),
+                FaultEvent::Transient => {
+                    attempt += 1;
+                    self.stats.transient_faults += 1;
+                    if attempt > plan.max_retries() {
+                        FaultPlan::fail_rank(self.rank, FailureCause::RetryBudgetExhausted);
+                    }
+                    self.stats.retries += 1;
+                    self.stats.backoff_units += 1u64 << (attempt - 1).min(plan.backoff_cap());
+                    // The re-sent message pays latency and bytes again.
+                    self.stats.access(topo, self.rank, to, bytes);
+                }
+            }
+        }
     }
 }
 
@@ -66,6 +121,7 @@ impl RankCtx {
 pub struct Team {
     topo: Topology,
     os_threads: usize,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// Number of OS worker threads to use (env `HIPMER_THREADS`, else the
@@ -86,20 +142,39 @@ fn default_os_threads() -> usize {
 }
 
 /// Execute one rank's phase body, stamping measured execution time into its
-/// stats and producing a trace span when this rank is sampled.
+/// stats and producing a trace span when this rank is sampled. A
+/// [`fault::RankFailure`] unwinding out of the body is caught and reported
+/// in the fourth slot (`None` result); any other panic resumes unwinding.
 fn run_rank<R, F>(
     f: &F,
     rank: usize,
     topo: Topology,
+    faults: Option<&Arc<FaultPlan>>,
     phase_start: Instant,
     label: Option<&str>,
-) -> (R, CommStats, Option<trace::SpanEvent>)
+) -> (
+    Option<R>,
+    CommStats,
+    Option<trace::SpanEvent>,
+    Option<fault::RankFailure>,
+)
 where
     F: Fn(&mut RankCtx) -> R,
 {
     let rank_start = Instant::now();
     let mut ctx = RankCtx::new(rank, topo);
-    let out = f(&mut ctx);
+    if let Some(plan) = faults {
+        ctx.faults = Some(Arc::clone(plan));
+    }
+    // AssertUnwindSafe: on unwind only `ctx.stats` is read, and counters
+    // are plain integers that stay valid mid-phase.
+    let (out, failure) = match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
+        Ok(v) => (Some(v), None),
+        Err(payload) => match payload.downcast::<fault::RankFailure>() {
+            Ok(rf) => (None, Some(*rf)),
+            Err(other) => std::panic::resume_unwind(other),
+        },
+    };
     ctx.barrier();
     let dur_nanos = rank_start.elapsed().as_nanos() as u64;
     ctx.stats.exec_nanos = dur_nanos;
@@ -115,8 +190,10 @@ where
         lookup_batches: ctx.stats.lookup_batches,
         cache_hits: ctx.stats.cache_hits,
         cache_misses: ctx.stats.cache_misses,
+        transient_faults: ctx.stats.transient_faults,
+        retries: ctx.stats.retries,
     });
-    (out, ctx.stats, span)
+    (out, ctx.stats, span, failure)
 }
 
 impl Team {
@@ -125,6 +202,7 @@ impl Team {
         Team {
             topo,
             os_threads: default_os_threads(),
+            faults: None,
         }
     }
 
@@ -133,6 +211,25 @@ impl Team {
         assert!(n >= 1);
         self.os_threads = n;
         self
+    }
+
+    /// Arm this team with a fault-injection schedule: every remote
+    /// communication event of every phase consults `plan` (see
+    /// [`crate::fault`]). The plan is shared, so event counters persist
+    /// across phases and across team clones.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        assert_eq!(
+            plan.events_len(),
+            self.topo.ranks(),
+            "fault plan must cover every rank"
+        );
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
     }
 
     /// The topology this team executes on.
@@ -175,24 +272,43 @@ impl Team {
         R: Send,
         F: Fn(&mut RankCtx) -> R + Sync,
     {
+        match self.try_run_named(label, f) {
+            StageOutcome::Completed(results, stats) => (results, stats),
+            StageOutcome::Aborted(abort) => fault::raise_stage_abort(abort),
+        }
+    }
+
+    /// As [`Team::run_named`], but an injected rank failure is returned as
+    /// [`StageOutcome::Aborted`] instead of panicking. Every rank still
+    /// executes (a real failure detector also lags the failure; phase
+    /// bodies are non-blocking, so survivors always finish); the aborted
+    /// attempt's per-rank results and counters are discarded with the
+    /// outcome.
+    pub fn try_run_named<R, F>(&self, label: &str, f: F) -> StageOutcome<R>
+    where
+        R: Send,
+        F: Fn(&mut RankCtx) -> R + Sync,
+    {
         let ranks = self.topo.ranks();
         let workers = self.os_threads.min(ranks);
         let next = AtomicUsize::new(0);
-        let mut collected: Vec<Vec<(usize, R, CommStats)>> = Vec::with_capacity(workers);
+        type Bucket<R> = Vec<(usize, Option<R>, CommStats, Option<fault::RankFailure>)>;
+        let mut collected: Vec<Bucket<R>> = Vec::with_capacity(workers);
 
         let phase_start = Instant::now();
         let tracing = trace::is_enabled();
         let sample = trace::sample_ranks();
         let span_label = |rank: usize| (tracing && rank < sample).then_some(label);
+        let faults = self.faults.as_ref();
 
         if workers <= 1 {
             let mut local = Vec::with_capacity(ranks);
             let mut spans = Vec::new();
             for rank in 0..ranks {
-                let (out, stats, span) =
-                    run_rank(&f, rank, self.topo, phase_start, span_label(rank));
+                let (out, stats, span, failure) =
+                    run_rank(&f, rank, self.topo, faults, phase_start, span_label(rank));
                 spans.extend(span);
-                local.push((rank, out, stats));
+                local.push((rank, out, stats, failure));
             }
             if !spans.is_empty() {
                 trace::record(spans);
@@ -214,10 +330,10 @@ impl Team {
                                 if rank >= ranks {
                                     break;
                                 }
-                                let (out, stats, span) =
-                                    run_rank(f, rank, topo, phase_start, span_label(rank));
+                                let (out, stats, span, failure) =
+                                    run_rank(f, rank, topo, faults, phase_start, span_label(rank));
                                 spans.extend(span);
-                                local.push((rank, out, stats));
+                                local.push((rank, out, stats, failure));
                             }
                             if !spans.is_empty() {
                                 trace::record(spans);
@@ -235,10 +351,26 @@ impl Team {
             collected = worker_outputs;
         }
 
+        // Any dead rank aborts the stage; pick the lowest rank so the
+        // reported failure is deterministic across OS-thread schedules.
+        if let Some(failure) = collected
+            .iter()
+            .flatten()
+            .filter_map(|(_, _, _, failure)| *failure)
+            .min_by_key(|failure| failure.rank)
+        {
+            return StageOutcome::Aborted(StageAbort {
+                phase: label.to_string(),
+                rank: failure.rank,
+                cause: failure.cause,
+            });
+        }
+
         let mut slots: Vec<Option<(R, CommStats)>> = (0..ranks).map(|_| None).collect();
         for bucket in collected {
-            for (rank, out, stats) in bucket {
+            for (rank, out, stats, _) in bucket {
                 debug_assert!(slots[rank].is_none());
+                let out = out.expect("no failure implies a result");
                 slots[rank] = Some((out, stats));
             }
         }
@@ -249,7 +381,7 @@ impl Team {
             results.push(r);
             stats.push(s);
         }
-        (results, stats)
+        StageOutcome::Completed(results, stats)
     }
 }
 
@@ -358,5 +490,144 @@ mod tests {
             acc.fetch_add(ctx.rank as u64, Ordering::Relaxed);
         });
         assert_eq!(acc.load(Ordering::Relaxed), (0..64u64).sum());
+    }
+
+    #[test]
+    fn transient_faults_retry_and_are_counted() {
+        let topo = Topology::new(8, 4);
+        let plan = FaultPlan::new(11, topo.ranks()).with_transient(0.05);
+        let team = Team::new(topo)
+            .with_os_threads(2)
+            .with_fault_plan(Arc::new(plan));
+        let (_, stats) = team.run_named("test/transient", |ctx| {
+            for to in 0..8 {
+                for _ in 0..200 {
+                    ctx.access(to, 16);
+                }
+            }
+        });
+        let total = crate::stats::total(&stats);
+        assert!(total.transient_faults > 0, "{total:?}");
+        assert_eq!(total.transient_faults, total.retries, "all faults retried");
+        assert!(total.backoff_units >= total.retries);
+        // Retried messages are re-accounted: more messages than the
+        // fault-free op count (8 ranks x 8 dests x 200, one local each).
+        assert_eq!(
+            total.total_accesses(),
+            8 * 8 * 200 + total.retries,
+            "each retry re-accounts its message"
+        );
+    }
+
+    #[test]
+    fn fault_counters_are_schedule_independent() {
+        let topo = Topology::new(8, 4);
+        let run_with = |threads: usize| {
+            let plan = FaultPlan::new(99, topo.ranks()).with_transient(0.03);
+            let team = Team::new(topo)
+                .with_os_threads(threads)
+                .with_fault_plan(Arc::new(plan));
+            let (_, stats) = team.run_named("test/deterministic-faults", |ctx| {
+                for to in 0..8 {
+                    for _ in 0..300 {
+                        ctx.access(to, 8);
+                    }
+                }
+            });
+            stats
+        };
+        // Scrub measured host time: everything else must match exactly.
+        let scrub = |stats: Vec<CommStats>| {
+            stats
+                .into_iter()
+                .map(|mut s| {
+                    s.exec_nanos = 0;
+                    s
+                })
+                .collect::<Vec<_>>()
+        };
+        let serial = scrub(run_with(1));
+        let threaded = scrub(run_with(4));
+        assert_eq!(serial, threaded, "per-rank counters identical");
+        assert!(crate::stats::total(&serial).transient_faults > 0);
+    }
+
+    #[test]
+    fn hard_rank_failure_aborts_the_stage() {
+        let topo = Topology::new(8, 4);
+        let plan = FaultPlan::new(5, topo.ranks()).with_rank_failure(3, 50);
+        let team = Team::new(topo)
+            .with_os_threads(3)
+            .with_fault_plan(Arc::new(plan));
+        let body = |ctx: &mut RankCtx| {
+            for to in 0..8 {
+                for _ in 0..100 {
+                    ctx.access(to, 16);
+                }
+            }
+            ctx.rank
+        };
+        match team.try_run_named("test/hard-kill", body) {
+            StageOutcome::Aborted(abort) => {
+                assert_eq!(abort.phase, "test/hard-kill");
+                assert_eq!(abort.rank, 3);
+                assert_eq!(abort.cause, FailureCause::Injected);
+            }
+            StageOutcome::Completed(..) => panic!("stage must abort"),
+        }
+        // The kill is one-shot: the same team retries the stage and wins.
+        match team.try_run_named("test/hard-kill-retry", body) {
+            StageOutcome::Completed(results, stats) => {
+                assert_eq!(results, (0..8).collect::<Vec<_>>());
+                assert_eq!(stats.len(), 8);
+            }
+            StageOutcome::Aborted(a) => panic!("retry must complete: {a}"),
+        }
+    }
+
+    #[test]
+    fn run_named_raises_catchable_stage_abort() {
+        let topo = Topology::new(4, 4);
+        let plan = FaultPlan::new(1, topo.ranks()).with_rank_failure(1, 0);
+        let team = Team::new(topo)
+            .with_os_threads(1)
+            .with_fault_plan(Arc::new(plan));
+        let caught = fault::catch_stage_abort(|| {
+            team.run_named("test/raise-abort", |ctx| {
+                ctx.access((ctx.rank + 1) % 4, 8);
+            })
+        });
+        let abort = caught.expect_err("must abort");
+        assert_eq!(abort.rank, 1);
+        assert_eq!(abort.phase, "test/raise-abort");
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_escalates_to_abort() {
+        let topo = Topology::new(2, 2);
+        // Probability 1.0: every delivery attempt faults, so the budget
+        // must run out and escalate to a hard failure.
+        let plan = FaultPlan::new(3, topo.ranks())
+            .with_transient(1.0)
+            .with_max_retries(2);
+        let team = Team::new(topo)
+            .with_os_threads(1)
+            .with_fault_plan(Arc::new(plan));
+        match team.try_run_named("test/budget", |ctx| {
+            ctx.access((ctx.rank + 1) % 2, 8);
+        }) {
+            StageOutcome::Aborted(abort) => {
+                assert_eq!(abort.cause, FailureCause::RetryBudgetExhausted);
+                assert_eq!(abort.rank, 0, "lowest failing rank reported");
+            }
+            StageOutcome::Completed(..) => panic!("stage must abort"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fault plan must cover every rank")]
+    fn fault_plan_arity_is_checked() {
+        let plan = FaultPlan::new(0, 4);
+        let _ = Team::new(Topology::new(8, 4)).with_fault_plan(Arc::new(plan));
     }
 }

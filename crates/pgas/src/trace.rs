@@ -52,6 +52,12 @@ pub struct SpanEvent {
     /// Software-cache misses during the span (see
     /// [`crate::CommStats::cache_misses`]).
     pub cache_misses: u64,
+    /// Transient message faults injected against the rank during the span
+    /// (see [`crate::CommStats::transient_faults`]).
+    pub transient_faults: u64,
+    /// Message re-deliveries the rank performed after transient faults
+    /// (see [`crate::CommStats::retries`]).
+    pub retries: u64,
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -170,7 +176,9 @@ pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
             .set("barriers", e.barriers)
             .set("lookup_batches", e.lookup_batches)
             .set("cache_hits", e.cache_hits)
-            .set("cache_misses", e.cache_misses);
+            .set("cache_misses", e.cache_misses)
+            .set("transient_faults", e.transient_faults)
+            .set("retries", e.retries);
         span.set("args", args);
         out.push(span);
     }
@@ -194,6 +202,8 @@ mod tests {
             lookup_batches: 3,
             cache_hits: 40,
             cache_misses: 2,
+            transient_faults: 5,
+            retries: 4,
         }
     }
 
@@ -231,6 +241,11 @@ mod tests {
         assert_eq!(args.get("lookup_batches").and_then(Value::as_u64), Some(3));
         assert_eq!(args.get("cache_hits").and_then(Value::as_u64), Some(40));
         assert_eq!(args.get("cache_misses").and_then(Value::as_u64), Some(2));
+        assert_eq!(
+            args.get("transient_faults").and_then(Value::as_u64),
+            Some(5)
+        );
+        assert_eq!(args.get("retries").and_then(Value::as_u64), Some(4));
     }
 
     #[test]

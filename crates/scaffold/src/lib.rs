@@ -35,7 +35,9 @@ pub use depths::{compute_depths, ContigEndInfo, TerminationState};
 pub use gapclose::{close_gaps, GapCloseConfig, GapCloseStats};
 pub use inserts::estimate_insert_size;
 pub use links::{generate_links, ContigEnd, EndKey, Link, LinkKind};
-pub use pipeline::{scaffold_pipeline, ScaffoldConfig, ScaffoldOutput};
+pub use pipeline::{
+    prepare_contigs, scaffold_pipeline, scaffold_rounds, ScaffoldConfig, ScaffoldOutput,
+};
 pub use scaffolds::{Scaffold, ScaffoldMember, ScaffoldSet};
 pub use splints::{locate_splints_and_spans, Span, Splint};
 pub use ties::order_and_orient;

@@ -87,6 +87,24 @@ pub fn scaffold_pipeline(
     lib_ranges: &[Range<usize>],
     cfg: &ScaffoldConfig,
 ) -> ScaffoldOutput {
+    let (contigs, mut reports) = prepare_contigs(team, spectrum, raw_contigs);
+    let mut out = scaffold_rounds(team, spectrum, contigs, reads, lib_ranges, cfg, None);
+    reports.append(&mut out.reports);
+    out.reports = reports;
+    out
+}
+
+/// The scaffold-preparation stage: §4.1 contig depths/termination states
+/// followed by §4.2 bubble merging. Returns the merged contig set every
+/// later module (alignment, links, ties, gap closing) operates on.
+///
+/// Split out of [`scaffold_pipeline`] so the checkpoint/restart machinery
+/// can persist the merged contigs at a stage boundary.
+pub fn prepare_contigs(
+    team: &Team,
+    spectrum: &KmerSpectrum,
+    raw_contigs: &ContigSet,
+) -> (ContigSet, Vec<PhaseReport>) {
     let mut reports: Vec<PhaseReport> = Vec::new();
 
     // §4.1 Contig depths and termination states.
@@ -94,9 +112,36 @@ pub fn scaffold_pipeline(
     reports.push(r);
 
     // §4.2 Bubble merging (the output is "contigs" from here on).
-    let (mut contigs, r) = merge_bubbles(team, raw_contigs, &info);
+    let (contigs, r) = merge_bubbles(team, raw_contigs, &info);
     reports.push(r);
 
+    (contigs, reports)
+}
+
+/// The per-round scaffolding loop: §4.3 alignment through §4.8 gap
+/// closing, `cfg.rounds` times, over the *prepared* (bubble-merged)
+/// contig set from [`prepare_contigs`].
+///
+/// `round0_alignments`, when provided, replaces round 0's
+/// [`align_reads`] call (later rounds always re-align against the
+/// round's rebuilt contigs). Round-0 alignment depends only on the
+/// prepared contigs, the reads, and `cfg.align` — not on the round's
+/// depth mask — so results are byte-identical either way. This is the
+/// hook the checkpoint/restart machinery uses to persist alignments at a
+/// stage boundary; when it fires, the align phase reports belong to the
+/// alignment stage and are *not* repeated here.
+#[allow(clippy::too_many_arguments)]
+pub fn scaffold_rounds(
+    team: &Team,
+    spectrum: &KmerSpectrum,
+    mut contigs: ContigSet,
+    reads: &[SeqRecord],
+    lib_ranges: &[Range<usize>],
+    cfg: &ScaffoldConfig,
+    round0_alignments: Option<Vec<Alignment>>,
+) -> ScaffoldOutput {
+    let mut reports: Vec<PhaseReport> = Vec::new();
+    let mut round0_alignments = round0_alignments;
     let mut gap_stats = GapCloseStats::default();
     let mut insert_means: Vec<f64> = Vec::new();
     let mut result: Option<ScaffoldSet> = None;
@@ -138,9 +183,21 @@ pub fn scaffold_pipeline(
             })
             .collect();
 
-        // §4.3 merAligner.
-        let (alignments, rs) = align_reads(team, &contigs, reads, &cfg.align);
-        reports.extend(rs);
+        // §4.3 merAligner (round 0 may be satisfied from a checkpointed
+        // alignment set — see the function docs).
+        let provided = if round == 0 {
+            round0_alignments.take()
+        } else {
+            None
+        };
+        let alignments = match provided {
+            Some(alns) => alns,
+            None => {
+                let (alns, rs) = align_reads(team, &contigs, reads, &cfg.align);
+                reports.extend(rs);
+                alns
+            }
+        };
 
         // §4.4 insert sizes + §4.5 splints/spans, per library.
         let mut splints = Vec::new();

@@ -52,7 +52,7 @@ impl Scaffold {
 
 /// The scaffolding result: scaffolds plus their final sequences (after gap
 /// closing).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ScaffoldSet {
     /// The contig chains.
     pub scaffolds: Vec<Scaffold>,
