@@ -156,17 +156,14 @@ fn resolve_seeds(
     let mut resolved: Vec<Vec<ResolvedSeed>> = range
         .map(|ri| {
             codec
-                .kmers(&reads[ri].seq)
+                .canonical_kmers(&reads[ri].seq)
                 .enumerate()
                 .filter(|(i, _)| i % cfg.seed_stride == 0)
-                .map(|(_, (pos, km))| {
-                    let canon = codec.canonical(km);
-                    ResolvedSeed {
-                        rpos: pos,
-                        read_rc: canon != km,
-                        canon,
-                        list: None,
-                    }
+                .map(|(_, (pos, km, canon))| ResolvedSeed {
+                    rpos: pos,
+                    read_rc: canon != km,
+                    canon,
+                    list: None,
                 })
                 .collect()
         })

@@ -84,9 +84,8 @@ pub fn build_seed_index(
             let contig = &contigs.contigs[ci as usize];
             let lo = w as usize * WINDOW;
             let hi = (lo + WINDOW + seed_len - 1).min(contig.seq.len());
-            for (off, km) in codec.kmers(&contig.seq[lo..hi]) {
+            for (off, km, canon) in codec.canonical_kmers(&contig.seq[lo..hi]) {
                 ctx.stats.compute(1);
-                let canon = codec.canonical(km);
                 let hit = SeedHit {
                     contig: ci,
                     pos: (lo + off) as u32,

@@ -19,4 +19,7 @@ pub mod sw;
 
 pub use aligner::{align_reads, AlignConfig, Alignment};
 pub use index::{build_seed_index, SeedHit, SeedIndex};
-pub use sw::{banded_sw, ungapped_matches, SwParams, SwResult};
+pub use sw::{
+    banded_sw, banded_sw_reference, banded_sw_with, ungapped_matches, ungapped_matches_reference,
+    SwParams, SwResult, SwWorkspace,
+};

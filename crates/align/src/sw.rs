@@ -4,6 +4,18 @@
 //! closing. The band keeps the kernel O(n·band) — reads differ from
 //! contigs by substitutions and the occasional small indel, so a narrow
 //! band loses nothing.
+//!
+//! Two implementations live here:
+//!
+//! * [`banded_sw`] — the production kernel: a two-row rolling-array DP
+//!   that touches only the O(band) cells of each row (plus a banded
+//!   traceback matrix), exits as soon as the band leaves the matrix, and
+//!   short-circuits the substitution-free case with a bit-parallel
+//!   (u64-block) diagonal scan. Scratch buffers can be reused across
+//!   calls via [`SwWorkspace`]/[`banded_sw_with`].
+//! * [`banded_sw_reference`] — the original dense O(n·m) formulation,
+//!   kept as the executable specification. Property tests pin
+//!   `banded_sw` result-identical to it on every input.
 
 /// Scoring parameters (match bonus is positive; penalties are negative).
 #[derive(Clone, Copy, Debug)]
@@ -48,16 +60,10 @@ pub struct SwResult {
     pub aligned: usize,
 }
 
-/// Banded local (Smith–Waterman) alignment of `a` vs `b`.
-///
-/// Returns the best-scoring local alignment confined to the band around
-/// the main diagonal. O(|a|·band) time, O(band) additional memory beyond
-/// the traceback matrix (kept dense here for clarity — sequences in this
-/// pipeline are reads and gap flanks, i.e. small).
-pub fn banded_sw(a: &[u8], b: &[u8], p: &SwParams) -> SwResult {
-    let (n, m) = (a.len(), b.len());
-    if n == 0 || m == 0 {
-        return SwResult {
+impl SwResult {
+    /// The all-zero result of aligning against an empty sequence.
+    fn empty() -> Self {
+        SwResult {
             score: 0,
             a_start: 0,
             a_end: 0,
@@ -65,7 +71,216 @@ pub fn banded_sw(a: &[u8], b: &[u8], p: &SwParams) -> SwResult {
             b_end: 0,
             matches: 0,
             aligned: 0,
-        };
+        }
+    }
+}
+
+/// Reusable scratch buffers for [`banded_sw_with`], so tight alignment
+/// loops (one per rank in merAligner, one per gap in gap closing) pay the
+/// row/traceback allocations once instead of per call.
+#[derive(Default)]
+pub struct SwWorkspace {
+    /// Previous DP row, band coordinates (2·band + 1 cells).
+    prev: Vec<i32>,
+    /// Current DP row, band coordinates.
+    cur: Vec<i32>,
+    /// Banded traceback: row-major `n × (2·band + 1)` direction codes.
+    tb: Vec<u8>,
+}
+
+impl SwWorkspace {
+    /// A fresh workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Banded local (Smith–Waterman) alignment of `a` vs `b`.
+///
+/// Returns the best-scoring local alignment confined to the band around
+/// the main diagonal, result-identical to [`banded_sw_reference`] in
+/// O(|a|·band) time and O(|a|·band) memory (the banded traceback; the DP
+/// itself keeps two rolling rows).
+pub fn banded_sw(a: &[u8], b: &[u8], p: &SwParams) -> SwResult {
+    banded_sw_with(&mut SwWorkspace::new(), a, b, p)
+}
+
+/// [`banded_sw`] with caller-owned scratch buffers (see [`SwWorkspace`]).
+pub fn banded_sw_with(ws: &mut SwWorkspace, a: &[u8], b: &[u8], p: &SwParams) -> SwResult {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return SwResult::empty();
+    }
+    // Bit-parallel fast path: if the full-overlap diagonal is mismatch-free
+    // the optimum is that run — provably, for sane scoring (see below).
+    if let Some(r) = perfect_diagonal(a, b, p) {
+        return r;
+    }
+
+    let w = p.band as isize;
+    // Band width in cells; column c of row i holds matrix cell
+    // j = (i - w) + c, so moving down one row shifts the window right by
+    // one: cell (i-1, j) sits at column c+1 of the previous row and the
+    // diagonal (i-1, j-1) at column c.
+    let width = (2 * p.band + 1).max(1);
+    ws.prev.clear();
+    ws.prev.resize(width, 0);
+    ws.cur.clear();
+    ws.cur.resize(width, 0);
+    ws.tb.clear();
+    ws.tb.resize(n * width, 0);
+
+    let mut best = (0i32, 0usize, 0usize);
+    for i in 1..=n {
+        let j_lo = ((i as isize - w).max(1)) as usize;
+        if j_lo > m {
+            // The band has slid past the last column of `b`; every later
+            // row is empty too. (The dense reference spins through them.)
+            break;
+        }
+        let j_hi = ((i as isize + w).min(m as isize)) as usize;
+        // j of column 0 in this row.
+        let base = i as isize - w;
+        // Columns below the range keep their zero initialization — they
+        // stand in for the virtual zero column j = 0 the reference reads.
+        let c0 = (j_lo as isize - base) as usize;
+        for c in ws.cur[..c0].iter_mut() {
+            *c = 0;
+        }
+        let ai = a[i - 1];
+        let row_tb = &mut ws.tb[(i - 1) * width..i * width];
+        for (off, &bj) in b[j_lo - 1..j_hi].iter().enumerate() {
+            let c = c0 + off;
+            let diag = ws.prev[c] + if ai == bj { p.mat } else { p.mis };
+            // (i-1, j) is in band iff |i-1-j| <= w, i.e. c + 1 <= 2w.
+            let up = if c + 1 < width {
+                ws.prev[c + 1] + p.gap
+            } else {
+                i32::MIN / 2
+            };
+            // (i, j-1) is in band iff c >= 1.
+            let left = if c >= 1 {
+                ws.cur[c - 1] + p.gap
+            } else {
+                i32::MIN / 2
+            };
+            // Same candidate order and tie-breaking as the reference's
+            // `max_by_key` over [diag, up, left, 0]: later candidates win
+            // ties, hence `>=`.
+            let mut score = diag;
+            let mut dir = 1u8;
+            if up >= score {
+                score = up;
+                dir = 2;
+            }
+            if left >= score {
+                score = left;
+                dir = 3;
+            }
+            if score <= 0 {
+                score = 0;
+                dir = 0;
+            }
+            ws.cur[c] = score;
+            row_tb[c] = dir;
+            if score > best.0 {
+                best = (score, i, (c as isize + base) as usize);
+            }
+        }
+        std::mem::swap(&mut ws.prev, &mut ws.cur);
+    }
+
+    // Traceback for match/length statistics, reading the banded matrix.
+    let (score, mut i, mut j) = best;
+    let (a_end, b_end) = (i, j);
+    let mut matches = 0usize;
+    let mut aligned = 0usize;
+    while i > 0 && j > 0 {
+        let c = j as isize - (i as isize - w);
+        debug_assert!((0..width as isize).contains(&c), "traceback left band");
+        match ws.tb[(i - 1) * width + c as usize] {
+            1 => {
+                if a[i - 1] == b[j - 1] {
+                    matches += 1;
+                }
+                aligned += 1;
+                i -= 1;
+                j -= 1;
+            }
+            2 => {
+                aligned += 1;
+                i -= 1;
+            }
+            3 => {
+                aligned += 1;
+                j -= 1;
+            }
+            _ => break,
+        }
+    }
+    SwResult {
+        score,
+        a_start: i,
+        a_end,
+        b_start: j,
+        b_end,
+        matches,
+        aligned,
+    }
+}
+
+/// Substitution-free fast path: when `a[..L]` and `b[..L]` (L = full
+/// overlap) are identical, the optimal banded local alignment is that
+/// whole diagonal run and the DP can be skipped.
+///
+/// Soundness: with `mat >= 1`, `mis <= mat` and `gap < 0` every cell
+/// obeys `H[i][j] <= mat * min(i, j)`, so `mat * L` is attainable only at
+/// `min(i, j) = L` — and at `(L, L)` only via the all-match diagonal,
+/// which is exactly the cell the ascending reference scan records first.
+/// The mismatch test compares u64 blocks (eight bases per XOR) rather
+/// than bytes.
+fn perfect_diagonal(a: &[u8], b: &[u8], p: &SwParams) -> Option<SwResult> {
+    if p.mat < 1 || p.mis > p.mat || p.gap >= 0 {
+        return None;
+    }
+    let len = a.len().min(b.len());
+    if len == 0 || !equal_u64_blocks(&a[..len], &b[..len]) {
+        return None;
+    }
+    Some(SwResult {
+        score: len as i32 * p.mat,
+        a_start: 0,
+        a_end: len,
+        b_start: 0,
+        b_end: len,
+        matches: len,
+        aligned: len,
+    })
+}
+
+/// Bit-parallel equality of two equal-length slices: XOR eight bytes at a
+/// time and fold, with a byte-loop tail.
+#[inline]
+fn equal_u64_blocks(a: &[u8], b: &[u8]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ac = a.chunks_exact(8);
+    let mut bc = b.chunks_exact(8);
+    let mut acc = 0u64;
+    for (x, y) in ac.by_ref().zip(bc.by_ref()) {
+        let xw = u64::from_ne_bytes(x.try_into().expect("chunk of 8"));
+        let yw = u64::from_ne_bytes(y.try_into().expect("chunk of 8"));
+        acc |= xw ^ yw;
+    }
+    acc == 0 && ac.remainder() == bc.remainder()
+}
+
+/// Dense-matrix banded Smith–Waterman: the executable specification
+/// [`banded_sw`] is pinned against. O(|a|·|b|) memory; use only for
+/// testing and benchmarking the optimized kernel.
+pub fn banded_sw_reference(a: &[u8], b: &[u8], p: &SwParams) -> SwResult {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return SwResult::empty();
     }
     let w = p.band as isize;
     // Dense DP with traceback; band enforced by skipping cells.
@@ -141,7 +356,40 @@ pub fn banded_sw(a: &[u8], b: &[u8], p: &SwParams) -> SwResult {
 
 /// Ungapped extension: compare `a` and `b` position-by-position and return
 /// (matches, length). The fast path for substitution-only reads.
+///
+/// Counts mismatches eight bases at a time: the XOR of two u64 blocks has
+/// a non-zero byte exactly at differing positions, located with the SWAR
+/// zero-byte test and counted via popcount.
 pub fn ungapped_matches(a: &[u8], b: &[u8]) -> (usize, usize) {
+    let len = a.len().min(b.len());
+    let (a, b) = (&a[..len], &b[..len]);
+    let mut mismatches = 0u32;
+    let mut ac = a.chunks_exact(8);
+    let mut bc = b.chunks_exact(8);
+    for (x, y) in ac.by_ref().zip(bc.by_ref()) {
+        let xw = u64::from_ne_bytes(x.try_into().expect("chunk of 8"));
+        let yw = u64::from_ne_bytes(y.try_into().expect("chunk of 8"));
+        let diff = xw ^ yw;
+        // Set the high bit of every non-zero byte of `diff`: the 7-bit add
+        // carries into bit 7 iff the low bits are non-zero (and cannot
+        // carry across bytes), OR-ing `diff` itself catches bit 7.
+        const LOW7: u64 = 0x7f7f_7f7f_7f7f_7f7f;
+        let nonzero = (((diff & LOW7) + LOW7) | diff) & !LOW7;
+        mismatches += nonzero.count_ones();
+    }
+    let matched_tail = ac
+        .remainder()
+        .iter()
+        .zip(bc.remainder())
+        .filter(|(x, y)| x == y)
+        .count();
+    let matches = len - mismatches as usize - (ac.remainder().len() - matched_tail);
+    (matches, len)
+}
+
+/// Byte-at-a-time `ungapped_matches`: the executable specification the
+/// SWAR version is pinned against.
+pub fn ungapped_matches_reference(a: &[u8], b: &[u8]) -> (usize, usize) {
     let len = a.len().min(b.len());
     let matches = a[..len]
         .iter()
@@ -229,6 +477,27 @@ mod tests {
     }
 
     #[test]
+    fn ungapped_matches_swar_equals_reference() {
+        // Cross the 8-byte block boundary and pack mismatches densely,
+        // including bytes with the high bit set (non-ASCII robustness).
+        let cases: [(&[u8], &[u8]); 6] = [
+            (b"ACGTACGTA", b"ACGTACGTA"),
+            (b"ACGTACGTACGTACGTT", b"ACGTACGTACGTACGTA"),
+            (b"AAAAAAAA", b"CCCCCCCC"),
+            (b"ACGT", b"TGCA"),
+            (&[0x80, 0x81, 0x01, 0x00], &[0x00, 0x81, 0x01, 0x80]),
+            (&[0xff; 40], &[0x7f; 40]),
+        ];
+        for (a, b) in cases {
+            assert_eq!(
+                ungapped_matches(a, b),
+                ungapped_matches_reference(a, b),
+                "a={a:?} b={b:?}"
+            );
+        }
+    }
+
+    #[test]
     fn sw_is_symmetric_for_substitutions() {
         let a = b"ACGTTGCAAG";
         let b = b"ACGATGCAAG";
@@ -236,5 +505,53 @@ mod tests {
         let r2 = banded_sw(b, a, &SwParams::default());
         assert_eq!(r1.score, r2.score);
         assert_eq!(r1.matches, r2.matches);
+    }
+
+    #[test]
+    fn optimized_equals_reference_on_edge_shapes() {
+        let p = SwParams::default();
+        let shapes: [(&[u8], &[u8]); 7] = [
+            (b"A", b"A"),
+            (b"A", b"C"),
+            (b"ACGTACGTACGT", b"ACG"),                // band slides off b
+            (b"ACG", b"ACGTACGTACGT"),                // wide b
+            (b"ACGTTACGGT", b"ACGTACGGT"),            // indel
+            (b"TTTTACGTACGTAC", b"GGGGACGTACGTAC"),   // junk flanks
+            (b"AAAAAAAAAAAAACGTACGTCCC", b"AAACCCC"), // shifted
+        ];
+        for (a, b) in shapes {
+            assert_eq!(
+                banded_sw(a, b, &p),
+                banded_sw_reference(a, b, &p),
+                "a={} b={}",
+                String::from_utf8_lossy(a),
+                String::from_utf8_lossy(b)
+            );
+        }
+        // Degenerate band widths.
+        for band in [0usize, 1, 64] {
+            let p = SwParams {
+                band,
+                ..SwParams::default()
+            };
+            assert_eq!(
+                banded_sw(b"ACGTTACGGT", b"ACGTACGGT", &p),
+                banded_sw_reference(b"ACGTTACGGT", b"ACGTACGGT", &p),
+                "band={band}"
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_result_transparent() {
+        let p = SwParams::default();
+        let mut ws = SwWorkspace::new();
+        // A big alignment first leaves stale buffer contents behind.
+        let big_a: Vec<u8> = (0..300).map(|i| b"ACGT"[i % 4]).collect();
+        let big_b: Vec<u8> = (0..290).map(|i| b"ACGT"[(i + 1) % 4]).collect();
+        banded_sw_with(&mut ws, &big_a, &big_b, &p);
+        let fresh = banded_sw(b"ACGTTACGGT", b"ACGTACGGT", &p);
+        let reused = banded_sw_with(&mut ws, b"ACGTTACGGT", b"ACGTACGGT", &p);
+        assert_eq!(fresh, reused);
     }
 }

@@ -1,11 +1,35 @@
 //! Property tests for the alignment kernels.
 
-use hipmer_align::{banded_sw, ungapped_matches, SwParams};
+use hipmer_align::{
+    banded_sw, banded_sw_reference, ungapped_matches, ungapped_matches_reference, SwParams,
+};
 use hipmer_dna::BASES;
 use proptest::prelude::*;
 
 fn dna(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
     prop::collection::vec(prop::sample::select(&BASES[..]), len)
+}
+
+/// Mutate `a` into a related sequence: substitutions plus small indels,
+/// the read-vs-contig shape the banded kernel is built for.
+fn mutate(a: &[u8], edits: &[(usize, usize, u8)]) -> Vec<u8> {
+    let mut b = a.to_vec();
+    for &(pos, kind, alt) in edits {
+        if b.is_empty() {
+            break;
+        }
+        let pos = pos % b.len();
+        match kind % 3 {
+            0 => b[pos] = BASES[alt as usize % 4],
+            1 => {
+                b.insert(pos, BASES[alt as usize % 4]);
+            }
+            _ => {
+                b.remove(pos);
+            }
+        }
+    }
+    b
 }
 
 proptest! {
@@ -58,6 +82,37 @@ proptest! {
         // At most one substitution: alignment must recover all matches.
         prop_assert!(r.matches >= a.len() - mismatches - 2,
             "matches {} of {} (mismatches {})", r.matches, a.len(), mismatches);
+    }
+
+    #[test]
+    fn optimized_sw_equals_reference_on_random_pairs(
+        a in dna(0..140),
+        b in dna(0..140),
+        band in 0usize..12,
+    ) {
+        let p = SwParams { band, ..SwParams::default() };
+        prop_assert_eq!(banded_sw(&a, &b, &p), banded_sw_reference(&a, &b, &p));
+    }
+
+    #[test]
+    fn optimized_sw_equals_reference_on_related_pairs(
+        a in dna(1..160),
+        edits in prop::collection::vec((0usize..200, 0usize..3, 0u8..4), 0..6),
+        mat in 1i32..4,
+        mis in -4i32..1,
+        gap in -5i32..0,
+        band in 1usize..10,
+    ) {
+        let b = mutate(&a, &edits);
+        let p = SwParams { mat, mis, gap, band };
+        prop_assert_eq!(banded_sw(&a, &b, &p), banded_sw_reference(&a, &b, &p),
+            "a={} b={} p={:?}",
+            String::from_utf8_lossy(&a), String::from_utf8_lossy(&b), p);
+    }
+
+    #[test]
+    fn optimized_ungapped_equals_reference(a in dna(0..130), b in dna(0..130)) {
+        prop_assert_eq!(ungapped_matches(&a, &b), ungapped_matches_reference(&a, &b));
     }
 
     #[test]

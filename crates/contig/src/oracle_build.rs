@@ -58,8 +58,7 @@ pub fn build_oracle_for_k(
         let (std::cmp::Reverse(load), std::cmp::Reverse(rank)) =
             heap.pop().expect("at least one rank");
         // Step 2: claim every k-mer's slot for that rank.
-        for (_, km) in codec.kmers(&contig.seq) {
-            let canon = codec.canonical(km);
+        for (_, _, canon) in codec.canonical_kmers(&contig.seq) {
             oracle.assign(kmer_placement_hash(&canon), rank);
         }
         heap.push((

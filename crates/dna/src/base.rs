@@ -8,18 +8,33 @@
 /// The four nucleotides in 2-bit code order.
 pub const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
 
+/// 256-entry encode table: 0-3 for `ACGTacgt`, `INVALID_CODE` otherwise.
+const ENCODE_LUT: [u8; 256] = {
+    let mut t = [INVALID_CODE; 256];
+    t[b'A' as usize] = 0;
+    t[b'a' as usize] = 0;
+    t[b'C' as usize] = 1;
+    t[b'c' as usize] = 1;
+    t[b'G' as usize] = 2;
+    t[b'g' as usize] = 2;
+    t[b'T' as usize] = 3;
+    t[b't' as usize] = 3;
+    t
+};
+
+const INVALID_CODE: u8 = u8::MAX;
+
 /// Encode an ASCII nucleotide into its 2-bit code.
 ///
 /// Accepts upper- and lower-case `ACGT`. Returns `None` for any other byte
 /// (including `N`), which callers treat as a k-mer window breaker.
 #[inline]
 pub fn encode_base(b: u8) -> Option<u8> {
-    match b {
-        b'A' | b'a' => Some(0),
-        b'C' | b'c' => Some(1),
-        b'G' | b'g' => Some(2),
-        b'T' | b't' => Some(3),
-        _ => None,
+    let code = ENCODE_LUT[b as usize];
+    if code == INVALID_CODE {
+        None
+    } else {
+        Some(code)
     }
 }
 

@@ -15,6 +15,24 @@ use crate::base::{decode_base, encode_base};
 /// The largest supported k (two bits per base in a `u128`).
 pub const MAX_K: usize = 64;
 
+/// A k-mer length outside the supported `1..=MAX_K` range.
+///
+/// Returned by [`KmerCodec::try_new`] so front ends (the CLI's `-k` flag)
+/// can report bad configuration instead of panicking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KmerLenError {
+    /// The rejected length.
+    pub k: usize,
+}
+
+impl std::fmt::Display for KmerLenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "k must be in 1..={MAX_K}, got {}", self.k)
+    }
+}
+
+impl std::error::Error for KmerLenError {}
+
 /// A 2-bit packed k-mer of externally-known length.
 ///
 /// Equality/ordering are bitwise, which coincides with lexicographic order
@@ -58,21 +76,36 @@ pub struct KmerCodec {
 }
 
 impl KmerCodec {
-    /// Create a codec for k-mers of length `k`.
+    /// Create a codec for k-mers of length `k`, rejecting out-of-range
+    /// lengths with a typed error.
     ///
-    /// # Panics
-    /// Panics unless `1 <= k <= MAX_K`.
-    pub fn new(k: usize) -> Self {
-        assert!(
-            (1..=MAX_K).contains(&k),
-            "k must be in 1..={MAX_K}, got {k}"
-        );
+    /// `k == 0` would make every shift amount degenerate and `k > MAX_K`
+    /// would overflow the `u128` (at `k == MAX_K` exactly, the mask and the
+    /// `revcomp`/`extend_left` shift amounts are at their limits — covered
+    /// by boundary tests at k = 63 and 64).
+    pub fn try_new(k: usize) -> Result<Self, KmerLenError> {
+        if !(1..=MAX_K).contains(&k) {
+            return Err(KmerLenError { k });
+        }
+        // `1u128 << (2 * k)` overflows at k == MAX_K; special-case it.
         let mask = if k == MAX_K {
             u128::MAX
         } else {
             (1u128 << (2 * k)) - 1
         };
-        KmerCodec { k, mask }
+        Ok(KmerCodec { k, mask })
+    }
+
+    /// Create a codec for k-mers of length `k`.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= k <= MAX_K`; use [`KmerCodec::try_new`] where
+    /// the length comes from user input.
+    pub fn new(k: usize) -> Self {
+        match Self::try_new(k) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The k-mer length this codec operates on.
@@ -186,6 +219,23 @@ impl KmerCodec {
             bits: 0,
         }
     }
+
+    /// Iterate over all k-mers of `seq` with their canonical forms, each
+    /// position in O(1): both the forward window and its reverse complement
+    /// roll incrementally (one shift-in at the high end of the RC window per
+    /// base), so no per-position `revcomp` bit-reversal is paid. Yields
+    /// `(offset, kmer, canonical)` triples identical to
+    /// `kmers(seq).map(|(o, km)| (o, km, codec.canonical(km)))`.
+    pub fn canonical_kmers<'a>(&self, seq: &'a [u8]) -> CanonicalKmerIter<'a> {
+        CanonicalKmerIter {
+            codec: *self,
+            seq,
+            pos: 0,
+            valid: 0,
+            bits: 0,
+            rc_bits: 0,
+        }
+    }
 }
 
 /// Rolling iterator over the k-mers of an ASCII sequence.
@@ -220,6 +270,67 @@ impl<'a> Iterator for KmerIter<'a> {
                 None => {
                     self.valid = 0;
                     self.bits = 0;
+                }
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.seq.len().saturating_sub(self.pos)))
+    }
+}
+
+/// Rolling iterator over the k-mers of an ASCII sequence together with
+/// their canonical representatives.
+///
+/// Like [`KmerIter`], but additionally maintains the reverse-complement
+/// window incrementally: appending base `c` to the forward window
+/// corresponds to shifting `complement(c)` into the *high* end of the RC
+/// window, so canonicalization costs a comparison instead of a full
+/// bit-reversal per position.
+pub struct CanonicalKmerIter<'a> {
+    codec: KmerCodec,
+    seq: &'a [u8],
+    pos: usize,
+    /// How many consecutive valid bases end at `pos` (capped at k).
+    valid: usize,
+    /// Forward 2-bit window (low `2k` bits).
+    bits: u128,
+    /// Reverse-complement 2-bit window (low `2k` bits).
+    rc_bits: u128,
+}
+
+impl<'a> Iterator for CanonicalKmerIter<'a> {
+    type Item = (usize, Kmer, Kmer);
+
+    fn next(&mut self) -> Option<(usize, Kmer, Kmer)> {
+        let k = self.codec.k;
+        let rc_shift = 2 * (k - 1) as u32;
+        while self.pos < self.seq.len() {
+            let b = self.seq[self.pos];
+            self.pos += 1;
+            match encode_base(b) {
+                Some(code) => {
+                    self.bits = ((self.bits << 2) | code as u128) & self.codec.mask;
+                    // The dropped base's complement falls off the low end;
+                    // the new base's complement (3 - code) enters at the top.
+                    self.rc_bits = (self.rc_bits >> 2) | (((3 - code) as u128) << rc_shift);
+                    self.valid = (self.valid + 1).min(k);
+                    if self.valid == k {
+                        let fwd = Kmer(self.bits);
+                        let canon = if self.rc_bits < self.bits {
+                            Kmer(self.rc_bits)
+                        } else {
+                            fwd
+                        };
+                        return Some((self.pos - k, fwd, canon));
+                    }
+                }
+                None => {
+                    self.valid = 0;
+                    self.bits = 0;
+                    self.rc_bits = 0;
                 }
             }
         }
@@ -393,5 +504,69 @@ mod tests {
     #[should_panic(expected = "k must be")]
     fn oversize_k_panics() {
         KmerCodec::new(65);
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range_with_typed_error() {
+        assert_eq!(KmerCodec::try_new(0), Err(KmerLenError { k: 0 }));
+        assert_eq!(KmerCodec::try_new(65), Err(KmerLenError { k: 65 }));
+        assert_eq!(
+            KmerLenError { k: 65 }.to_string(),
+            "k must be in 1..=64, got 65"
+        );
+        assert!(KmerCodec::try_new(1).is_ok());
+        assert!(KmerCodec::try_new(64).is_ok());
+    }
+
+    #[test]
+    fn boundary_k_shift_paths_are_exact() {
+        // k = 63 and k = 64 exercise the extreme shift amounts: the mask
+        // construction (1 << 128 would overflow), revcomp's `>> (128 - 2k)`
+        // (zero at k = 64), and extend_left's `<< 126`.
+        for k in [63usize, 64] {
+            let c = KmerCodec::new(k);
+            let seq: Vec<u8> = (0..k)
+                .map(|i| crate::base::BASES[(i * 11 + 1) % 4])
+                .collect();
+            let kmer = c.pack(&seq).unwrap();
+            assert_eq!(c.unpack(kmer), seq, "k={k} pack/unpack");
+            assert_eq!(
+                c.unpack(c.revcomp(kmer)),
+                crate::seq::revcomp(&seq),
+                "k={k} revcomp"
+            );
+            assert_eq!(c.revcomp(c.revcomp(kmer)), kmer, "k={k} involution");
+            // extend_right then extend_left with the dropped/original bases
+            // restores the window at the widest shift amounts.
+            let first = c.first_base(kmer);
+            let last = c.last_base(kmer);
+            assert_eq!(c.extend_left(c.extend_right(kmer, 2), first), kmer);
+            assert_eq!(c.extend_right(c.extend_left(kmer, 1), last), kmer);
+            // The canonical pick agrees with an explicit min.
+            let rc = c.revcomp(kmer);
+            assert_eq!(c.canonical(kmer).0, kmer.0.min(rc.0), "k={k} canonical");
+        }
+    }
+
+    #[test]
+    fn canonical_iter_matches_per_position_canonicalization() {
+        for k in [3usize, 21, 31, 63, 64] {
+            let c = KmerCodec::new(k);
+            let seq: Vec<u8> = (0..200)
+                .map(|i| {
+                    if i % 97 == 0 {
+                        b'N'
+                    } else {
+                        crate::base::BASES[(i * 7 + 5) % 4]
+                    }
+                })
+                .collect();
+            let rolled: Vec<(usize, Kmer, Kmer)> = c.canonical_kmers(&seq).collect();
+            let naive: Vec<(usize, Kmer, Kmer)> = c
+                .kmers(&seq)
+                .map(|(off, km)| (off, km, c.canonical(km)))
+                .collect();
+            assert_eq!(rolled, naive, "k={k}");
+        }
     }
 }

@@ -91,6 +91,27 @@ proptest! {
     }
 
     #[test]
+    fn incremental_canonical_iter_equals_per_position_pack(
+        seq in dna_seq_with_n(0..180),
+        k in 1usize..=64,
+    ) {
+        let c = KmerCodec::new(k);
+        let got: Vec<(usize, hipmer_dna::Kmer, hipmer_dna::Kmer)> =
+            c.canonical_kmers(&seq).collect();
+        // Reference: pack every clean window from scratch, canonicalize by
+        // computing the full reverse complement.
+        let mut expect = Vec::new();
+        if seq.len() >= k {
+            for off in 0..=seq.len() - k {
+                if let Some(km) = c.pack(&seq[off..off + k]) {
+                    expect.push((off, km, c.canonical(km)));
+                }
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
     fn canonical_kmer_invariant_under_revcomp(seq in dna_seq(1..64)) {
         let c = KmerCodec::new(seq.len());
         let kmer = c.pack(&seq).unwrap();

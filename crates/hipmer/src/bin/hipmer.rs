@@ -139,11 +139,18 @@ fn main() -> ExitCode {
                 (Ok(a), Ok(b), Ok(c), Ok(d)) => (a, b, c, d),
                 _ => return usage(),
             };
-            let mut cfg = if args.iter().any(|a| a == "--metagenome") {
-                PipelineConfig::metagenome_preset(k)
-            } else {
-                PipelineConfig::new(k)
+            // `try_new` so a bad -k (even, 0, > 64) is a clean diagnostic
+            // and a nonzero exit, not a panic.
+            let mut cfg = match PipelineConfig::try_new(k) {
+                Ok(cfg) => cfg,
+                Err(e) => {
+                    eprintln!("error: -k {k}: {e}");
+                    return ExitCode::from(2);
+                }
             };
+            if args.iter().any(|a| a == "--metagenome") {
+                cfg.scaffold.rounds = 0; // skip scaffolding (§5.4)
+            }
             if cfg.scaffolding_enabled() {
                 cfg.scaffold.rounds = rounds;
             }

@@ -21,15 +21,29 @@ impl PipelineConfig {
     /// Defaults for an assembly at the given (odd) k. The aligner seed
     /// length defaults to a shorter seed (better sensitivity on read
     /// tails) capped at k.
+    ///
+    /// Panics on an invalid k; the CLI path uses [`Self::try_new`].
     pub fn new(k: usize) -> Self {
-        assert!(k % 2 == 1, "assembly k must be odd, got {k}");
+        match Self::try_new(k) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible construction: rejects an even k or a k outside the packed
+    /// k-mer range (`1..=MAX_K`) with a printable error.
+    pub fn try_new(k: usize) -> Result<Self, String> {
+        hipmer_dna::KmerCodec::try_new(k).map_err(|e| e.to_string())?;
+        if k.is_multiple_of(2) {
+            return Err(format!("assembly k must be odd, got {k}"));
+        }
         let seed_len = 15.min(k);
-        PipelineConfig {
+        Ok(PipelineConfig {
             k,
             kanalysis: KmerAnalysisConfig::new(k),
             contig: ContigConfig::new(k),
             scaffold: ScaffoldConfig::new(seed_len),
-        }
+        })
     }
 
     /// Preset matching the wheat runs: four scaffolding rounds (§5.3: "the
@@ -72,5 +86,18 @@ mod tests {
     #[should_panic(expected = "odd")]
     fn even_k_rejected() {
         PipelineConfig::new(32);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_k_without_panicking() {
+        assert!(PipelineConfig::try_new(31).is_ok());
+        assert!(PipelineConfig::try_new(63).is_ok());
+        for bad in [0usize, 32, 65, 1000] {
+            let err = match PipelineConfig::try_new(bad) {
+                Ok(_) => panic!("k={bad} must be rejected"),
+                Err(e) => e,
+            };
+            assert!(err.contains(&bad.to_string()) || bad == 0, "k={bad}: {err}");
+        }
     }
 }

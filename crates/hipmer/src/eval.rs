@@ -75,9 +75,8 @@ pub fn evaluate(references: &[&[u8]], scaffolds: &[Vec<u8>], k: usize) -> EvalRe
     let mut index: KmerHashMap<Kmer, Vec<Anchor>> = KmerHashMap::default();
     let mut ref_kmers = 0usize;
     for (si, r) in references.iter().enumerate() {
-        for (pos, km) in codec.kmers(r) {
+        for (pos, km, canon) in codec.canonical_kmers(r) {
             ref_kmers += 1;
-            let canon = codec.canonical(km);
             let e = index.entry(canon).or_default();
             if e.len() < 2 {
                 e.push(Anchor {
@@ -101,9 +100,8 @@ pub fn evaluate(references: &[&[u8]], scaffolds: &[Vec<u8>], k: usize) -> EvalRe
         // Anchor chain for misassembly detection, over unambiguous
         // (single-locus) anchors only.
         let mut chain: Vec<(i64, Anchor)> = Vec::new(); // (scaffold pos, anchor)
-        for (pos, km) in codec.kmers(scaffold) {
+        for (pos, km, canon) in codec.canonical_kmers(scaffold) {
             asm_kmers += 1;
-            let canon = codec.canonical(km);
             if let Some(anchors) = index.get(&canon) {
                 asm_hits += 1;
                 *covered.entry(canon).or_insert(0) += 1;

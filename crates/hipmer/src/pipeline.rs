@@ -78,7 +78,8 @@ impl Default for RunOptions {
 /// Why [`run_assembly`] did not return an assembly.
 #[derive(Debug)]
 pub enum PipelineError {
-    /// Checkpoint store I/O or validation failure.
+    /// I/O or input-validation failure: reading the input reads, or
+    /// checkpoint store access.
     Io(std::io::Error),
     /// A stage kept aborting after exhausting its retry budget.
     StageAborted {
@@ -99,7 +100,7 @@ pub enum PipelineError {
 impl std::fmt::Display for PipelineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PipelineError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            PipelineError::Io(e) => write!(f, "I/O: {e}"),
             PipelineError::StageAborted {
                 stage,
                 rank,

@@ -90,15 +90,14 @@ impl StageTimes {
 pub fn kmer_containment(reference: &[u8], queries: &[Vec<u8>], k: usize) -> (f64, f64) {
     let codec = KmerCodec::new(k);
     let ref_set: KmerHashSet<Kmer> = codec
-        .kmers(reference)
-        .map(|(_, km)| codec.canonical(km))
+        .canonical_kmers(reference)
+        .map(|(_, _, canon)| canon)
         .collect();
     let mut query_total = 0usize;
     let mut query_hit = 0usize;
     let mut covered: KmerHashSet<Kmer> = KmerHashSet::default();
     for q in queries {
-        for (_, km) in codec.kmers(q) {
-            let canon = codec.canonical(km);
+        for (_, _, canon) in codec.canonical_kmers(q) {
             query_total += 1;
             if ref_set.contains(&canon) {
                 query_hit += 1;

@@ -458,6 +458,75 @@ fn fault_injection_recovers_byte_identically() {
 }
 
 #[test]
+fn truncated_fastq_exits_nonzero_with_clean_error() {
+    let dir = std::env::temp_dir().join(format!("hipmer-cli-trunc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let reads = dir.join("truncated.fastq");
+    // Second record cut off mid-way: no quality line at all.
+    std::fs::write(
+        &reads,
+        b"@r1\nACGTACGTACGT\n+\nIIIIIIIIIIII\n@r2\nACGTACGT\n",
+    )
+    .unwrap();
+
+    let out = Command::new(bin())
+        .args([
+            "assemble",
+            reads.to_str().unwrap(),
+            "-o",
+            dir.join("out.fasta").to_str().unwrap(),
+            "-k",
+            "21",
+            "--ranks",
+            "4",
+            "--ranks-per-node",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "truncated input must fail: {stderr}");
+    assert!(
+        !stderr.contains("panicked"),
+        "must fail cleanly, not panic: {stderr}"
+    );
+    assert!(
+        stderr.contains("error:") && stderr.contains("record"),
+        "error must name the failing record: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_k_exits_nonzero_with_clean_error() {
+    let dir = std::env::temp_dir().join(format!("hipmer-cli-badk-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let reads = dir.join("reads.fastq");
+    std::fs::write(&reads, b"@r1\nACGTACGT\n+\nIIIIIIII\n").unwrap();
+    for bad_k in ["22", "0", "65"] {
+        let out = Command::new(bin())
+            .args([
+                "assemble",
+                reads.to_str().unwrap(),
+                "-o",
+                dir.join("out.fasta").to_str().unwrap(),
+                "-k",
+                bad_k,
+            ])
+            .output()
+            .unwrap();
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(!out.status.success(), "-k {bad_k} must fail: {stderr}");
+        assert!(
+            !stderr.contains("panicked"),
+            "-k {bad_k} must fail cleanly, not panic: {stderr}"
+        );
+        assert!(stderr.contains("error:"), "-k {bad_k}: {stderr}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let out = Command::new(bin()).arg("frobnicate").output().unwrap();
     assert!(!out.status.success());

@@ -37,7 +37,7 @@ where
     F: FnMut(Kmer, Option<u8>, Option<u8>),
 {
     let k = codec.k();
-    for (off, km) in codec.kmers(&read.seq) {
+    for (off, km, canon) in codec.canonical_kmers(&read.seq) {
         let left = if off > 0 {
             match read.phred(off - 1) {
                 Some(q) if q >= cfg.min_qual => hipmer_dna::encode_base(read.seq[off - 1]),
@@ -56,7 +56,6 @@ where
         } else {
             None
         };
-        let canon = codec.canonical(km);
         let (l, r) = canonical_votes(codec, km, canon, left, right);
         f(canon, l, r);
     }

@@ -37,8 +37,7 @@ pub fn sketch_reads(
         let mut mg: MisraGries<Kmer> = MisraGries::new(cfg.theta);
         let chunk = ctx.chunk(reads.len());
         for read in &reads[chunk] {
-            for (_, km) in codec.kmers(&read.seq) {
-                let canon = codec.canonical(km);
+            for (_, _, canon) in codec.canonical_kmers(&read.seq) {
                 hll.observe(hipmer_dna::mix128(canon.bits()));
                 if cfg.use_heavy_hitters {
                     mg.observe(canon);

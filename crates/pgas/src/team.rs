@@ -130,6 +130,10 @@ fn default_os_threads() -> usize {
     if let Ok(v) = std::env::var("HIPMER_THREADS") {
         match v.parse::<usize>() {
             Ok(n) if n >= 1 => return n,
+            Ok(0) => {
+                eprintln!("hipmer: HIPMER_THREADS=0 is not runnable; clamping to 1 thread");
+                return 1;
+            }
             _ => eprintln!(
                 "hipmer: ignoring HIPMER_THREADS={v:?} (expected a positive \
                  integer); falling back to available parallelism"
@@ -207,9 +211,14 @@ impl Team {
     }
 
     /// Override the number of OS worker threads (mostly for tests).
+    ///
+    /// `0` is clamped to `1` with a warning — a zero-worker scope would
+    /// never run any rank.
     pub fn with_os_threads(mut self, n: usize) -> Self {
-        assert!(n >= 1);
-        self.os_threads = n;
+        if n == 0 {
+            eprintln!("hipmer: Team::with_os_threads(0) is not runnable; clamping to 1 thread");
+        }
+        self.os_threads = n.max(1);
         self
     }
 
@@ -629,5 +638,26 @@ mod tests {
     fn fault_plan_arity_is_checked() {
         let plan = FaultPlan::new(0, 4);
         let _ = Team::new(Topology::new(8, 4)).with_fault_plan(Arc::new(plan));
+    }
+
+    #[test]
+    fn zero_os_threads_clamps_to_one_and_still_runs() {
+        // Regression: `with_os_threads(0)` used to assert; it must clamp
+        // to a single worker and execute every rank.
+        let team = Team::new(Topology::new(4, 2)).with_os_threads(0);
+        let (results, _) = team.run(|ctx| ctx.rank);
+        assert_eq!(results, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn hipmer_threads_zero_env_clamps_to_one() {
+        // `default_os_threads` reads the env each `Team::new`; other tests
+        // in this binary do not depend on HIPMER_THREADS being unset, and
+        // a clamped value of 1 is valid for any concurrently-built team.
+        std::env::set_var("HIPMER_THREADS", "0");
+        let team = Team::new(Topology::new(3, 2));
+        let (results, _) = team.run(|ctx| ctx.rank);
+        std::env::remove_var("HIPMER_THREADS");
+        assert_eq!(results, vec![0, 1, 2]);
     }
 }

@@ -207,16 +207,18 @@ fn kmer_walk(
 fn walk_table(codec: &KmerCodec, reads: &[&SeqRecord]) -> KmerHashMap<Kmer, [u32; 4]> {
     let k = codec.k();
     let mut table: KmerHashMap<Kmer, [u32; 4]> = KmerHashMap::default();
-    for r in reads {
-        for seq in [r.seq.clone(), revcomp(&r.seq)] {
-            for (off, km) in codec.kmers(&seq) {
-                if off + k < seq.len() {
-                    if let Some(code) = hipmer_dna::encode_base(seq[off + k]) {
-                        table.entry(km).or_insert([0; 4])[code as usize] += 1;
-                    }
+    let mut add = |seq: &[u8]| {
+        for (off, km) in codec.kmers(seq) {
+            if off + k < seq.len() {
+                if let Some(code) = hipmer_dna::encode_base(seq[off + k]) {
+                    table.entry(km).or_insert([0; 4])[code as usize] += 1;
                 }
             }
         }
+    };
+    for r in reads {
+        add(&r.seq);
+        add(&revcomp(&r.seq));
     }
     table
 }

@@ -10,8 +10,9 @@
 //! legal quality character (Phred 31). A candidate line is accepted as a
 //! record header only if a whole well-formed record parses at it.
 
-use crate::fastq::parse_fastq;
+use crate::fastq::{parse_fastq, parse_fastq_complete};
 use crate::record::SeqRecord;
+use crate::scan::memchr_nl;
 use hipmer_pgas::{CommStats, Team};
 use std::fs::File;
 use std::io::{self, Read, Seek, SeekFrom};
@@ -46,7 +47,7 @@ pub(crate) fn find_record_start(buf: &[u8]) -> Option<usize> {
                 }
             }
         }
-        match buf[line_start..].iter().position(|&b| b == b'\n') {
+        match memchr_nl(&buf[line_start..]) {
             Some(nl) => line_start += nl + 1,
             None => return None,
         }
@@ -149,15 +150,16 @@ pub fn read_fastq_parallel(
             file.seek(SeekFrom::Start(start))?;
             file.read_exact(&mut buf)?;
             io_bytes += len as u64;
-            let (records, consumed) =
-                parse_fastq(&buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-            if consumed != len {
-                return Err(io::Error::new(
+            // `end` is a record boundary (or EOF), so the range must parse
+            // as whole records; `parse_fastq_complete` also tolerates a
+            // final record with no trailing newline and names the failing
+            // record on malformed input.
+            parse_fastq_complete(&buf).map_err(|e| {
+                io::Error::new(
                     io::ErrorKind::InvalidData,
-                    format!("rank {} range [{start},{end}) ended mid-record", ctx.rank),
-                ));
-            }
-            records
+                    format!("rank {} range [{start},{end}): {e}", ctx.rank),
+                )
+            })?
         } else {
             Vec::new()
         };

@@ -1,7 +1,38 @@
 //! FASTA parsing and writing (contig and scaffold output).
 
 use crate::record::SeqRecord;
+use crate::scan::memchr_nl;
 use std::io::{self, Write};
+
+/// Lines of `buf` (SWAR newline scan), without terminators; the final
+/// line needs no trailing newline.
+struct Lines<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Iterator for Lines<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.pos >= self.buf.len() {
+            return None;
+        }
+        let line = match memchr_nl(&self.buf[self.pos..]) {
+            Some(nl) => {
+                let line = &self.buf[self.pos..self.pos + nl];
+                self.pos += nl + 1;
+                line
+            }
+            None => {
+                let line = &self.buf[self.pos..];
+                self.pos = self.buf.len();
+                line
+            }
+        };
+        Some(line)
+    }
+}
 
 /// Parse a whole FASTA buffer (multi-line sequences supported).
 pub fn parse_fasta(buf: &[u8]) -> Result<Vec<SeqRecord>, String> {
@@ -9,7 +40,7 @@ pub fn parse_fasta(buf: &[u8]) -> Result<Vec<SeqRecord>, String> {
     let mut id: Option<String> = None;
     let mut seq: Vec<u8> = Vec::new();
 
-    for line in buf.split(|&b| b == b'\n') {
+    for line in (Lines { buf, pos: 0 }) {
         let line = match line.last() {
             Some(b'\r') => &line[..line.len() - 1],
             _ => line,

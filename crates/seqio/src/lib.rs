@@ -14,10 +14,11 @@ pub mod block;
 pub mod fasta;
 pub mod fastq;
 pub mod record;
+pub mod scan;
 pub mod seqdb;
 
 pub use block::{read_fastq_parallel, FastqSplit};
 pub use fasta::{parse_fasta, write_fasta};
-pub use fastq::{parse_fastq, write_fastq};
+pub use fastq::{parse_fastq, parse_fastq_complete, write_fastq, FastqScanner, RawRecord};
 pub use record::SeqRecord;
 pub use seqdb::{read_seqdb_parallel, write_seqdb};

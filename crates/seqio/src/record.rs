@@ -47,9 +47,13 @@ impl SeqRecord {
         self.seq.is_empty()
     }
 
-    /// Phred score of base `i` (`None` if no qualities).
+    /// Phred score of base `i` (`None` if no qualities or `i` is out of
+    /// range).
     pub fn phred(&self, i: usize) -> Option<u8> {
-        self.qual.as_ref().map(|q| q[i].saturating_sub(33))
+        self.qual
+            .as_ref()
+            .and_then(|q| q.get(i))
+            .map(|b| b.saturating_sub(33))
     }
 
     /// Check the record's internal consistency.

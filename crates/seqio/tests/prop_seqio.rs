@@ -3,8 +3,10 @@
 
 use hipmer_dna::BASES;
 use hipmer_pgas::{Team, Topology};
+use hipmer_seqio::fastq::parse_fastq_reference;
 use hipmer_seqio::{
-    parse_fasta, parse_fastq, read_fastq_parallel, write_fasta, write_fastq, SeqRecord,
+    parse_fasta, parse_fastq, parse_fastq_complete, read_fastq_parallel, write_fasta, write_fastq,
+    SeqRecord,
 };
 use proptest::prelude::*;
 
@@ -39,6 +41,34 @@ proptest! {
         let mut buf = Vec::new();
         write_fasta(&mut buf, &plain, width).unwrap();
         prop_assert_eq!(parse_fasta(&buf).unwrap(), plain);
+    }
+
+    #[test]
+    fn optimized_fastq_parser_equals_reference_on_truncations(
+        records in prop::collection::vec(record_strategy(), 0..12),
+        cut_back in 0usize..64,
+    ) {
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &records).unwrap();
+        let cut = buf.len().saturating_sub(cut_back);
+        prop_assert_eq!(parse_fastq(&buf[..cut]), parse_fastq_reference(&buf[..cut]));
+    }
+
+    #[test]
+    fn optimized_fastq_parser_equals_reference_on_arbitrary_bytes(
+        buf in prop::collection::vec(
+            prop::sample::select(&b"@+ACGT\r\nI!x"[..]), 0..300),
+    ) {
+        prop_assert_eq!(parse_fastq(&buf), parse_fastq_reference(&buf));
+    }
+
+    #[test]
+    fn complete_parse_agrees_with_streaming_on_whole_files(
+        records in prop::collection::vec(record_strategy(), 0..12),
+    ) {
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &records).unwrap();
+        prop_assert_eq!(parse_fastq_complete(&buf).unwrap(), records);
     }
 
     #[test]
