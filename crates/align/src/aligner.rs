@@ -13,7 +13,7 @@ use crate::index::{build_seed_index, HitList, SeedIndex};
 use crate::sw::ungapped_matches;
 use hipmer_contig::ContigSet;
 use hipmer_dna::Kmer;
-use hipmer_pgas::{LookupBatch, PhaseReport, RankCtx, SoftwareCache, Team};
+use hipmer_pgas::{LookupBatch, PhaseReport, RankCtx, Schedule, SoftwareCache, Team};
 use hipmer_seqio::SeqRecord;
 use std::collections::HashMap;
 
@@ -41,6 +41,11 @@ pub struct AlignConfig {
     /// absent seeds are remembered as absent) and of the per-rank contig
     /// replica cache. `0` disables both caches.
     pub cache_entries: usize,
+    /// How reads are dealt to ranks. [`Schedule::Dynamic`] deals guided
+    /// chunks weighted by read length, which absorbs the skew of
+    /// repeat-heavy or long-read-tailed inputs; alignments are byte-
+    /// identical either way.
+    pub schedule: Schedule,
 }
 
 impl AlignConfig {
@@ -55,6 +60,7 @@ impl AlignConfig {
             max_alignments_per_read: 4,
             lookup_batch: 256,
             cache_entries: 4096,
+            schedule: Schedule::Static,
         }
     }
 }
@@ -402,33 +408,52 @@ pub fn align_reads(
 ) -> (Vec<Alignment>, Vec<PhaseReport>) {
     let (index, index_report) = build_seed_index(team, contigs, cfg.seed_len, cfg.max_seed_hits);
 
+    // Per-read cost proxy for the dynamic scheduler: seeding and extension
+    // work both scale with read length. Under `Schedule::Static` the
+    // weights are ignored (one contiguous block per rank, as before).
+    let weights: Vec<u64> = reads.iter().map(|r| r.seq.len() as u64).collect();
     let (chunks, mut stats) = team.run_named("scaffold/meraligner-align", |ctx| {
-        let range = ctx.chunk(reads.len());
-        // Stage 1: every seed of every read in the chunk goes through the
-        // seed cache and one streaming lookup batch.
-        let resolved = resolve_seeds(ctx, &index, reads, range.clone(), cfg);
-        // Stage 2: candidate clustering and extension on resolved lists,
-        // with contig replicas cached per rank.
+        // The contig replica cache persists across claimed ranges — it is
+        // result-transparent, so reuse only saves messages.
         let mut contig_cache: Option<SoftwareCache<u32, ()>> =
             (cfg.cache_entries > 0).then(|| SoftwareCache::new(cfg.cache_entries));
         let mut out = Vec::new();
-        for (slot, ri) in range.enumerate() {
-            out.extend(align_one(
-                ctx,
-                &index,
-                contigs,
-                &reads[ri],
-                ri as u32,
-                cfg,
-                &resolved[slot],
-                contig_cache.as_mut(),
-            ));
+        for range in cfg.schedule.ranges_weighted(ctx, &weights) {
+            // Stage 1: every seed of every read in the range goes through
+            // the seed cache and one streaming lookup batch.
+            let resolved = resolve_seeds(ctx, &index, reads, range.clone(), cfg);
+            // Stage 2: candidate clustering and extension on resolved
+            // lists, with contig replicas cached per rank.
+            for (slot, ri) in range.enumerate() {
+                out.extend(align_one(
+                    ctx,
+                    &index,
+                    contigs,
+                    &reads[ri],
+                    ri as u32,
+                    cfg,
+                    &resolved[slot],
+                    contig_cache.as_mut(),
+                ));
+            }
         }
         out
     });
     index.table.drain_service_into(&mut stats);
     let mut alignments: Vec<Alignment> = chunks.into_iter().flatten().collect();
-    alignments.sort_by_key(|a| (a.read, a.contig, a.contig_start));
+    // Sort on the full record so the order is independent of which rank
+    // produced each alignment (dynamic scheduling permutes the chunks).
+    alignments.sort_by_key(|a| {
+        (
+            a.read,
+            a.contig,
+            a.contig_start,
+            a.contig_end,
+            a.rc,
+            a.read_start,
+            a.read_end,
+        )
+    });
     (
         alignments,
         vec![

@@ -17,7 +17,7 @@ use crate::contig_set::ContigSet;
 use crate::graph::{DebruijnGraph, GraphNode};
 use hipmer_dna::{canonical_seq, decode_base, ExtensionPair, Kmer, KmerCodec};
 use hipmer_kanalysis::KmerSpectrum;
-use hipmer_pgas::{PhaseReport, Placement, RankCtx, SoftwareCache, Team};
+use hipmer_pgas::{PhaseReport, Placement, RankCtx, Schedule, SoftwareCache, Team};
 
 /// Which traversal algorithm to run (ablation hook; all three emit the
 /// identical contig set).
@@ -57,6 +57,14 @@ pub struct ContigConfig {
     /// mutable `visited` flag, and all claiming writes, bypass the cache.
     /// `0` disables caching (ablation hook).
     pub node_cache: usize,
+    /// How cooperative-mode seeds are dealt to ranks. [`Schedule::Static`]
+    /// keeps the paper's local-bucket seeding (each rank seeds only its own
+    /// shard — skewed when placement co-locates a dominant contig on one
+    /// rank). [`Schedule::Dynamic`] pools all seeds and deals them as
+    /// guided chunks, so any rank may walk any region; the claim flags
+    /// still guarantee each vertex is consumed exactly once and the merged
+    /// contig set is byte-identical. Ignored by the other traversal modes.
+    pub schedule: Schedule,
 }
 
 impl ContigConfig {
@@ -68,6 +76,7 @@ impl ContigConfig {
             mode: TraversalMode::Cooperative,
             walk_cap: 2048,
             node_cache: 16384,
+            schedule: Schedule::Static,
         }
     }
 
@@ -265,6 +274,129 @@ struct Subcontig {
     right_link: Option<Kmer>,
 }
 
+/// Claim `seed` and walk both directions from it, claiming every vertex
+/// consumed. Returns the subcontig and the number of vertices claimed, or
+/// `None` if the seed was already claimed by another walk.
+fn claim_walk_seed(
+    graph: &DebruijnGraph,
+    ctx: &mut RankCtx,
+    cfg: &ContigConfig,
+    cache: &mut Option<SoftwareCache<Kmer, GraphNode>>,
+    seed: Kmer,
+) -> Option<(Subcontig, usize)> {
+    let codec = graph.codec;
+    // Claim the seed (visited flips exactly once, whichever rank wins).
+    let seed_node = graph.nodes.with_mut(ctx, &seed, |slot| {
+        let node = slot.expect("seed key exists");
+        if node.visited {
+            None
+        } else {
+            node.visited = true;
+            Some(*node)
+        }
+    })?;
+    let mut claimed = 1usize;
+
+    let start = Oriented {
+        kmer: seed,
+        canon: seed,
+        flipped: false,
+    };
+    // Extend right in canonical orientation.
+    let mut seq = codec.unpack(seed);
+    let mut right_end = seed;
+    let mut right_link = None;
+    let mut cur = start;
+    let mut cur_node = seed_node;
+    let mut hit_cap = true;
+    for _ in 0..cfg.walk_cap {
+        match step_claim(graph, ctx, cur, &cur_node) {
+            ClaimStep::Claimed(next, node, b) => {
+                claimed += 1;
+                seq.push(decode_base(b));
+                right_end = next.canon;
+                cur = next;
+                cur_node = node;
+            }
+            ClaimStep::Boundary(km) => {
+                right_link = Some(km);
+                hit_cap = false;
+                break;
+            }
+            ClaimStep::End => {
+                hit_cap = false;
+                break;
+            }
+        }
+    }
+    if hit_cap && exts_of(&cur_node, cur.flipped).right.is_unique() {
+        // Hit the cap mid-path: the next (unclaimed) vertex is the
+        // boundary another subcontig will seed from.
+        let b = exts_of(&cur_node, cur.flipped).right.unique_base().unwrap();
+        let next = orient(&codec, codec.extend_right(cur.kmer, b));
+        if node_for_exts(graph, ctx, cache, &next.canon).is_some() {
+            right_link = Some(next.canon);
+        }
+    }
+
+    // Extend left: walk right in the flipped orientation and prepend
+    // complements.
+    let mut left_end = seed;
+    let mut left_link = None;
+    let mut cur = Oriented {
+        kmer: codec.revcomp(seed),
+        canon: seed,
+        flipped: true,
+    };
+    let mut cur_node = seed_node;
+    let mut prepended: Vec<u8> = Vec::new();
+    let mut hit_cap = true;
+    for _ in 0..cfg.walk_cap {
+        match step_claim(graph, ctx, cur, &cur_node) {
+            ClaimStep::Claimed(next, node, b) => {
+                claimed += 1;
+                // Base b extends the flipped orientation; in forward
+                // orientation it prepends complement(b).
+                prepended.push(decode_base(3 - b));
+                left_end = next.canon;
+                cur = next;
+                cur_node = node;
+            }
+            ClaimStep::Boundary(km) => {
+                left_link = Some(km);
+                hit_cap = false;
+                break;
+            }
+            ClaimStep::End => {
+                hit_cap = false;
+                break;
+            }
+        }
+    }
+    if hit_cap && exts_of(&cur_node, cur.flipped).right.is_unique() {
+        let b = exts_of(&cur_node, cur.flipped).right.unique_base().unwrap();
+        let next = orient(&codec, codec.extend_right(cur.kmer, b));
+        if node_for_exts(graph, ctx, cache, &next.canon).is_some() {
+            left_link = Some(next.canon);
+        }
+    }
+    if !prepended.is_empty() {
+        prepended.reverse();
+        prepended.extend_from_slice(&seq);
+        seq = prepended;
+    }
+    Some((
+        Subcontig {
+            seq,
+            left_end,
+            right_end,
+            left_link,
+            right_link,
+        },
+        claimed,
+    ))
+}
+
 /// The paper's cooperative traversal: claim-as-you-walk subcontigs from
 /// local seeds, then merge the chains.
 fn traverse_cooperative(
@@ -334,137 +466,80 @@ fn traverse_cooperative(
                         continue;
                     }
                 }
-                // Claim the seed (processors pick seeds from local buckets).
-                let seed_node = graph.nodes.with_mut(ctx, &seed, |slot| {
-                    let node = slot.expect("local key exists");
-                    if node.visited {
-                        None
-                    } else {
-                        node.visited = true;
-                        Some(*node)
-                    }
-                });
-                let Some(seed_node) = seed_node else { continue };
-                claimed_total += 1;
-
-                let start = Oriented {
-                    kmer: seed,
-                    canon: seed,
-                    flipped: false,
+                // Claim the seed (processors pick seeds from local buckets)
+                // and walk both directions from it.
+                let Some((sub, claims)) = claim_walk_seed(graph, ctx, cfg, &mut cache, seed) else {
+                    continue;
                 };
-                // Extend right in canonical orientation.
-                let mut seq = codec.unpack(seed);
-                let mut right_end = seed;
-                let mut right_link = None;
-                let mut cur = start;
-                let mut cur_node = seed_node;
-                let mut hit_cap = true;
-                for _ in 0..cfg.walk_cap {
-                    match step_claim(graph, ctx, cur, &cur_node) {
-                        ClaimStep::Claimed(next, node, b) => {
-                            claimed_total += 1;
-                            seq.push(decode_base(b));
-                            right_end = next.canon;
-                            cur = next;
-                            cur_node = node;
-                        }
-                        ClaimStep::Boundary(km) => {
-                            right_link = Some(km);
-                            hit_cap = false;
-                            break;
-                        }
-                        ClaimStep::End => {
-                            hit_cap = false;
-                            break;
-                        }
-                    }
-                }
-                if hit_cap && exts_of(&cur_node, cur.flipped).right.is_unique() {
-                    // Hit the cap mid-path: the next (unclaimed) vertex is the
-                    // boundary another subcontig will seed from.
-                    let b = exts_of(&cur_node, cur.flipped).right.unique_base().unwrap();
-                    let next = orient(&codec, codec.extend_right(cur.kmer, b));
-                    if node_for_exts(graph, ctx, &mut cache, &next.canon).is_some() {
-                        right_link = Some(next.canon);
-                    }
-                }
-
-                // Extend left: walk right in the flipped orientation and
-                // prepend complements.
-                let mut left_end = seed;
-                let mut left_link = None;
-                let mut cur = Oriented {
-                    kmer: codec.revcomp(seed),
-                    canon: seed,
-                    flipped: true,
-                };
-                let mut cur_node = seed_node;
-                let mut prepended: Vec<u8> = Vec::new();
-                let mut hit_cap = true;
-                for _ in 0..cfg.walk_cap {
-                    match step_claim(graph, ctx, cur, &cur_node) {
-                        ClaimStep::Claimed(next, node, b) => {
-                            claimed_total += 1;
-                            // Base b extends the flipped orientation; in
-                            // forward orientation it prepends complement(b).
-                            prepended.push(decode_base(3 - b));
-                            left_end = next.canon;
-                            cur = next;
-                            cur_node = node;
-                        }
-                        ClaimStep::Boundary(km) => {
-                            left_link = Some(km);
-                            hit_cap = false;
-                            break;
-                        }
-                        ClaimStep::End => {
-                            hit_cap = false;
-                            break;
-                        }
-                    }
-                }
-                if hit_cap && exts_of(&cur_node, cur.flipped).right.is_unique() {
-                    let b = exts_of(&cur_node, cur.flipped).right.unique_base().unwrap();
-                    let next = orient(&codec, codec.extend_right(cur.kmer, b));
-                    if node_for_exts(graph, ctx, &mut cache, &next.canon).is_some() {
-                        left_link = Some(next.canon);
-                    }
-                }
-                if !prepended.is_empty() {
-                    prepended.reverse();
-                    prepended.extend_from_slice(&seq);
-                    seq = prepended;
-                }
-                subs.push(Subcontig {
-                    seq,
-                    left_end,
-                    right_end,
-                    left_link,
-                    right_link,
-                });
+                claimed_total += claims;
+                subs.push(sub);
             }
             subs
         })
     };
-    let (subs_native, mut stats) = run_pass(0);
-    let (subs_capped, stats_capped) = run_pass(1);
-    let (subs_cleanup, stats_cleanup) = run_pass(2);
-    for (a, b) in stats.iter_mut().zip(&stats_capped) {
-        a.merge(b);
-    }
-    for (a, b) in stats.iter_mut().zip(&stats_cleanup) {
-        a.merge(b);
-    }
+    let (subs, stats) = match cfg.schedule {
+        Schedule::Static => {
+            let (subs_native, mut stats) = run_pass(0);
+            let (subs_capped, stats_capped) = run_pass(1);
+            let (subs_cleanup, stats_cleanup) = run_pass(2);
+            for (a, b) in stats.iter_mut().zip(&stats_capped) {
+                a.merge(b);
+            }
+            for (a, b) in stats.iter_mut().zip(&stats_cleanup) {
+                a.merge(b);
+            }
+            let subs: Vec<Subcontig> = subs_native
+                .into_iter()
+                .chain(subs_capped)
+                .chain(subs_cleanup)
+                .flatten()
+                .collect();
+            (subs, stats)
+        }
+        Schedule::Dynamic => {
+            // Pool every seed globally: each rank reports its local keys
+            // sorted, and the rank-ordered concatenation is a deterministic
+            // pool independent of the OS schedule. (Materializing the pool
+            // is not billed as communication; the coordination cost of
+            // dealing it out is modeled by `t_steal` per claimed chunk.)
+            let (seed_lists, mut stats) = team.run_named("contig/traversal/seed-scan", |ctx| {
+                let mut seeds: Vec<Kmer> = graph
+                    .nodes
+                    .snapshot_local(ctx)
+                    .into_iter()
+                    .map(|(km, _)| km)
+                    .collect();
+                seeds.sort_unstable();
+                ctx.stats.compute(seeds.len() as u64);
+                seeds
+            });
+            let seeds: Vec<Kmer> = seed_lists.into_iter().flatten().collect();
+            // Deal the pool as guided chunks: any rank may walk any region.
+            // The claim flags still guarantee each vertex is consumed
+            // exactly once, so the subcontig partition covers the same
+            // paths and the merge below stitches identical contigs.
+            let (subs_lists, stats_claim) = team.run_named("contig/traversal/claim", |ctx| {
+                let mut cache = cfg.make_cache();
+                let mut subs: Vec<Subcontig> = Vec::new();
+                for range in ctx.dynamic_ranges(seeds.len()) {
+                    for &seed in &seeds[range] {
+                        if let Some((sub, _)) = claim_walk_seed(graph, ctx, cfg, &mut cache, seed) {
+                            subs.push(sub);
+                        }
+                    }
+                }
+                subs
+            });
+            for (a, b) in stats.iter_mut().zip(&stats_claim) {
+                a.merge(b);
+            }
+            (subs_lists.into_iter().flatten().collect(), stats)
+        }
+    };
 
     // Serial merge of the subcontig chains (tiny: O(G / walk_cap + p)
     // pieces).
     let serial_start = std::time::Instant::now();
-    let subs: Vec<Subcontig> = subs_native
-        .into_iter()
-        .chain(subs_capped)
-        .chain(subs_cleanup)
-        .flatten()
-        .collect();
     let k = codec.k();
     // Map endpoint key -> (subcontig index, side). side 0 = left end.
     let mut by_end: std::collections::HashMap<Kmer, Vec<(usize, u8)>> =
@@ -878,6 +953,44 @@ mod tests {
             |s: &ContigSet| -> Vec<Vec<u8>> { s.contigs.iter().map(|c| c.seq.clone()).collect() };
         assert_eq!(seqs(&a), seqs(&b));
         assert_eq!(seqs(&a), seqs(&c));
+    }
+
+    fn assemble_sched(
+        genome: &[u8],
+        topo: Topology,
+        schedule: Schedule,
+        read_len: usize,
+    ) -> ContigSet {
+        let team = Team::new(topo);
+        let reads = perfect_reads(genome, read_len, 4);
+        let kcfg = KmerAnalysisConfig::new(21);
+        let (spectrum, _) = analyze_kmers(&team, &reads, &kcfg);
+        let mut ccfg = ContigConfig::new(21);
+        ccfg.walk_cap = 100;
+        ccfg.schedule = schedule;
+        let (set, _) = generate_contigs(&team, &spectrum, &ccfg);
+        set
+    }
+
+    #[test]
+    fn dynamic_schedule_matches_static_contigs() {
+        let seqs =
+            |s: &ContigSet| -> Vec<Vec<u8>> { s.contigs.iter().map(|c| c.seq.clone()).collect() };
+        // Random genomes at several sizes; the 60-base one has ~40 seeds,
+        // fewer than the 64-rank topology (ranks > items).
+        for (len, seed, read_len) in [(2000usize, 33u64, 80usize), (700, 91, 80), (60, 5, 30)] {
+            let genome = lcg_genome(len, seed);
+            for (ranks, per) in [(1usize, 1usize), (7, 3), (16, 4), (64, 8)] {
+                let topo = Topology::new(ranks, per);
+                let st = assemble_sched(&genome, topo, Schedule::Static, read_len);
+                let dy = assemble_sched(&genome, topo, Schedule::Dynamic, read_len);
+                assert_eq!(
+                    seqs(&st),
+                    seqs(&dy),
+                    "schedules disagree at ranks={ranks} len={len}"
+                );
+            }
+        }
     }
 
     #[test]

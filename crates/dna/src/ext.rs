@@ -106,6 +106,12 @@ pub struct ExtVotes {
 }
 
 impl ExtVotes {
+    /// Packed wire bytes of one tally: nine `u32` counters, no padding —
+    /// what a real sender serializes (the in-memory size of a *tuple*
+    /// containing an `ExtVotes` can be larger once alignment padding to a
+    /// neighboring field is counted).
+    pub const WIRE_BYTES: u64 = 9 * 4;
+
     /// An empty tally.
     pub fn new() -> Self {
         Self::default()

@@ -114,6 +114,15 @@ impl KmerCodec {
         self.k
     }
 
+    /// Packed wire bytes of one k-mer at this k: `ceil(2k / 8)` — what a
+    /// real sender serializes, as opposed to `size_of::<Kmer>()` (a full
+    /// 16-byte `u128` regardless of k). Used to price aggregated k-mer
+    /// messages without billing the in-memory padding.
+    #[inline]
+    pub fn wire_bytes(&self) -> u64 {
+        (2 * self.k as u64).div_ceil(8)
+    }
+
     /// Pack an ASCII slice of exactly `k` unambiguous bases.
     ///
     /// Returns `None` if the slice has the wrong length or contains a

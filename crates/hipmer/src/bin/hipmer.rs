@@ -3,6 +3,7 @@
 //! ```text
 //! hipmer assemble reads.fastq -o scaffolds.fasta [-k 31] [--ranks 480] \
 //!        [--ranks-per-node 24] [--rounds 1] [--metagenome] [--report] \
+//!        [--schedule static|dynamic] \
 //!        [--trace trace.json] [--trace-ranks N] [--report-json report.json]
 //! hipmer simulate human|wheat|meta -o reads.fastq [--len 100000] [--cov 16]
 //! ```
@@ -11,6 +12,13 @@
 //! the full pipeline on the requested virtual-machine shape, writes the
 //! scaffolds as FASTA, and (with `--report`) prints the per-phase modeled
 //! times on the Edison-like cost model.
+//!
+//! Scheduling: `--schedule dynamic` deals the skew-prone stages' work
+//! (cooperative traversal, alignment, depths, bubbles, gap closing) as
+//! guided chunks from a shared pool instead of fixed blocks. The assembled
+//! output is byte-identical to `--schedule static` (the default); only the
+//! modeled per-rank load balance — visible as `imbalance` and `steal_ops`
+//! in `--report-json` — changes.
 //!
 //! Observability: `--trace <path>` (or the `HIPMER_TRACE=<path>` env var)
 //! records per-rank execution spans for every phase and writes them as
@@ -42,6 +50,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  hipmer assemble <reads.fastq> -o <scaffolds.fasta> [-k K] [--ranks N]\n\
          \x20         [--ranks-per-node N] [--rounds N] [--metagenome] [--report]\n\
+         \x20         [--schedule static|dynamic]\n\
          \x20         [--trace <trace.json>] [--trace-ranks N] [--report-json <report.json>]\n\
          \x20         [--checkpoint-dir <dir>] [--resume] [--checkpoint-interval N]\n\
          \x20         [--stage-retries N] [--halt-after <stage>] [--fault-seed S]\n\
@@ -148,6 +157,13 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
+            match parse_flag(&args, "--schedule", hipmer_pgas::Schedule::Static) {
+                Ok(schedule) => cfg = cfg.with_schedule(schedule),
+                Err(e) => {
+                    eprintln!("error: {e} (want static|dynamic)");
+                    return usage();
+                }
+            }
             if args.iter().any(|a| a == "--metagenome") {
                 cfg.scaffold.rounds = 0; // skip scaffolding (§5.4)
             }

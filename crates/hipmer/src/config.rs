@@ -2,6 +2,7 @@
 
 use hipmer_contig::ContigConfig;
 use hipmer_kanalysis::KmerAnalysisConfig;
+use hipmer_pgas::Schedule;
 use hipmer_scaffold::ScaffoldConfig;
 
 /// Configuration for a complete assembly run.
@@ -46,6 +47,18 @@ impl PipelineConfig {
         })
     }
 
+    /// Apply one [`Schedule`] to every skew-prone stage: the cooperative
+    /// contig traversal, the aligner read loop, contig depths, bubble
+    /// merging, and gap closing. [`Schedule::Dynamic`] deals each stage's
+    /// work as guided chunks from a shared pool instead of fixed
+    /// contiguous blocks; the assembled output is byte-identical either
+    /// way, only the modeled load balance changes.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.contig.schedule = schedule;
+        self.scaffold = self.scaffold.with_schedule(schedule);
+        self
+    }
+
     /// Preset matching the wheat runs: four scaffolding rounds (§5.3: "the
     /// wheat pipeline ... requires four rounds of scaffolding").
     pub fn wheat_preset(k: usize) -> Self {
@@ -80,6 +93,15 @@ mod tests {
         assert!(d.scaffolding_enabled());
         assert_eq!(PipelineConfig::wheat_preset(31).scaffold.rounds, 4);
         assert!(!PipelineConfig::metagenome_preset(31).scaffolding_enabled());
+    }
+
+    #[test]
+    fn with_schedule_reaches_every_stage() {
+        let cfg = PipelineConfig::new(31).with_schedule(Schedule::Dynamic);
+        assert_eq!(cfg.contig.schedule, Schedule::Dynamic);
+        assert_eq!(cfg.scaffold.schedule, Schedule::Dynamic);
+        assert_eq!(cfg.scaffold.align.schedule, Schedule::Dynamic);
+        assert_eq!(cfg.scaffold.gap.schedule, Schedule::Dynamic);
     }
 
     #[test]

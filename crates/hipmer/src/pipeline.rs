@@ -328,7 +328,7 @@ pub fn run_assembly(
         // Stage 2: depths + bubble merging.
         let prepared = runner.stage(
             "scaffold-prep",
-            || prepare_contigs(team, &spectrum, &contigs),
+            || prepare_contigs(team, &spectrum, &contigs, cfg.scaffold.schedule),
             checkpoint::encode_contigs,
             checkpoint::decode_contigs,
         )?;

@@ -78,6 +78,99 @@ fn simulate_then_assemble_roundtrip() {
 }
 
 #[test]
+fn dynamic_schedule_matches_static_fasta_and_records_steals() {
+    use hipmer_pgas::json::Value;
+
+    let dir = std::env::temp_dir().join(format!("hipmer-cli-sched-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let reads = dir.join("reads.fastq");
+
+    let sim = Command::new(bin())
+        .args([
+            "simulate",
+            "human",
+            "-o",
+            reads.to_str().unwrap(),
+            "--len",
+            "15000",
+            "--cov",
+            "14",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .expect("simulate runs");
+    assert!(
+        sim.status.success(),
+        "{}",
+        String::from_utf8_lossy(&sim.stderr)
+    );
+
+    let run = |schedule: &str| {
+        let out = dir.join(format!("scaffolds-{schedule}.fasta"));
+        let report = dir.join(format!("report-{schedule}.json"));
+        let asm = Command::new(bin())
+            .args([
+                "assemble",
+                reads.to_str().unwrap(),
+                "-o",
+                out.to_str().unwrap(),
+                "-k",
+                "21",
+                "--ranks",
+                "16",
+                "--ranks-per-node",
+                "8",
+                "--schedule",
+                schedule,
+                "--report-json",
+                report.to_str().unwrap(),
+            ])
+            .output()
+            .expect("assemble runs");
+        assert!(
+            asm.status.success(),
+            "{}",
+            String::from_utf8_lossy(&asm.stderr)
+        );
+        (
+            std::fs::read(&out).unwrap(),
+            std::fs::read_to_string(&report).unwrap(),
+        )
+    };
+    let (fasta_static, report_static) = run("static");
+    let (fasta_dynamic, report_dynamic) = run("dynamic");
+    assert_eq!(
+        fasta_static, fasta_dynamic,
+        "schedules must assemble byte-identical scaffolds"
+    );
+
+    // Static records no steals; dynamic records them on the converted
+    // phases (traversal claim, aligner, depths, bubbles, gap closing).
+    let steals = |doc: &str| -> u64 {
+        let doc = Value::parse(doc).unwrap();
+        doc.get("phases")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|p| {
+                p.get("totals")
+                    .and_then(|t| t.get("steal_ops"))
+                    .and_then(Value::as_u64)
+                    .unwrap()
+            })
+            .sum()
+    };
+    assert_eq!(steals(&report_static), 0, "static schedule must not steal");
+    assert!(
+        steals(&report_dynamic) > 0,
+        "dynamic schedule must record steal operations"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn trace_and_report_json_outputs_are_valid() {
     use hipmer_pgas::json::Value;
 
@@ -170,7 +263,7 @@ fn trace_and_report_json_outputs_are_valid() {
     let report_doc = Value::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
     assert_eq!(
         report_doc.get("schema_version").and_then(Value::as_u64),
-        Some(3)
+        Some(4)
     );
     // Schema v3: per-stage attempt bookkeeping is always present; a
     // fault-free, checkpoint-free run shows one clean execution per stage
@@ -200,6 +293,13 @@ fn trace_and_report_json_outputs_are_valid() {
         assert!(p.get("wall_seconds").and_then(Value::as_f64).unwrap() > 0.0);
         assert!(p.get("offnode_fraction").and_then(Value::as_f64).is_some());
         assert!(p.get("imbalance").and_then(Value::as_f64).unwrap() >= 1.0);
+        // Schema v4: steal accounting is always present (0 under the
+        // default static schedule).
+        assert!(p
+            .get("totals")
+            .and_then(|t| t.get("steal_ops"))
+            .and_then(Value::as_u64)
+            .is_some());
         assert!(p
             .get("modeled")
             .and_then(|m| m.get("total_seconds"))

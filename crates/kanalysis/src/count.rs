@@ -14,7 +14,6 @@ use parking_lot::Mutex;
 /// the k-mer's canonical form. `left`/`right` are 2-bit codes of the
 /// neighboring bases that passed the quality filter.
 fn canonical_votes(
-    codec: &KmerCodec,
     km: Kmer,
     canon: Kmer,
     left: Option<u8>,
@@ -25,7 +24,6 @@ fn canonical_votes(
     } else {
         // Occurrence is the reverse complement of the canonical form: sides
         // swap and bases complement.
-        let _ = codec;
         (right.map(|c| 3 - c), left.map(|c| 3 - c))
     }
 }
@@ -56,7 +54,7 @@ where
         } else {
             None
         };
-        let (l, r) = canonical_votes(codec, km, canon, left, right);
+        let (l, r) = canonical_votes(km, canon, left, right);
         f(canon, l, r);
     }
 }
@@ -80,7 +78,10 @@ fn bloom_pass(
         .collect();
 
     let (_, mut stats) = team.run_named("kmer-analysis/bloom", |ctx| {
-        let mut outbox: Outbox<Kmer> = Outbox::new(*ctx.topo(), cfg.agg_batch);
+        // Wire bytes: the packed 2k bits of the k-mer, not the in-memory
+        // 16-byte `u128`.
+        let mut outbox: Outbox<Kmer> =
+            Outbox::new(*ctx.topo(), cfg.agg_batch).with_item_bytes(codec.wire_bytes());
         let mut apply = |dest: usize, kmers: Vec<Kmer>| {
             let mut bloom = blooms[dest].lock();
             let mut repeated: Vec<(Kmer, ExtVotes)> = Vec::new();
@@ -124,8 +125,14 @@ fn count_pass(
     let codec = KmerCodec::new(cfg.k);
     let merge = |a: &mut ExtVotes, b: ExtVotes| a.merge(&b);
 
+    // Wire bytes of one (k-mer, votes) record: packed k-mer bits plus the
+    // nine vote counters. The in-memory tuple is padded to the `u128`
+    // alignment, which must not be billed as network traffic.
+    let entry_wire_bytes = codec.wire_bytes() + ExtVotes::WIRE_BYTES;
+
     let (_, mut stats) = team.run_named("kmer-analysis/count", |ctx| {
-        let mut outbox: Outbox<(Kmer, ExtVotes)> = Outbox::new(*ctx.topo(), cfg.agg_batch);
+        let mut outbox: Outbox<(Kmer, ExtVotes)> =
+            Outbox::new(*ctx.topo(), cfg.agg_batch).with_item_bytes(entry_wire_bytes);
         let mut apply = |dest: usize, entries: Vec<(Kmer, ExtVotes)>| {
             if cfg.use_bloom {
                 table.merge_batch_existing(dest, entries, merge);
@@ -156,7 +163,8 @@ fn count_pass(
         // per owner holding this rank's partial counts (O(p) messages per
         // heavy k-mer across the team instead of O(count)).
         if !hh_local.is_empty() {
-            let mut hh_outbox: Outbox<(Kmer, ExtVotes)> = Outbox::new(*ctx.topo(), usize::MAX >> 1);
+            let mut hh_outbox: Outbox<(Kmer, ExtVotes)> =
+                Outbox::new(*ctx.topo(), usize::MAX >> 1).with_item_bytes(entry_wire_bytes);
             let mut hh_apply = |dest: usize, entries: Vec<(Kmer, ExtVotes)>| {
                 table.merge_batch(dest, entries, merge);
             };

@@ -37,6 +37,14 @@ pub struct Outbox<T> {
 
 impl<T> Outbox<T> {
     /// An outbox over `topo` shipping batches of `batch` items.
+    ///
+    /// Bandwidth is billed at `size_of::<T>()` per item by default. Beware
+    /// the caveat: that is the item's *in-memory* size, which includes any
+    /// alignment padding — a `(Kmer, ExtVotes)` tuple, say, occupies more
+    /// bytes in a Rust `Vec` than its fields would occupy packed on the
+    /// wire, so padded payloads overstate modeled bandwidth. Real senders
+    /// serialize packed; callers with padded item types should declare the
+    /// packed wire size via [`Outbox::with_item_bytes`].
     pub fn new(topo: Topology, batch: usize) -> Self {
         assert!(batch >= 1);
         Outbox {
@@ -45,6 +53,15 @@ impl<T> Outbox<T> {
             item_bytes: std::mem::size_of::<T>() as u64,
             topo,
         }
+    }
+
+    /// Override the modeled wire bytes billed per item (default:
+    /// `size_of::<T>()`, which counts struct padding — see [`Outbox::new`]).
+    /// Use the packed sum of the fields a real sender would serialize.
+    pub fn with_item_bytes(mut self, item_bytes: u64) -> Self {
+        assert!(item_bytes >= 1, "an item on the wire has at least one byte");
+        self.item_bytes = item_bytes;
+        self
     }
 
     /// Queue `item` for `dest`; ships that buffer through `apply` if full.
@@ -393,6 +410,27 @@ mod outbox_tests {
         // items; rank 0 messages are local ops.
         let msgs = ctx.stats.total_accesses();
         assert!(msgs <= 12, "messages {msgs}");
+    }
+
+    #[test]
+    fn item_bytes_override_replaces_padded_default() {
+        // A padded payload: (u64, u8) occupies 16 in-memory bytes but only
+        // 9 packed wire bytes.
+        let topo = Topology::new(2, 1);
+        assert_eq!(std::mem::size_of::<(u64, u8)>(), 16);
+        let run = |outbox: &mut Outbox<(u64, u8)>| {
+            let mut ctx = RankCtx::new(0, topo);
+            let mut apply = |_dest: usize, _items: Vec<(u64, u8)>| {};
+            for i in 0..50u64 {
+                outbox.push(&mut ctx, 1, (i, 0), &mut apply);
+            }
+            outbox.flush_all(&mut ctx, &mut apply);
+            ctx.stats.onnode_bytes + ctx.stats.offnode_bytes
+        };
+        let mut padded: Outbox<(u64, u8)> = Outbox::new(topo, 8);
+        let mut packed: Outbox<(u64, u8)> = Outbox::new(topo, 8).with_item_bytes(9);
+        assert_eq!(run(&mut padded), 50 * 16);
+        assert_eq!(run(&mut packed), 50 * 9);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod json;
 pub mod lookup;
 pub mod oracle;
 pub mod report;
+pub mod sched;
 pub mod stats;
 pub mod team;
 pub mod topology;
@@ -52,6 +53,7 @@ pub use fault::{
 pub use lookup::{LookupBatch, SoftwareCache};
 pub use oracle::OracleVector;
 pub use report::{CheckpointEvent, PhaseReport, PipelineReport, StageAttempt};
+pub use sched::Schedule;
 pub use stats::CommStats;
 pub use team::{RankCtx, Team};
 pub use topology::Topology;

@@ -103,14 +103,21 @@ impl PhaseReport {
 
     /// Load imbalance: max over ranks of (work) divided by mean work, where
     /// work is priced rank seconds. 1.0 is perfectly balanced.
+    ///
+    /// Each rank is priced by [`CostModel::rank_breakdown`] on its own
+    /// counters, which were classified local/on-node/off-node under the
+    /// phase's real topology when they were recorded — so a comm-skewed
+    /// rank (all traffic off-node) weighs its full network cost here. An
+    /// earlier revision detoured through
+    /// `phase_time(&Topology::new(1, 1), ..)` per rank, which *looked*
+    /// like it re-classified everything as local; the pricing only stayed
+    /// correct because classification happens at record time, and any
+    /// future topology-dependent price term would have silently broken it.
     pub fn imbalance(&self, model: &CostModel) -> f64 {
         let times: Vec<f64> = self
             .stats
             .iter()
-            .map(|s| {
-                let one = model.phase_time(&Topology::new(1, 1), std::slice::from_ref(s));
-                one.critical_path
-            })
+            .map(|s| model.rank_breakdown(s).total())
             .collect();
         let max = times.iter().copied().fold(0.0, f64::max);
         let mean = times.iter().sum::<f64>() / times.len().max(1) as f64;
@@ -232,7 +239,7 @@ impl PipelineReport {
     }
 
     /// Serialize the whole pipeline report as a machine-readable JSON
-    /// document (schema version 3; see `DESIGN.md` §"Observability").
+    /// document (schema version 4; see `DESIGN.md` §"Observability").
     ///
     /// Per phase it carries the measured wall seconds, the modeled-time
     /// breakdown, the critical rank's compute/latency/bandwidth split, the
@@ -244,8 +251,8 @@ impl PipelineReport {
     /// object: `lookup_batches` ([`CommStats::lookup_batches`]),
     /// `cache_hits` and `cache_misses`.
     ///
-    /// Schema v3 (this PR) adds the fault/recovery surface: per-phase
-    /// `totals` gain `transient_faults`, `retries` and `backoff_units`
+    /// Schema v3 adds the fault/recovery surface: per-phase `totals` gain
+    /// `transient_faults`, `retries` and `backoff_units`
     /// ([`CommStats::transient_faults`], [`CommStats::retries`],
     /// [`CommStats::backoff_units`]), and the document gains two top-level
     /// arrays — `stage_attempts` ([`StageAttempt`]: execution/abort/resume
@@ -253,9 +260,18 @@ impl PipelineReport {
     /// ([`CheckpointEvent`]: artifact saves and loads with byte counts and
     /// checksums). Consumers that indexed by key name are unaffected;
     /// consumers that enumerated keys must accept the new ones.
+    ///
+    /// Schema v4 (this PR) adds the dynamic-scheduling surface: per-phase
+    /// `totals` gain `steal_ops` ([`CommStats::steal_ops`], the chunk
+    /// acquisitions of [`crate::RankCtx::for_each_dynamic`]). The per-phase
+    /// `imbalance` key — present since v1 — is now computed by pricing each
+    /// rank under the phase's real topology via
+    /// [`CostModel::rank_breakdown`] (see [`PhaseReport::imbalance`]), so
+    /// static-vs-dynamic schedule ablations can read per-stage balance
+    /// straight from the report.
     pub fn to_json(&self, model: &CostModel) -> String {
         let mut doc = Value::obj();
-        doc.set("schema_version", 3u64)
+        doc.set("schema_version", 4u64)
             .set("generator", "hipmer-pgas");
         if let Some(p) = self.phases.first() {
             let mut topo = Value::obj();
@@ -345,6 +361,7 @@ fn phase_json(p: &PhaseReport, model: &CostModel) -> Value {
         .set("backoff_units", totals.backoff_units)
         .set("io_read_bytes", totals.io_read_bytes)
         .set("io_write_bytes", totals.io_write_bytes)
+        .set("steal_ops", totals.steal_ops)
         .set("barriers", totals.barriers)
         .set("exec_nanos", totals.exec_nanos);
     v.set("totals", t);
@@ -398,6 +415,41 @@ mod tests {
     }
 
     #[test]
+    fn imbalance_detects_comm_skew() {
+        // Regression for the old per-rank `phase_time(&Topology::new(1,1))`
+        // detour: the skewed rank here does NO compute — its entire load is
+        // off-node messages and bytes — so an implementation that dropped
+        // or re-priced communication for the per-rank term would report
+        // ~1.0 (balanced) for a phase whose network-bound rank is the
+        // critical path.
+        let model = CostModel::edison();
+        let topo = Topology::new(4, 2);
+        let mut stats = vec![
+            CommStats {
+                compute_ops: 1_000,
+                ..CommStats::default()
+            };
+            4
+        ];
+        stats[3] = CommStats {
+            offnode_msgs: 100_000,
+            offnode_bytes: 100_000 * 64,
+            ..CommStats::default()
+        };
+        let p = PhaseReport::new("comm-skew", topo, stats.clone());
+        let imb = p.imbalance(&model);
+        assert!(imb > 3.0, "comm-skewed rank must dominate: {imb}");
+        // The per-rank prices must be exactly the real-topology breakdown.
+        let times: Vec<f64> = stats
+            .iter()
+            .map(|s| model.rank_breakdown(s).total())
+            .collect();
+        let max = times.iter().copied().fold(0.0, f64::max);
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        assert!((imb - max / mean).abs() < 1e-12);
+    }
+
+    #[test]
     fn absorb_merges_counters() {
         let mut p = phase_with(&[10, 20]);
         let extra = vec![
@@ -435,6 +487,7 @@ mod tests {
                 retries: 3,
                 backoff_units: 7,
                 io_read_bytes: 1 << 20,
+                steal_ops: 9 + r,
                 barriers: 2,
                 exec_nanos: 1_000_000 * (r + 1),
                 ..CommStats::default()
@@ -483,7 +536,7 @@ mod tests {
         // any of these is a schema break and must bump `schema_version`.
         let model = CostModel::edison();
         let doc = Value::parse(&busy_pipeline().to_json(&model)).unwrap();
-        assert_eq!(doc.get("schema_version").and_then(Value::as_u64), Some(3));
+        assert_eq!(doc.get("schema_version").and_then(Value::as_u64), Some(4));
         assert_eq!(
             doc.keys(),
             vec![
@@ -575,6 +628,7 @@ mod tests {
                 "backoff_units",
                 "io_read_bytes",
                 "io_write_bytes",
+                "steal_ops",
                 "barriers",
                 "exec_nanos"
             ]
@@ -647,6 +701,10 @@ mod tests {
                 totals.get("backoff_units").and_then(Value::as_u64).unwrap(),
                 p.totals().backoff_units
             );
+            // Schema-v4 dynamic-scheduling counter.
+            let steals = totals.get("steal_ops").and_then(Value::as_u64).unwrap();
+            assert_eq!(steals, p.totals().steal_ops);
+            assert!(steals > 0, "fixture must exercise steal accounting");
         }
         // Pipeline-level sums.
         let wall = doc.get("wall_seconds").and_then(Value::as_f64).unwrap();

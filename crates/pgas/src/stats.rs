@@ -56,6 +56,12 @@ pub struct CommStats {
     pub io_read_bytes: u64,
     /// Bytes written to storage by this rank.
     pub io_write_bytes: u64,
+    /// Dynamic-scheduling chunk acquisitions: each chunk a rank claims from
+    /// the shared work counter of [`crate::RankCtx::for_each_dynamic`] is one
+    /// modeled remote atomic fetch-add, priced by
+    /// [`crate::CostModel::t_steal`]. Static `chunk` partitioning performs
+    /// none.
+    pub steal_ops: u64,
     /// Barriers this rank participated in.
     pub barriers: u64,
     /// Measured nanoseconds this rank's phase body actually executed
@@ -74,6 +80,13 @@ impl CommStats {
     #[inline]
     pub fn compute(&mut self, n: u64) {
         self.compute_ops += n;
+    }
+
+    /// Record `n` dynamic-scheduling chunk acquisitions (modeled remote
+    /// atomic fetch-adds on the shared work counter).
+    #[inline]
+    pub fn steal(&mut self, n: u64) {
+        self.steal_ops += n;
     }
 
     /// Record one access from `from` to the partition owned by `to`,
@@ -130,6 +143,7 @@ impl CommStats {
         self.backoff_units += o.backoff_units;
         self.io_read_bytes += o.io_read_bytes;
         self.io_write_bytes += o.io_write_bytes;
+        self.steal_ops += o.steal_ops;
         self.barriers += o.barriers;
         self.exec_nanos += o.exec_nanos;
     }

@@ -196,6 +196,7 @@ where
         cache_misses: ctx.stats.cache_misses,
         transient_faults: ctx.stats.transient_faults,
         retries: ctx.stats.retries,
+        steal_ops: ctx.stats.steal_ops,
     });
     (out, ctx.stats, span, failure)
 }

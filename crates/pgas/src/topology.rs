@@ -76,8 +76,18 @@ impl Topology {
     ///
     /// Items are distributed as evenly as possible (first `n % ranks` ranks
     /// get one extra).
+    ///
+    /// # Panics
+    /// Panics if `rank >= self.ranks()` — a real `assert!`, not a debug
+    /// one: in release builds an out-of-range rank would otherwise return a
+    /// bogus range past `n`, and callers hold the result for a whole stage,
+    /// so the check is never on a hot path.
     pub fn chunk(&self, n: usize, rank: usize) -> std::ops::Range<usize> {
-        debug_assert!(rank < self.ranks);
+        assert!(
+            rank < self.ranks,
+            "chunk rank {rank} out of range (ranks={})",
+            self.ranks
+        );
         let base = n / self.ranks;
         let extra = n % self.ranks;
         let start = rank * base + rank.min(extra);
@@ -145,5 +155,14 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_panics() {
         Topology::new(0, 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn chunk_rejects_out_of_range_rank() {
+        // Must panic in release builds too, not just under debug_assert:
+        // a silent bogus range past `n` would make the caller index out of
+        // bounds (or worse, skip items) a whole stage later.
+        Topology::new(4, 4).chunk(100, 4);
     }
 }

@@ -58,6 +58,9 @@ pub struct SpanEvent {
     /// Message re-deliveries the rank performed after transient faults
     /// (see [`crate::CommStats::retries`]).
     pub retries: u64,
+    /// Dynamic-scheduling chunk acquisitions the rank performed during the
+    /// span (see [`crate::CommStats::steal_ops`]).
+    pub steal_ops: u64,
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -178,7 +181,8 @@ pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
             .set("cache_hits", e.cache_hits)
             .set("cache_misses", e.cache_misses)
             .set("transient_faults", e.transient_faults)
-            .set("retries", e.retries);
+            .set("retries", e.retries)
+            .set("steal_ops", e.steal_ops);
         span.set("args", args);
         out.push(span);
     }
@@ -204,6 +208,7 @@ mod tests {
             cache_misses: 2,
             transient_faults: 5,
             retries: 4,
+            steal_ops: 7,
         }
     }
 
@@ -246,6 +251,7 @@ mod tests {
             Some(5)
         );
         assert_eq!(args.get("retries").and_then(Value::as_u64), Some(4));
+        assert_eq!(args.get("steal_ops").and_then(Value::as_u64), Some(7));
     }
 
     #[test]

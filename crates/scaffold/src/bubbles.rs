@@ -12,7 +12,7 @@
 use crate::depths::ContigEndInfo;
 use hipmer_contig::ContigSet;
 use hipmer_dna::{revcomp, Kmer, BASES};
-use hipmer_pgas::{AggregatingStores, DistHashMap, PhaseReport, Team};
+use hipmer_pgas::{AggregatingStores, DistHashMap, PhaseReport, Schedule, Team};
 
 /// Merge bubbles and compress contig chains.
 ///
@@ -22,10 +22,15 @@ use hipmer_pgas::{AggregatingStores, DistHashMap, PhaseReport, Team};
 /// traversal spends ~99% of its time in parallel walks precisely because
 /// there is so little of it); its wall time is recorded as the report's
 /// serial seconds.
+///
+/// `schedule` controls how the parallel grouping/attachment passes deal
+/// contigs to ranks; per-contig work here is near-uniform, so the dynamic
+/// variant runs unweighted.
 pub fn merge_bubbles(
     team: &Team,
     contigs: &ContigSet,
     info: &[ContigEndInfo],
+    schedule: Schedule,
 ) -> (ContigSet, PhaseReport) {
     assert_eq!(info.len(), contigs.contigs.len());
     let n = contigs.contigs.len();
@@ -63,7 +68,7 @@ pub fn merge_bubbles(
     let (_, mut stats) = team.run_named("scaffold/bubbles/group", |ctx| {
         let mut agg =
             AggregatingStores::new(&bubble_groups, |a: &mut Vec<u32>, b: Vec<u32>| a.extend(b));
-        for ci in ctx.chunk(n) {
+        for ci in schedule.ranges(ctx, n).into_iter().flatten() {
             let i = &info[ci];
             if let (Some(la), Some(ra)) = (i.left_attach, i.right_attach) {
                 let key = if la <= ra { (la, ra) } else { (ra, la) };
@@ -125,7 +130,7 @@ pub fn merge_bubbles(
             AggregatingStores::new(&attachments, |a: &mut Vec<(u32, u8)>, b: Vec<(u32, u8)>| {
                 a.extend(b)
             });
-        for ci in ctx.chunk(n) {
+        for ci in schedule.ranges(ctx, n).into_iter().flatten() {
             if absorbed[ci] {
                 continue;
             }
@@ -303,8 +308,8 @@ mod tests {
         reads.extend(tile_reads(h2, 80, 4));
         let (spectrum, _) = analyze_kmers(&team, &reads, &KmerAnalysisConfig::new(21));
         let (contigs, _) = generate_contigs(&team, &spectrum, &ContigConfig::new(21));
-        let (info, _) = compute_depths(&team, &spectrum, &contigs);
-        let (merged, _) = merge_bubbles(&team, &contigs, &info);
+        let (info, _) = compute_depths(&team, &spectrum, &contigs, Schedule::Static);
+        let (merged, _) = merge_bubbles(&team, &contigs, &info, Schedule::Static);
         (contigs, merged)
     }
 
@@ -370,8 +375,8 @@ mod tests {
         let reads = tile_reads(&g, 80, 4);
         let (spectrum, _) = analyze_kmers(&team, &reads, &KmerAnalysisConfig::new(21));
         let (contigs, _) = generate_contigs(&team, &spectrum, &ContigConfig::new(21));
-        let (info, _) = compute_depths(&team, &spectrum, &contigs);
-        let (merged, _) = merge_bubbles(&team, &contigs, &info);
+        let (info, _) = compute_depths(&team, &spectrum, &contigs, Schedule::Static);
+        let (merged, _) = merge_bubbles(&team, &contigs, &info, Schedule::Static);
         let a: Vec<&Vec<u8>> = contigs.contigs.iter().map(|c| &c.seq).collect();
         let b: Vec<&Vec<u8>> = merged.contigs.iter().map(|c| &c.seq).collect();
         assert_eq!(a, b);

@@ -14,7 +14,7 @@
 use hipmer_contig::ContigSet;
 use hipmer_dna::{ExtChoice, Kmer};
 use hipmer_kanalysis::KmerSpectrum;
-use hipmer_pgas::{PhaseReport, RankCtx, Team};
+use hipmer_pgas::{PhaseReport, RankCtx, Schedule, Team};
 
 /// Why a contig stopped extending at one end.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -111,10 +111,16 @@ fn classify_end(
 
 /// Compute depth and end states for every contig (parallel over contigs).
 /// Returns per-contig info indexed by contig id, and the phase report.
+///
+/// `schedule` picks how windows are dealt to ranks: [`Schedule::Static`]
+/// gives each rank one contiguous block; [`Schedule::Dynamic`] deals
+/// guided chunks weighted by window k-mer count, which absorbs the skew
+/// of long-tail contig length distributions (trailing windows are short).
 pub fn compute_depths(
     team: &Team,
     spectrum: &KmerSpectrum,
     contigs: &ContigSet,
+    schedule: Schedule,
 ) -> (Vec<ContigEndInfo>, PhaseReport) {
     let codec = &spectrum.codec;
     let k = codec.k();
@@ -125,10 +131,13 @@ pub fn compute_depths(
     // may have one).
     const WINDOW: usize = 1024;
     let mut windows: Vec<(usize, usize)> = Vec::new(); // (contig, window index)
+    let mut weights: Vec<u64> = Vec::new(); // k-mers in the window
     for (ci, c) in contigs.contigs.iter().enumerate() {
         let n_kmers = c.seq.len().saturating_sub(k) + 1;
         for w in 0..n_kmers.div_ceil(WINDOW).max(1) {
             windows.push((ci, w));
+            let lo = w * WINDOW;
+            weights.push(((lo + WINDOW).min(n_kmers).saturating_sub(lo)) as u64);
         }
     }
 
@@ -137,7 +146,12 @@ pub fn compute_depths(
         // that hold the contig's first/last k-mer.
         let mut partial: Vec<(usize, u64, u64)> = Vec::new(); // (contig, sum, n)
         let mut ends: Vec<(usize, bool, TerminationState, Option<Kmer>)> = Vec::new();
-        for &(ci, w) in &windows[ctx.chunk(windows.len())] {
+        let mine: Vec<usize> = schedule
+            .ranges_weighted(ctx, &weights)
+            .into_iter()
+            .flatten()
+            .collect();
+        for &(ci, w) in mine.iter().map(|&i| &windows[i]) {
             let contig = &contigs.contigs[ci];
             let n_kmers = contig.seq.len() - k + 1;
             let lo = w * WINDOW;
@@ -252,7 +266,7 @@ mod tests {
         let reads = tile_reads(&genome, 80, 6);
         let (spectrum, _) = analyze_kmers(&team, &reads, &KmerAnalysisConfig::new(21));
         let (contigs, _) = generate_contigs(&team, &spectrum, &ContigConfig::new(21));
-        let (info, _) = compute_depths(&team, &spectrum, &contigs);
+        let (info, _) = compute_depths(&team, &spectrum, &contigs, Schedule::Static);
         assert_eq!(info.len(), contigs.len());
         // Reads tile at stride 40 with 6 offsets over 80bp reads -> each
         // base covered ~12x; interior k-mer count ≈ reads covering it.
@@ -267,7 +281,7 @@ mod tests {
         let reads = tile_reads(&genome, 80, 6);
         let (spectrum, _) = analyze_kmers(&team, &reads, &KmerAnalysisConfig::new(21));
         let (contigs, _) = generate_contigs(&team, &spectrum, &ContigConfig::new(21));
-        let (info, _) = compute_depths(&team, &spectrum, &contigs);
+        let (info, _) = compute_depths(&team, &spectrum, &contigs, Schedule::Static);
         // The dominant contig's ends stop because coverage runs out.
         let main = &info[0];
         assert_eq!(main.left_state, TerminationState::DeadEnd);
@@ -288,7 +302,7 @@ mod tests {
         let team = Team::new(Topology::new(2, 2));
         let (spectrum, _) = analyze_kmers(&team, &reads, &KmerAnalysisConfig::new(21));
         let (contigs, _) = generate_contigs(&team, &spectrum, &ContigConfig::new(21));
-        let (info, _) = compute_depths(&team, &spectrum, &contigs);
+        let (info, _) = compute_depths(&team, &spectrum, &contigs, Schedule::Static);
 
         // Expect ≥4 contigs: two flanks + two bubble arms. The bubble arms
         // (length 2k-1 = 41) terminate at forks on both sides and share

@@ -22,7 +22,7 @@ use crate::scaffolds::{Scaffold, ScaffoldSet};
 use hipmer_align::Alignment;
 use hipmer_contig::ContigSet;
 use hipmer_dna::{revcomp, Kmer, KmerCodec, KmerHashMap};
-use hipmer_pgas::{AggregatingStores, DistHashMap, PhaseReport, RankCtx, Team};
+use hipmer_pgas::{AggregatingStores, DistHashMap, PhaseReport, RankCtx, Schedule, Team};
 use hipmer_seqio::SeqRecord;
 use std::collections::HashMap;
 
@@ -45,8 +45,14 @@ pub struct GapCloseConfig {
     pub end_window: usize,
     /// Cap on N-fill length for failed closures.
     pub max_nfill: usize,
-    /// Round-robin gap distribution (false = blocked; ablation).
+    /// Round-robin gap distribution (false = blocked; ablation). Only
+    /// consulted under [`Schedule::Static`].
     pub round_robin: bool,
+    /// How work is dealt to ranks. [`Schedule::Dynamic`] replaces the
+    /// round-robin/blocked split with guided chunks weighted by flanking
+    /// contig length (a locally computable proxy for closure cost);
+    /// closures are merged positionally, so output is byte-identical.
+    pub schedule: Schedule,
 }
 
 impl Default for GapCloseConfig {
@@ -61,6 +67,7 @@ impl Default for GapCloseConfig {
             end_window: 600,
             max_nfill: 5000,
             round_robin: true,
+            schedule: Schedule::Static,
         }
     }
 }
@@ -394,7 +401,13 @@ pub fn close_gaps(
     let buckets: DistHashMap<(u32, ContigEnd), Vec<u32>> = DistHashMap::new(*team.topo());
     let (_, mut stats) = team.run_named("scaffold/gap-closing/buckets", |ctx| {
         let mut agg = AggregatingStores::new(&buckets, |a: &mut Vec<u32>, b: Vec<u32>| a.extend(b));
-        for a in &alignments[ctx.chunk(alignments.len())] {
+        for a in cfg
+            .schedule
+            .ranges(ctx, alignments.len())
+            .into_iter()
+            .flatten()
+            .map(|i| &alignments[i])
+        {
             ctx.stats.compute(1);
             let len = contigs.contigs[a.contig as usize].len();
             let mate = a.read ^ 1;
@@ -420,24 +433,36 @@ pub fn close_gaps(
         }
     }
 
-    // Phase 2 (parallel, round-robin): close gaps.
+    // Phase 2 (parallel): close gaps. Under the static schedule gaps go
+    // round-robin (or blocked, the ablation); under the dynamic schedule
+    // they are dealt as guided chunks weighted by flanking contig length —
+    // the locally computable proxy for closure cost (longer flanks attract
+    // more candidate reads and longer walks).
     let ranks = team.ranks();
+    let gap_weights: Vec<u64> = gaps
+        .iter()
+        .map(|g| {
+            let s = &scaffolds[g.scaffold];
+            let prev = contigs.contigs[s.members[g.junction].contig as usize].len();
+            let next = contigs.contigs[s.members[g.junction + 1].contig as usize].len();
+            (prev + next) as u64
+        })
+        .collect();
     let (closure_lists, stats2) = team.run_named("scaffold/gap-closing/close", |ctx| {
-        let my_chunk = ctx.chunk(gaps.len());
-        let my_rank = ctx.rank;
-        let mine = move |g_idx: usize| -> bool {
-            if cfg.round_robin {
-                g_idx % ranks == my_rank
-            } else {
-                my_chunk.contains(&g_idx)
+        let my_gaps: Vec<usize> = match cfg.schedule {
+            Schedule::Dynamic => ctx
+                .dynamic_ranges_weighted(&gap_weights)
+                .into_iter()
+                .flatten()
+                .collect(),
+            Schedule::Static if cfg.round_robin => {
+                (0..gaps.len()).filter(|g| g % ranks == ctx.rank).collect()
             }
+            Schedule::Static => ctx.chunk(gaps.len()).collect(),
         };
         let mut out: Vec<(usize, usize, Closure)> = Vec::new();
         let mut local_stats = GapCloseStats::default();
-        for (gi, gap) in gaps.iter().enumerate() {
-            if !mine(gi) {
-                continue;
-            }
+        for gap in my_gaps.iter().map(|&gi| &gaps[gi]) {
             let scaffold = &scaffolds[gap.scaffold];
             let prev_seq = member_seq(contigs, scaffold, gap.junction);
             let next_seq = member_seq(contigs, scaffold, gap.junction + 1);
@@ -512,7 +537,12 @@ pub fn close_gaps(
     // Phase 3 (parallel over scaffolds): stitch final sequences.
     let (seq_lists, stats3) = team.run_named("scaffold/gap-closing/stitch", |ctx| {
         let mut out: Vec<(usize, Vec<u8>)> = Vec::new();
-        for si in ctx.chunk(scaffolds.len()) {
+        for si in cfg
+            .schedule
+            .ranges(ctx, scaffolds.len())
+            .into_iter()
+            .flatten()
+        {
             let s = &scaffolds[si];
             let mut seq = member_seq(contigs, s, 0);
             for (j, closure) in closures[si].iter().enumerate().take(s.gaps()) {
@@ -767,6 +797,37 @@ mod tests {
         let mut expect = a.clone();
         expect.extend_from_slice(&b_full[30..]);
         assert_eq!(set.sequences[0], expect);
+    }
+
+    #[test]
+    fn dynamic_schedule_matches_static_closures() {
+        // Several gap shapes, replicated into a multi-gap workload, closed
+        // under both schedules at several rank counts — including 16 ranks
+        // over 6 gaps (ranks > items). Output must be byte-identical.
+        for (gap_len, read_len) in [(40usize, 120usize), (300, 90)] {
+            let f = fixture(gap_len, read_len, true);
+            let mut scaffolds = Vec::new();
+            for _ in 0..6 {
+                scaffolds.push(f.scaffolds[0].clone());
+            }
+            for (ranks, per) in [(1usize, 1usize), (4, 2), (16, 4)] {
+                let team = Team::new(Topology::new(ranks, per));
+                let run = |schedule: Schedule| {
+                    let cfg = GapCloseConfig {
+                        schedule,
+                        ..Default::default()
+                    };
+                    let (set, _, _) =
+                        close_gaps(&team, &f.contigs, &scaffolds, &f.alignments, &f.reads, &cfg);
+                    set.sequences
+                };
+                assert_eq!(
+                    run(Schedule::Static),
+                    run(Schedule::Dynamic),
+                    "schedules disagree at ranks={ranks} gap={gap_len}"
+                );
+            }
+        }
     }
 
     #[test]

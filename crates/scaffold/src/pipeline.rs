@@ -11,7 +11,7 @@ use crate::ties::order_and_orient;
 use hipmer_align::{align_reads, AlignConfig, Alignment};
 use hipmer_contig::ContigSet;
 use hipmer_kanalysis::KmerSpectrum;
-use hipmer_pgas::{PhaseReport, Team};
+use hipmer_pgas::{PhaseReport, Schedule, Team};
 use hipmer_seqio::SeqRecord;
 use std::ops::Range;
 
@@ -35,6 +35,10 @@ pub struct ScaffoldConfig {
     /// Contigs whose depth exceeds this factor times the median depth are
     /// treated as repeats and masked from links/ties.
     pub repeat_depth_factor: f64,
+    /// Work schedule for the skew-prone scaffold stages (depths, bubbles).
+    /// The per-module configs carry their own copies; use
+    /// [`ScaffoldConfig::with_schedule`] to set all of them at once.
+    pub schedule: Schedule,
 }
 
 impl ScaffoldConfig {
@@ -48,7 +52,17 @@ impl ScaffoldConfig {
             rounds: 1,
             min_tie_contig: 100,
             repeat_depth_factor: 1.75,
+            schedule: Schedule::Static,
         }
+    }
+
+    /// Set one schedule for every scaffold stage (depths, bubbles,
+    /// alignment, gap closing).
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self.align.schedule = schedule;
+        self.gap.schedule = schedule;
+        self
     }
 }
 
@@ -87,7 +101,7 @@ pub fn scaffold_pipeline(
     lib_ranges: &[Range<usize>],
     cfg: &ScaffoldConfig,
 ) -> ScaffoldOutput {
-    let (contigs, mut reports) = prepare_contigs(team, spectrum, raw_contigs);
+    let (contigs, mut reports) = prepare_contigs(team, spectrum, raw_contigs, cfg.schedule);
     let mut out = scaffold_rounds(team, spectrum, contigs, reads, lib_ranges, cfg, None);
     reports.append(&mut out.reports);
     out.reports = reports;
@@ -104,15 +118,16 @@ pub fn prepare_contigs(
     team: &Team,
     spectrum: &KmerSpectrum,
     raw_contigs: &ContigSet,
+    schedule: Schedule,
 ) -> (ContigSet, Vec<PhaseReport>) {
     let mut reports: Vec<PhaseReport> = Vec::new();
 
     // §4.1 Contig depths and termination states.
-    let (info, r) = compute_depths(team, spectrum, raw_contigs);
+    let (info, r) = compute_depths(team, spectrum, raw_contigs, schedule);
     reports.push(r);
 
     // §4.2 Bubble merging (the output is "contigs" from here on).
-    let (contigs, r) = merge_bubbles(team, raw_contigs, &info);
+    let (contigs, r) = merge_bubbles(team, raw_contigs, &info, schedule);
     reports.push(r);
 
     (contigs, reports)
@@ -150,7 +165,7 @@ pub fn scaffold_rounds(
         // Repeat/short-contig mask: depth and length over the current
         // contig set. Masked contigs never join ties (they scaffold as
         // singletons); gap closing can still walk through their sequence.
-        let (round_info, r) = compute_depths(team, spectrum, &contigs);
+        let (round_info, r) = compute_depths(team, spectrum, &contigs, cfg.schedule);
         reports.push(r);
         // Median depth weighted by contig length over tie-eligible contigs:
         // short error-derived contigs sit at the count threshold and would
