@@ -1,0 +1,92 @@
+//! Measures the disabled-path cost of the metrics registry — the contract
+//! is one relaxed atomic load per call site, so instrumented hot loops
+//! must run at effectively the uninstrumented speed when metrics are off
+//! (the <5% bench-regression acceptance bar for the instrumentation PR).
+//! Also reports the enabled-path cost for context (registry lock + map
+//! probe; never on a hot path unless the user asked for metrics).
+//!
+//! `HIPMER_BENCH_FAST=1` shortens sampling; this bench prints a table and
+//! asserts nothing timing-based (CI machines are too noisy to gate ns/op).
+
+use hipmer_pgas::metrics;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Best-of-samples ns per call of `f` (min is robust to scheduler noise).
+fn measure_ns(f: &mut dyn FnMut() -> u64) -> f64 {
+    let (samples, iters) = if hipmer_bench::fast() {
+        (3usize, 200_000u64)
+    } else {
+        (7usize, 2_000_000u64)
+    };
+    // Warm up.
+    let warm = Instant::now();
+    while warm.elapsed() < Duration::from_millis(20) {
+        black_box(f());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    best * 1e9
+}
+
+fn main() {
+    metrics::disable();
+    metrics::reset();
+
+    // Baseline: the work a tight instrumented loop does around the hook.
+    let mut x = 0u64;
+    let base = measure_ns(&mut || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(9);
+        x
+    });
+
+    // Disabled paths: one relaxed load + branch on top of the baseline.
+    let mut x1 = 0u64;
+    let counter_off = measure_ns(&mut || {
+        x1 = x1.wrapping_mul(6364136223846793005).wrapping_add(9);
+        metrics::counter_add("bench/counter", 1);
+        x1
+    });
+    let mut x2 = 0u64;
+    let observe_off = measure_ns(&mut || {
+        x2 = x2.wrapping_mul(6364136223846793005).wrapping_add(9);
+        metrics::observe("bench/hist", x2 & 0xffff);
+        x2
+    });
+
+    // Enabled paths, for scale (registry mutex + BTreeMap probe).
+    metrics::enable();
+    let mut x3 = 0u64;
+    let counter_on = measure_ns(&mut || {
+        x3 = x3.wrapping_mul(6364136223846793005).wrapping_add(9);
+        metrics::counter_add("bench/counter", 1);
+        x3
+    });
+    let mut x4 = 0u64;
+    let observe_on = measure_ns(&mut || {
+        x4 = x4.wrapping_mul(6364136223846793005).wrapping_add(9);
+        metrics::observe("bench/hist", x4 & 0xffff);
+        x4
+    });
+    metrics::disable();
+    metrics::reset();
+
+    println!("metrics overhead (ns/op, best of samples):");
+    println!("  baseline loop        {base:>8.2}");
+    println!(
+        "  counter_add disabled {counter_off:>8.2}  (+{:.2})",
+        counter_off - base
+    );
+    println!(
+        "  observe     disabled {observe_off:>8.2}  (+{:.2})",
+        observe_off - base
+    );
+    println!("  counter_add enabled  {counter_on:>8.2}");
+    println!("  observe     enabled  {observe_on:>8.2}");
+}

@@ -29,6 +29,23 @@
 //! imbalance, heavy-hitter keys, and (schema v3) the per-stage attempt and
 //! checkpoint bookkeeping.
 //!
+//! Metrics: `--metrics-json <path>` enables the [`hipmer_pgas::metrics`]
+//! registry for the run and writes its final snapshot (counters, gauges,
+//! power-of-two-bucket histograms) as JSON; `--metrics-text` prints the
+//! same snapshot in Prometheus text exposition format on stdout.
+//! `--heartbeat <secs>` emits rate-limited per-pool progress lines to
+//! stderr (or, with `--heartbeat-jsonl <path>`, appends JSONL records).
+//! `--trace-sample-ranks N` caps traced ranks via the pipeline config
+//! (0 = all), overriding `--trace-ranks` for the assembly stages.
+//!
+//! Calibration: `--calibrate <fitted.json>` fits the six measurable
+//! `CostModel` constants by least-squares regression of measured per-rank
+//! execution times against the run's own op counters (see
+//! [`hipmer_pgas::calib`]) and writes them as JSON loadable with
+//! `CostModel::from_json`; `--report-json` then prices the report with the
+//! fitted model (`cost_model: "calibrated"`) instead of the Edison
+//! constants.
+//!
 //! Fault tolerance: `--checkpoint-dir <dir>` persists each completed
 //! stage's artifact (every Nth stage with `--checkpoint-interval N`);
 //! `--resume` validates the directory and skips completed stages;
@@ -41,10 +58,16 @@
 //! deterministic [`hipmer_pgas::FaultPlan`] on the team.
 
 use hipmer::{run_assembly_fastq, PipelineConfig, PipelineError, RunOptions, StageTimes};
-use hipmer_pgas::{trace, CostModel, FaultPlan, Team, Topology};
+use hipmer_pgas::{calib, metrics, trace, CostModel, FaultPlan, Team, Topology};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+
+/// Per-stage peak-heap accounting for `--metrics-json` (see
+/// [`hipmer::alloc`]); free when the metrics registry is disabled beyond
+/// two relaxed atomic ops per allocation.
+#[global_allocator]
+static ALLOC: hipmer::TrackingAlloc = hipmer::TrackingAlloc;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -52,6 +75,8 @@ fn usage() -> ExitCode {
          \x20         [--ranks-per-node N] [--rounds N] [--metagenome] [--report]\n\
          \x20         [--schedule static|dynamic]\n\
          \x20         [--trace <trace.json>] [--trace-ranks N] [--report-json <report.json>]\n\
+         \x20         [--trace-sample-ranks N] [--metrics-json <metrics.json>] [--metrics-text]\n\
+         \x20         [--calibrate <fitted.json>] [--heartbeat SECS] [--heartbeat-jsonl <path>]\n\
          \x20         [--checkpoint-dir <dir>] [--resume] [--checkpoint-interval N]\n\
          \x20         [--stage-retries N] [--halt-after <stage>] [--fault-seed S]\n\
          \x20         [--fault-transient P] [--fault-retries N] [--fault-kill R:E]\n  \
@@ -191,6 +216,64 @@ fn main() -> ExitCode {
             if trace_out.is_some() {
                 trace::enable(trace_ranks);
             }
+            // `--trace-sample-ranks` rides the pipeline config so library
+            // users get the same knob; it overrides `--trace-ranks`.
+            match parse_string_flag(&args, "--trace-sample-ranks") {
+                Ok(Some(n)) => match n.parse::<usize>() {
+                    Ok(n) => cfg = cfg.with_trace_sample_ranks(n),
+                    Err(_) => {
+                        eprintln!("error: bad value for --trace-sample-ranks");
+                        return usage();
+                    }
+                },
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            }
+            let (metrics_json, calibrate_out, heartbeat_jsonl) = match (
+                parse_path_flag(&args, "--metrics-json"),
+                parse_path_flag(&args, "--calibrate"),
+                parse_path_flag(&args, "--heartbeat-jsonl"),
+            ) {
+                (Ok(m), Ok(c), Ok(h)) => (m, c, h),
+                (Err(e), ..) | (_, Err(e), _) | (_, _, Err(e)) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            };
+            let metrics_text = args.iter().any(|a| a == "--metrics-text");
+            let heartbeat_secs = match parse_string_flag(&args, "--heartbeat") {
+                Ok(Some(v)) => match v.parse::<f64>() {
+                    Ok(secs) if secs > 0.0 => Some(secs),
+                    _ => {
+                        eprintln!("error: --heartbeat wants a positive seconds value");
+                        return usage();
+                    }
+                },
+                Ok(None) => None,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            };
+            if metrics_json.is_some()
+                || metrics_text
+                || calibrate_out.is_some()
+                || heartbeat_secs.is_some()
+                || heartbeat_jsonl.is_some()
+            {
+                metrics::enable();
+            }
+            if let Some(secs) = heartbeat_secs.or(if heartbeat_jsonl.is_some() {
+                Some(1.0)
+            } else {
+                None
+            }) {
+                metrics::set_heartbeat_interval(Some(std::time::Duration::from_secs_f64(secs)));
+                metrics::set_heartbeat_sink(heartbeat_jsonl.clone());
+            }
             if trace_out.is_some() || report_json.is_some() {
                 // Hash tables built from here on track their hottest keys.
                 trace::set_hotkey_capacity(64);
@@ -258,8 +341,40 @@ fn main() -> ExitCode {
                     path.display()
                 );
             }
+            if let Some(path) = &metrics_json {
+                if let Err(e) = std::fs::write(path, metrics::to_json()) {
+                    eprintln!("error writing {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote metrics snapshot -> {}", path.display());
+            }
+            if metrics_text {
+                print!("{}", metrics::prometheus_text());
+            }
+            // `--calibrate` fits the cost constants to this run's own
+            // measurements; the report (if requested) is then priced with
+            // the fitted model so `model_error` reflects the fit.
+            let mut report_model = CostModel::edison();
+            let mut report_label = "edison";
+            if let Some(path) = &calibrate_out {
+                match calib::fit(&assembly.report, &CostModel::edison()) {
+                    Ok(cal) => {
+                        eprintln!("{}", cal.summary());
+                        if let Err(e) = std::fs::write(path, cal.model.to_json()) {
+                            eprintln!("error writing {}: {e}", path.display());
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("wrote fitted cost constants -> {}", path.display());
+                        report_model = cal.model;
+                        report_label = "calibrated";
+                    }
+                    Err(e) => {
+                        eprintln!("calibration failed: {e}; keeping Edison constants");
+                    }
+                }
+            }
             if let Some(path) = &report_json {
-                let json = assembly.report.to_json(&CostModel::edison());
+                let json = assembly.report.to_json_labeled(&report_model, report_label);
                 if let Err(e) = std::fs::write(path, json) {
                     eprintln!("error writing {}: {e}", path.display());
                     return ExitCode::FAILURE;

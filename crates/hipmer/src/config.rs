@@ -16,6 +16,11 @@ pub struct PipelineConfig {
     pub contig: ContigConfig,
     /// Stage 3 settings.
     pub scaffold: ScaffoldConfig,
+    /// Cap on the number of ranks whose execution spans are recorded when
+    /// tracing is enabled (`None` leaves the tracer's own setting alone;
+    /// `Some(0)` means all ranks). Applied by the pipeline via
+    /// [`hipmer_pgas::trace::set_sample_ranks`].
+    pub trace_sample_ranks: Option<usize>,
 }
 
 impl PipelineConfig {
@@ -44,7 +49,15 @@ impl PipelineConfig {
             kanalysis: KmerAnalysisConfig::new(k),
             contig: ContigConfig::new(k),
             scaffold: ScaffoldConfig::new(seed_len),
+            trace_sample_ranks: None,
         })
+    }
+
+    /// Cap the number of ranks traced per phase (0 = all ranks). Only
+    /// takes effect when span tracing is enabled.
+    pub fn with_trace_sample_ranks(mut self, n: usize) -> Self {
+        self.trace_sample_ranks = Some(n);
+        self
     }
 
     /// Apply one [`Schedule`] to every skew-prone stage: the cooperative
@@ -102,6 +115,19 @@ mod tests {
         assert_eq!(cfg.scaffold.schedule, Schedule::Dynamic);
         assert_eq!(cfg.scaffold.align.schedule, Schedule::Dynamic);
         assert_eq!(cfg.scaffold.gap.schedule, Schedule::Dynamic);
+    }
+
+    #[test]
+    fn trace_sample_ranks_defaults_off_and_is_settable() {
+        assert_eq!(PipelineConfig::new(31).trace_sample_ranks, None);
+        let cfg = PipelineConfig::new(31).with_trace_sample_ranks(4);
+        assert_eq!(cfg.trace_sample_ranks, Some(4));
+        assert_eq!(
+            PipelineConfig::new(31)
+                .with_trace_sample_ranks(0)
+                .trace_sample_ranks,
+            Some(0)
+        );
     }
 
     #[test]

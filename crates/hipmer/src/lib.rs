@@ -30,12 +30,14 @@
 //! execution times; [`StageTimes`] groups them the way the paper's figures
 //! do.
 
+pub mod alloc;
 pub mod checkpoint;
 pub mod config;
 pub mod eval;
 pub mod pipeline;
 pub mod stats;
 
+pub use alloc::TrackingAlloc;
 pub use checkpoint::{CheckpointStore, Fingerprint, ScaffoldState};
 pub use config::PipelineConfig;
 pub use eval::{evaluate, EvalReport};

@@ -19,7 +19,7 @@ use crate::stats::AssemblyStats;
 use hipmer_align::align_reads;
 use hipmer_contig::{generate_contigs, ContigSet};
 use hipmer_kanalysis::analyze_kmers;
-use hipmer_pgas::{catch_stage_abort, CheckpointEvent, StageAttempt};
+use hipmer_pgas::{catch_stage_abort, metrics, CheckpointEvent, StageAttempt};
 use hipmer_pgas::{CommStats, PhaseReport, PipelineReport, Team, Topology};
 use hipmer_scaffold::{prepare_contigs, scaffold_rounds, ScaffoldSet};
 use hipmer_seqio::{read_fastq_parallel, SeqRecord};
@@ -148,6 +148,7 @@ struct StageRunner<'a> {
     opts: &'a RunOptions,
     topo: Topology,
     next_index: usize,
+    total_stages: usize,
 }
 
 impl StageRunner<'_> {
@@ -172,6 +173,11 @@ impl StageRunner<'_> {
                     let (payload, bytes, checksum) = store.load(name)?;
                     let value = decode(&payload)?;
                     let wall = t0.elapsed().as_secs_f64();
+                    metrics::observe(
+                        "hipmer/checkpoint/load_nanos",
+                        t0.elapsed().as_nanos() as u64,
+                    );
+                    metrics::observe("hipmer/checkpoint/load_bytes", bytes);
                     self.report.push(io_phase(
                         format!("checkpoint/load-{name}"),
                         self.topo,
@@ -191,6 +197,7 @@ impl StageRunner<'_> {
                         bytes,
                         checksum,
                     });
+                    metrics::pool_progress("pipeline/stages", 1, self.total_stages as u64);
                     return self.maybe_halt(name, value);
                 }
             }
@@ -201,8 +208,15 @@ impl StageRunner<'_> {
         let mark = self.report.mark();
         let mut aborted = 0u64;
         loop {
+            crate::alloc::reset_peak();
             match catch_stage_abort(&mut run) {
                 Ok((value, phases)) => {
+                    if metrics::is_enabled() {
+                        metrics::gauge_max(
+                            &format!("hipmer/mem/stage_peak_bytes/{name}"),
+                            crate::alloc::peak_bytes() as f64,
+                        );
+                    }
                     for p in phases {
                         self.report.push(p);
                     }
@@ -218,6 +232,11 @@ impl StageRunner<'_> {
                             let t0 = Instant::now();
                             let (bytes, checksum) = store.save(index, name, &payload)?;
                             let wall = t0.elapsed().as_secs_f64();
+                            metrics::observe(
+                                "hipmer/checkpoint/save_nanos",
+                                t0.elapsed().as_nanos() as u64,
+                            );
+                            metrics::observe("hipmer/checkpoint/save_bytes", bytes);
                             self.report.push(io_phase(
                                 format!("checkpoint/save-{name}"),
                                 self.topo,
@@ -237,6 +256,7 @@ impl StageRunner<'_> {
                             store.invalidate_from(index);
                         }
                     }
+                    metrics::pool_progress("pipeline/stages", 1, self.total_stages as u64);
                     return self.maybe_halt(name, value);
                 }
                 Err(abort) => {
@@ -299,12 +319,16 @@ pub fn run_assembly(
         Some(dir) => Some(CheckpointStore::create(dir, fingerprint)?),
         None => None,
     };
+    if let Some(n) = cfg.trace_sample_ranks {
+        hipmer_pgas::trace::set_sample_ranks(n);
+    }
     let mut runner = StageRunner {
         report: PipelineReport::new(),
         store,
         opts,
         topo,
         next_index: 0,
+        total_stages: if cfg.scaffolding_enabled() { 5 } else { 2 },
     };
 
     // Stage 0: k-mer analysis.
@@ -435,6 +459,11 @@ pub fn run_assembly_fastq(
     cfg: &PipelineConfig,
     opts: &RunOptions,
 ) -> Result<Assembly, PipelineError> {
+    // Apply the trace cap before the I/O phase, not just inside
+    // `run_assembly`, so `io/fastq` spans honor it too.
+    if let Some(n) = cfg.trace_sample_ranks {
+        hipmer_pgas::trace::set_sample_ranks(n);
+    }
     let (per_rank, io_stats) = read_fastq_parallel(team, path)?;
     let reads: Vec<SeqRecord> = per_rank.into_iter().flatten().collect();
     let lib_range = 0..reads.len();

@@ -263,8 +263,24 @@ fn trace_and_report_json_outputs_are_valid() {
     let report_doc = Value::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
     assert_eq!(
         report_doc.get("schema_version").and_then(Value::as_u64),
-        Some(4)
+        Some(5)
     );
+    assert_eq!(
+        report_doc.get("cost_model").and_then(Value::as_str),
+        Some("edison")
+    );
+    // Schema v5: the measured-vs-modeled summary is always present.
+    let model_error = report_doc.get("model_error").expect("model_error block");
+    assert!(model_error
+        .get("mean_rel_error")
+        .and_then(Value::as_f64)
+        .is_some());
+    assert!(!model_error
+        .get("phases")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .is_empty());
     // Schema v3: per-stage attempt bookkeeping is always present; a
     // fault-free, checkpoint-free run shows one clean execution per stage
     // and no checkpoint events.
@@ -291,6 +307,12 @@ fn trace_and_report_json_outputs_are_valid() {
     assert!(phases.len() >= 8, "only {} phases reported", phases.len());
     for p in phases {
         assert!(p.get("wall_seconds").and_then(Value::as_f64).unwrap() > 0.0);
+        // Schema v5: every phase carries its measured timings.
+        assert!(p
+            .get("measured")
+            .and_then(|m| m.get("max_rank_seconds"))
+            .and_then(Value::as_f64)
+            .is_some());
         assert!(p.get("offnode_fraction").and_then(Value::as_f64).is_some());
         assert!(p.get("imbalance").and_then(Value::as_f64).unwrap() >= 1.0);
         // Schema v4: steal accounting is always present (0 under the
@@ -333,6 +355,162 @@ fn trace_and_report_json_outputs_are_valid() {
         "aligner caches must see hits"
     );
     assert!(totals.get("cache_misses").and_then(Value::as_u64).is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_calibration_and_trace_sampling_flags_work_end_to_end() {
+    use hipmer_pgas::json::Value;
+
+    let dir = std::env::temp_dir().join(format!("hipmer-cli-metrics-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let reads = dir.join("reads.fastq");
+
+    let sim = Command::new(bin())
+        .args([
+            "simulate",
+            "human",
+            "-o",
+            reads.to_str().unwrap(),
+            "--len",
+            "15000",
+            "--cov",
+            "14",
+            "--seed",
+            "17",
+        ])
+        .output()
+        .expect("simulate runs");
+    assert!(sim.status.success());
+
+    let out = dir.join("scaffolds.fasta");
+    let trace = dir.join("trace.json");
+    let report = dir.join("report.json");
+    let metrics = dir.join("metrics.json");
+    let fitted = dir.join("fitted.json");
+    let asm = Command::new(bin())
+        .args([
+            "assemble",
+            reads.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+            "-k",
+            "21",
+            "--ranks",
+            "8",
+            "--ranks-per-node",
+            "4",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--trace-ranks",
+            "4",
+            "--trace-sample-ranks",
+            "2",
+            "--metrics-json",
+            metrics.to_str().unwrap(),
+            "--metrics-text",
+            "--calibrate",
+            fitted.to_str().unwrap(),
+            "--report-json",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .expect("assemble runs");
+    assert!(
+        asm.status.success(),
+        "{}",
+        String::from_utf8_lossy(&asm.stderr)
+    );
+
+    // --trace-sample-ranks 2 overrides --trace-ranks 4 for the pipeline
+    // stages: no span may carry a rank id >= 2.
+    let trace_doc = Value::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+    let spans: Vec<&Value> = trace_doc
+        .as_arr()
+        .unwrap()
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .collect();
+    assert!(!spans.is_empty());
+    for s in &spans {
+        let tid = s.get("tid").and_then(Value::as_u64).unwrap();
+        assert!(tid < 2, "rank {tid} exceeds --trace-sample-ranks 2");
+    }
+
+    // The metrics snapshot is valid JSON carrying the instrumented names.
+    let metrics_doc = Value::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    assert_eq!(
+        metrics_doc
+            .get("metrics_schema_version")
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+    let names: Vec<&str> = metrics_doc
+        .get("metrics")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|m| m.get("name").and_then(Value::as_str).unwrap())
+        .collect();
+    for expected in [
+        "pgas/dht/entries",
+        "pgas/lookup/wire_bytes",
+        "pgas/outbox/wire_bytes",
+        "pgas/team/phase_nanos",
+        "hipmer/mem/stage_peak_bytes/kmer-analysis",
+        "progress/pipeline/stages/done",
+    ] {
+        assert!(names.contains(&expected), "missing metric {expected}");
+    }
+    // The tracking allocator is installed in the binary, so stage peaks
+    // are real heap numbers, not zeros.
+    let peak = metrics_doc
+        .get("metrics")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .find(|m| {
+            m.get("name").and_then(Value::as_str)
+                == Some("hipmer/mem/stage_peak_bytes/kmer-analysis")
+        })
+        .unwrap();
+    assert!(peak.get("value").and_then(Value::as_f64).unwrap() > 0.0);
+
+    // --metrics-text prints Prometheus exposition on stdout.
+    let stdout = String::from_utf8_lossy(&asm.stdout);
+    assert!(stdout.contains("# TYPE"), "{stdout}");
+    assert!(stdout.contains("_bucket{le="), "{stdout}");
+
+    // The fitted constants round-trip through CostModel::from_json
+    // byte-identically.
+    let fitted_text = std::fs::read_to_string(&fitted).unwrap();
+    let model = hipmer_pgas::CostModel::from_json(&fitted_text).expect("fitted constants load");
+    assert_eq!(
+        model.to_json(),
+        fitted_text,
+        "round-trip must be byte-identical"
+    );
+
+    // The report was priced with the fitted model and carries model_error.
+    let report_doc = Value::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+    assert_eq!(
+        report_doc.get("cost_model").and_then(Value::as_str),
+        Some("calibrated")
+    );
+    let errors = report_doc
+        .get("model_error")
+        .unwrap()
+        .get("phases")
+        .unwrap()
+        .as_arr()
+        .unwrap();
+    assert!(!errors.is_empty());
+    for e in errors {
+        assert!(e.get("rel_error").and_then(Value::as_f64).unwrap() >= 0.0);
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 

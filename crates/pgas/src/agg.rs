@@ -84,7 +84,9 @@ impl<T> Outbox<T> {
             return;
         }
         let topo = self.topo;
-        ctx.comm(&topo, dest, items.len() as u64 * self.item_bytes);
+        let bytes = items.len() as u64 * self.item_bytes;
+        ctx.comm(&topo, dest, bytes);
+        crate::metrics::observe("pgas/outbox/wire_bytes", bytes);
         apply(dest, items);
     }
 
@@ -211,6 +213,7 @@ where
         // One message event carrying the whole batch.
         let topo = *self.dht.topo();
         ctx.comm(&topo, dest, bytes);
+        crate::metrics::observe("pgas/agg/wire_bytes", bytes);
         self.dht.merge_batch(dest, entries, &self.merge);
     }
 

@@ -1,0 +1,427 @@
+//! Cost-model calibration: fit [`CostModel`] constants to measured rank
+//! execution times (ROADMAP item 4).
+//!
+//! Every phase stamps each rank's real execution time into
+//! [`CommStats::exec_nanos`], and the same `CommStats` carries the op
+//! counts the [`CostModel`] prices. That makes each `(phase, rank)` pair
+//! one observation of a linear model
+//!
+//! ```text
+//! exec_seconds ≈ β₀·compute_ops + β₁·table_ops + β₂·cache_probes
+//!              + β₃·bytes + β₄·steal_ops + β₅·backoff_units
+//! ```
+//!
+//! which [`fit`] solves by least squares (column-scaled ridge-regularized
+//! normal equations, with negative coefficients clamped to zero and
+//! refitted — a small non-negative-least-squares loop). The fitted slopes
+//! map back onto `CostModel` constants:
+//!
+//! * `β₀ → t_compute`;
+//! * `β₁ → t_local = t_service = t_onnode = t_offnode`. The simulator runs
+//!   every "remote" access as a host hash-table operation, so measured
+//!   time cannot distinguish locality classes — they genuinely cost the
+//!   same here. The fitted model is a model *of the simulator host*, not
+//!   of Edison; its value is making `modeled ≈ measured` so regressions in
+//!   the modeled report are trustworthy;
+//! * `β₂ → t_cache`;
+//! * `β₃ → 1/bw_onnode = 1/bw_offnode` (inverse bandwidth);
+//! * `β₄ → t_steal`, `β₅ → t_backoff`.
+//!
+//! **Held out** (kept from the base model, never fit): `t_barrier_base`
+//! (barrier cost is priced per phase, not per rank, so it is invisible to
+//! per-rank observations) and the three `io_*` constants (synthetic I/O
+//! phases carry no execution stamps). A feature that never occurs in the
+//! data (an all-zero column) also keeps its base constant — zero
+//! observations carry zero information.
+
+use crate::cost::CostModel;
+use crate::report::{PhaseModelError, PipelineReport};
+use crate::stats::CommStats;
+
+/// Number of fitted features (see module docs).
+const K: usize = 6;
+
+/// The per-observation feature vector, in β order.
+fn features(s: &CommStats) -> [f64; K] {
+    [
+        s.compute_ops as f64,
+        (s.local_ops + s.service_ops + s.onnode_msgs + s.offnode_msgs) as f64,
+        (s.cache_hits + s.cache_misses) as f64,
+        (s.onnode_bytes + s.offnode_bytes) as f64,
+        s.steal_ops as f64,
+        s.backoff_units as f64,
+    ]
+}
+
+/// The result of [`fit`]: calibrated constants plus goodness-of-fit.
+#[derive(Clone, Debug)]
+pub struct Calibration {
+    /// The fitted cost model (base model with fitted constants replacing
+    /// the six fit targets; held-out constants untouched).
+    pub model: CostModel,
+    /// Number of `(phase, rank)` observations used.
+    pub observations: usize,
+    /// Root-mean-square of the per-observation relative residual
+    /// `(predicted - measured) / measured`.
+    pub rms_rel_residual: f64,
+    /// Per-phase measured-vs-modeled comparison under the **fitted**
+    /// model (see [`PipelineReport::model_errors`]).
+    pub phase_errors: Vec<PhaseModelError>,
+}
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+/// Returns `None` when the system is singular to working precision.
+fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-300 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let (upper, lower) = a.split_at_mut(col + 1);
+        let pivot_row = &upper[col];
+        for (i, row) in lower.iter_mut().enumerate() {
+            let f = row[col] / pivot_row[col];
+            for (rc, pc) in row[col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *rc -= f * pc;
+            }
+            b[col + 1 + i] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for c in col + 1..n {
+            acc -= a[col][c] * x[c];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Some(x)
+}
+
+/// Least-squares slopes for `y ≈ X β` restricted to `active` columns,
+/// with unit column scaling and a tiny ridge term for conditioning.
+/// Returns the full-width β with inactive columns at 0.
+fn least_squares(rows: &[[f64; K]], y: &[f64], active: &[usize]) -> Option<[f64; K]> {
+    let m = active.len();
+    // Column scales: solve in units where each active column has max 1.
+    let scale: Vec<f64> = active
+        .iter()
+        .map(|&j| rows.iter().map(|r| r[j].abs()).fold(0.0, f64::max))
+        .collect();
+    let mut a = vec![vec![0.0; m]; m];
+    let mut b = vec![0.0; m];
+    for (row, &yi) in rows.iter().zip(y) {
+        for (p, &jp) in active.iter().enumerate() {
+            let xp = row[jp] / scale[p];
+            b[p] += xp * yi;
+            for (q, &jq) in active.iter().enumerate() {
+                a[p][q] += xp * row[jq] / scale[q];
+            }
+        }
+    }
+    let ridge = 1e-9 * (0..m).map(|i| a[i][i]).sum::<f64>() / m as f64;
+    for (i, row) in a.iter_mut().enumerate() {
+        row[i] += ridge.max(1e-300);
+    }
+    let solved = solve_linear(a, b)?;
+    let mut beta = [0.0; K];
+    for ((&j, s), v) in active.iter().zip(&scale).zip(&solved) {
+        beta[j] = v / s;
+    }
+    Some(beta)
+}
+
+/// Fit cost-model constants to the report's measured execution stamps.
+///
+/// `base` supplies the held-out constants (`t_barrier_base`, `io_*`) and
+/// the fallback value for any constant whose feature never occurs in the
+/// data. Fails when the report contains no stamped observations at all.
+pub fn fit(report: &PipelineReport, base: &CostModel) -> Result<Calibration, String> {
+    let mut rows: Vec<[f64; K]> = Vec::new();
+    let mut y: Vec<f64> = Vec::new();
+    for phase in &report.phases {
+        for s in &phase.stats {
+            if s.exec_nanos == 0 {
+                continue;
+            }
+            rows.push(features(s));
+            y.push(s.exec_nanos as f64 / 1e9);
+        }
+    }
+    if rows.is_empty() {
+        return Err(
+            "calibration needs measured execution stamps; run a real pipeline first".to_string(),
+        );
+    }
+
+    // Columns with any signal participate; all-zero columns keep base.
+    let mut active: Vec<usize> = (0..K)
+        .filter(|&j| rows.iter().any(|r| r[j] != 0.0))
+        .collect();
+    if active.is_empty() {
+        return Err("calibration observations carry no priced op counts".to_string());
+    }
+
+    // NNLS-lite: negative slopes are unphysical (a cost cannot be
+    // negative); drop the most negative column and refit until clean.
+    let mut beta = [0.0; K];
+    while !active.is_empty() {
+        beta = least_squares(&rows, &y, &active)
+            .ok_or_else(|| "calibration system is singular".to_string())?;
+        let worst = active
+            .iter()
+            .copied()
+            .filter(|&j| beta[j] < 0.0)
+            .min_by(|&i, &j| beta[i].total_cmp(&beta[j]));
+        match worst {
+            Some(j) => {
+                active.retain(|&c| c != j);
+                beta[j] = 0.0;
+            }
+            None => break,
+        }
+    }
+
+    let mut model = *base;
+    let had_signal = |j: usize| rows.iter().any(|r| r[j] != 0.0);
+    if had_signal(0) {
+        model.t_compute = beta[0];
+    }
+    if had_signal(1) {
+        model.t_local = beta[1];
+        model.t_service = beta[1];
+        model.t_onnode = beta[1];
+        model.t_offnode = beta[1];
+    }
+    if had_signal(2) {
+        model.t_cache = beta[2];
+    }
+    if had_signal(3) && beta[3] > 0.0 {
+        let bw = 1.0 / beta[3];
+        model.bw_onnode = bw;
+        model.bw_offnode = bw;
+    }
+    if had_signal(4) {
+        model.t_steal = beta[4];
+    }
+    if had_signal(5) {
+        model.t_backoff = beta[5];
+    }
+
+    let mut sq_sum = 0.0;
+    for (row, &yi) in rows.iter().zip(&y) {
+        let pred: f64 = row.iter().zip(&beta).map(|(x, b)| x * b).sum();
+        let rel = (pred - yi) / yi;
+        sq_sum += rel * rel;
+    }
+    let rms_rel_residual = (sq_sum / rows.len() as f64).sqrt();
+
+    Ok(Calibration {
+        model,
+        observations: rows.len(),
+        rms_rel_residual,
+        phase_errors: report.model_errors(&model),
+    })
+}
+
+impl Calibration {
+    /// One-line human summary for logs.
+    pub fn summary(&self) -> String {
+        let mean = if self.phase_errors.is_empty() {
+            0.0
+        } else {
+            self.phase_errors.iter().map(|e| e.rel_error).sum::<f64>()
+                / self.phase_errors.len() as f64
+        };
+        format!(
+            "calibration: {} observations, rms relative residual {:.3}, mean phase model error {:.1}%",
+            self.observations,
+            self.rms_rel_residual,
+            100.0 * mean
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::PhaseReport;
+    use crate::topology::Topology;
+
+    /// splitmix64: a deterministic hash used to generate a full-rank
+    /// design matrix (affine-in-rank features would be collinear — six
+    /// unknowns over a rank-3 design are unidentifiable).
+    fn mix(seed: u64) -> u64 {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Build a report whose exec stamps are generated *exactly* by a known
+    /// linear model, so the fit must recover the slopes.
+    fn synthetic_report(truth: &CostModel) -> PipelineReport {
+        let topo = Topology::new(8, 4);
+        let mut pr = PipelineReport::new();
+        for phase in 0u64..3 {
+            let stats: Vec<CommStats> = (0..8u64)
+                .map(|r| {
+                    let id = (phase * 8 + r) * 8;
+                    let mut s = CommStats {
+                        compute_ops: 500_000 + mix(id) % 1_500_000,
+                        local_ops: 1_000 + mix(id + 1) % 4_000,
+                        service_ops: 500 + mix(id + 2) % 2_000,
+                        onnode_msgs: mix(id + 3) % 100,
+                        offnode_msgs: mix(id + 3) % 150,
+                        cache_hits: 2_000 + mix(id + 4) % 10_000,
+                        cache_misses: mix(id + 4) % 1_000,
+                        onnode_bytes: mix(id + 5) % (1 << 16),
+                        offnode_bytes: (1 << 17) + mix(id + 5) % (1 << 18),
+                        steal_ops: 10 + mix(id + 6) % 50,
+                        backoff_units: mix(id + 7) % 10,
+                        ..CommStats::default()
+                    };
+                    let seconds = s.compute_ops as f64 * truth.t_compute
+                        + (s.local_ops + s.service_ops + s.onnode_msgs + s.offnode_msgs) as f64
+                            * truth.t_local
+                        + (s.cache_hits + s.cache_misses) as f64 * truth.t_cache
+                        + (s.onnode_bytes + s.offnode_bytes) as f64 / truth.bw_onnode
+                        + s.steal_ops as f64 * truth.t_steal
+                        + s.backoff_units as f64 * truth.t_backoff;
+                    s.exec_nanos = (seconds * 1e9).round() as u64;
+                    s
+                })
+                .collect();
+            pr.push(PhaseReport::new(format!("phase-{phase}"), topo, stats));
+        }
+        pr
+    }
+
+    #[test]
+    fn fit_recovers_a_known_linear_model() {
+        let truth = CostModel {
+            t_compute: 2.0e-9,
+            t_local: 5.0e-7,
+            t_onnode: 5.0e-7,
+            t_offnode: 5.0e-7,
+            t_service: 5.0e-7,
+            t_cache: 4.0e-8,
+            bw_onnode: 2.0e9,
+            bw_offnode: 2.0e9,
+            t_steal: 3.0e-6,
+            t_backoff: 2.0e-4,
+            ..CostModel::edison()
+        };
+        let pr = synthetic_report(&truth);
+        let cal = fit(&pr, &CostModel::edison()).expect("fit succeeds");
+        assert_eq!(cal.observations, 24);
+        let close = |got: f64, want: f64, what: &str| {
+            let rel = (got - want).abs() / want;
+            assert!(
+                rel < 0.05,
+                "{what}: got {got:e}, want {want:e} (rel {rel:.3})"
+            );
+        };
+        close(cal.model.t_compute, truth.t_compute, "t_compute");
+        close(cal.model.t_local, truth.t_local, "t_local");
+        close(cal.model.t_cache, truth.t_cache, "t_cache");
+        close(cal.model.bw_onnode, truth.bw_onnode, "bw_onnode");
+        close(cal.model.t_steal, truth.t_steal, "t_steal");
+        close(cal.model.t_backoff, truth.t_backoff, "t_backoff");
+        // The locality classes collapse onto one fitted slope.
+        assert_eq!(cal.model.t_local, cal.model.t_onnode);
+        assert_eq!(cal.model.t_local, cal.model.t_offnode);
+        assert_eq!(cal.model.t_local, cal.model.t_service);
+        assert_eq!(cal.model.bw_onnode, cal.model.bw_offnode);
+        // Held-out constants are untouched.
+        let base = CostModel::edison();
+        assert_eq!(cal.model.t_barrier_base, base.t_barrier_base);
+        assert_eq!(cal.model.io_bw_per_rank, base.io_bw_per_rank);
+        assert_eq!(cal.model.io_bw_aggregate, base.io_bw_aggregate);
+        assert_eq!(cal.model.io_latency, base.io_latency);
+        // Exact synthetic data: near-zero residual and model error.
+        assert!(cal.rms_rel_residual < 0.01, "{}", cal.rms_rel_residual);
+        assert_eq!(cal.phase_errors.len(), 3);
+        for e in &cal.phase_errors {
+            assert!(e.rel_error < 0.05, "{}: {}", e.name, e.rel_error);
+        }
+    }
+
+    #[test]
+    fn fit_keeps_base_constants_for_absent_features() {
+        // Observations with ONLY compute: every other constant must stay
+        // at its base value, not collapse to zero.
+        let topo = Topology::new(4, 4);
+        let stats: Vec<CommStats> = (0..4u64)
+            .map(|r| CommStats {
+                compute_ops: 1_000_000 * (r + 1),
+                exec_nanos: 3_000_000 * (r + 1), // 3ns per op
+                ..CommStats::default()
+            })
+            .collect();
+        let mut pr = PipelineReport::new();
+        pr.push(PhaseReport::new("compute-only", topo, stats));
+        let base = CostModel::edison();
+        let cal = fit(&pr, &base).expect("fit succeeds");
+        assert!((cal.model.t_compute - 3.0e-9).abs() / 3.0e-9 < 1e-6);
+        assert_eq!(cal.model.t_local, base.t_local);
+        assert_eq!(cal.model.t_cache, base.t_cache);
+        assert_eq!(cal.model.bw_offnode, base.bw_offnode);
+        assert_eq!(cal.model.t_steal, base.t_steal);
+        assert_eq!(cal.model.t_backoff, base.t_backoff);
+    }
+
+    #[test]
+    fn fit_clamps_negative_slopes_to_zero() {
+        // Two perfectly correlated features where one "explains" the time:
+        // with measured time entirely attributable to compute, the cache
+        // column must not go negative to soak up noise.
+        let topo = Topology::new(4, 4);
+        let stats: Vec<CommStats> = (0..4u64)
+            .map(|r| CommStats {
+                compute_ops: 1_000_000 * (r + 1),
+                // Anti-correlated with time: more probes on *faster* ranks.
+                cache_hits: 10_000 * (4 - r),
+                exec_nanos: 2_000_000 * (r + 1),
+                ..CommStats::default()
+            })
+            .collect();
+        let mut pr = PipelineReport::new();
+        pr.push(PhaseReport::new("anticorrelated", topo, stats));
+        let cal = fit(&pr, &CostModel::edison()).expect("fit succeeds");
+        assert!(cal.model.t_cache >= 0.0);
+        assert!(cal.model.t_compute > 0.0);
+    }
+
+    #[test]
+    fn fit_requires_observations() {
+        let pr = PipelineReport::new();
+        assert!(fit(&pr, &CostModel::edison()).is_err());
+        // Stamped ranks with no priced ops are equally unusable.
+        let topo = Topology::new(2, 2);
+        let stats = vec![
+            CommStats {
+                exec_nanos: 5,
+                ..CommStats::default()
+            };
+            2
+        ];
+        let mut pr2 = PipelineReport::new();
+        pr2.push(PhaseReport::new("empty", topo, stats));
+        assert!(fit(&pr2, &CostModel::edison()).is_err());
+    }
+
+    #[test]
+    fn fitted_model_round_trips_through_json() {
+        let pr = synthetic_report(&CostModel::edison());
+        let cal = fit(&pr, &CostModel::edison()).unwrap();
+        let text = cal.model.to_json();
+        let parsed = CostModel::from_json(&text).unwrap();
+        assert_eq!(parsed, cal.model);
+        assert_eq!(parsed.to_json(), text, "byte-identical");
+        assert!(cal.summary().contains("observations"));
+    }
+}

@@ -13,6 +13,7 @@
 //!
 //! [`CommStats`]: crate::stats::CommStats
 
+use crate::metrics;
 use crate::team::RankCtx;
 use crate::topology::Topology;
 use crate::trace;
@@ -161,6 +162,26 @@ where
         ctx.comm(&self.topo, owner, self.entry_bytes);
     }
 
+    /// Take `owner`'s shard lock. With the metrics registry enabled, a
+    /// failed `try_lock` first counts one `pgas/dht/lock_contention`
+    /// tick before blocking — the simulator's stand-in for the remote
+    /// atomics HipMer's UPC tables contend on. Disabled cost: one relaxed
+    /// atomic load on top of the lock itself.
+    #[inline]
+    fn lock_shard(
+        &self,
+        owner: usize,
+    ) -> parking_lot::MutexGuard<'_, HashMap<K, V, KmerBuildHasher>> {
+        let shard = &self.shards[owner];
+        if metrics::is_enabled() {
+            if let Some(guard) = shard.try_lock() {
+                return guard;
+            }
+            metrics::counter_add("pgas/dht/lock_contention", 1);
+        }
+        shard.lock()
+    }
+
     /// One-sided read. Returns a clone of the value.
     pub fn get(&self, ctx: &mut RankCtx, key: &K) -> Option<V>
     where
@@ -168,14 +189,14 @@ where
     {
         let owner = self.owner(key);
         self.account(ctx, owner);
-        self.shards[owner].lock().get(key).cloned()
+        self.lock_shard(owner).get(key).cloned()
     }
 
     /// One-sided existence check.
     pub fn contains(&self, ctx: &mut RankCtx, key: &K) -> bool {
         let owner = self.owner(key);
         self.account(ctx, owner);
-        self.shards[owner].lock().contains_key(key)
+        self.lock_shard(owner).contains_key(key)
     }
 
     /// One-sided write; returns the previous value if any. Counts a service
@@ -185,7 +206,7 @@ where
         self.account(ctx, owner);
         self.service[owner].fetch_add(1, Ordering::Relaxed);
         self.track_hot_key(&key);
-        self.shards[owner].lock().insert(key, value)
+        self.lock_shard(owner).insert(key, value)
     }
 
     /// One-sided upsert: create the entry with `default` if absent, then
@@ -200,7 +221,7 @@ where
         self.account(ctx, owner);
         self.service[owner].fetch_add(1, Ordering::Relaxed);
         self.track_hot_key(&key);
-        let mut shard = self.shards[owner].lock();
+        let mut shard = self.lock_shard(owner);
         f(shard.entry(key).or_insert_with(default));
     }
 
@@ -212,7 +233,7 @@ where
     {
         let owner = self.owner(key);
         self.account(ctx, owner);
-        let mut shard = self.shards[owner].lock();
+        let mut shard = self.lock_shard(owner);
         f(shard.get_mut(key))
     }
 
@@ -220,7 +241,7 @@ where
     pub fn remove(&self, ctx: &mut RankCtx, key: &K) -> Option<V> {
         let owner = self.owner(key);
         self.account(ctx, owner);
-        self.shards[owner].lock().remove(key)
+        self.lock_shard(owner).remove(key)
     }
 
     /// Answer a batch of lookups that arrived as **one** multi-get message
@@ -239,7 +260,7 @@ where
     where
         V: Clone,
     {
-        let shard = self.shards[dest].lock();
+        let shard = self.lock_shard(dest);
         keys.iter()
             .map(|k| {
                 debug_assert_eq!(self.owner(k), dest, "fetch_batch key not owned by dest");
@@ -297,7 +318,7 @@ where
                 self.track_hot_key(k);
             }
         }
-        let mut shard = self.shards[dest].lock();
+        let mut shard = self.lock_shard(dest);
         for (k, v) in entries {
             match shard.entry(k) {
                 std::collections::hash_map::Entry::Occupied(mut e) => merge(e.get_mut(), v),
@@ -323,7 +344,7 @@ where
                 self.track_hot_key(k);
             }
         }
-        let mut shard = self.shards[dest].lock();
+        let mut shard = self.lock_shard(dest);
         for (k, v) in entries {
             if let Some(slot) = shard.get_mut(&k) {
                 merge(slot, v);
@@ -403,10 +424,27 @@ where
 
     /// Move each shard owner's accumulated service work into the per-rank
     /// stats vector collected from a finished phase. Resets the counters.
+    ///
+    /// With the metrics registry enabled, this end-of-phase collective also
+    /// publishes table occupancy: the `pgas/dht/entries` gauge keeps the
+    /// high-water total entry count across all tables, and
+    /// `pgas/dht/load_factor_max` the worst max-shard/mean-shard ratio
+    /// observed (1.0 = perfectly balanced placement; the paper's heavy
+    /// hitters show up here before they show up in `service_ops` skew).
     pub fn drain_service_into(&self, stats: &mut [crate::CommStats]) {
         assert_eq!(stats.len(), self.topo.ranks());
         for (rank, c) in self.service.iter().enumerate() {
             stats[rank].service_ops += c.swap(0, Ordering::Relaxed);
+        }
+        if metrics::is_enabled() {
+            let sizes = self.shard_sizes();
+            let total: usize = sizes.iter().sum();
+            metrics::gauge_max("pgas/dht/entries", total as f64);
+            if total > 0 {
+                let max = sizes.iter().copied().max().unwrap_or(0) as f64;
+                let mean = total as f64 / sizes.len().max(1) as f64;
+                metrics::gauge_max("pgas/dht/load_factor_max", max / mean);
+            }
         }
     }
 
@@ -656,6 +694,74 @@ mod tests {
         // But the data round-tripped, landing on the same owners.
         assert_eq!(restored.shard_sizes(), dht.shard_sizes());
         assert_eq!(restored.get(&mut c2, &7), Some(14));
+    }
+
+    #[test]
+    fn metrics_capture_occupancy_and_contention() {
+        let _guard = metrics::TEST_LOCK.lock().unwrap();
+        metrics::reset();
+        metrics::enable();
+
+        let topo = Topology::new(4, 2);
+        // All keys on rank 3: max/mean load factor = 4.0.
+        let placement = Placement::Custom(Arc::new(|_h| 3));
+        let dht: DistHashMap<u64, u32> = DistHashMap::with_placement(topo, placement);
+        let mut c = ctx(0, topo);
+        for k in 0..80 {
+            dht.insert(&mut c, k, 0);
+        }
+        let mut stats = vec![crate::CommStats::new(); 4];
+        dht.drain_service_into(&mut stats);
+
+        // Contention: hold shard 3's lock while another thread inserts.
+        // The insert's try_lock fails and counts contention *before*
+        // blocking, so we can wait on the counter and then release.
+        let contention = || {
+            metrics::snapshot().iter().find_map(|m| match m {
+                metrics::MetricSnapshot::Counter(n, v) if n == "pgas/dht/lock_contention" => {
+                    Some(*v)
+                }
+                _ => None,
+            })
+        };
+        let held = dht.shards[3].lock();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut c2 = RankCtx::new(1, topo);
+                dht.insert(&mut c2, 0, 9); // blocks until `held` drops
+            });
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+            while contention().unwrap_or(0) == 0 {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "blocked insert never counted contention"
+                );
+                std::thread::yield_now();
+            }
+            drop(held);
+        });
+
+        let snap = metrics::snapshot();
+        let find = |name: &str| snap.iter().find(|m| m.name() == name).cloned();
+        match find("pgas/dht/entries") {
+            Some(metrics::MetricSnapshot::Gauge(_, v)) => assert_eq!(v, 80.0),
+            other => panic!("missing entries gauge: {other:?}"),
+        }
+        match find("pgas/dht/load_factor_max") {
+            Some(metrics::MetricSnapshot::Gauge(_, v)) => {
+                assert!((v - 4.0).abs() < 1e-9, "all-on-one-rank placement: {v}")
+            }
+            other => panic!("missing load factor gauge: {other:?}"),
+        }
+        match find("pgas/dht/lock_contention") {
+            Some(metrics::MetricSnapshot::Counter(_, n)) => {
+                assert!(n >= 1, "blocked insert must count contention")
+            }
+            other => panic!("missing contention counter: {other:?}"),
+        }
+
+        metrics::disable();
+        metrics::reset();
     }
 
     #[test]

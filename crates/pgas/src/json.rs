@@ -216,7 +216,12 @@ fn write_string(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            // DEL and the Unicode line separators join the C0 range in the
+            // `\uXXXX` escape: U+2028/U+2029 are legal raw in JSON but not
+            // in JavaScript string literals, and raw DEL trips terminal and
+            // log-pipeline filters — escaping them keeps emitted documents
+            // safe to embed anywhere.
+            c if (c as u32) < 0x20 || c == '\u{7f}' || c == '\u{2028}' || c == '\u{2029}' => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
@@ -541,5 +546,59 @@ mod tests {
             assert_eq!(Value::parse(&text).unwrap().as_u64(), Some(n));
             assert!(!text.contains('.'), "{text}");
         }
+    }
+
+    /// xorshift64* — a tiny deterministic PRNG for the property test below
+    /// (no external proptest dependency).
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    #[test]
+    fn any_string_survives_serialize_parse_round_trip() {
+        // Property test over adversarial strings: every `char` drawn from
+        // ranges chosen to hit the escaping edge cases — C0 controls, DEL,
+        // quote/backslash, surrogate-pair territory (astral planes), the
+        // U+2028/U+2029 line separators, and plain ASCII.
+        let mut rng = XorShift(0x9E37_79B9_7F4A_7C15);
+        for len in 0..200usize {
+            let mut s = String::new();
+            for _ in 0..len {
+                let c = match rng.next() % 8 {
+                    0 => char::from_u32((rng.next() % 0x20) as u32).unwrap(),
+                    1 => ['"', '\\', '/', '\u{7f}'][(rng.next() % 4) as usize],
+                    2 => '\u{2028}',
+                    3 => '\u{2029}',
+                    4 => char::from_u32(0x1_F600 + (rng.next() % 80) as u32).unwrap(),
+                    5 => char::from_u32(0x0400 + (rng.next() % 0x100) as u32).unwrap(),
+                    _ => char::from_u32(0x20 + (rng.next() % 0x5f) as u32).unwrap(),
+                };
+                s.push(c);
+            }
+            let text = Value::from(s.clone()).to_json();
+            let parsed =
+                Value::parse(&text).unwrap_or_else(|e| panic!("invalid JSON for {s:?}: {e}"));
+            assert_eq!(parsed.as_str(), Some(s.as_str()), "text was {text}");
+            // Keys must survive too (exercises object-path escaping).
+            let mut obj = Value::obj();
+            obj.set(s.clone(), 1u64);
+            let doc = Value::parse(&obj.to_json()).unwrap();
+            assert_eq!(doc.get(&s).and_then(Value::as_u64), Some(1));
+        }
+    }
+
+    #[test]
+    fn del_and_line_separators_are_escaped() {
+        let text = Value::from("a\u{7f}b\u{2028}c\u{2029}d").to_json();
+        assert_eq!(text, "\"a\\u007fb\\u2028c\\u2029d\"");
     }
 }

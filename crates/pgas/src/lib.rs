@@ -31,11 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod agg;
+pub mod calib;
 pub mod cost;
 pub mod dht;
 pub mod fault;
 pub mod json;
 pub mod lookup;
+pub mod metrics;
 pub mod oracle;
 pub mod report;
 pub mod sched;
@@ -45,6 +47,7 @@ pub mod topology;
 pub mod trace;
 
 pub use agg::{AggregatingStores, Outbox};
+pub use calib::Calibration;
 pub use cost::{CostModel, ModeledTime, RankBreakdown};
 pub use dht::{DistHashMap, Placement};
 pub use fault::{

@@ -101,7 +101,9 @@ where
         // One message event carrying the whole request batch; bytes in
         // full, exactly like the write-side Outbox.
         let topo = *self.dht.topo();
-        ctx.comm(&topo, dest, entries.len() as u64 * self.dht.entry_bytes());
+        let bytes = entries.len() as u64 * self.dht.entry_bytes();
+        ctx.comm(&topo, dest, bytes);
+        crate::metrics::observe("pgas/lookup/wire_bytes", bytes);
         ctx.stats.lookup_batches += 1;
         let keys: Vec<&K> = entries.iter().map(|(k, _)| k).collect();
         let values = self.dht.fetch_batch(dest, &keys);

@@ -101,6 +101,25 @@ impl PhaseReport {
         self.totals().offnode_fraction().unwrap_or(0.0)
     }
 
+    /// The slowest rank's measured execution seconds (from the
+    /// [`CommStats::exec_nanos`] stamps). Because virtual ranks are
+    /// multiplexed over a few OS threads, this — not the phase's host wall
+    /// time — is the measured analog of the modeled critical path: both
+    /// are "the slowest rank's own work", independent of how many ranks
+    /// ran concurrently.
+    pub fn max_rank_seconds(&self) -> f64 {
+        derived_wall_seconds(&self.stats)
+    }
+
+    /// Mean over ranks of measured execution seconds.
+    pub fn mean_rank_seconds(&self) -> f64 {
+        if self.stats.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self.stats.iter().map(|s| s.exec_nanos).sum();
+        sum as f64 / 1e9 / self.stats.len() as f64
+    }
+
     /// Load imbalance: max over ranks of (work) divided by mean work, where
     /// work is priced rank seconds. 1.0 is perfectly balanced.
     ///
@@ -159,6 +178,27 @@ pub struct CheckpointEvent {
     pub checksum: u64,
 }
 
+/// One phase's measured-vs-modeled comparison (see
+/// [`PipelineReport::model_errors`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseModelError {
+    /// Phase name.
+    pub name: String,
+    /// Measured seconds: the slowest rank's stamped execution time, or —
+    /// for phases with no per-rank stamps (synthetic I/O phases) — the
+    /// recorded wall time.
+    pub measured_seconds: f64,
+    /// Modeled seconds for the same quantity: the critical path for
+    /// stamped phases, the full modeled total for I/O phases.
+    pub modeled_seconds: f64,
+    /// `|modeled - measured| / measured`.
+    pub rel_error: f64,
+    /// Fraction of the critical rank's priced seconds that is compute
+    /// (1.0 = pure compute). Calibration quality is only meaningful for
+    /// compute-dominated phases; gates should filter on this.
+    pub compute_fraction: f64,
+}
+
 /// An ordered collection of phase reports for one pipeline run.
 #[derive(Clone, Debug, Default)]
 pub struct PipelineReport {
@@ -215,6 +255,46 @@ impl PipelineReport {
             .sum()
     }
 
+    /// Compare measured and modeled time phase by phase. For phases whose
+    /// ranks carry [`CommStats::exec_nanos`] stamps, the measured quantity
+    /// is the slowest rank's execution seconds and the modeled one is the
+    /// critical path (both are "the slowest rank's own work" — the
+    /// apples-to-apples pair under virtual-rank multiplexing, where host
+    /// wall time reflects thread count, not rank count). For synthetic
+    /// phases with no stamps (e.g. the I/O phases the pipeline
+    /// fabricates), measured is the recorded wall time and modeled is the
+    /// phase's full modeled total. Phases that measured ≤ 0 seconds are
+    /// skipped — there is nothing to compare against.
+    pub fn model_errors(&self, model: &CostModel) -> Vec<PhaseModelError> {
+        self.phases
+            .iter()
+            .filter_map(|p| {
+                let stamped = p.stats.iter().any(|s| s.exec_nanos > 0);
+                let (measured, modeled) = if stamped {
+                    (p.max_rank_seconds(), p.modeled(model).critical_path)
+                } else {
+                    (p.wall_seconds, p.modeled(model).total())
+                };
+                if measured <= 0.0 {
+                    return None;
+                }
+                let breakdown = model.critical_rank_breakdown(&p.stats);
+                let priced = breakdown.total();
+                Some(PhaseModelError {
+                    name: p.name.clone(),
+                    measured_seconds: measured,
+                    modeled_seconds: modeled,
+                    rel_error: (modeled - measured).abs() / measured,
+                    compute_fraction: if priced > 0.0 {
+                        breakdown.compute / priced
+                    } else {
+                        0.0
+                    },
+                })
+            })
+            .collect()
+    }
+
     /// Render a per-phase table (name, modeled seconds, % of total,
     /// off-node fraction).
     pub fn render(&self, model: &CostModel) -> String {
@@ -261,18 +341,35 @@ impl PipelineReport {
     /// checksums). Consumers that indexed by key name are unaffected;
     /// consumers that enumerated keys must accept the new ones.
     ///
-    /// Schema v4 (this PR) adds the dynamic-scheduling surface: per-phase
-    /// `totals` gain `steal_ops` ([`CommStats::steal_ops`], the chunk
-    /// acquisitions of [`crate::RankCtx::for_each_dynamic`]). The per-phase
-    /// `imbalance` key — present since v1 — is now computed by pricing each
-    /// rank under the phase's real topology via
-    /// [`CostModel::rank_breakdown`] (see [`PhaseReport::imbalance`]), so
-    /// static-vs-dynamic schedule ablations can read per-stage balance
-    /// straight from the report.
+    /// Schema v4 adds the dynamic-scheduling surface: per-phase `totals`
+    /// gain `steal_ops` ([`CommStats::steal_ops`], the chunk acquisitions
+    /// of [`crate::RankCtx::for_each_dynamic`]). The per-phase `imbalance`
+    /// key — present since v1 — is now computed by pricing each rank under
+    /// the phase's real topology via [`CostModel::rank_breakdown`] (see
+    /// [`PhaseReport::imbalance`]), so static-vs-dynamic schedule
+    /// ablations can read per-stage balance straight from the report.
+    ///
+    /// Schema v5 (this PR) adds the measured-vs-modeled surface: a
+    /// top-level `cost_model` label naming the constants the document was
+    /// priced under (`"default"`, `"calibrated"`, …), a top-level
+    /// `model_error` block (per-phase measured/modeled seconds, relative
+    /// error and compute fraction — see
+    /// [`model_errors`](Self::model_errors) — plus mean/max summaries),
+    /// and a per-phase `measured` object carrying `wall_seconds`,
+    /// `max_rank_seconds` and `mean_rank_seconds` from the per-rank
+    /// execution stamps.
     pub fn to_json(&self, model: &CostModel) -> String {
+        self.to_json_labeled(model, "default")
+    }
+
+    /// [`to_json`](Self::to_json) with an explicit `cost_model` label —
+    /// use `"calibrated"` when pricing under constants fitted by
+    /// [`crate::calib`].
+    pub fn to_json_labeled(&self, model: &CostModel, cost_model_label: &str) -> String {
         let mut doc = Value::obj();
-        doc.set("schema_version", 4u64)
-            .set("generator", "hipmer-pgas");
+        doc.set("schema_version", 5u64)
+            .set("generator", "hipmer-pgas")
+            .set("cost_model", cost_model_label);
         if let Some(p) = self.phases.first() {
             let mut topo = Value::obj();
             topo.set("ranks", p.topo.ranks())
@@ -285,6 +382,31 @@ impl PipelineReport {
             "wall_seconds",
             self.phases.iter().map(|p| p.wall_seconds).sum::<f64>(),
         );
+        let errors = self.model_errors(model);
+        let mut err_obj = Value::obj();
+        let entries: Vec<Value> = errors
+            .iter()
+            .map(|e| {
+                let mut v = Value::obj();
+                v.set("name", e.name.as_str())
+                    .set("measured_seconds", e.measured_seconds)
+                    .set("modeled_seconds", e.modeled_seconds)
+                    .set("rel_error", e.rel_error)
+                    .set("compute_fraction", e.compute_fraction);
+                v
+            })
+            .collect();
+        err_obj.set("phases", Value::Arr(entries));
+        let mean = if errors.is_empty() {
+            0.0
+        } else {
+            errors.iter().map(|e| e.rel_error).sum::<f64>() / errors.len() as f64
+        };
+        let max = errors.iter().map(|e| e.rel_error).fold(0.0, f64::max);
+        err_obj
+            .set("mean_rel_error", mean)
+            .set("max_rel_error", max);
+        doc.set("model_error", err_obj);
         let attempts: Vec<Value> = self
             .stage_attempts
             .iter()
@@ -334,7 +456,14 @@ fn phase_json(p: &PhaseReport, model: &CostModel) -> Value {
     let mut v = Value::obj();
     v.set("name", p.name.as_str())
         .set("ranks", p.topo.ranks())
+        .set("wall_seconds", p.wall_seconds);
+
+    let mut measured = Value::obj();
+    measured
         .set("wall_seconds", p.wall_seconds)
+        .set("max_rank_seconds", p.max_rank_seconds())
+        .set("mean_rank_seconds", p.mean_rank_seconds());
+    v.set("measured", measured)
         .set("modeled", modeled_json(&p.modeled(model)));
 
     let mut crit = Value::obj();
@@ -383,6 +512,49 @@ fn phase_json(p: &PhaseReport, model: &CostModel) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Walk a `/`-separated path through the document: object keys by
+    /// name, array elements by decimal index. Panics with the full path on
+    /// a missing step, so golden tests read as one-liners instead of
+    /// `get(..).unwrap().as_arr().unwrap()` ladders.
+    fn get_path<'a>(doc: &'a Value, path: &str) -> &'a Value {
+        let mut cur = doc;
+        for seg in path.split('/') {
+            cur = if let Ok(idx) = seg.parse::<usize>() {
+                cur.as_arr()
+                    .unwrap_or_else(|| panic!("{path}: {seg} indexes a non-array"))
+                    .get(idx)
+                    .unwrap_or_else(|| panic!("{path}: index {idx} out of bounds"))
+            } else {
+                cur.get(seg)
+                    .unwrap_or_else(|| panic!("{path}: missing key {seg:?}"))
+            };
+        }
+        cur
+    }
+
+    /// Assert an object's keys are exactly `expect`, in order.
+    fn assert_keys(v: &Value, expect: &[&str]) {
+        assert_eq!(v.keys(), expect);
+    }
+
+    fn str_at<'a>(doc: &'a Value, path: &str) -> &'a str {
+        get_path(doc, path)
+            .as_str()
+            .unwrap_or_else(|| panic!("{path}: not a string"))
+    }
+
+    fn u64_at(doc: &Value, path: &str) -> u64 {
+        get_path(doc, path)
+            .as_u64()
+            .unwrap_or_else(|| panic!("{path}: not a u64"))
+    }
+
+    fn f64_at(doc: &Value, path: &str) -> f64 {
+        get_path(doc, path)
+            .as_f64()
+            .unwrap_or_else(|| panic!("{path}: not a number"))
+    }
 
     fn phase_with(compute: &[u64]) -> PhaseReport {
         let topo = Topology::new(compute.len(), 24);
@@ -536,83 +708,95 @@ mod tests {
         // any of these is a schema break and must bump `schema_version`.
         let model = CostModel::edison();
         let doc = Value::parse(&busy_pipeline().to_json(&model)).unwrap();
-        assert_eq!(doc.get("schema_version").and_then(Value::as_u64), Some(4));
-        assert_eq!(
-            doc.keys(),
-            vec![
+        assert_eq!(u64_at(&doc, "schema_version"), 5);
+        assert_eq!(str_at(&doc, "cost_model"), "default");
+        assert_keys(
+            &doc,
+            &[
                 "schema_version",
                 "generator",
+                "cost_model",
                 "topology",
                 "modeled_total",
                 "wall_seconds",
+                "model_error",
                 "stage_attempts",
                 "checkpoints",
-                "phases"
-            ]
+                "phases",
+            ],
         );
-        let attempts = doc.get("stage_attempts").unwrap().as_arr().unwrap();
+        assert_keys(
+            get_path(&doc, "model_error"),
+            &["phases", "mean_rel_error", "max_rel_error"],
+        );
+        assert_keys(
+            get_path(&doc, "model_error/phases/0"),
+            &[
+                "name",
+                "measured_seconds",
+                "modeled_seconds",
+                "rel_error",
+                "compute_fraction",
+            ],
+        );
+        let attempts = get_path(&doc, "stage_attempts").as_arr().unwrap();
         assert_eq!(attempts.len(), 2);
+        assert_keys(&attempts[0], &["stage", "executions", "aborted", "resumed"]);
+        assert_eq!(str_at(&doc, "stage_attempts/0/stage"), "kmer-analysis");
+        assert_eq!(u64_at(&doc, "stage_attempts/0/aborted"), 1);
         assert_eq!(
-            attempts[0].keys(),
-            vec!["stage", "executions", "aborted", "resumed"]
-        );
-        assert_eq!(
-            attempts[0].get("stage").and_then(Value::as_str),
-            Some("kmer-analysis")
-        );
-        assert_eq!(attempts[0].get("aborted").and_then(Value::as_u64), Some(1));
-        assert_eq!(
-            attempts[1].get("resumed").and_then(Value::as_bool),
+            get_path(&doc, "stage_attempts/1/resumed").as_bool(),
             Some(true)
         );
-        let ckpts = doc.get("checkpoints").unwrap().as_arr().unwrap();
+        let ckpts = get_path(&doc, "checkpoints").as_arr().unwrap();
         assert_eq!(ckpts.len(), 1);
-        assert_eq!(
-            ckpts[0].keys(),
-            vec!["stage", "action", "bytes", "checksum"]
+        assert_keys(&ckpts[0], &["stage", "action", "bytes", "checksum"]);
+        assert_eq!(str_at(&doc, "checkpoints/0/action"), "save");
+        assert_eq!(u64_at(&doc, "checkpoints/0/bytes"), 4096);
+        assert_eq!(str_at(&doc, "checkpoints/0/checksum"), "0x00000000feedf00d");
+        assert_keys(
+            get_path(&doc, "topology"),
+            &["ranks", "ranks_per_node", "nodes"],
         );
-        assert_eq!(ckpts[0].get("action").and_then(Value::as_str), Some("save"));
-        assert_eq!(ckpts[0].get("bytes").and_then(Value::as_u64), Some(4096));
-        assert_eq!(
-            ckpts[0].get("checksum").and_then(Value::as_str),
-            Some("0x00000000feedf00d")
-        );
-        let topo = doc.get("topology").unwrap();
-        assert_eq!(topo.keys(), vec!["ranks", "ranks_per_node", "nodes"]);
-        let phases = doc.get("phases").unwrap().as_arr().unwrap();
+        let phases = get_path(&doc, "phases").as_arr().unwrap();
         assert_eq!(phases.len(), 2);
-        let p = &phases[0];
-        assert_eq!(
-            p.keys(),
-            vec![
+        let p = get_path(&doc, "phases/0");
+        assert_keys(
+            p,
+            &[
                 "name",
                 "ranks",
                 "wall_seconds",
+                "measured",
                 "modeled",
                 "critical_rank",
                 "offnode_fraction",
                 "imbalance",
                 "totals",
-                "hot_keys"
-            ]
+                "hot_keys",
+            ],
         );
-        assert_eq!(
-            p.get("modeled").unwrap().keys(),
-            vec![
+        assert_keys(
+            get_path(p, "measured"),
+            &["wall_seconds", "max_rank_seconds", "mean_rank_seconds"],
+        );
+        assert_keys(
+            get_path(p, "modeled"),
+            &[
                 "critical_path_seconds",
                 "sync_seconds",
                 "io_seconds",
                 "serial_seconds",
-                "total_seconds"
-            ]
+                "total_seconds",
+            ],
         );
-        assert_eq!(
-            p.get("critical_rank").unwrap().keys(),
-            vec!["compute_seconds", "latency_seconds", "bandwidth_seconds"]
+        assert_keys(
+            get_path(p, "critical_rank"),
+            &["compute_seconds", "latency_seconds", "bandwidth_seconds"],
         );
-        assert_eq!(
-            p.get("totals").unwrap().keys(),
-            vec![
+        assert_keys(
+            get_path(p, "totals"),
+            &[
                 "compute_ops",
                 "local_ops",
                 "onnode_msgs",
@@ -630,19 +814,58 @@ mod tests {
                 "io_write_bytes",
                 "steal_ops",
                 "barriers",
-                "exec_nanos"
-            ]
+                "exec_nanos",
+            ],
         );
-        let hot = p.get("hot_keys").unwrap().as_arr().unwrap();
+        let hot = get_path(p, "hot_keys").as_arr().unwrap();
         assert_eq!(hot.len(), 2);
-        assert_eq!(
-            hot[0].get("key_hash").and_then(Value::as_str),
-            Some("0x00000000deadbeef")
-        );
-        assert_eq!(
-            hot[0].get("estimated_count").and_then(Value::as_u64),
-            Some(41)
-        );
+        assert_eq!(str_at(p, "hot_keys/0/key_hash"), "0x00000000deadbeef");
+        assert_eq!(u64_at(p, "hot_keys/0/estimated_count"), 41);
+    }
+
+    #[test]
+    fn json_report_cost_model_label_flows_through() {
+        let model = CostModel::edison();
+        let doc = Value::parse(&busy_pipeline().to_json_labeled(&model, "calibrated")).unwrap();
+        assert_eq!(str_at(&doc, "cost_model"), "calibrated");
+    }
+
+    #[test]
+    fn model_errors_compare_the_right_quantities() {
+        let model = CostModel::edison();
+        let pr = busy_pipeline();
+        let errors = pr.model_errors(&model);
+        assert_eq!(errors.len(), 2, "both fixture phases are stamped");
+        for (e, p) in errors.iter().zip(&pr.phases) {
+            assert_eq!(e.name, p.name);
+            // Stamped phases compare max-rank seconds vs critical path.
+            assert!((e.measured_seconds - p.max_rank_seconds()).abs() < 1e-12);
+            assert!((e.modeled_seconds - p.modeled(&model).critical_path).abs() < 1e-12);
+            let expect = (e.modeled_seconds - e.measured_seconds).abs() / e.measured_seconds;
+            assert!((e.rel_error - expect).abs() < 1e-12);
+            assert!(e.compute_fraction > 0.0 && e.compute_fraction <= 1.0);
+        }
+
+        // An unstamped (synthetic I/O) phase compares wall vs modeled total,
+        // and a zero-measured phase is skipped.
+        let topo = Topology::new(2, 2);
+        let io_stats = vec![
+            CommStats {
+                io_read_bytes: 1 << 20,
+                ..CommStats::default()
+            };
+            2
+        ];
+        let mut pr2 = PipelineReport::new();
+        pr2.push(PhaseReport::new("io/fastq", topo, io_stats).with_wall(0.5));
+        pr2.push(phase_with(&[1_000, 1_000])); // no exec stamps, wall 0
+        let errors2 = pr2.model_errors(&model);
+        assert_eq!(errors2.len(), 1, "zero-measured phase skipped");
+        let e = &errors2[0];
+        assert!((e.measured_seconds - 0.5).abs() < 1e-12);
+        let expect_modeled = pr2.phases[0].modeled(&model).total();
+        assert!((e.modeled_seconds - expect_modeled).abs() < 1e-12);
+        assert_eq!(e.compute_fraction, 0.0, "pure-I/O critical rank");
     }
 
     #[test]
@@ -652,64 +875,56 @@ mod tests {
         let model = CostModel::edison();
         let pr = busy_pipeline();
         let doc = Value::parse(&pr.to_json(&model)).unwrap();
-        let phases = doc.get("phases").unwrap().as_arr().unwrap();
+        let phases = get_path(&doc, "phases").as_arr().unwrap();
         for (p, v) in pr.phases.iter().zip(phases) {
-            assert_eq!(v.get("name").and_then(Value::as_str), Some(p.name.as_str()));
-            let off = v.get("offnode_fraction").and_then(Value::as_f64).unwrap();
+            assert_eq!(str_at(v, "name"), p.name.as_str());
+            let off = f64_at(v, "offnode_fraction");
             assert!((off - p.offnode_fraction()).abs() < 1e-12);
             assert!(off > 0.0, "fixture must exercise a nonzero fraction");
-            let imb = v.get("imbalance").and_then(Value::as_f64).unwrap();
+            let imb = f64_at(v, "imbalance");
             assert!((imb - p.imbalance(&model)).abs() < 1e-12);
             assert!(imb > 1.0, "fixture must exercise real skew");
-            let wall = v.get("wall_seconds").and_then(Value::as_f64).unwrap();
-            assert!((wall - p.wall_seconds).abs() < 1e-12);
-            let modeled = v.get("modeled").unwrap();
-            let total = modeled
-                .get("total_seconds")
-                .and_then(Value::as_f64)
-                .unwrap();
+            assert!((f64_at(v, "wall_seconds") - p.wall_seconds).abs() < 1e-12);
+            // Schema-v5 measured block carries the exec-stamp aggregates.
+            let max_rank = f64_at(v, "measured/max_rank_seconds");
+            assert!((max_rank - p.max_rank_seconds()).abs() < 1e-12);
+            assert!(max_rank > 0.0, "fixture must exercise exec stamps");
+            let mean_rank = f64_at(v, "measured/mean_rank_seconds");
+            assert!((mean_rank - p.mean_rank_seconds()).abs() < 1e-12);
+            assert!(mean_rank < max_rank, "fixture's stamps are skewed");
+            let total = f64_at(v, "modeled/total_seconds");
             assert!((total - p.modeled(&model).total()).abs() < 1e-12);
-            let totals = v.get("totals").unwrap();
-            let exec = totals.get("exec_nanos").and_then(Value::as_u64).unwrap();
-            assert_eq!(exec, p.totals().exec_nanos);
+            assert_eq!(u64_at(v, "totals/exec_nanos"), p.totals().exec_nanos);
             // Schema-v2 read-path counters carry the merged CommStats values.
-            let hits = totals.get("cache_hits").and_then(Value::as_u64).unwrap();
+            let hits = u64_at(v, "totals/cache_hits");
             assert_eq!(hits, p.totals().cache_hits);
             assert!(hits > 0, "fixture must exercise cache accounting");
-            let batches = totals
-                .get("lookup_batches")
-                .and_then(Value::as_u64)
-                .unwrap();
+            let batches = u64_at(v, "totals/lookup_batches");
             assert_eq!(batches, p.totals().lookup_batches);
             assert!(batches > 0, "fixture must exercise batch accounting");
-            assert_eq!(
-                totals.get("cache_misses").and_then(Value::as_u64).unwrap(),
-                p.totals().cache_misses
-            );
+            assert_eq!(u64_at(v, "totals/cache_misses"), p.totals().cache_misses);
             // Schema-v3 fault counters carry the merged CommStats values.
-            let faults = totals
-                .get("transient_faults")
-                .and_then(Value::as_u64)
-                .unwrap();
+            let faults = u64_at(v, "totals/transient_faults");
             assert_eq!(faults, p.totals().transient_faults);
             assert!(faults > 0, "fixture must exercise fault accounting");
-            assert_eq!(
-                totals.get("retries").and_then(Value::as_u64).unwrap(),
-                p.totals().retries
-            );
-            assert_eq!(
-                totals.get("backoff_units").and_then(Value::as_u64).unwrap(),
-                p.totals().backoff_units
-            );
+            assert_eq!(u64_at(v, "totals/retries"), p.totals().retries);
+            assert_eq!(u64_at(v, "totals/backoff_units"), p.totals().backoff_units);
             // Schema-v4 dynamic-scheduling counter.
-            let steals = totals.get("steal_ops").and_then(Value::as_u64).unwrap();
+            let steals = u64_at(v, "totals/steal_ops");
             assert_eq!(steals, p.totals().steal_ops);
             assert!(steals > 0, "fixture must exercise steal accounting");
         }
         // Pipeline-level sums.
-        let wall = doc.get("wall_seconds").and_then(Value::as_f64).unwrap();
+        let wall = f64_at(&doc, "wall_seconds");
         let expect: f64 = pr.phases.iter().map(|p| p.wall_seconds).sum();
         assert!((wall - expect).abs() < 1e-12);
+        // The model_error block agrees with the accessor.
+        let errors = pr.model_errors(&model);
+        for (i, e) in errors.iter().enumerate() {
+            let base = format!("model_error/phases/{i}");
+            assert_eq!(str_at(&doc, &format!("{base}/name")), e.name.as_str());
+            assert!((f64_at(&doc, &format!("{base}/rel_error")) - e.rel_error).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -79,14 +79,14 @@ impl CommStats {
     /// Record `n` computation steps.
     #[inline]
     pub fn compute(&mut self, n: u64) {
-        self.compute_ops += n;
+        self.compute_ops = self.compute_ops.saturating_add(n);
     }
 
     /// Record `n` dynamic-scheduling chunk acquisitions (modeled remote
     /// atomic fetch-adds on the shared work counter).
     #[inline]
     pub fn steal(&mut self, n: u64) {
-        self.steal_ops += n;
+        self.steal_ops = self.steal_ops.saturating_add(n);
     }
 
     /// Record one access from `from` to the partition owned by `to`,
@@ -94,26 +94,26 @@ impl CommStats {
     #[inline]
     pub fn access(&mut self, topo: &crate::Topology, from: usize, to: usize, bytes: u64) {
         if from == to {
-            self.local_ops += 1;
+            self.local_ops = self.local_ops.saturating_add(1);
         } else if topo.same_node(from, to) {
-            self.onnode_msgs += 1;
-            self.onnode_bytes += bytes;
+            self.onnode_msgs = self.onnode_msgs.saturating_add(1);
+            self.onnode_bytes = self.onnode_bytes.saturating_add(bytes);
         } else {
-            self.offnode_msgs += 1;
-            self.offnode_bytes += bytes;
+            self.offnode_msgs = self.offnode_msgs.saturating_add(1);
+            self.offnode_bytes = self.offnode_bytes.saturating_add(bytes);
         }
     }
 
     /// Total remote (on-node + off-node) messages.
     #[inline]
     pub fn remote_msgs(&self) -> u64 {
-        self.onnode_msgs + self.offnode_msgs
+        self.onnode_msgs.saturating_add(self.offnode_msgs)
     }
 
     /// Total partition accesses of any locality.
     #[inline]
     pub fn total_accesses(&self) -> u64 {
-        self.local_ops + self.remote_msgs()
+        self.local_ops.saturating_add(self.remote_msgs())
     }
 
     /// Fraction of accesses that left the node (`None` if no accesses).
@@ -127,25 +127,27 @@ impl CommStats {
     }
 
     /// Element-wise accumulation (used to merge sub-phase counters).
+    /// Saturating: pathological inputs (fuzzers, adversarial FASTQ sizes)
+    /// pin counters at `u64::MAX` instead of wrapping or panicking.
     pub fn merge(&mut self, o: &CommStats) {
-        self.compute_ops += o.compute_ops;
-        self.local_ops += o.local_ops;
-        self.onnode_msgs += o.onnode_msgs;
-        self.offnode_msgs += o.offnode_msgs;
-        self.onnode_bytes += o.onnode_bytes;
-        self.offnode_bytes += o.offnode_bytes;
-        self.service_ops += o.service_ops;
-        self.lookup_batches += o.lookup_batches;
-        self.cache_hits += o.cache_hits;
-        self.cache_misses += o.cache_misses;
-        self.transient_faults += o.transient_faults;
-        self.retries += o.retries;
-        self.backoff_units += o.backoff_units;
-        self.io_read_bytes += o.io_read_bytes;
-        self.io_write_bytes += o.io_write_bytes;
-        self.steal_ops += o.steal_ops;
-        self.barriers += o.barriers;
-        self.exec_nanos += o.exec_nanos;
+        self.compute_ops = self.compute_ops.saturating_add(o.compute_ops);
+        self.local_ops = self.local_ops.saturating_add(o.local_ops);
+        self.onnode_msgs = self.onnode_msgs.saturating_add(o.onnode_msgs);
+        self.offnode_msgs = self.offnode_msgs.saturating_add(o.offnode_msgs);
+        self.onnode_bytes = self.onnode_bytes.saturating_add(o.onnode_bytes);
+        self.offnode_bytes = self.offnode_bytes.saturating_add(o.offnode_bytes);
+        self.service_ops = self.service_ops.saturating_add(o.service_ops);
+        self.lookup_batches = self.lookup_batches.saturating_add(o.lookup_batches);
+        self.cache_hits = self.cache_hits.saturating_add(o.cache_hits);
+        self.cache_misses = self.cache_misses.saturating_add(o.cache_misses);
+        self.transient_faults = self.transient_faults.saturating_add(o.transient_faults);
+        self.retries = self.retries.saturating_add(o.retries);
+        self.backoff_units = self.backoff_units.saturating_add(o.backoff_units);
+        self.io_read_bytes = self.io_read_bytes.saturating_add(o.io_read_bytes);
+        self.io_write_bytes = self.io_write_bytes.saturating_add(o.io_write_bytes);
+        self.steal_ops = self.steal_ops.saturating_add(o.steal_ops);
+        self.barriers = self.barriers.saturating_add(o.barriers);
+        self.exec_nanos = self.exec_nanos.saturating_add(o.exec_nanos);
     }
 }
 
@@ -204,5 +206,73 @@ mod tests {
         let t = total(&[a, b]);
         assert_eq!(t.compute_ops, 20);
         assert_eq!(t.barriers, 4);
+    }
+
+    #[test]
+    fn merge_of_empty_stats_is_identity() {
+        let topo = Topology::new(48, 24);
+        let mut a = CommStats::new();
+        a.compute(7);
+        a.steal(3);
+        a.access(&topo, 0, 5, 64);
+        a.access(&topo, 0, 30, 128);
+        a.exec_nanos = 42;
+        let before = a;
+
+        // empty += full leaves the full side as-is...
+        let mut empty = CommStats::new();
+        empty.merge(&a);
+        assert_eq!(empty, before);
+
+        // ...and full += empty is a no-op.
+        a.merge(&CommStats::new());
+        assert_eq!(a, before);
+
+        // Two empties merge to an empty.
+        let mut e = CommStats::new();
+        e.merge(&CommStats::new());
+        assert_eq!(e, CommStats::new());
+        assert_eq!(e.offnode_fraction(), None);
+    }
+
+    #[test]
+    fn counter_arithmetic_saturates_at_u64_max() {
+        let topo = Topology::new(48, 24);
+
+        // Recording on top of an already-pinned counter must not wrap.
+        let mut s = CommStats::new();
+        s.compute_ops = u64::MAX;
+        s.compute(1);
+        assert_eq!(s.compute_ops, u64::MAX);
+        s.steal_ops = u64::MAX;
+        s.steal(u64::MAX);
+        assert_eq!(s.steal_ops, u64::MAX);
+
+        s.onnode_bytes = u64::MAX;
+        s.access(&topo, 0, 5, u64::MAX); // on-node: msg count 1, bytes pinned
+        assert_eq!(s.onnode_msgs, 1);
+        assert_eq!(s.onnode_bytes, u64::MAX);
+        s.offnode_bytes = u64::MAX - 1;
+        s.access(&topo, 0, 30, 2);
+        assert_eq!(s.offnode_bytes, u64::MAX);
+
+        // Derived sums saturate instead of overflowing.
+        let mut m = CommStats::new();
+        m.onnode_msgs = u64::MAX;
+        m.offnode_msgs = 1;
+        assert_eq!(m.remote_msgs(), u64::MAX);
+        m.local_ops = u64::MAX;
+        assert_eq!(m.total_accesses(), u64::MAX);
+
+        // Merging two near-MAX sides pins every counter at MAX.
+        let mut a = CommStats::new();
+        a.compute_ops = u64::MAX;
+        a.exec_nanos = u64::MAX - 1;
+        let mut b = CommStats::new();
+        b.compute_ops = u64::MAX;
+        b.exec_nanos = 5;
+        a.merge(&b);
+        assert_eq!(a.compute_ops, u64::MAX);
+        assert_eq!(a.exec_nanos, u64::MAX);
     }
 }

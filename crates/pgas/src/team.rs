@@ -29,6 +29,9 @@ pub struct RankCtx {
     /// Fault schedule consulted by [`RankCtx::comm`] (set by
     /// [`Team::with_fault_plan`]; `None` = fault-free).
     faults: Option<Arc<FaultPlan>>,
+    /// Label of the phase this context runs in (empty for forged
+    /// contexts); names the progress pool for dynamic scheduling.
+    phase: String,
 }
 
 impl RankCtx {
@@ -39,7 +42,15 @@ impl RankCtx {
             topo,
             stats: CommStats::new(),
             faults: None,
+            phase: String::new(),
         }
+    }
+
+    /// The label of the phase this context is executing (the string passed
+    /// to [`Team::run_named`]), or `""` for contexts forged outside a
+    /// phase. Used to name progress pools in [`crate::metrics`].
+    pub fn phase(&self) -> &str {
+        &self.phase
     }
 
     /// Attach a fault plan to a forged context (tests; `Team` does this for
@@ -155,6 +166,7 @@ fn run_rank<R, F>(
     topo: Topology,
     faults: Option<&Arc<FaultPlan>>,
     phase_start: Instant,
+    phase: &str,
     label: Option<&str>,
 ) -> (
     Option<R>,
@@ -167,6 +179,7 @@ where
 {
     let rank_start = Instant::now();
     let mut ctx = RankCtx::new(rank, topo);
+    ctx.phase = phase.to_string();
     if let Some(plan) = faults {
         ctx.faults = Some(Arc::clone(plan));
     }
@@ -315,8 +328,15 @@ impl Team {
             let mut local = Vec::with_capacity(ranks);
             let mut spans = Vec::new();
             for rank in 0..ranks {
-                let (out, stats, span, failure) =
-                    run_rank(&f, rank, self.topo, faults, phase_start, span_label(rank));
+                let (out, stats, span, failure) = run_rank(
+                    &f,
+                    rank,
+                    self.topo,
+                    faults,
+                    phase_start,
+                    label,
+                    span_label(rank),
+                );
                 spans.extend(span);
                 local.push((rank, out, stats, failure));
             }
@@ -340,8 +360,15 @@ impl Team {
                                 if rank >= ranks {
                                     break;
                                 }
-                                let (out, stats, span, failure) =
-                                    run_rank(f, rank, topo, faults, phase_start, span_label(rank));
+                                let (out, stats, span, failure) = run_rank(
+                                    f,
+                                    rank,
+                                    topo,
+                                    faults,
+                                    phase_start,
+                                    label,
+                                    span_label(rank),
+                                );
                                 spans.extend(span);
                                 local.push((rank, out, stats, failure));
                             }
@@ -391,6 +418,12 @@ impl Team {
             results.push(r);
             stats.push(s);
         }
+        // Host wall time of the whole phase (all ranks, all workers) —
+        // one histogram observation per completed phase.
+        crate::metrics::observe(
+            "pgas/team/phase_nanos",
+            phase_start.elapsed().as_nanos() as u64,
+        );
         StageOutcome::Completed(results, stats)
     }
 }

@@ -106,6 +106,21 @@ pub fn sample_ranks() -> usize {
     SAMPLE_RANKS.load(Ordering::Relaxed)
 }
 
+/// Change how many ranks per phase are sampled without toggling the
+/// enabled flag (0 removes the cap and records every rank) — the hook
+/// `--trace-sample-ranks` reaches through. [`enable`] also sets this;
+/// call `set_sample_ranks` after it to adjust a live tracer.
+pub fn set_sample_ranks(sample_ranks: usize) {
+    SAMPLE_RANKS.store(
+        if sample_ranks == 0 {
+            usize::MAX
+        } else {
+            sample_ranks
+        },
+        Ordering::Relaxed,
+    );
+}
+
 /// Set the Misra–Gries capacity for per-table hot-key tracking. Takes
 /// effect for `DistHashMap`s created afterwards; 0 (the default) disables
 /// tracking.
@@ -252,6 +267,46 @@ mod tests {
         );
         assert_eq!(args.get("retries").and_then(Value::as_u64), Some(4));
         assert_eq!(args.get("steal_ops").and_then(Value::as_u64), Some(7));
+    }
+
+    #[test]
+    fn awkward_phase_labels_survive_chrome_trace_round_trip() {
+        // Control characters, quotes, backslashes, non-ASCII, and the
+        // JS-hostile line separators must all come back intact.
+        let labels = [
+            "stage/\"quoted\"\\back\nnew\tline",
+            "контиг-генерация/κ-мер 分析",
+            "nul\u{0}bell\u{7}del\u{7f}",
+            "line\u{2028}para\u{2029}end",
+            "emoji 🧬 phase",
+        ];
+        let events: Vec<SpanEvent> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| span(l, i, 100 * i as u64, 50))
+            .collect();
+        let text = chrome_trace_json(&events);
+        let doc = Value::parse(&text).expect("valid JSON despite labels");
+        let names: Vec<&str> = doc
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .map(|e| e.get("name").and_then(Value::as_str).unwrap())
+            .collect();
+        assert_eq!(names, labels);
+    }
+
+    #[test]
+    fn sample_ranks_is_settable_without_toggling_enable() {
+        // Touches only the sample-ranks cell; the enabled flag stays off.
+        let before = sample_ranks();
+        set_sample_ranks(3);
+        assert_eq!(sample_ranks(), 3);
+        assert!(!is_enabled());
+        set_sample_ranks(0);
+        assert_eq!(sample_ranks(), usize::MAX, "0 removes the cap");
+        set_sample_ranks(before);
     }
 
     #[test]
