@@ -178,6 +178,12 @@ fn resolve_seeds(
     let mut cache: Option<SoftwareCache<Kmer, Option<HitList>>> =
         (cfg.cache_entries > 0).then(|| SoftwareCache::new(cfg.cache_entries));
 
+    // The seed index is immutable during alignment; the sequence-validated
+    // read protocol (DESIGN.md §12) lets us assert that no writer raced
+    // this read-only phase.
+    #[cfg(debug_assertions)]
+    let stamp_before = index.table.version_stamp();
+
     if cfg.lookup_batch > 1 {
         let mut lb: LookupBatch<'_, Kmer, HitList, (usize, usize)> =
             LookupBatch::with_batch(&index.table, cfg.lookup_batch);
@@ -213,6 +219,12 @@ fn resolve_seeds(
             }
         }
     }
+    #[cfg(debug_assertions)]
+    assert_eq!(
+        index.table.version_stamp(),
+        stamp_before,
+        "seed index mutated during read-only seed resolution"
+    );
     resolved
 }
 

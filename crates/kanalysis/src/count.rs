@@ -82,6 +82,8 @@ fn bloom_pass(
         // 16-byte `u128`.
         let mut outbox: Outbox<Kmer> =
             Outbox::new(*ctx.topo(), cfg.agg_batch).with_item_bytes(codec.wire_bytes());
+        // Blocking service path: waits for the owner's Bloom filter, then
+        // upserts the repeated keys. Used by the completion drain.
         let mut apply = |dest: usize, kmers: Vec<Kmer>| {
             let mut bloom = blooms[dest].lock();
             let mut repeated: Vec<(Kmer, ExtVotes)> = Vec::new();
@@ -96,17 +98,38 @@ fn bloom_pass(
                 table.merge_batch(dest, repeated, |_existing, _new| {});
             }
         };
+        // Non-blocking attempt: if the owner's Bloom filter is busy, park
+        // the batch untouched and keep producing. The Bloom membership
+        // test is stateful (second sighting creates the entry), so a batch
+        // either fully lands here or is retried whole at the drain.
+        let mut try_apply = |dest: usize, mut kmers: Vec<Kmer>| {
+            let Some(mut bloom) = blooms[dest].try_lock() else {
+                return Err(kmers);
+            };
+            let mut repeated: Vec<(Kmer, ExtVotes)> = Vec::new();
+            for km in kmers.drain(..) {
+                if bloom.insert(hipmer_dna::mix128(km.bits())) {
+                    repeated.push((km, ExtVotes::new()));
+                }
+            }
+            drop(bloom);
+            if !repeated.is_empty() {
+                table.merge_batch(dest, repeated, |_existing, _new| {});
+            }
+            Ok(kmers)
+        };
         let chunk = ctx.chunk(reads.len());
         for read in &reads[chunk] {
             for_each_occurrence(&codec, cfg, read, |canon, _, _| {
                 ctx.stats.compute(1);
                 if !sketch.heavy_hitters.contains(&canon) {
                     let dest = table.owner(&canon);
-                    outbox.push(ctx, dest, canon, &mut apply);
+                    outbox.push_async(ctx, dest, canon, &mut try_apply);
                 }
             });
         }
-        outbox.flush_all(ctx, &mut apply);
+        // Drains parked batches and hard-asserts nothing is left pending.
+        outbox.finish_async(ctx, &mut try_apply, &mut apply);
     });
     table.drain_service_into(&mut stats);
     PhaseReport::new("kmer-analysis/bloom", *team.topo(), stats)
@@ -133,11 +156,22 @@ fn count_pass(
     let (_, mut stats) = team.run_named("kmer-analysis/count", |ctx| {
         let mut outbox: Outbox<(Kmer, ExtVotes)> =
             Outbox::new(*ctx.topo(), cfg.agg_batch).with_item_bytes(entry_wire_bytes);
+        // Blocking merge for the completion drain; vote merges commute, so
+        // deferred batches may land in any order.
         let mut apply = |dest: usize, entries: Vec<(Kmer, ExtVotes)>| {
             if cfg.use_bloom {
                 table.merge_batch_existing(dest, entries, merge);
             } else {
                 table.merge_batch(dest, entries, merge);
+            }
+        };
+        // Non-blocking merge: contended sub-shards return their entries,
+        // which the outbox parks until the drain.
+        let mut try_apply = |dest: usize, entries: Vec<(Kmer, ExtVotes)>| {
+            if cfg.use_bloom {
+                table.try_merge_batch_existing(dest, entries, merge)
+            } else {
+                table.try_merge_batch(dest, entries, merge)
             }
         };
         let mut hh_local: KmerHashMap<Kmer, ExtVotes> = KmerHashMap::default();
@@ -153,11 +187,11 @@ fn count_pass(
                     let mut votes = ExtVotes::new();
                     votes.record(l, r);
                     let dest = table.owner(&canon);
-                    outbox.push(ctx, dest, (canon, votes), &mut apply);
+                    outbox.push_async(ctx, dest, (canon, votes), &mut try_apply);
                 }
             });
         }
-        outbox.flush_all(ctx, &mut apply);
+        outbox.finish_async(ctx, &mut try_apply, &mut apply);
 
         // Global reduction of heavy-hitter partials: one grouped message
         // per owner holding this rank's partial counts (O(p) messages per

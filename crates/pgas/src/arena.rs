@@ -1,0 +1,123 @@
+//! Reusable wire-buffer arenas.
+//!
+//! Every batched send in this runtime moves a `Vec` of typed entries: an
+//! [`crate::AggregatingStores`] buffer of `(K, V)` upserts, a
+//! [`crate::LookupBatch`] buffer of `(K, tag)` requests, an
+//! [`crate::Outbox`] buffer of payload items. Allocating a fresh vector per
+//! shipped batch puts the allocator on the hot path of every phase; real
+//! PGAS runtimes (GASNet, UPC++) instead recycle registered communication
+//! buffers because registration/allocation dwarfs the send itself.
+//!
+//! [`BufferPool`] is the single-process analogue: a bounded free list of
+//! emptied buffers. Senders [`take`](BufferPool::take) a buffer (reusing a
+//! prior batch's capacity when available), fill it, ship it, and
+//! [`put`](BufferPool::put) the drained carrier back. The
+//! [`DistHashMap`](crate::DistHashMap) batch-apply paths hand the emptied
+//! carrier back to their caller precisely so it can be pooled. Combined
+//! with the packed wire sizing of
+//! [`Outbox::with_item_bytes`](crate::Outbox::with_item_bytes), a steady
+//! phase reaches zero allocations per batch: bytes are modeled packed and
+//! buffers never return to the allocator.
+//!
+//! Reuse is observable in the metrics registry (enable with
+//! `--metrics-json`): `pgas/arena/reuse` counts pool hits,
+//! `pgas/arena/alloc` counts pool misses that had to allocate fresh.
+
+use crate::metrics;
+
+/// Default bound on buffers a pool keeps. Aggregators hold one live buffer
+/// per destination rank; a small free list covers the in-flight churn.
+pub const DEFAULT_POOL_BUFFERS: usize = 32;
+
+/// A bounded free list of reusable `Vec<T>` wire buffers.
+///
+/// Not thread-safe by design: each acting rank owns its aggregators and
+/// therefore its pool, exactly like each UPC thread owns its registered
+/// send buffers. Buffers come back cleared but with capacity intact.
+pub struct BufferPool<T> {
+    free: Vec<Vec<T>>,
+    max_free: usize,
+}
+
+impl<T> BufferPool<T> {
+    /// A pool keeping at most `max_free` idle buffers; excess buffers
+    /// returned via [`put`](Self::put) are dropped to bound memory.
+    pub fn new(max_free: usize) -> Self {
+        BufferPool {
+            free: Vec::new(),
+            max_free,
+        }
+    }
+
+    /// A pool with the default bound ([`DEFAULT_POOL_BUFFERS`]).
+    pub fn default_bound() -> Self {
+        Self::new(DEFAULT_POOL_BUFFERS)
+    }
+
+    /// Get an empty buffer: a recycled one when available (counted as
+    /// `pgas/arena/reuse`), else a fresh allocation (`pgas/arena/alloc`).
+    pub fn take(&mut self) -> Vec<T> {
+        match self.free.pop() {
+            Some(buf) => {
+                debug_assert!(buf.is_empty());
+                metrics::counter_add("pgas/arena/reuse", 1);
+                buf
+            }
+            None => {
+                metrics::counter_add("pgas/arena/alloc", 1);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Return a drained buffer to the free list (cleared here; capacity is
+    /// kept). Dropped instead when the buffer never grew capacity or the
+    /// pool is at its bound.
+    pub fn put(&mut self, mut buf: Vec<T>) {
+        buf.clear();
+        if buf.capacity() > 0 && self.free.len() < self.max_free {
+            self.free.push(buf);
+        }
+    }
+
+    /// Idle buffers currently pooled.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_capacity_from_put() {
+        let mut pool: BufferPool<u64> = BufferPool::new(4);
+        let mut b = pool.take();
+        assert_eq!(b.capacity(), 0, "fresh buffer");
+        b.extend(0..100);
+        let cap = b.capacity();
+        pool.put(b);
+        assert_eq!(pool.idle(), 1);
+        let b2 = pool.take();
+        assert!(b2.is_empty());
+        assert_eq!(b2.capacity(), cap, "capacity survives the round trip");
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut pool: BufferPool<u8> = BufferPool::new(2);
+        for _ in 0..5 {
+            pool.put(vec![1u8]);
+        }
+        assert_eq!(pool.idle(), 2, "excess buffers dropped at the bound");
+    }
+
+    #[test]
+    fn zero_capacity_buffers_are_not_pooled() {
+        let mut pool: BufferPool<u8> = BufferPool::new(8);
+        pool.put(Vec::new());
+        assert_eq!(pool.idle(), 0, "nothing gained by pooling a zero-cap Vec");
+    }
+}

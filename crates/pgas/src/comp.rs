@@ -1,0 +1,112 @@
+//! Async completion handles for non-blocking batched sends.
+//!
+//! The UPC++/MHM2 lineage the measured engine follows (PAPERS.md, SC18)
+//! expresses every remote operation as an *asynchronous* injection that
+//! returns immediately, with a completion object the sender synchronizes on
+//! at the phase barrier. This module is that contract for the simulator's
+//! batched senders ([`crate::AggregatingStores`], [`crate::LookupBatch`],
+//! [`crate::Outbox`]):
+//!
+//! * a **flush** attempts each destination batch with the owner table's
+//!   non-blocking `try_*` path
+//!   ([`DistHashMap::try_merge_batch`](crate::DistHashMap::try_merge_batch),
+//!   [`DistHashMap::try_fetch_batch`](crate::DistHashMap::try_fetch_batch)).
+//!   A batch whose sub-shard lock is free lands immediately; a contended
+//!   batch is **parked** on the sender instead of stalling the worker, and
+//!   the sender's compute continues — communication overlapped with
+//!   compute;
+//! * the returned [`Completion`] says how much landed and how much was
+//!   parked; `pgas/comp/deferred_sends` in [`crate::metrics`] counts parks
+//!   globally;
+//! * before the phase barrier the sender **drains**: parked batches are
+//!   re-applied with the blocking path (by then the contending worker has
+//!   moved on, so the wait is short). `finish`/`flush_all` drain
+//!   implicitly, so the PR 3 invariants are unchanged: `finish` still
+//!   hard-asserts nothing is pending, `abandon()` still discards parked
+//!   work on a stage abort, and the `Drop` debug-assert still catches
+//!   forgotten senders.
+//!
+//! Accounting is attempt-deterministic: a batch's message and bytes are
+//! charged when it is first *shipped* (attempted), never again when a
+//! parked batch drains. Per-rank [`CommStats`](crate::CommStats) therefore
+//! depend only on the rank's own push sequence — not on which locks
+//! happened to be contended — which is what keeps counters byte-identical
+//! across OS-thread schedules (DESIGN.md §12's determinism argument).
+
+use crate::metrics;
+
+/// Outcome summary of a non-blocking flush: how many destination batches
+/// landed immediately and how many were parked for the drain.
+///
+/// Handles from successive flushes of the same sender can be
+/// [`merge`](Completion::merge)d into a phase-level summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Completion {
+    shipped: u64,
+    deferred: u64,
+}
+
+impl Completion {
+    /// A completion with nothing attempted yet.
+    pub fn new() -> Self {
+        Completion::default()
+    }
+
+    /// Record one batch that landed on the first (non-blocking) attempt.
+    #[inline]
+    pub fn record_shipped(&mut self) {
+        self.shipped += 1;
+    }
+
+    /// Record one batch parked behind a contended owner lock. Also counts
+    /// one `pgas/comp/deferred_sends` tick in the metrics registry.
+    #[inline]
+    pub fn record_deferred(&mut self) {
+        self.deferred += 1;
+        metrics::counter_add("pgas/comp/deferred_sends", 1);
+    }
+
+    /// Fold another completion into this one.
+    pub fn merge(&mut self, other: Completion) {
+        self.shipped += other.shipped;
+        self.deferred += other.deferred;
+    }
+
+    /// Batches that landed on their first attempt.
+    pub fn shipped(&self) -> u64 {
+        self.shipped
+    }
+
+    /// Batches parked for the phase-barrier drain.
+    pub fn deferred(&self) -> u64 {
+        self.deferred
+    }
+
+    /// Whether every attempted batch landed immediately (nothing parked).
+    pub fn all_shipped(&self) -> bool {
+        self.deferred == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_merge() {
+        let mut a = Completion::new();
+        assert!(a.all_shipped());
+        a.record_shipped();
+        a.record_shipped();
+        a.record_deferred();
+        assert_eq!(a.shipped(), 2);
+        assert_eq!(a.deferred(), 1);
+        assert!(!a.all_shipped());
+
+        let mut b = Completion::new();
+        b.record_shipped();
+        b.merge(a);
+        assert_eq!(b.shipped(), 3);
+        assert_eq!(b.deferred(), 1);
+    }
+}

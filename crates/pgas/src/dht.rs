@@ -3,15 +3,35 @@
 //! operations on them are irregular lookups").
 //!
 //! Keys are assigned to an **owner rank** by a placement function over the
-//! key's 64-bit hash; each rank's partition is one shard. Any rank may read
-//! or write any key (one-sided semantics): the access is executed directly
-//! against the owner's shard, and the *acting* rank's [`CommStats`] records
-//! whether it was local, on-node, or off-node — exactly the accounting
-//! Tables 1–2 of the paper report. Work that lands in a shard on behalf of
-//! other ranks is additionally tallied as `service_ops` against the owner,
-//! which is where heavy-hitter load imbalance (Fig. 6) becomes visible.
+//! key's 64-bit hash; each rank's partition is further split into
+//! [`SUB_SHARDS_PER_RANK`] independently locked **sub-shards** selected by
+//! the hash's high bits, so concurrent OS workers servicing different keys
+//! of the same owner do not serialize on one lock (see DESIGN.md §12).
+//! Any rank may read or write any key (one-sided semantics): the access is
+//! executed directly against the owner's partition, and the *acting* rank's
+//! [`CommStats`] records whether it was local, on-node, or off-node —
+//! exactly the accounting Tables 1–2 of the paper report. Work that lands
+//! in a partition on behalf of other ranks is additionally tallied as
+//! `service_ops` against the owner, which is where heavy-hitter load
+//! imbalance (Fig. 6) becomes visible.
+//!
+//! Every sub-shard carries a **mutation sequence number** bumped on each
+//! write that touches it. Read-only consumers (the software caches, the
+//! merAligner seed index) capture a [`version_stamp`] and validate it
+//! unchanged after the read phase — the sequence-validated access that
+//! makes the coherence contract of [`crate::lookup`] checkable instead of
+//! merely documented.
+//!
+//! The `try_*` batch variants ([`try_merge_batch`], [`try_fetch_batch`])
+//! are the non-blocking sends of the async completion layer
+//! ([`crate::comp`]): they fail fast when a sub-shard lock is contended,
+//! handing the batch back to the caller to park and retry at drain time
+//! instead of stalling the sending worker.
 //!
 //! [`CommStats`]: crate::stats::CommStats
+//! [`version_stamp`]: DistHashMap::version_stamp
+//! [`try_merge_batch`]: DistHashMap::try_merge_batch
+//! [`try_fetch_batch`]: DistHashMap::try_fetch_batch
 
 use crate::metrics;
 use crate::team::RankCtx;
@@ -44,13 +64,46 @@ impl std::fmt::Debug for Placement {
     }
 }
 
-type Shard<K, V> = Mutex<HashMap<K, V, KmerBuildHasher>>;
+/// Independently locked sub-shards per owner rank (a power of two).
+///
+/// A phase runs at most `min(os_threads, ranks)` concurrent workers, so
+/// `ranks × SUB_SHARDS_PER_RANK` total locks is always ≥ 8× the worker
+/// count — the contention headroom the measured-parallelism engine needs.
+/// The constant is deliberately **independent of the host's thread count**:
+/// sub-shard membership feeds local iteration order, and a host-dependent
+/// layout would make output-determinism arguments depend on the machine.
+pub const SUB_SHARDS_PER_RANK: usize = 8;
+
+/// Outcome of a non-blocking batch send: `Ok` carries the drained batch
+/// buffer back for reuse ([`crate::BufferPool`]); `Err` carries the
+/// entries that parked behind a contended sub-shard lock, to be retried
+/// at drain time.
+pub type TryBatchResult<K, V> = Result<Vec<(K, V)>, Vec<(K, V)>>;
+
+/// One lockable slice of an owner rank's partition.
+struct SubShard<K, V> {
+    map: Mutex<HashMap<K, V, KmerBuildHasher>>,
+    /// Mutation sequence number: bumped once per write batch / write op
+    /// that touches this sub-shard. Never reset.
+    seq: AtomicU64,
+}
+
+impl<K, V> Default for SubShard<K, V> {
+    fn default() -> Self {
+        SubShard {
+            map: Mutex::new(HashMap::default()),
+            seq: AtomicU64::new(0),
+        }
+    }
+}
 
 /// A hash table partitioned across the virtual ranks of a [`Topology`].
 pub struct DistHashMap<K, V> {
     topo: Topology,
     placement: Placement,
-    shards: Vec<Shard<K, V>>,
+    /// `ranks * SUB_SHARDS_PER_RANK` sub-shards; index
+    /// `owner * SUB_SHARDS_PER_RANK + sub`.
+    shards: Vec<SubShard<K, V>>,
     /// Remote-landed updates serviced by each shard's owner.
     service: Vec<AtomicU64>,
     hasher: KmerBuildHasher,
@@ -83,7 +136,9 @@ where
         DistHashMap {
             topo,
             placement,
-            shards: (0..ranks).map(|_| Mutex::new(HashMap::default())).collect(),
+            shards: (0..ranks * SUB_SHARDS_PER_RANK)
+                .map(|_| SubShard::default())
+                .collect(),
             service: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
             hasher: KmerBuildHasher::default(),
             entry_bytes: (std::mem::size_of::<K>() + std::mem::size_of::<V>()) as u64,
@@ -140,10 +195,9 @@ where
         self.hasher.hash_one(key)
     }
 
-    /// The rank owning `key`.
+    /// The rank owning the key whose hash is `h`.
     #[inline]
-    pub fn owner(&self, key: &K) -> usize {
-        let h = self.key_hash(key);
+    fn owner_of_hash(&self, h: u64) -> usize {
         match &self.placement {
             Placement::Cyclic => (h % self.topo.ranks() as u64) as usize,
             Placement::Custom(f) => {
@@ -154,6 +208,32 @@ where
         }
     }
 
+    /// The rank owning `key`.
+    #[inline]
+    pub fn owner(&self, key: &K) -> usize {
+        self.owner_of_hash(self.key_hash(key))
+    }
+
+    /// Sub-shard selector: the hash's top bits, independent of the
+    /// placement's `hash % ranks` (or custom) owner choice.
+    #[inline]
+    fn sub_of_hash(h: u64) -> usize {
+        (h >> 61) as usize & (SUB_SHARDS_PER_RANK - 1)
+    }
+
+    /// Global sub-shard index for a key of `owner` with hash `h`.
+    #[inline]
+    fn shard_index(owner: usize, h: u64) -> usize {
+        owner * SUB_SHARDS_PER_RANK + Self::sub_of_hash(h)
+    }
+
+    /// Global sub-shard index holding `key`.
+    #[inline]
+    fn shard_of_key(&self, key: &K) -> usize {
+        let h = self.key_hash(key);
+        Self::shard_index(self.owner_of_hash(h), h)
+    }
+
     /// Record one one-sided access by `ctx.rank` against `owner`'s shard
     /// (subject to fault injection when the rank's team carries a
     /// [`crate::FaultPlan`]).
@@ -162,24 +242,62 @@ where
         ctx.comm(&self.topo, owner, self.entry_bytes);
     }
 
-    /// Take `owner`'s shard lock. With the metrics registry enabled, a
-    /// failed `try_lock` first counts one `pgas/dht/lock_contention`
-    /// tick before blocking — the simulator's stand-in for the remote
-    /// atomics HipMer's UPC tables contend on. Disabled cost: one relaxed
-    /// atomic load on top of the lock itself.
+    /// Take a sub-shard lock. With the metrics registry enabled, a failed
+    /// `try_lock` first counts one `pgas/dht/lock_contention` tick before
+    /// blocking — the simulator's stand-in for the remote atomics HipMer's
+    /// UPC tables contend on. Disabled cost: one relaxed atomic load on top
+    /// of the lock itself.
     #[inline]
     fn lock_shard(
         &self,
-        owner: usize,
+        idx: usize,
     ) -> parking_lot::MutexGuard<'_, HashMap<K, V, KmerBuildHasher>> {
-        let shard = &self.shards[owner];
+        let shard = &self.shards[idx];
         if metrics::is_enabled() {
-            if let Some(guard) = shard.try_lock() {
+            if let Some(guard) = shard.map.try_lock() {
                 return guard;
             }
             metrics::counter_add("pgas/dht/lock_contention", 1);
         }
-        shard.lock()
+        shard.map.lock()
+    }
+
+    /// Bump a sub-shard's mutation sequence number (call once per write op
+    /// or applied write batch).
+    #[inline]
+    fn bump_seq(&self, idx: usize) {
+        self.shards[idx].seq.fetch_add(1, Ordering::Release);
+    }
+
+    /// Test-only: hold the lock of the sub-shard owning `key`, to simulate
+    /// a contended owner from unit tests in sibling modules.
+    #[cfg(test)]
+    pub(crate) fn lock_shard_of_key_for_test(
+        &self,
+        key: &K,
+    ) -> parking_lot::MutexGuard<'_, HashMap<K, V, KmerBuildHasher>> {
+        self.shards[self.shard_of_key(key)].map.lock()
+    }
+
+    /// Sum of all sub-shard mutation sequence numbers — a cheap stamp that
+    /// changes whenever any write lands anywhere in the table.
+    ///
+    /// The sequence-validated read protocol: capture the stamp before a
+    /// read-only phase (cached seed lookups, contig-replica reads), and
+    /// assert it unchanged afterwards. A changed stamp means some rank
+    /// mutated the table while caches assumed immutability — the coherence
+    /// contract of [`crate::SoftwareCache`] was violated.
+    pub fn version_stamp(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.seq.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Total number of independently locked sub-shards
+    /// (`ranks × SUB_SHARDS_PER_RANK`).
+    pub fn sub_shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// One-sided read. Returns a clone of the value.
@@ -189,24 +307,27 @@ where
     {
         let owner = self.owner(key);
         self.account(ctx, owner);
-        self.lock_shard(owner).get(key).cloned()
+        self.lock_shard(self.shard_of_key(key)).get(key).cloned()
     }
 
     /// One-sided existence check.
     pub fn contains(&self, ctx: &mut RankCtx, key: &K) -> bool {
         let owner = self.owner(key);
         self.account(ctx, owner);
-        self.lock_shard(owner).contains_key(key)
+        self.lock_shard(self.shard_of_key(key)).contains_key(key)
     }
 
     /// One-sided write; returns the previous value if any. Counts a service
     /// op at the owner.
     pub fn insert(&self, ctx: &mut RankCtx, key: K, value: V) -> Option<V> {
-        let owner = self.owner(&key);
+        let h = self.key_hash(&key);
+        let owner = self.owner_of_hash(h);
         self.account(ctx, owner);
         self.service[owner].fetch_add(1, Ordering::Relaxed);
         self.track_hot_key(&key);
-        self.lock_shard(owner).insert(key, value)
+        let idx = Self::shard_index(owner, h);
+        self.bump_seq(idx);
+        self.lock_shard(idx).insert(key, value)
     }
 
     /// One-sided upsert: create the entry with `default` if absent, then
@@ -217,11 +338,14 @@ where
         D: FnOnce() -> V,
         F: FnOnce(&mut V),
     {
-        let owner = self.owner(&key);
+        let h = self.key_hash(&key);
+        let owner = self.owner_of_hash(h);
         self.account(ctx, owner);
         self.service[owner].fetch_add(1, Ordering::Relaxed);
         self.track_hot_key(&key);
-        let mut shard = self.lock_shard(owner);
+        let idx = Self::shard_index(owner, h);
+        self.bump_seq(idx);
+        let mut shard = self.lock_shard(idx);
         f(shard.entry(key).or_insert_with(default));
     }
 
@@ -233,7 +357,9 @@ where
     {
         let owner = self.owner(key);
         self.account(ctx, owner);
-        let mut shard = self.lock_shard(owner);
+        let idx = self.shard_of_key(key);
+        self.bump_seq(idx);
+        let mut shard = self.lock_shard(idx);
         f(shard.get_mut(key))
     }
 
@@ -241,7 +367,9 @@ where
     pub fn remove(&self, ctx: &mut RankCtx, key: &K) -> Option<V> {
         let owner = self.owner(key);
         self.account(ctx, owner);
-        self.lock_shard(owner).remove(key)
+        let idx = self.shard_of_key(key);
+        self.bump_seq(idx);
+        self.lock_shard(idx).remove(key)
     }
 
     /// Answer a batch of lookups that arrived as **one** multi-get message
@@ -253,20 +381,74 @@ where
     /// every counter except the message count unchanged.
     ///
     /// Every key must be owned by `dest` (checked in debug builds). Results
-    /// come back in key order; the owner's shard lock is taken once for the
+    /// come back in key order; each sub-shard lock is taken once for the
     /// whole batch — the read-side analogue of the aggregated-store lock
     /// saving documented in [`crate::agg`].
     pub fn fetch_batch(&self, dest: usize, keys: &[&K]) -> Vec<Option<V>>
     where
         V: Clone,
     {
-        let shard = self.lock_shard(dest);
-        keys.iter()
+        let mut out: Vec<Option<V>> = Vec::with_capacity(keys.len());
+        out.resize_with(keys.len(), || None);
+        let subs: Vec<u8> = keys
+            .iter()
             .map(|k| {
                 debug_assert_eq!(self.owner(k), dest, "fetch_batch key not owned by dest");
-                shard.get(*k).cloned()
+                Self::sub_of_hash(self.key_hash(k)) as u8
             })
-            .collect()
+            .collect();
+        for sub in 0..SUB_SHARDS_PER_RANK {
+            if !subs.iter().any(|&s| s as usize == sub) {
+                continue;
+            }
+            let shard = self.lock_shard(dest * SUB_SHARDS_PER_RANK + sub);
+            for (i, k) in keys.iter().enumerate() {
+                if subs[i] as usize == sub {
+                    out[i] = shard.get(*k).cloned();
+                }
+            }
+        }
+        out
+    }
+
+    /// Non-blocking [`fetch_batch`](Self::fetch_batch): resolve the batch
+    /// only if **every** needed sub-shard lock is immediately available
+    /// (acquired in ascending index order — the module's lock-ordering
+    /// rule). Returns `None` without blocking when any is contended; the
+    /// caller parks the request batch and retries at drain time
+    /// ([`crate::LookupBatch::drain`]). Each refusal counts one
+    /// `pgas/dht/lock_contention` tick (metrics enabled).
+    pub fn try_fetch_batch(&self, dest: usize, keys: &[&K]) -> Option<Vec<Option<V>>>
+    where
+        V: Clone,
+    {
+        let subs: Vec<u8> = keys
+            .iter()
+            .map(|k| {
+                debug_assert_eq!(self.owner(k), dest, "try_fetch_batch key not owned by dest");
+                Self::sub_of_hash(self.key_hash(k)) as u8
+            })
+            .collect();
+        let mut guards: Vec<Option<parking_lot::MutexGuard<'_, _>>> = Vec::new();
+        guards.resize_with(SUB_SHARDS_PER_RANK, || None);
+        for (sub, slot) in guards.iter_mut().enumerate() {
+            if !subs.iter().any(|&s| s as usize == sub) {
+                continue;
+            }
+            match self.shards[dest * SUB_SHARDS_PER_RANK + sub].map.try_lock() {
+                Some(guard) => *slot = Some(guard),
+                None => {
+                    metrics::counter_add("pgas/dht/lock_contention", 1);
+                    return None; // guards drop, releasing what was taken
+                }
+            }
+        }
+        let mut out: Vec<Option<V>> = Vec::with_capacity(keys.len());
+        for (k, &sub) in keys.iter().zip(&subs) {
+            let shard = guards[sub as usize].as_ref().expect("locked above");
+            out.push(shard.get(*k).cloned());
+        }
+        Some(out)
     }
 
     /// Batched one-sided read: group `keys` by owner, ship **one** message
@@ -305,6 +487,130 @@ where
         out
     }
 
+    /// Partition a batch into per-sub-shard buckets, preserving the
+    /// relative order of entries within each bucket (equal keys always land
+    /// in the same bucket, so same-key merge order is deterministic).
+    /// Returns the emptied carrier alongside the buckets for buffer reuse.
+    #[allow(clippy::type_complexity)]
+    fn bucket_entries(
+        &self,
+        entries: Vec<(K, V)>,
+    ) -> (Vec<(K, V)>, [Vec<(K, V)>; SUB_SHARDS_PER_RANK]) {
+        let mut buckets: [Vec<(K, V)>; SUB_SHARDS_PER_RANK] = std::array::from_fn(|_| Vec::new());
+        let mut carrier = entries;
+        for (k, v) in carrier.drain(..) {
+            buckets[Self::sub_of_hash(self.key_hash(&k))].push((k, v));
+        }
+        (carrier, buckets)
+    }
+
+    /// Apply one sub-shard bucket under its lock, tallying service ops and
+    /// hot keys for the applied entries.
+    fn apply_bucket<M>(
+        &self,
+        dest: usize,
+        sub: usize,
+        bucket: Vec<(K, V)>,
+        merge: &M,
+        existing_only: bool,
+    ) where
+        M: Fn(&mut V, V),
+    {
+        self.service[dest].fetch_add(bucket.len() as u64, Ordering::Relaxed);
+        if self.hot_keys.is_some() {
+            for (k, _) in &bucket {
+                self.track_hot_key(k);
+            }
+        }
+        let idx = dest * SUB_SHARDS_PER_RANK + sub;
+        self.bump_seq(idx);
+        let mut shard = self.lock_shard(idx);
+        for (k, v) in bucket {
+            if existing_only {
+                if let Some(slot) = shard.get_mut(&k) {
+                    merge(slot, v);
+                }
+            } else {
+                match shard.entry(k) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => merge(e.get_mut(), v),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocking batch application shared by [`merge_batch`](Self::merge_batch)
+    /// and [`merge_batch_existing`](Self::merge_batch_existing); returns the
+    /// emptied carrier so aggregators can recycle it through their
+    /// [`crate::arena::BufferPool`].
+    pub(crate) fn apply_batch<M>(
+        &self,
+        dest: usize,
+        entries: Vec<(K, V)>,
+        merge: &M,
+        existing_only: bool,
+    ) -> Vec<(K, V)>
+    where
+        M: Fn(&mut V, V),
+    {
+        let (carrier, buckets) = self.bucket_entries(entries);
+        for (sub, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            self.apply_bucket(dest, sub, bucket, merge, existing_only);
+        }
+        carrier
+    }
+
+    /// Non-blocking batch application shared by
+    /// [`try_merge_batch`](Self::try_merge_batch) and
+    /// [`try_merge_batch_existing`](Self::try_merge_batch_existing).
+    pub(crate) fn try_apply_batch<M>(
+        &self,
+        dest: usize,
+        entries: Vec<(K, V)>,
+        merge: &M,
+        existing_only: bool,
+    ) -> TryBatchResult<K, V>
+    where
+        M: Fn(&mut V, V),
+    {
+        let (mut carrier, buckets) = self.bucket_entries(entries);
+        let mut contended = false;
+        for (sub, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            // Peek without blocking; the real lock (with its contention
+            // accounting) is taken inside apply_bucket and cannot block
+            // because sends of a phase never hold sub-shard locks across
+            // calls (the module's lock-ordering rule) — but another worker
+            // may still slip in, which is fine: apply_bucket then waits on
+            // a lock known to be briefly held, which is not the stall the
+            // try path exists to avoid. Keep it truly non-blocking instead:
+            // a failed try_lock parks the bucket.
+            match self.shards[dest * SUB_SHARDS_PER_RANK + sub].map.try_lock() {
+                Some(guard) => {
+                    drop(guard);
+                    self.apply_bucket(dest, sub, bucket, merge, existing_only);
+                }
+                None => {
+                    metrics::counter_add("pgas/dht/lock_contention", 1);
+                    contended = true;
+                    carrier.extend(bucket);
+                }
+            }
+        }
+        if contended {
+            Err(carrier)
+        } else {
+            Ok(carrier)
+        }
+    }
+
     /// Apply a batch of merged updates that arrived as **one** aggregated
     /// message (see [`crate::AggregatingStores`]). The caller has already
     /// accounted the message; this only tallies the owner's service work.
@@ -312,21 +618,27 @@ where
     where
         M: Fn(&mut V, V),
     {
-        self.service[dest].fetch_add(entries.len() as u64, Ordering::Relaxed);
-        if self.hot_keys.is_some() {
-            for (k, _) in &entries {
-                self.track_hot_key(k);
-            }
-        }
-        let mut shard = self.lock_shard(dest);
-        for (k, v) in entries {
-            match shard.entry(k) {
-                std::collections::hash_map::Entry::Occupied(mut e) => merge(e.get_mut(), v),
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(v);
-                }
-            }
-        }
+        let _ = self.apply_batch(dest, entries, &merge, false);
+    }
+
+    /// Non-blocking [`merge_batch`](Self::merge_batch): entries whose
+    /// sub-shard lock is free are applied immediately; entries behind a
+    /// contended lock are handed back as `Err(leftovers)` for the caller to
+    /// park and retry at drain time ([`crate::AggregatingStores::drain`]).
+    /// `Ok` carries the emptied batch buffer for reuse. Same-key entries
+    /// keep their relative order (they share a sub-shard), so deferred
+    /// application commutes with the in-order blocking path for any
+    /// per-key merge.
+    pub fn try_merge_batch<M>(
+        &self,
+        dest: usize,
+        entries: Vec<(K, V)>,
+        merge: M,
+    ) -> TryBatchResult<K, V>
+    where
+        M: Fn(&mut V, V),
+    {
+        self.try_apply_batch(dest, entries, &merge, false)
     }
 
     /// As [`merge_batch`](Self::merge_batch), but entries whose key is not
@@ -338,47 +650,53 @@ where
     where
         M: Fn(&mut V, V),
     {
-        self.service[dest].fetch_add(entries.len() as u64, Ordering::Relaxed);
-        if self.hot_keys.is_some() {
-            for (k, _) in &entries {
-                self.track_hot_key(k);
-            }
-        }
-        let mut shard = self.lock_shard(dest);
-        for (k, v) in entries {
-            if let Some(slot) = shard.get_mut(&k) {
-                merge(slot, v);
-            }
-        }
+        let _ = self.apply_batch(dest, entries, &merge, true);
+    }
+
+    /// Non-blocking [`merge_batch_existing`](Self::merge_batch_existing);
+    /// see [`try_merge_batch`](Self::try_merge_batch) for the contract.
+    pub fn try_merge_batch_existing<M>(
+        &self,
+        dest: usize,
+        entries: Vec<(K, V)>,
+        merge: M,
+    ) -> TryBatchResult<K, V>
+    where
+        M: Fn(&mut V, V),
+    {
+        self.try_apply_batch(dest, entries, &merge, true)
     }
 
     /// Total entries across all shards (collective metadata; not counted).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.map.lock().len()).sum()
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.lock().is_empty())
+        self.shards.iter().all(|s| s.map.lock().is_empty())
     }
 
-    /// Iterate the acting rank's own shard, counting one local op per entry
-    /// (each rank post-processing its local buckets is a standard phase in
-    /// the paper: link assessment, depth summation, ...).
+    /// Iterate the acting rank's own partition (all its sub-shards, in
+    /// sub-shard order), counting one local op per entry (each rank
+    /// post-processing its local buckets is a standard phase in the paper:
+    /// link assessment, depth summation, ...).
     pub fn fold_local<T, F>(&self, ctx: &mut RankCtx, init: T, mut f: F) -> T
     where
         F: FnMut(T, &K, &V) -> T,
     {
-        let shard = self.shards[ctx.rank].lock();
-        ctx.stats.local_ops += shard.len() as u64;
         let mut acc = init;
-        for (k, v) in shard.iter() {
-            acc = f(acc, k, v);
+        for sub in 0..SUB_SHARDS_PER_RANK {
+            let shard = self.shards[ctx.rank * SUB_SHARDS_PER_RANK + sub].map.lock();
+            ctx.stats.local_ops += shard.len() as u64;
+            for (k, v) in shard.iter() {
+                acc = f(acc, k, v);
+            }
         }
         acc
     }
 
-    /// Snapshot the acting rank's shard as (key, value) pairs, charging
+    /// Snapshot the acting rank's partition as (key, value) pairs, charging
     /// only compute (a linear scan of local memory, not hash lookups).
     /// Used for seed scans where the per-entry cost is a flag check, not a
     /// table operation.
@@ -387,39 +705,57 @@ where
         K: Clone,
         V: Clone,
     {
-        let shard = self.shards[ctx.rank].lock();
-        ctx.stats.compute(shard.len() as u64);
-        shard.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        let mut out = Vec::new();
+        for sub in 0..SUB_SHARDS_PER_RANK {
+            let shard = self.shards[ctx.rank * SUB_SHARDS_PER_RANK + sub].map.lock();
+            ctx.stats.compute(shard.len() as u64);
+            out.extend(shard.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out
     }
 
-    /// Drain the acting rank's shard into a vector (counts local ops).
+    /// Drain the acting rank's partition into a vector (counts local ops).
     pub fn drain_local(&self, ctx: &mut RankCtx) -> Vec<(K, V)> {
-        let mut shard = self.shards[ctx.rank].lock();
-        ctx.stats.local_ops += shard.len() as u64;
-        shard.drain().collect()
+        let mut out = Vec::new();
+        for sub in 0..SUB_SHARDS_PER_RANK {
+            let idx = ctx.rank * SUB_SHARDS_PER_RANK + sub;
+            self.bump_seq(idx);
+            let mut shard = self.shards[idx].map.lock();
+            ctx.stats.local_ops += shard.len() as u64;
+            out.extend(shard.drain());
+        }
+        out
     }
 
-    /// Mutate every entry of the acting rank's shard in place.
+    /// Mutate every entry of the acting rank's partition in place.
     pub fn for_each_local_mut<F>(&self, ctx: &mut RankCtx, mut f: F)
     where
         F: FnMut(&K, &mut V),
     {
-        let mut shard = self.shards[ctx.rank].lock();
-        ctx.stats.local_ops += shard.len() as u64;
-        for (k, v) in shard.iter_mut() {
-            f(k, v);
+        for sub in 0..SUB_SHARDS_PER_RANK {
+            let idx = ctx.rank * SUB_SHARDS_PER_RANK + sub;
+            self.bump_seq(idx);
+            let mut shard = self.shards[idx].map.lock();
+            ctx.stats.local_ops += shard.len() as u64;
+            for (k, v) in shard.iter_mut() {
+                f(k, v);
+            }
         }
     }
 
     /// Retain only entries satisfying the predicate in the acting rank's
-    /// shard (used to discard below-threshold k-mers after counting).
+    /// partition (used to discard below-threshold k-mers after counting).
     pub fn retain_local<F>(&self, ctx: &mut RankCtx, mut f: F)
     where
         F: FnMut(&K, &mut V) -> bool,
     {
-        let mut shard = self.shards[ctx.rank].lock();
-        ctx.stats.local_ops += shard.len() as u64;
-        shard.retain(|k, v| f(k, v));
+        for sub in 0..SUB_SHARDS_PER_RANK {
+            let idx = ctx.rank * SUB_SHARDS_PER_RANK + sub;
+            self.bump_seq(idx);
+            let mut shard = self.shards[idx].map.lock();
+            ctx.stats.local_ops += shard.len() as u64;
+            shard.retain(|k, v| f(k, v));
+        }
     }
 
     /// Move each shard owner's accumulated service work into the per-rank
@@ -428,7 +764,7 @@ where
     /// With the metrics registry enabled, this end-of-phase collective also
     /// publishes table occupancy: the `pgas/dht/entries` gauge keeps the
     /// high-water total entry count across all tables, and
-    /// `pgas/dht/load_factor_max` the worst max-shard/mean-shard ratio
+    /// `pgas/dht/load_factor_max` the worst max-rank/mean-rank ratio
     /// observed (1.0 = perfectly balanced placement; the paper's heavy
     /// hitters show up here before they show up in `service_ops` skew).
     pub fn drain_service_into(&self, stats: &mut [crate::CommStats]) {
@@ -458,7 +794,7 @@ where
     {
         let mut out = Vec::new();
         for shard in &self.shards {
-            let shard = shard.lock();
+            let shard = shard.map.lock();
             out.extend(shard.iter().map(|(k, v)| (k.clone(), v.clone())));
         }
         out
@@ -467,11 +803,13 @@ where
     /// Bulk-load entries into their owner shards, **without** touching any
     /// counters or service tallies — the checkpoint-restore path, whose I/O
     /// cost is accounted by the resume machinery as a `checkpoint/load-*`
-    /// phase instead of as table traffic.
+    /// phase instead of as table traffic. Sequence numbers still advance
+    /// (a restore is a write).
     pub fn preload(&self, entries: impl IntoIterator<Item = (K, V)>) {
         for (k, v) in entries {
-            let owner = self.owner(&k);
-            self.shards[owner].lock().insert(k, v);
+            let idx = self.shard_of_key(&k);
+            self.bump_seq(idx);
+            self.shards[idx].map.lock().insert(k, v);
         }
     }
 
@@ -479,14 +817,26 @@ where
     pub fn into_entries(self) -> Vec<(K, V)> {
         let mut out = Vec::new();
         for shard in self.shards {
-            out.extend(shard.into_inner());
+            out.extend(shard.map.into_inner());
         }
         out
     }
 
-    /// Snapshot of the per-rank shard sizes (load-balance diagnostics).
+    /// Snapshot of the per-rank partition sizes (load-balance diagnostics);
+    /// each rank's size sums its sub-shards.
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.lock().len()).collect()
+        (0..self.topo.ranks())
+            .map(|rank| {
+                (0..SUB_SHARDS_PER_RANK)
+                    .map(|sub| {
+                        self.shards[rank * SUB_SHARDS_PER_RANK + sub]
+                            .map
+                            .lock()
+                            .len()
+                    })
+                    .sum()
+            })
+            .collect()
     }
 }
 
@@ -519,6 +869,31 @@ mod tests {
             assert!(o < 7);
             assert_eq!(o, dht.owner(&key));
         }
+    }
+
+    #[test]
+    fn sub_shard_count_gives_contention_headroom() {
+        // A phase runs at most min(os_threads, ranks) workers, so the
+        // sub-shard count is always >= 8x the worker count.
+        let topo = Topology::new(16, 8);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        assert_eq!(dht.sub_shard_count(), 16 * SUB_SHARDS_PER_RANK);
+        assert!(dht.sub_shard_count() >= 8 * 16);
+        // Keys of one owner spread over that owner's sub-shards.
+        let mut c = ctx(0, topo);
+        for k in 0..4096u64 {
+            dht.insert(&mut c, k, 0);
+        }
+        let rank0_keys: Vec<u64> = (0..4096).filter(|k| dht.owner(k) == 0).collect();
+        let mut subs_used = std::collections::HashSet::new();
+        for k in &rank0_keys {
+            subs_used.insert(dht.shard_of_key(k));
+        }
+        assert!(
+            subs_used.len() > SUB_SHARDS_PER_RANK / 2,
+            "keys should spread over sub-shards, used {}",
+            subs_used.len()
+        );
     }
 
     #[test]
@@ -631,6 +1006,105 @@ mod tests {
     }
 
     #[test]
+    fn try_merge_batch_applies_when_uncontended() {
+        let topo = Topology::new(4, 2);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let dest = dht.owner(&7);
+        let entries: Vec<(u64, u32)> = (0..64)
+            .filter(|k| dht.owner(k) == dest)
+            .map(|k| (k, 1))
+            .collect();
+        let n = entries.len();
+        let carrier = dht
+            .try_merge_batch(dest, entries, |a, b| *a += b)
+            .expect("uncontended try_merge_batch must apply");
+        assert!(carrier.is_empty(), "carrier comes back drained for reuse");
+        assert_eq!(dht.len(), n);
+        // Service ops match the blocking path.
+        let mut stats = vec![crate::CommStats::new(); 4];
+        dht.drain_service_into(&mut stats);
+        assert_eq!(stats[dest].service_ops, n as u64);
+    }
+
+    #[test]
+    fn try_merge_batch_parks_contended_entries() {
+        let topo = Topology::new(2, 2);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let dest = dht.owner(&3);
+        let entries: Vec<(u64, u32)> = (0..200)
+            .filter(|k| dht.owner(k) == dest)
+            .map(|k| (k, 1))
+            .collect();
+        let total = entries.len();
+        // Hold one sub-shard's lock: entries bound for it must come back.
+        let blocked_idx = dht.shard_of_key(&3);
+        let held = dht.shards[blocked_idx].map.lock();
+        let leftovers = dht
+            .try_merge_batch(dest, entries, |a, b| *a += b)
+            .expect_err("contended sub-shard must defer its bucket");
+        drop(held);
+        assert!(!leftovers.is_empty());
+        assert!(
+            leftovers.len() < total,
+            "only the contended bucket defers, not the whole batch"
+        );
+        assert!(leftovers
+            .iter()
+            .all(|(k, _)| dht.shard_of_key(k) == blocked_idx));
+        // Draining the leftovers through the blocking path converges to the
+        // same table state and the same service total.
+        let applied = total - leftovers.len();
+        dht.merge_batch(dest, leftovers, |a, b| *a += b);
+        assert_eq!(dht.len(), total);
+        let mut stats = vec![crate::CommStats::new(); 2];
+        dht.drain_service_into(&mut stats);
+        assert_eq!(stats[dest].service_ops, total as u64);
+        let _ = applied;
+    }
+
+    #[test]
+    fn try_fetch_batch_is_all_or_nothing() {
+        let topo = Topology::new(2, 2);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut c = ctx(0, topo);
+        let keys: Vec<u64> = (0..100).filter(|k| dht.owner(k) == 0).collect();
+        for &k in &keys {
+            dht.insert(&mut c, k, k as u32 * 2);
+        }
+        let refs: Vec<&u64> = keys.iter().collect();
+        let vals = dht.try_fetch_batch(0, &refs).expect("uncontended");
+        assert_eq!(vals.len(), keys.len());
+        for (k, v) in keys.iter().zip(&vals) {
+            assert_eq!(*v, Some(*k as u32 * 2));
+        }
+        // Holding any needed sub-shard lock refuses the whole batch.
+        let held = dht.shards[dht.shard_of_key(&keys[0])].map.lock();
+        assert!(dht.try_fetch_batch(0, &refs).is_none());
+        drop(held);
+        assert!(dht.try_fetch_batch(0, &refs).is_some());
+    }
+
+    #[test]
+    fn version_stamp_advances_on_writes_only() {
+        let topo = Topology::new(2, 2);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut c = ctx(0, topo);
+        let v0 = dht.version_stamp();
+        dht.insert(&mut c, 1, 1);
+        let v1 = dht.version_stamp();
+        assert!(v1 > v0, "insert must advance the stamp");
+        // Reads leave the stamp untouched: the sequence-validated read
+        // protocol for caches.
+        let _ = dht.get(&mut c, &1);
+        let _ = dht.contains(&mut c, &1);
+        let _ = dht.multi_get(&mut c, &[1, 2, 3]);
+        let _ = dht.snapshot_entries();
+        assert_eq!(dht.version_stamp(), v1);
+        dht.update(&mut c, 1, || 0, |v| *v += 1);
+        assert!(dht.version_stamp() > v1, "update must advance the stamp");
+    }
+
+    #[test]
     fn with_mut_sees_missing_and_present() {
         let topo = Topology::new(2, 2);
         let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
@@ -713,9 +1187,10 @@ mod tests {
         let mut stats = vec![crate::CommStats::new(); 4];
         dht.drain_service_into(&mut stats);
 
-        // Contention: hold shard 3's lock while another thread inserts.
-        // The insert's try_lock fails and counts contention *before*
-        // blocking, so we can wait on the counter and then release.
+        // Contention: hold key 0's sub-shard lock while another thread
+        // inserts that key. The insert's try_lock fails and counts
+        // contention *before* blocking, so we can wait on the counter and
+        // then release.
         let contention = || {
             metrics::snapshot().iter().find_map(|m| match m {
                 metrics::MetricSnapshot::Counter(n, v) if n == "pgas/dht/lock_contention" => {
@@ -724,7 +1199,7 @@ mod tests {
                 _ => None,
             })
         };
-        let held = dht.shards[3].lock();
+        let held = dht.shards[dht.shard_of_key(&0)].map.lock();
         std::thread::scope(|s| {
             s.spawn(|| {
                 let mut c2 = RankCtx::new(1, topo);

@@ -31,7 +31,9 @@
 #![warn(missing_docs)]
 
 pub mod agg;
+pub mod arena;
 pub mod calib;
+pub mod comp;
 pub mod cost;
 pub mod dht;
 pub mod fault;
@@ -47,7 +49,9 @@ pub mod topology;
 pub mod trace;
 
 pub use agg::{AggregatingStores, Outbox};
+pub use arena::BufferPool;
 pub use calib::Calibration;
+pub use comp::Completion;
 pub use cost::{CostModel, ModeledTime, RankBreakdown};
 pub use dht::{DistHashMap, Placement};
 pub use fault::{
@@ -58,5 +62,6 @@ pub use oracle::OracleVector;
 pub use report::{CheckpointEvent, PhaseReport, PipelineReport, StageAttempt};
 pub use sched::Schedule;
 pub use stats::CommStats;
-pub use team::{RankCtx, Team};
+pub use team::{Affinity, RankCtx, Team};
 pub use topology::Topology;
+pub use trace::Recorder;

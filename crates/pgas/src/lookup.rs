@@ -28,6 +28,8 @@
 //! [`CommStats::cache_misses`](crate::CommStats::cache_misses) so cache
 //! effectiveness is visible in `--report-json` (schema v2).
 
+use crate::arena::BufferPool;
+use crate::comp::Completion;
 use crate::dht::DistHashMap;
 use crate::team::RankCtx;
 use std::collections::HashMap;
@@ -47,9 +49,23 @@ use std::hash::Hash;
 /// consumed with [`finish`](Self::finish) (which hard-asserts all buffers
 /// drained) or explicitly [`flush_all`](Self::flush_all)ed; a
 /// `debug_assert` in `Drop` catches batches abandoned at phase end.
+///
+/// Ships are non-blocking ([`crate::comp`]): a full buffer is attempted
+/// with [`DistHashMap::try_fetch_batch`] and **parked** when any needed
+/// owner sub-shard is contended; parked requests resolve at the next
+/// [`drain`](Self::drain) / [`flush_all`](Self::flush_all) /
+/// [`finish`](Self::finish). Delivery order across batches therefore
+/// depends on contention — callers must route results by tag (as every
+/// call site in this repo does), never by arrival order. Values are
+/// unaffected: the coherence contract already forbids mutating a table
+/// with reads in flight, and
+/// [`DistHashMap::version_stamp`] makes that checkable.
 pub struct LookupBatch<'a, K, V, T> {
     dht: &'a DistHashMap<K, V>,
     buffers: Vec<Vec<(K, T)>>,
+    deferred: Vec<(usize, Vec<(K, T)>)>,
+    pool: BufferPool<(K, T)>,
+    completion: Completion,
     batch: usize,
 }
 
@@ -71,6 +87,9 @@ where
         LookupBatch {
             dht,
             buffers: (0..ranks).map(|_| Vec::new()).collect(),
+            deferred: Vec::new(),
+            pool: BufferPool::default_bound(),
+            completion: Completion::new(),
             batch,
         }
     }
@@ -89,30 +108,63 @@ where
         }
     }
 
-    /// Ship one destination's buffer as a single multi-get message.
+    /// Ship one destination's buffer as a single multi-get message,
+    /// attempted through the table's non-blocking read path.
     fn ship<F>(&mut self, ctx: &mut RankCtx, dest: usize, deliver: &mut F)
     where
         F: FnMut(&mut RankCtx, T, Option<V>),
     {
-        let entries = std::mem::take(&mut self.buffers[dest]);
-        if entries.is_empty() {
+        if self.buffers[dest].is_empty() {
             return;
         }
+        let fresh = self.pool.take();
+        let mut entries = std::mem::replace(&mut self.buffers[dest], fresh);
         // One message event carrying the whole request batch; bytes in
-        // full, exactly like the write-side Outbox.
+        // full, exactly like the write-side Outbox. Charged at first
+        // attempt; a parked batch is not re-charged when it drains.
         let topo = *self.dht.topo();
         let bytes = entries.len() as u64 * self.dht.entry_bytes();
         ctx.comm(&topo, dest, bytes);
         crate::metrics::observe("pgas/lookup/wire_bytes", bytes);
         ctx.stats.lookup_batches += 1;
         let keys: Vec<&K> = entries.iter().map(|(k, _)| k).collect();
-        let values = self.dht.fetch_batch(dest, &keys);
-        for ((_, tag), value) in entries.into_iter().zip(values) {
-            deliver(ctx, tag, value);
+        match self.dht.try_fetch_batch(dest, &keys) {
+            Some(values) => {
+                self.completion.record_shipped();
+                for ((_, tag), value) in entries.drain(..).zip(values) {
+                    deliver(ctx, tag, value);
+                }
+                self.pool.put(entries);
+            }
+            None => {
+                self.completion.record_deferred();
+                self.deferred.push((dest, entries));
+            }
         }
     }
 
-    /// Ship every non-empty buffer (call before the phase barrier).
+    /// Resolve every parked request with the blocking read path (no
+    /// re-accounting) and deliver the results. Runs implicitly from
+    /// [`flush_all`](Self::flush_all) and [`finish`](Self::finish); call it
+    /// directly at intra-phase sync points when using
+    /// [`flush_async`](Self::flush_async).
+    pub fn drain<F>(&mut self, ctx: &mut RankCtx, deliver: &mut F)
+    where
+        F: FnMut(&mut RankCtx, T, Option<V>),
+    {
+        for (dest, mut entries) in std::mem::take(&mut self.deferred) {
+            let keys: Vec<&K> = entries.iter().map(|(k, _)| k).collect();
+            let values = self.dht.fetch_batch(dest, &keys);
+            for ((_, tag), value) in entries.drain(..).zip(values) {
+                deliver(ctx, tag, value);
+            }
+            self.pool.put(entries);
+        }
+    }
+
+    /// Ship every non-empty buffer and drain parked requests — on return
+    /// every queued lookup has been delivered (call before the phase
+    /// barrier).
     pub fn flush_all<F>(&mut self, ctx: &mut RankCtx, deliver: &mut F)
     where
         F: FnMut(&mut RankCtx, T, Option<V>),
@@ -120,6 +172,23 @@ where
         for dest in 0..self.buffers.len() {
             self.ship(ctx, dest, deliver);
         }
+        self.drain(ctx, deliver);
+    }
+
+    /// Non-blocking flush: attempt every non-empty buffer, parking batches
+    /// behind contended owners instead of waiting, and return the
+    /// cumulative [`Completion`]. The caller owns the obligation to
+    /// [`drain`](Self::drain) (or `flush_all`/`finish`) before the phase
+    /// barrier — un-drained requests are unanswered, and both
+    /// [`finish`](Self::finish) and the `Drop` assertion enforce it.
+    pub fn flush_async<F>(&mut self, ctx: &mut RankCtx, deliver: &mut F) -> Completion
+    where
+        F: FnMut(&mut RankCtx, T, Option<V>),
+    {
+        for dest in 0..self.buffers.len() {
+            self.ship(ctx, dest, deliver);
+        }
+        self.completion
     }
 
     /// Consume the batch: flush every buffer, then hard-assert nothing is
@@ -140,18 +209,25 @@ where
 }
 
 impl<K, V, T> LookupBatch<'_, K, V, T> {
-    /// Requests currently buffered (diagnostics).
+    /// Requests currently buffered or parked awaiting a drain.
     pub fn pending(&self) -> usize {
-        self.buffers.iter().map(Vec::len).sum()
+        self.buffers.iter().map(Vec::len).sum::<usize>()
+            + self.deferred.iter().map(|(_, b)| b.len()).sum::<usize>()
     }
 
-    /// Discard every queued request without resolving it — the abort-safe
-    /// teardown for a stage that failed mid-flight (the stage re-executes
-    /// from scratch, so the unanswered lookups are moot).
+    /// Cumulative completion summary of every ship attempt so far.
+    pub fn completion(&self) -> Completion {
+        self.completion
+    }
+
+    /// Discard every queued and parked request without resolving it — the
+    /// abort-safe teardown for a stage that failed mid-flight (the stage
+    /// re-executes from scratch, so the unanswered lookups are moot).
     pub fn abandon(mut self) {
         for buf in &mut self.buffers {
             buf.clear();
         }
+        self.deferred.clear();
     }
 }
 
@@ -428,6 +504,42 @@ mod tests {
             assert_eq!(cache.get_through(&mut c, &dht, &9999), None);
         }
         assert_eq!(c.stats.total_accesses(), before + 5);
+    }
+
+    #[test]
+    fn contended_lookups_park_and_drain_delivers_same_results() {
+        let topo = Topology::new(2, 2);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut setup = ctx(0, topo);
+        for k in 0..200u64 {
+            dht.insert(&mut setup, k, k as u32 + 1);
+        }
+        let mut c = ctx(0, topo);
+        let mut got: Vec<(u64, Option<u32>)> = Vec::new();
+        let mut deliver = |_: &mut RankCtx, tag: u64, v: Option<u32>| got.push((tag, v));
+        let mut lb = LookupBatch::with_batch(&dht, 1024);
+        for k in 0..200u64 {
+            lb.push(&mut c, k, k, &mut deliver);
+        }
+        let held = dht.lock_shard_of_key_for_test(&0);
+        let completion = lb.flush_async(&mut c, &mut deliver);
+        assert!(completion.deferred() > 0, "held sub-shard must park");
+        assert!(lb.pending() > 0, "parked requests still pending");
+        let msgs_after_flush = c.stats.total_accesses();
+        let batches_after_flush = c.stats.lookup_batches;
+        drop(held);
+        lb.finish(&mut c, &mut deliver);
+        assert_eq!(
+            c.stats.total_accesses(),
+            msgs_after_flush,
+            "drain never re-accounts messages"
+        );
+        assert_eq!(c.stats.lookup_batches, batches_after_flush);
+        got.sort_by_key(|(tag, _)| *tag);
+        assert_eq!(got.len(), 200);
+        for (tag, v) in got {
+            assert_eq!(v, Some(tag as u32 + 1));
+        }
     }
 
     #[test]

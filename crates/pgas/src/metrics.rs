@@ -25,6 +25,20 @@
 //! for latency/size distributions whose interesting structure spans orders
 //! of magnitude.
 //!
+//! ## Measured-execution counters (DESIGN.md §12)
+//!
+//! The measured-parallelism engine reports itself exclusively through this
+//! registry (never through new [`crate::CommStats`] fields, which would
+//! change the report schema):
+//!
+//! * `pgas/dht/lock_contention` — failed sub-shard `try_lock`s, both from
+//!   blocking accessors that then waited and from `try_*` batch primitives
+//!   that parked their batch instead;
+//! * `pgas/comp/deferred_sends` — batches a [`crate::Completion`] recorded
+//!   as deferred (parked at first attempt, landed at the drain);
+//! * `pgas/arena/reuse` / `pgas/arena/alloc` — [`crate::BufferPool`] wire
+//!   buffer recycling vs. fresh allocations.
+//!
 //! ## Exposition
 //!
 //! [`to_json`] renders the registry as a stable JSON document

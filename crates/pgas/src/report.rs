@@ -295,6 +295,21 @@ impl PipelineReport {
             .collect()
     }
 
+    /// The worst (largest) relative model error among phases whose priced
+    /// time is at least `min_compute_fraction` compute. Calibration gates
+    /// and the measured-scaling bench summarize a whole run with this one
+    /// number; `None` when no phase qualifies.
+    pub fn worst_model_error(
+        &self,
+        model: &CostModel,
+        min_compute_fraction: f64,
+    ) -> Option<PhaseModelError> {
+        self.model_errors(model)
+            .into_iter()
+            .filter(|e| e.compute_fraction >= min_compute_fraction)
+            .max_by(|a, b| a.rel_error.total_cmp(&b.rel_error))
+    }
+
     /// Render a per-phase table (name, modeled seconds, % of total,
     /// off-node fraction).
     pub fn render(&self, model: &CostModel) -> String {

@@ -9,6 +9,13 @@
 //! Every algorithm in this reproduction is written in that style (the
 //! paper's own algorithms are asynchronous one-sided for the same reason:
 //! to avoid synchronization and message-matching logic).
+//!
+//! Rank→thread placement is governed by [`Affinity`]: by default each OS
+//! worker executes a **contiguous block** of ranks (`HIPMER_AFFINITY=dynamic`
+//! opts out into first-come assignment). Blocked placement keeps a rank's
+//! working set — its DHT sub-shards, its aggregation buffers — on one
+//! worker for a whole phase, the single-process analogue of NUMA-aware
+//! rank pinning (DESIGN.md §12).
 
 use crate::fault::{self, FailureCause, FaultEvent, FaultPlan, StageAbort, StageOutcome};
 use crate::stats::CommStats;
@@ -127,12 +134,31 @@ impl RankCtx {
     }
 }
 
+/// How virtual ranks are placed onto OS worker threads for a phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Affinity {
+    /// Each worker executes one contiguous block of ranks (worker `w` of
+    /// `W` runs ranks `w·P/W .. (w+1)·P/W`). The default: a rank's working
+    /// set stays on one thread for the whole phase, and consecutive ranks —
+    /// whose DHT partitions are adjacent — share a worker's caches. This is
+    /// the thread-affinity analogue of NUMA-aware rank placement on a real
+    /// PGAS machine.
+    Blocked,
+    /// First-come assignment from a shared atomic counter: whichever worker
+    /// is free takes the next rank. Opt out of blocked placement with
+    /// `HIPMER_AFFINITY=dynamic` (or `0`/`off`) when rank bodies are so
+    /// skewed that block-level imbalance dominates cache affinity.
+    Dynamic,
+}
+
 /// An SPMD team of virtual ranks.
 #[derive(Clone, Debug)]
 pub struct Team {
     topo: Topology,
     os_threads: usize,
+    affinity: Affinity,
     faults: Option<Arc<FaultPlan>>,
+    recorder: Option<trace::Recorder>,
 }
 
 /// Number of OS worker threads to use (env `HIPMER_THREADS`, else the
@@ -154,6 +180,22 @@ fn default_os_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Rank→thread placement (env `HIPMER_AFFINITY`; default blocked).
+/// `dynamic`, `off`, or `0` opt out into first-come assignment.
+fn default_affinity() -> Affinity {
+    if let Ok(v) = std::env::var("HIPMER_AFFINITY") {
+        match v.to_ascii_lowercase().as_str() {
+            "dynamic" | "off" | "0" => return Affinity::Dynamic,
+            "blocked" | "on" | "1" => return Affinity::Blocked,
+            other => eprintln!(
+                "hipmer: ignoring HIPMER_AFFINITY={other:?} (expected \
+                 blocked|dynamic); using blocked placement"
+            ),
+        }
+    }
+    Affinity::Blocked
 }
 
 /// Execute one rank's phase body, stamping measured execution time into its
@@ -220,8 +262,32 @@ impl Team {
         Team {
             topo,
             os_threads: default_os_threads(),
+            affinity: default_affinity(),
             faults: None,
+            recorder: None,
         }
+    }
+
+    /// Override rank→thread placement for this team (the environment
+    /// default comes from `HIPMER_AFFINITY`; see [`Affinity`]).
+    pub fn with_affinity(mut self, affinity: Affinity) -> Self {
+        self.affinity = affinity;
+        self
+    }
+
+    /// The rank→thread placement this team uses.
+    pub fn affinity(&self) -> Affinity {
+        self.affinity
+    }
+
+    /// Attach a per-team span [`trace::Recorder`]: every phase of this team
+    /// records spans there unconditionally (the recorder's existence is the
+    /// enable flag), and never touches the process-global trace buffer.
+    /// Without one, the team falls back to the global
+    /// [`trace::is_enabled`] / [`trace::record`] machinery.
+    pub fn with_recorder(mut self, recorder: trace::Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Override the number of OS worker threads (mostly for tests).
@@ -319,10 +385,29 @@ impl Team {
         let mut collected: Vec<Bucket<R>> = Vec::with_capacity(workers);
 
         let phase_start = Instant::now();
-        let tracing = trace::is_enabled();
-        let sample = trace::sample_ranks();
+        let (tracing, sample) = match &self.recorder {
+            Some(recorder) => (true, recorder.sample_ranks()),
+            None => (trace::is_enabled(), trace::sample_ranks()),
+        };
         let span_label = |rank: usize| (tracing && rank < sample).then_some(label);
+        let record_spans = |spans: Vec<trace::SpanEvent>| {
+            if spans.is_empty() {
+                return;
+            }
+            match &self.recorder {
+                Some(recorder) => recorder.record(spans),
+                None => trace::record(spans),
+            }
+        };
         let faults = self.faults.as_ref();
+
+        // Blocked placement: worker `w` owns one contiguous rank block.
+        let base = ranks / workers;
+        let rem = ranks % workers;
+        let block = |w: usize| {
+            let start = w * base + w.min(rem);
+            start..start + base + usize::from(w < rem)
+        };
 
         if workers <= 1 {
             let mut local = Vec::with_capacity(ranks);
@@ -340,41 +425,53 @@ impl Team {
                 spans.extend(span);
                 local.push((rank, out, stats, failure));
             }
-            if !spans.is_empty() {
-                trace::record(spans);
-            }
+            record_spans(spans);
             collected.push(local);
         } else {
+            let affinity = self.affinity;
             let worker_outputs = crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
-                    .map(|_| {
+                    .map(|w| {
                         let next = &next;
                         let f = &f;
                         let span_label = &span_label;
+                        let record_spans = &record_spans;
+                        let block = &block;
                         let topo = self.topo;
                         scope.spawn(move |_| {
                             let mut local = Vec::new();
                             let mut spans = Vec::new();
-                            loop {
-                                let rank = next.fetch_add(1, Ordering::Relaxed);
-                                if rank >= ranks {
-                                    break;
+                            let run_one =
+                                |rank: usize,
+                                 local: &mut Bucket<R>,
+                                 spans: &mut Vec<trace::SpanEvent>| {
+                                    let (out, stats, span, failure) = run_rank(
+                                        f,
+                                        rank,
+                                        topo,
+                                        faults,
+                                        phase_start,
+                                        label,
+                                        span_label(rank),
+                                    );
+                                    spans.extend(span);
+                                    local.push((rank, out, stats, failure));
+                                };
+                            match affinity {
+                                Affinity::Blocked => {
+                                    for rank in block(w) {
+                                        run_one(rank, &mut local, &mut spans);
+                                    }
                                 }
-                                let (out, stats, span, failure) = run_rank(
-                                    f,
-                                    rank,
-                                    topo,
-                                    faults,
-                                    phase_start,
-                                    label,
-                                    span_label(rank),
-                                );
-                                spans.extend(span);
-                                local.push((rank, out, stats, failure));
+                                Affinity::Dynamic => loop {
+                                    let rank = next.fetch_add(1, Ordering::Relaxed);
+                                    if rank >= ranks {
+                                        break;
+                                    }
+                                    run_one(rank, &mut local, &mut spans);
+                                },
                             }
-                            if !spans.is_empty() {
-                                trace::record(spans);
-                            }
+                            record_spans(spans);
                             local
                         })
                     })
@@ -481,27 +578,20 @@ mod tests {
         assert!(stats.iter().all(|s| s.exec_nanos >= 1_000_000), "{stats:?}");
     }
 
-    /// Serializes tests that toggle the process-global tracer.
-    static TRACE_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-
     #[test]
     fn tracing_records_spans_for_sampled_ranks_only() {
-        let _guard = TRACE_TEST_LOCK.lock().unwrap();
-        // The recorder is process-global; concurrent tests may add their
-        // own "phase" spans while tracing is on, so assertions filter by
-        // this test's unique label.
+        // Per-team recorder: no process-global state, no test serialization.
         let label = "test/tracing-sampled-spans";
-        let team = Team::new(Topology::new(8, 4)).with_os_threads(3);
-        crate::trace::enable(2);
+        let recorder = crate::trace::Recorder::new(2);
+        let team = Team::new(Topology::new(8, 4))
+            .with_os_threads(3)
+            .with_recorder(recorder.clone());
         team.run_named(label, |ctx| {
             ctx.barrier();
             ctx.rank
         });
-        crate::trace::disable();
-        let mine: Vec<_> = crate::trace::take_events()
-            .into_iter()
-            .filter(|e| e.phase == label)
-            .collect();
+        let mine = recorder.take_events();
+        assert!(mine.iter().all(|e| e.phase == label));
         let mut ranks: Vec<usize> = mine.iter().map(|e| e.rank).collect();
         ranks.sort_unstable();
         assert_eq!(ranks, vec![0, 1], "only sampled ranks recorded");
@@ -512,8 +602,19 @@ mod tests {
     }
 
     #[test]
-    fn disabled_tracing_records_nothing_for_this_phase() {
-        let _guard = TRACE_TEST_LOCK.lock().unwrap();
+    fn recorder_with_zero_sample_captures_every_rank() {
+        let recorder = crate::trace::Recorder::new(0);
+        let team = Team::new(Topology::new(5, 4))
+            .with_os_threads(2)
+            .with_recorder(recorder.clone());
+        team.run_named("test/tracing-all-ranks", |ctx| ctx.rank);
+        let mut ranks: Vec<usize> = recorder.take_events().iter().map(|e| e.rank).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn team_without_recorder_records_nothing_for_this_phase() {
         let label = "test/tracing-disabled";
         let team = Team::new(Topology::new(4, 4)).with_os_threads(2);
         team.run_named(label, |ctx| ctx.rank);
@@ -522,6 +623,76 @@ mod tests {
         let stolen: Vec<_> = crate::trace::take_events();
         assert!(stolen.iter().all(|e| e.phase != label));
         crate::trace::record(stolen); // put concurrent tests' spans back
+    }
+
+    #[test]
+    fn blocked_and_dynamic_affinity_both_cover_every_rank() {
+        for affinity in [Affinity::Blocked, Affinity::Dynamic] {
+            // 13 ranks over 4 workers: uneven blocks (4,3,3,3).
+            let team = Team::new(Topology::new(13, 4))
+                .with_os_threads(4)
+                .with_affinity(affinity);
+            let (ranks_seen, stats) = team.run(|ctx| ctx.rank);
+            assert_eq!(ranks_seen, (0..13).collect::<Vec<_>>(), "{affinity:?}");
+            assert_eq!(stats.len(), 13);
+        }
+    }
+
+    #[test]
+    fn affinity_env_opt_out_selects_dynamic() {
+        std::env::set_var("HIPMER_AFFINITY", "dynamic");
+        let dynamic = Team::new(Topology::new(4, 2));
+        std::env::set_var("HIPMER_AFFINITY", "blocked");
+        let blocked = Team::new(Topology::new(4, 2));
+        std::env::remove_var("HIPMER_AFFINITY");
+        let default = Team::new(Topology::new(4, 2));
+        assert_eq!(dynamic.affinity(), Affinity::Dynamic);
+        assert_eq!(blocked.affinity(), Affinity::Blocked);
+        assert_eq!(default.affinity(), Affinity::Blocked);
+    }
+
+    /// PR 7 satellite: deterministic stage-abort selection must hold while
+    /// ranks run async (deferred-send) traffic, across OS thread counts.
+    #[test]
+    fn abort_selection_is_deterministic_under_async_drains_across_threads() {
+        use crate::agg::AggregatingStores;
+        use crate::dht::DistHashMap;
+
+        let topo = Topology::new(8, 4);
+        let run_with = |threads: usize| {
+            // Fresh plan per run: the kill is latched (one-shot).
+            let plan = FaultPlan::new(42, topo.ranks()).with_rank_failure(5, 30);
+            let team = Team::new(topo)
+                .with_os_threads(threads)
+                .with_fault_plan(Arc::new(plan));
+            let dht: DistHashMap<u64, u64> = DistHashMap::new(topo);
+            team.try_run_named("test/async-abort", |ctx| {
+                let mut agg =
+                    AggregatingStores::with_batch(&dht, |acc: &mut u64, v: u64| *acc += v, 4);
+                for i in 0..200u64 {
+                    agg.push(ctx, i * 7, 1);
+                }
+                let _completion = agg.flush_async(ctx);
+                agg.finish(ctx);
+            })
+        };
+        let mut aborted_ranks = Vec::new();
+        for threads in [1usize, 4, 8] {
+            match run_with(threads) {
+                StageOutcome::Aborted(abort) => {
+                    assert_eq!(abort.phase, "test/async-abort");
+                    aborted_ranks.push(abort.rank);
+                }
+                StageOutcome::Completed(..) => {
+                    panic!("stage must abort at {threads} threads")
+                }
+            }
+        }
+        assert_eq!(
+            aborted_ranks,
+            vec![aborted_ranks[0]; 3],
+            "same aborting rank at 1, 4, and 8 OS threads"
+        );
     }
 
     #[test]

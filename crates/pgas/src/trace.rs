@@ -21,7 +21,7 @@
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Default number of ranks whose spans are recorded per phase.
@@ -67,6 +67,72 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static SAMPLE_RANKS: AtomicUsize = AtomicUsize::new(DEFAULT_SAMPLE_RANKS);
 static HOTKEY_CAPACITY: AtomicUsize = AtomicUsize::new(0);
 static EVENTS: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+
+/// A span recorder scoped to one [`Team`](crate::Team) (or any set of teams
+/// that share a clone) instead of the process-global buffer.
+///
+/// The process-global recorder exists so one `--trace` flag covers every
+/// team a pipeline constructs internally — but it makes concurrent users
+/// (parallel tests, future multi-tenant pipelines) share one buffer and
+/// one enable flag, which is exactly the cross-talk the old
+/// `TRACE_TEST_LOCK` test serialization papered over. Attach a `Recorder`
+/// with [`Team::with_recorder`](crate::Team::with_recorder) and that
+/// team's phases record here unconditionally (the recorder's existence
+/// *is* the enable flag), never touching the global buffer.
+///
+/// Clones share the underlying buffer, so one recorder can span a
+/// multi-team pipeline and be drained once at the end.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<RecorderInner>,
+}
+
+struct RecorderInner {
+    sample_ranks: usize,
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+impl Recorder {
+    /// A recorder sampling the first `sample_ranks` ranks of each phase
+    /// (0 removes the cap and records every rank).
+    pub fn new(sample_ranks: usize) -> Self {
+        epoch(); // pin the epoch before any span is recorded
+        Recorder {
+            inner: Arc::new(RecorderInner {
+                sample_ranks: if sample_ranks == 0 {
+                    usize::MAX
+                } else {
+                    sample_ranks
+                },
+                events: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Ranks per phase whose spans this recorder keeps.
+    pub fn sample_ranks(&self) -> usize {
+        self.inner.sample_ranks
+    }
+
+    /// Append a batch of spans.
+    pub fn record(&self, events: impl IntoIterator<Item = SpanEvent>) {
+        self.inner.events.lock().extend(events);
+    }
+
+    /// Drain the collected spans, oldest first.
+    pub fn take_events(&self) -> Vec<SpanEvent> {
+        std::mem::take(&mut *self.inner.events.lock())
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("sample_ranks", &self.inner.sample_ranks)
+            .field("events", &self.inner.events.lock().len())
+            .finish()
+    }
+}
 
 /// The instant trace timestamps are measured from (fixed at first use).
 pub fn epoch() -> Instant {
