@@ -59,8 +59,10 @@
 
 use hipmer::{run_assembly_fastq, PipelineConfig, PipelineError, RunOptions, StageTimes};
 use hipmer_pgas::{calib, metrics, trace, CostModel, FaultPlan, Team, Topology};
+use hipmer_serve::{signal, ServeConfig, Server};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Per-stage peak-heap accounting for `--metrics-json` (see
@@ -80,7 +82,10 @@ fn usage() -> ExitCode {
          \x20         [--checkpoint-dir <dir>] [--resume] [--checkpoint-interval N]\n\
          \x20         [--stage-retries N] [--halt-after <stage>] [--fault-seed S]\n\
          \x20         [--fault-transient P] [--fault-retries N] [--fault-kill R:E]\n  \
-         hipmer simulate <human|wheat|meta> -o <reads.fastq> [--len BP] [--cov X] [--seed S]"
+         hipmer simulate <human|wheat|meta> -o <reads.fastq> [--len BP] [--cov X] [--seed S]\n  \
+         hipmer serve [--addr HOST:PORT] [--state-dir DIR] [--pool-ranks N]\n\
+         \x20         [--ranks-per-node N] [--pool-threads N] [--queue-capacity N]\n\
+         \x20         [--tenant-quota N]"
     );
     ExitCode::from(2)
 }
@@ -297,8 +302,31 @@ fn main() -> ExitCode {
                     checkpoint_interval: interval,
                     stage_retries: retries,
                     halt_after: halt,
+                    cancel: None,
                 }
             };
+            // SIGINT/SIGTERM stop the run at the next stage boundary, so
+            // every completed stage's checkpoint is already flushed and a
+            // `--resume` rerun restarts from the longest valid prefix.
+            // The handler only flips a flag; a watcher thread feeds the
+            // pipeline's cancel flag.
+            let cancel = Arc::new(AtomicBool::new(false));
+            let opts = {
+                let mut opts = opts;
+                opts.cancel = Some(Arc::clone(&cancel));
+                opts
+            };
+            signal::install();
+            {
+                let cancel = Arc::clone(&cancel);
+                std::thread::spawn(move || loop {
+                    if signal::triggered() {
+                        cancel.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                });
+            }
             let mut team = Team::new(Topology::new(ranks, rpn));
             match fault_plan_from_args(&args, ranks) {
                 Ok(Some(plan)) => {
@@ -318,6 +346,15 @@ fn main() -> ExitCode {
                 Err(PipelineError::Halted { stage }) => {
                     eprintln!("halted after stage {stage:?} (checkpoints saved); no FASTA written");
                     return ExitCode::SUCCESS;
+                }
+                Err(PipelineError::Interrupted { stage }) => {
+                    eprintln!(
+                        "interrupted by signal before stage {stage:?}; completed stages are \
+                         checkpointed — rerun with --checkpoint-dir ... --resume to continue"
+                    );
+                    // 128 + SIGINT(2) by convention; SIGTERM lands here too
+                    // but 130 keeps shell semantics simple.
+                    return ExitCode::from(130);
                 }
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -415,6 +452,65 @@ fn main() -> ExitCode {
                 eprintln!("  scaffolding      {:>10.4} s", t.scaffolding());
                 eprintln!("  TOTAL            {:>10.4} s", t.total());
             }
+            ExitCode::SUCCESS
+        }
+        "serve" => {
+            let (queue_capacity, tenant_quota, pool_ranks, rpn) = match (
+                parse_flag(&args, "--queue-capacity", 64usize),
+                parse_flag(&args, "--tenant-quota", 16usize),
+                parse_flag(&args, "--pool-ranks", 16usize),
+                parse_flag(&args, "--ranks-per-node", 8usize),
+            ) {
+                (Ok(a), Ok(b), Ok(c), Ok(d)) => (a, b, c, d),
+                _ => return usage(),
+            };
+            let (addr, state_dir, pool_threads) = match (
+                parse_string_flag(&args, "--addr"),
+                parse_path_flag(&args, "--state-dir"),
+                parse_string_flag(&args, "--pool-threads"),
+            ) {
+                (Ok(a), Ok(s), Ok(p)) => (a, s, p),
+                (Err(e), ..) | (_, Err(e), _) | (_, _, Err(e)) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            };
+            let pool_threads = match pool_threads.map(|p| p.parse::<usize>()).transpose() {
+                Ok(p) => p,
+                Err(_) => {
+                    eprintln!("error: bad value for --pool-threads");
+                    return usage();
+                }
+            };
+            // The daemon's metrics registry is always on: /metrics is an
+            // endpoint, not an opt-in flag.
+            metrics::enable();
+            let cfg = ServeConfig {
+                addr: addr.unwrap_or_else(|| "127.0.0.1:7433".to_string()),
+                state_dir: state_dir.unwrap_or_else(|| PathBuf::from("hipmer-serve-state")),
+                queue_capacity,
+                tenant_quota,
+                pool_ranks,
+                ranks_per_node: rpn,
+                pool_threads,
+                handle_signals: true,
+                ..ServeConfig::default()
+            };
+            let server = match Server::start(cfg, hipmer::AssemblyExecutor::shared()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot start server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Tests parse this line to find the bound port; keep stable.
+            println!("hipmer serve listening on {}", server.addr());
+            eprintln!(
+                "pool: {pool_ranks} ranks ({rpn}/node); queue: {queue_capacity}; \
+                 quota: {tenant_quota}/tenant; SIGTERM drains gracefully"
+            );
+            server.join();
+            eprintln!("drained; all running jobs checkpointed");
             ExitCode::SUCCESS
         }
         "simulate" => {

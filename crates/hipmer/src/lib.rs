@@ -35,6 +35,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod eval;
 pub mod pipeline;
+pub mod service;
 pub mod stats;
 
 pub use alloc::TrackingAlloc;
@@ -44,4 +45,5 @@ pub use eval::{evaluate, EvalReport};
 pub use pipeline::{
     assemble, assemble_fastq, run_assembly, run_assembly_fastq, Assembly, PipelineError, RunOptions,
 };
+pub use service::AssemblyExecutor;
 pub use stats::{kmer_containment, AssemblyStats, StageTimes};

@@ -41,6 +41,7 @@ pub mod json;
 pub mod lookup;
 pub mod metrics;
 pub mod oracle;
+pub mod pool;
 pub mod report;
 pub mod sched;
 pub mod stats;
@@ -59,6 +60,7 @@ pub use fault::{
 };
 pub use lookup::{LookupBatch, SoftwareCache};
 pub use oracle::OracleVector;
+pub use pool::{TeamLease, TeamPool};
 pub use report::{CheckpointEvent, PhaseReport, PipelineReport, StageAttempt};
 pub use sched::Schedule;
 pub use stats::CommStats;

@@ -49,11 +49,13 @@
 
 use crate::json::Value;
 use parking_lot::Mutex;
+use std::borrow::Cow;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Histogram bucket count: bucket 0 for zero, buckets 1..=64 for each
@@ -119,6 +121,65 @@ fn bucket_upper_bound(i: usize) -> u64 {
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static REGISTRY: Mutex<BTreeMap<String, Metric>> = Mutex::new(BTreeMap::new());
 
+thread_local! {
+    /// The recording scope of the current thread (see [`scoped`]).
+    static SCOPE: RefCell<Option<Arc<str>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previous thread scope on drop (see [`scoped`]).
+pub struct ScopeGuard {
+    prev: Option<Arc<str>>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPE.with(|s| *s.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Prefix every metric this thread records with `label` until the
+/// returned guard drops: a counter `pgas/dht/entries` recorded under the
+/// scope `job/3` registers as `job/3/pgas/dht/entries`, and heartbeat
+/// pools are prefixed the same way. This is how a multi-tenant server
+/// keeps concurrent jobs' counters and heartbeat JSONL lines from
+/// interleaving in the process-wide registry. [`crate::Team`] propagates
+/// the spawning thread's scope into its OS worker threads, so everything
+/// a job's phases record lands under the job's label.
+///
+/// Scopes nest: entering a scope while one is active appends
+/// (`outer/inner/...`); the guard restores the outer scope.
+pub fn scoped(label: &str) -> ScopeGuard {
+    let prev = SCOPE.with(|s| s.borrow().clone());
+    let full: Arc<str> = match &prev {
+        Some(outer) => format!("{outer}/{label}").into(),
+        None => label.into(),
+    };
+    SCOPE.with(|s| *s.borrow_mut() = Some(full));
+    ScopeGuard { prev }
+}
+
+/// The current thread's recording scope, if any — captured by [`crate::Team`]
+/// before spawning phase workers so they inherit it via [`inherit_scope`].
+pub fn current_scope() -> Option<Arc<str>> {
+    SCOPE.with(|s| s.borrow().clone())
+}
+
+/// Adopt `scope` (a [`current_scope`] capture) on this thread until the
+/// guard drops; replaces, rather than nests under, any existing scope.
+pub fn inherit_scope(scope: Option<Arc<str>>) -> ScopeGuard {
+    let prev = SCOPE.with(|s| s.replace(scope));
+    ScopeGuard { prev }
+}
+
+/// `name` under the current thread scope (borrowed when unscoped — the
+/// common one-shot-CLI case pays nothing).
+fn with_scope<'a>(name: &'a str) -> Cow<'a, str> {
+    match SCOPE.with(|s| s.borrow().clone()) {
+        Some(scope) => Cow::Owned(format!("{scope}/{name}")),
+        None => Cow::Borrowed(name),
+    }
+}
+
 /// Heartbeat emission state: rate limit and sink, plus per-pool last-emit
 /// timestamps.
 struct HeartbeatState {
@@ -178,6 +239,7 @@ pub fn counter_add(name: &str, delta: u64) {
 
 #[cold]
 fn counter_add_slow(name: &str, delta: u64) {
+    let name = with_scope(name);
     let mut reg = REGISTRY.lock();
     match reg.entry(name.to_string()).or_insert(Metric::Counter(0)) {
         Metric::Counter(c) => *c = c.saturating_add(delta),
@@ -207,6 +269,7 @@ pub fn gauge_max(name: &str, value: f64) {
 
 #[cold]
 fn gauge_update_slow(name: &str, value: f64, max_only: bool) {
+    let name = with_scope(name);
     let mut reg = REGISTRY.lock();
     match reg
         .entry(name.to_string())
@@ -232,6 +295,7 @@ pub fn observe(name: &str, value: u64) {
 
 #[cold]
 fn observe_slow(name: &str, value: u64) {
+    let name = with_scope(name);
     let mut reg = REGISTRY.lock();
     match reg
         .entry(name.to_string())
@@ -251,6 +315,7 @@ pub fn pool_progress(pool: &str, delta_done: u64, total: u64) {
     if !is_enabled() {
         return;
     }
+    let pool = with_scope(pool);
     let done = {
         let mut reg = REGISTRY.lock();
         let done = match reg
@@ -271,7 +336,7 @@ pub fn pool_progress(pool: &str, delta_done: u64, total: u64) {
         }
         done
     };
-    heartbeat(pool, done, total);
+    heartbeat_scoped(&pool, done, total);
 }
 
 /// How often (at most) one heartbeat line per pool is emitted. `None`
@@ -290,11 +355,18 @@ pub fn set_heartbeat_sink(path: Option<PathBuf>) {
 
 /// Emit one progress heartbeat for `pool` (`done` items of `total`),
 /// subject to the configured rate limit and sink. A no-op unless the
-/// registry is enabled and an interval was set.
+/// registry is enabled and an interval was set. The pool label is
+/// prefixed with the current thread's recording scope (see [`scoped`]),
+/// so concurrent jobs' heartbeat lines stay distinguishable.
 pub fn heartbeat(pool: &str, done: u64, total: u64) {
     if !is_enabled() {
         return;
     }
+    heartbeat_scoped(&with_scope(pool), done, total);
+}
+
+/// [`heartbeat`] body for a pool label that is already scope-qualified.
+fn heartbeat_scoped(pool: &str, done: u64, total: u64) {
     let (sink, elapsed) = {
         let mut hb = HEARTBEAT.lock();
         let Some(interval) = hb.interval else {
@@ -697,6 +769,83 @@ mod tests {
             assert_eq!(rec.get("total").and_then(Value::as_u64), Some(5));
             assert!(rec.get("elapsed_seconds").and_then(Value::as_f64).is_some());
             std::fs::remove_file(&path).ok();
+        });
+    }
+
+    #[test]
+    fn scoped_recording_prefixes_names_and_restores() {
+        with_clean_registry(|| {
+            counter_add("test/c", 1);
+            {
+                let _job = scoped("job/7");
+                counter_add("test/c", 2);
+                gauge_set("test/g", 1.0);
+                observe("test/h", 4);
+                {
+                    let _inner = scoped("stage");
+                    counter_add("test/c", 5);
+                }
+                counter_add("test/c", 10);
+            }
+            counter_add("test/c", 100);
+            let names: Vec<String> = snapshot().iter().map(|m| m.name().to_string()).collect();
+            assert_eq!(
+                names,
+                vec![
+                    "job/7/stage/test/c",
+                    "job/7/test/c",
+                    "job/7/test/g",
+                    "job/7/test/h",
+                    "test/c",
+                ]
+            );
+            match &snapshot()[..] {
+                [MetricSnapshot::Counter(_, nested), MetricSnapshot::Counter(_, scoped), _, _, MetricSnapshot::Counter(_, bare)] =>
+                {
+                    assert_eq!((*nested, *scoped, *bare), (5, 12, 101));
+                }
+                other => panic!("unexpected snapshot {other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn scoped_pool_progress_separates_jobs() {
+        with_clean_registry(|| {
+            {
+                let _a = scoped("job/1");
+                pool_progress("stages", 2, 5);
+            }
+            {
+                let _b = scoped("job/2");
+                pool_progress("stages", 3, 5);
+            }
+            let snap = snapshot();
+            assert_eq!(
+                snap[0],
+                MetricSnapshot::Counter("progress/job/1/stages/done".into(), 2)
+            );
+            assert_eq!(
+                snap[2],
+                MetricSnapshot::Counter("progress/job/2/stages/done".into(), 3)
+            );
+        });
+    }
+
+    #[test]
+    fn inherited_scope_replaces_and_restores() {
+        with_clean_registry(|| {
+            let captured = {
+                let _outer = scoped("job/9");
+                current_scope()
+            };
+            assert_eq!(captured.as_deref(), Some("job/9"));
+            {
+                let _worker = inherit_scope(captured);
+                counter_add("test/c", 1);
+            }
+            assert!(current_scope().is_none(), "guard restored no-scope");
+            assert_eq!(snapshot()[0].name(), "job/9/test/c");
         });
     }
 

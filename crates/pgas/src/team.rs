@@ -409,6 +409,11 @@ impl Team {
             start..start + base + usize::from(w < rem)
         };
 
+        // Workers inherit the spawning thread's metric scope, so a phase
+        // run on behalf of one job of a multi-tenant server records its
+        // counters under that job's label (see `metrics::scoped`).
+        let metric_scope = crate::metrics::current_scope();
+
         if workers <= 1 {
             let mut local = Vec::with_capacity(ranks);
             let mut spans = Vec::new();
@@ -438,7 +443,9 @@ impl Team {
                         let record_spans = &record_spans;
                         let block = &block;
                         let topo = self.topo;
+                        let metric_scope = metric_scope.clone();
                         scope.spawn(move |_| {
+                            let _scope_guard = crate::metrics::inherit_scope(metric_scope);
                             let mut local = Vec::new();
                             let mut spans = Vec::new();
                             let run_one =
@@ -692,6 +699,44 @@ mod tests {
             aborted_ranks,
             vec![aborted_ranks[0]; 3],
             "same aborting rank at 1, 4, and 8 OS threads"
+        );
+    }
+
+    #[test]
+    fn metric_scope_propagates_into_phase_workers() {
+        let _guard = crate::metrics::TEST_LOCK.lock().unwrap();
+        crate::metrics::reset();
+        crate::metrics::enable();
+        {
+            let _job = crate::metrics::scoped("job/42");
+            let team = Team::new(Topology::new(8, 4)).with_os_threads(4);
+            team.run_named("test/scope", |ctx| {
+                crate::metrics::counter_add("test/rank_units", ctx.rank as u64 + 1);
+            });
+        }
+        let snap = crate::metrics::snapshot();
+        crate::metrics::disable();
+        crate::metrics::reset();
+        let rank_units = snap
+            .iter()
+            .find_map(|m| match m {
+                crate::metrics::MetricSnapshot::Counter(name, v)
+                    if name == "job/42/test/rank_units" =>
+                {
+                    Some(*v)
+                }
+                _ => None,
+            })
+            .expect("counter recorded under the job scope");
+        assert_eq!(rank_units, (1..=8).sum::<u64>());
+        assert!(
+            !snap.iter().any(|m| m.name() == "test/rank_units"),
+            "nothing leaks outside the scope"
+        );
+        assert!(
+            snap.iter()
+                .any(|m| m.name() == "job/42/pgas/team/phase_nanos"),
+            "the team's own phase histogram is scoped too"
         );
     }
 

@@ -1,0 +1,93 @@
+//! `hipmer serve` — a persistent, multi-tenant assembly job service.
+//!
+//! HipMer's production setting (NERSC) runs assemblies through a batch
+//! scheduler; this crate reproduces that operational layer for the
+//! simulated runtime: a daemon that accepts assembly jobs over local TCP
+//! (hand-rolled HTTP/1.1 + JSON — the build environment is offline, so no
+//! web framework), multiplexes them onto one shared
+//! [`hipmer_pgas::TeamPool`] of virtual ranks, and answers repeat
+//! submissions from a checkpoint-backed result cache.
+//!
+//! The crate is deliberately **generic over the work**: it depends only on
+//! the `hipmer-pgas` runtime and exposes the [`JobExecutor`] trait.
+//! The `hipmer` crate implements the trait with the real five-stage
+//! pipeline and mounts the server under `hipmer serve`; tests here use a
+//! mock executor, which keeps every scheduling/caching/drain policy
+//! testable in milliseconds.
+//!
+//! Module map:
+//!
+//! * [`http`] — minimal HTTP/1.1 reader/writer + blocking client;
+//! * [`job`] — [`job::JobSpec`] / [`job::JobRecord`] and their JSON forms;
+//! * [`sched`] — admission control (bounded queue, per-tenant quotas) and
+//!   fair-share selection over pool ranks, with anti-starvation;
+//! * [`cache`] — the `cache/<key>/` result store with atomic completeness
+//!   markers; partial entries resume, complete entries are served as hits;
+//! * [`server`] — accept loop, scheduler, workers, drain;
+//! * [`signal`] — SIGINT/SIGTERM via a flag-setting handler (no deps);
+//! * [`loadgen`] — closed-loop load generator measuring submission-to-
+//!   completion latency percentiles and cache-hit speedup.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod job;
+pub mod loadgen;
+pub mod sched;
+pub mod server;
+pub mod signal;
+
+use std::path::Path;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use hipmer_pgas::json::Value;
+use hipmer_pgas::TeamLease;
+
+pub use job::{CacheDisposition, JobRecord, JobSpec, JobStatus};
+pub use server::{ServeConfig, Server};
+
+/// How a job execution ended.
+#[derive(Debug)]
+pub enum ExecOutcome {
+    /// Outputs are in the job's cache directory; `summary` is stored in
+    /// the cache completeness marker.
+    Completed {
+        /// Small JSON document describing the result (e.g. scaffold
+        /// counts); recorded in `done.json`.
+        summary: Value,
+    },
+    /// The cancel flag stopped the run at a stage boundary; checkpoints
+    /// in the cache directory allow a later submission to resume.
+    Interrupted,
+    /// The run failed.
+    Failed {
+        /// Human-readable error.
+        error: String,
+    },
+}
+
+/// The work the server schedules. Implementations run one job on a leased
+/// sub-team and write outputs into the job's cache directory.
+pub trait JobExecutor: Send + Sync + 'static {
+    /// Compute the result-cache key for a spec: a fingerprint of the
+    /// input *content* plus every parameter that affects the output.
+    /// Errors (e.g. unreadable input) reject the submission with 400.
+    fn cache_key(&self, spec: &JobSpec) -> Result<String, String>;
+
+    /// Run the job. `out_dir` is `cache/<key>/` (already created, with a
+    /// `checkpoints/` subdirectory); `resume` is true when a valid
+    /// checkpoint manifest exists from an earlier interrupted run; the
+    /// executor must poll `cancel` and return [`ExecOutcome::Interrupted`]
+    /// once it is set, leaving resumable state behind.
+    fn execute(
+        &self,
+        job_id: u64,
+        spec: &JobSpec,
+        lease: &TeamLease,
+        out_dir: &Path,
+        resume: bool,
+        cancel: &Arc<AtomicBool>,
+    ) -> ExecOutcome;
+}

@@ -1,0 +1,275 @@
+//! Load generator for the job service.
+//!
+//! Submits a stream of jobs at a fixed rate over real HTTP, polls them to
+//! completion, and reports latency percentiles split by how the cache
+//! served each job. Latencies are computed from the **server's own**
+//! `submitted_s`/`finished_s` timestamps, so client-side polling cadence
+//! does not distort them.
+//!
+//! Duplicate submissions are interleaved deterministically: with
+//! `duplicate_fraction = f`, submission `i` is a duplicate whenever
+//! `floor(i*f) > floor((i-1)*f)`, which spreads `round(n*f)` duplicates
+//! evenly through the run. A duplicate resubmits a spec already sent, so
+//! it exercises either the duplicate-suppression path (primary still
+//! running → blocked, then served as a hit) or the result cache proper
+//! (primary finished → immediate hit).
+
+use std::io;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hipmer_pgas::json::Value;
+
+use crate::http;
+use crate::job::JobSpec;
+
+/// Load generator parameters.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Total submissions.
+    pub jobs: usize,
+    /// Submission rate (jobs/second).
+    pub rate_per_s: f64,
+    /// Fraction of submissions that re-send an earlier spec.
+    pub duplicate_fraction: f64,
+    /// Distinct cold specs to draw from (cycled).
+    pub specs: Vec<JobSpec>,
+    /// Poll cadence while waiting for jobs to finish.
+    pub poll_interval: Duration,
+    /// Give up waiting after this long.
+    pub timeout: Duration,
+}
+
+/// Measured outcome of one load run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Jobs accepted by the server.
+    pub submitted: usize,
+    /// Jobs rejected with 429.
+    pub rejected: usize,
+    /// Jobs that reached `completed`.
+    pub completed: usize,
+    /// Jobs that reached any other terminal state.
+    pub failed: usize,
+    /// Completed jobs served from the result cache.
+    pub cache_hits: usize,
+    /// p50 submission→completion latency over all completed jobs (ms).
+    pub p50_ms: f64,
+    /// p99 submission→completion latency over all completed jobs (ms).
+    pub p99_ms: f64,
+    /// Completed jobs per second of server-side makespan.
+    pub throughput_jobs_s: f64,
+    /// p50 latency of cold (miss/resumed) completions (ms).
+    pub cold_p50_ms: f64,
+    /// p50 latency of cache-hit completions (ms).
+    pub hit_p50_ms: f64,
+    /// `cold_p50_ms / hit_p50_ms` (0 when either side is empty).
+    pub hit_speedup: f64,
+}
+
+impl LoadReport {
+    /// JSON form for benchmark output.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::obj();
+        v.set("submitted", self.submitted)
+            .set("rejected", self.rejected)
+            .set("completed", self.completed)
+            .set("failed", self.failed)
+            .set("cache_hits", self.cache_hits)
+            .set("p50_ms", self.p50_ms)
+            .set("p99_ms", self.p99_ms)
+            .set("throughput_jobs_s", self.throughput_jobs_s)
+            .set("cold_p50_ms", self.cold_p50_ms)
+            .set("hit_p50_ms", self.hit_p50_ms)
+            .set("hit_speedup", self.hit_speedup);
+        v
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// True when submission `i` should duplicate an earlier spec.
+fn is_duplicate(i: usize, fraction: f64) -> bool {
+    if i == 0 || fraction <= 0.0 {
+        return false;
+    }
+    (i as f64 * fraction).floor() > ((i - 1) as f64 * fraction).floor()
+}
+
+/// Run the load: submit, wait, measure.
+pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadReport> {
+    assert!(!cfg.specs.is_empty(), "loadgen needs at least one spec");
+    let gap = if cfg.rate_per_s > 0.0 {
+        Duration::from_secs_f64(1.0 / cfg.rate_per_s)
+    } else {
+        Duration::ZERO
+    };
+
+    let mut accepted_ids: Vec<u64> = Vec::new();
+    let mut rejected = 0usize;
+    let mut sent_specs: Vec<usize> = Vec::new(); // indices into cfg.specs
+    let start = Instant::now();
+    let mut next_cold = 0usize;
+
+    for i in 0..cfg.jobs {
+        // Pace submissions to the configured rate.
+        let due = gap.mul_f64(i as f64);
+        let elapsed = start.elapsed();
+        if due > elapsed {
+            thread::sleep(due - elapsed);
+        }
+
+        let spec_idx = if is_duplicate(i, cfg.duplicate_fraction) && !sent_specs.is_empty() {
+            // Re-send the spec of an earlier submission, cycling through
+            // history so every distinct spec gets duplicated eventually.
+            sent_specs[i % sent_specs.len()]
+        } else {
+            let idx = next_cold % cfg.specs.len();
+            next_cold += 1;
+            idx
+        };
+        sent_specs.push(spec_idx);
+        let body = cfg.specs[spec_idx].to_value().to_json();
+        let (status, reply) = http::request(&cfg.addr, "POST", "/v1/jobs", Some(body.as_bytes()))?;
+        match status {
+            200 => {
+                let doc = Value::parse(std::str::from_utf8(&reply).unwrap_or("{}"))
+                    .unwrap_or(Value::Null);
+                if let Some(id) = doc.get("id").and_then(Value::as_u64) {
+                    accepted_ids.push(id);
+                }
+            }
+            429 | 503 => rejected += 1,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected submit status {other}: {body}"),
+                ));
+            }
+        }
+    }
+
+    // Poll every accepted job to a terminal state.
+    let deadline = Instant::now() + cfg.timeout;
+    let mut terminal: Vec<Value> = Vec::new();
+    let mut pending = accepted_ids;
+    while !pending.is_empty() {
+        if Instant::now() > deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("{} jobs still pending at timeout", pending.len()),
+            ));
+        }
+        let mut still = Vec::new();
+        for id in pending {
+            let (status, reply) = http::request(&cfg.addr, "GET", &format!("/v1/jobs/{id}"), None)?;
+            if status != 200 {
+                continue; // job vanished; drop from the sample
+            }
+            let doc =
+                Value::parse(std::str::from_utf8(&reply).unwrap_or("{}")).unwrap_or(Value::Null);
+            match doc.get("status").and_then(Value::as_str) {
+                Some("queued") | Some("running") => still.push(id),
+                _ => terminal.push(doc),
+            }
+        }
+        pending = still;
+        if !pending.is_empty() {
+            thread::sleep(cfg.poll_interval);
+        }
+    }
+
+    // Server-side latencies, split by cache disposition.
+    let mut all_ms: Vec<f64> = Vec::new();
+    let mut cold_ms: Vec<f64> = Vec::new();
+    let mut hit_ms: Vec<f64> = Vec::new();
+    let mut completed = 0usize;
+    let mut failed = 0usize;
+    let mut cache_hits = 0usize;
+    let mut first_submit = f64::INFINITY;
+    let mut last_finish = 0.0f64;
+    for doc in &terminal {
+        let status = doc.get("status").and_then(Value::as_str).unwrap_or("");
+        if status != "completed" {
+            failed += 1;
+            continue;
+        }
+        completed += 1;
+        let sub = doc
+            .get("submitted_s")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        let fin = doc.get("finished_s").and_then(Value::as_f64).unwrap_or(sub);
+        first_submit = first_submit.min(sub);
+        last_finish = last_finish.max(fin);
+        let ms = (fin - sub).max(0.0) * 1e3;
+        all_ms.push(ms);
+        match doc.get("cache").and_then(Value::as_str) {
+            Some("hit") => {
+                cache_hits += 1;
+                hit_ms.push(ms);
+            }
+            _ => cold_ms.push(ms),
+        }
+    }
+    all_ms.sort_by(|a, b| a.total_cmp(b));
+    cold_ms.sort_by(|a, b| a.total_cmp(b));
+    hit_ms.sort_by(|a, b| a.total_cmp(b));
+
+    let makespan = (last_finish - first_submit).max(1e-9);
+    let cold_p50 = percentile(&cold_ms, 50.0);
+    let hit_p50 = percentile(&hit_ms, 50.0);
+    Ok(LoadReport {
+        submitted: terminal.len(),
+        rejected,
+        completed,
+        failed,
+        cache_hits,
+        p50_ms: percentile(&all_ms, 50.0),
+        p99_ms: percentile(&all_ms, 99.0),
+        throughput_jobs_s: completed as f64 / makespan,
+        cold_p50_ms: cold_p50,
+        hit_p50_ms: hit_p50,
+        hit_speedup: if hit_p50 > 0.0 && cold_p50 > 0.0 {
+            cold_p50 / hit_p50
+        } else {
+            0.0
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_schedule_matches_fraction() {
+        for &(n, f) in &[(10usize, 0.5f64), (20, 0.25), (8, 0.0), (12, 1.0)] {
+            let dups = (0..n).filter(|&i| is_duplicate(i, f)).count();
+            let expected = (n as f64 * f).floor() as usize;
+            // Off-by-one slack at the boundary; exact elsewhere.
+            assert!(
+                dups == expected || dups + 1 == expected,
+                "n={n} f={f}: got {dups}, expected ~{expected}"
+            );
+        }
+        // No duplicate before anything has been submitted.
+        assert!(!is_duplicate(0, 1.0));
+    }
+
+    #[test]
+    fn percentiles_interpolate_sensibly() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 51.0); // round(0.50 * 99) = 50 -> v[50]
+        assert_eq!(percentile(&v, 99.0), 99.0); // round(0.99 * 99) = 98 -> v[98]
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

@@ -1,0 +1,706 @@
+//! The daemon: accept loop, scheduler thread, worker threads, HTTP
+//! routing, and graceful drain.
+//!
+//! Thread structure:
+//!
+//! * **accept loop** — a nonblocking `TcpListener` polled every ~20 ms so
+//!   it can notice shutdown; each accepted connection is handled on its
+//!   own short-lived thread (one request per connection).
+//! * **scheduler** — wakes on admissions/completions (condvar, with a
+//!   20 ms timeout so it also polls OS signals), applies the
+//!   [`crate::sched::SchedQueue`] policies, resolves cache hits without
+//!   leasing, and spawns a **worker thread** per dispatched job. Rank
+//!   leasing uses [`hipmer_pgas::TeamPool::try_lease`]; when the pool
+//!   cannot satisfy the request the picked job is held as
+//!   `pending_dispatch` and retried on the next wake, which deliberately
+//!   creates head-of-line blocking: the fair-share decision stays binding
+//!   instead of being bypassed by whichever smaller job fits.
+//! * **workers** — run the executor on the leased sub-team, then update
+//!   the record, release the lease (via `Drop`), and wake the scheduler.
+//!
+//! Drain (SIGTERM/SIGINT or `POST /admin/drain`): admission flips to 503,
+//! queued jobs become `cancelled`, running jobs get their cancel flag set
+//! so the pipeline stops at the next stage boundary (leaving resumable
+//! checkpoints), and the scheduler exits once the last worker finishes.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hipmer_pgas::json::Value;
+use hipmer_pgas::TeamPool;
+
+use crate::cache::{CacheState, ResultCache};
+use crate::http;
+use crate::job::{CacheDisposition, JobRecord, JobSpec, JobStatus};
+use crate::sched::SchedQueue;
+use crate::signal;
+use crate::{ExecOutcome, JobExecutor};
+
+/// How often the accept loop and scheduler poll for shutdown/signals.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 to let the OS choose.
+    pub addr: String,
+    /// Root for the result cache and any server state.
+    pub state_dir: PathBuf,
+    /// Bounded queue size; admissions beyond it get 429.
+    pub queue_capacity: usize,
+    /// Max queued+running jobs per tenant; beyond it 429.
+    pub tenant_quota: usize,
+    /// Total virtual ranks in the shared [`TeamPool`].
+    pub pool_ranks: usize,
+    /// Ranks per simulated node for the pool's topology.
+    pub ranks_per_node: usize,
+    /// OS threads multiplexing the pool (`None` = host parallelism).
+    pub pool_threads: Option<usize>,
+    /// Scheduler passes before a passed-over job is force-picked.
+    pub max_starvation_passes: u64,
+    /// React to SIGINT/SIGTERM by draining (disable for in-process tests
+    /// that must not install handlers).
+    pub handle_signals: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            state_dir: PathBuf::from("serve-state"),
+            queue_capacity: 64,
+            tenant_quota: 16,
+            pool_ranks: 16,
+            ranks_per_node: 8,
+            pool_threads: None,
+            max_starvation_passes: 8,
+            handle_signals: false,
+        }
+    }
+}
+
+/// Counters surfaced at `GET /v1/stats`.
+#[derive(Debug, Default)]
+struct Stats {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    interrupted: AtomicU64,
+    cache_hits: AtomicU64,
+    resumed: AtomicU64,
+}
+
+struct Inner {
+    jobs: BTreeMap<u64, JobRecord>,
+    queue: SchedQueue,
+    /// cache key -> id of the job currently running under it.
+    running_keys: HashMap<String, u64>,
+    /// Job picked by the scheduler but waiting for pool ranks.
+    pending_dispatch: Option<u64>,
+    /// Cancel flags of running jobs (drain sets them all).
+    cancel_flags: HashMap<u64, Arc<AtomicBool>>,
+    running: usize,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    executor: Arc<dyn JobExecutor>,
+    pool: Arc<TeamPool>,
+    cache: ResultCache,
+    started: Instant,
+    state: Mutex<Inner>,
+    wake: Condvar,
+    draining: AtomicBool,
+    /// Set once the scheduler has fully drained.
+    stopped: AtomicBool,
+    /// Set by `join` after the scheduler exits; the accept loop then
+    /// stops. Kept separate from `stopped` so status endpoints stay
+    /// readable between drain completion and `join` (clients may still be
+    /// polling for their jobs' terminal state).
+    accept_stop: AtomicBool,
+    next_id: AtomicU64,
+    stats: Stats,
+}
+
+impl Shared {
+    fn now_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+/// A running daemon; dropping it without [`Server::join`] leaks the
+/// threads, so call `join` (it returns once drain completes).
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: std::net::SocketAddr,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    sched_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the accept loop and scheduler, and return the handle.
+    pub fn start(cfg: ServeConfig, executor: Arc<dyn JobExecutor>) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let cache = ResultCache::open(&cfg.state_dir)?;
+        let mut pool = TeamPool::new(cfg.pool_ranks, cfg.ranks_per_node);
+        if let Some(threads) = cfg.pool_threads {
+            pool = pool.with_os_threads(threads);
+        }
+        if cfg.handle_signals {
+            signal::install();
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(Inner {
+                jobs: BTreeMap::new(),
+                queue: SchedQueue::new(
+                    cfg.queue_capacity,
+                    cfg.tenant_quota,
+                    cfg.max_starvation_passes,
+                ),
+                running_keys: HashMap::new(),
+                pending_dispatch: None,
+                cancel_flags: HashMap::new(),
+                running: 0,
+                workers: Vec::new(),
+            }),
+            cfg,
+            executor,
+            pool: Arc::new(pool),
+            cache,
+            started: Instant::now(),
+            wake: Condvar::new(),
+            draining: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            accept_stop: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+            stats: Stats::default(),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        let sched_shared = Arc::clone(&shared);
+        let sched_thread = thread::Builder::new()
+            .name("serve-sched".into())
+            .spawn(move || scheduler_loop(sched_shared))?;
+
+        Ok(Server {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+            sched_thread: Some(sched_thread),
+        })
+    }
+
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Begin a graceful drain (idempotent): stop admitting, cancel the
+    /// queue, ask running jobs to stop at the next stage boundary.
+    pub fn begin_drain(&self) {
+        begin_drain(&self.shared);
+    }
+
+    /// True once the scheduler has fully drained.
+    pub fn drained(&self) -> bool {
+        self.shared.stopped.load(Ordering::SeqCst)
+    }
+
+    /// Block until drain completes and both loops have exited.
+    pub fn join(mut self) {
+        if let Some(t) = self.sched_thread.take() {
+            let _ = t.join();
+        }
+        self.shared.accept_stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn begin_drain(shared: &Arc<Shared>) {
+    if shared.draining.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let mut inner = shared.state.lock().unwrap();
+    let now = shared.now_s();
+    // A job picked but still waiting for pool ranks is queued in spirit:
+    // cancel it along with the queue proper.
+    let mut doomed = inner.queue.cancel_all_queued();
+    doomed.extend(inner.pending_dispatch.take());
+    for id in doomed {
+        if let Some(rec) = inner.jobs.get_mut(&id) {
+            rec.status = JobStatus::Cancelled;
+            rec.finished_s = Some(now);
+        }
+        shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+    for flag in inner.cancel_flags.values() {
+        flag.store(true, Ordering::SeqCst);
+    }
+    drop(inner);
+    shared.wake.notify_all();
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.accept_stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_shared = Arc::clone(&shared);
+                let _ = thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || handle_connection(stream, conn_shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn scheduler_loop(shared: Arc<Shared>) {
+    loop {
+        if shared.cfg.handle_signals && signal::triggered() {
+            begin_drain(&shared);
+        }
+        let mut inner = shared.state.lock().unwrap();
+
+        // Exit once drained: nothing queued, pending, or running.
+        if shared.draining.load(Ordering::SeqCst)
+            && inner.queue.depth() == 0
+            && inner.pending_dispatch.is_none()
+            && inner.running == 0
+        {
+            let workers = std::mem::take(&mut inner.workers);
+            drop(inner);
+            for w in workers {
+                let _ = w.join();
+            }
+            shared.stopped.store(true, Ordering::SeqCst);
+            return;
+        }
+
+        // Retry a dispatch that was waiting for pool ranks, else pick.
+        let candidate = inner.pending_dispatch.take().or_else(|| {
+            if shared.draining.load(Ordering::SeqCst) {
+                None
+            } else {
+                inner.queue.pick().map(|(id, _)| id)
+            }
+        });
+
+        match candidate {
+            None => {
+                let (guard, _) = shared
+                    .wake
+                    .wait_timeout(inner, POLL_INTERVAL)
+                    .expect("scheduler lock poisoned");
+                drop(guard);
+            }
+            Some(id) => {
+                if !try_dispatch(&shared, &mut inner, id) {
+                    inner.pending_dispatch = Some(id);
+                    let (guard, _) = shared
+                        .wake
+                        .wait_timeout(inner, POLL_INTERVAL)
+                        .expect("scheduler lock poisoned");
+                    drop(guard);
+                }
+            }
+        }
+    }
+}
+
+/// Dispatch job `id`: resolve it as a cache hit, or lease ranks and spawn
+/// a worker. Returns false when the pool cannot satisfy the request yet
+/// (the caller re-queues it as `pending_dispatch`).
+fn try_dispatch(shared: &Arc<Shared>, inner: &mut Inner, id: u64) -> bool {
+    let rec = match inner.jobs.get(&id) {
+        Some(r) => r.clone(),
+        None => return true, // record vanished; drop the dispatch
+    };
+    // Drain may have cancelled the job between pick and dispatch.
+    if rec.status != JobStatus::Queued {
+        return true;
+    }
+    let key = rec.cache_key.clone().expect("cache key set at admission");
+
+    // A completed cache entry satisfies the job without leasing anything.
+    if shared.cache.state(&key) == CacheState::Complete {
+        let now = shared.now_s();
+        let rec = inner.jobs.get_mut(&id).expect("checked above");
+        rec.status = JobStatus::Completed;
+        rec.cache = CacheDisposition::Hit;
+        rec.started_s = Some(now);
+        rec.finished_s = Some(now);
+        shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+        hipmer_pgas::metrics::counter_add("serve/cache/hits", 1);
+        return true;
+    }
+
+    let request = shared.pool.clamp_request(rec.spec.ranks);
+    let lease = match shared.pool.try_lease(request) {
+        Some(l) => l,
+        None => return false,
+    };
+
+    let resume = shared.cache.state(&key) == CacheState::Partial;
+    if shared.cache.prepare(&key).is_err() {
+        // Treat an unwritable state dir as a job failure, not a server
+        // crash.
+        let now = shared.now_s();
+        let rec = inner.jobs.get_mut(&id).expect("checked above");
+        rec.status = JobStatus::Failed;
+        rec.error = Some("cannot create cache directory".to_string());
+        rec.finished_s = Some(now);
+        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+
+    let cancel = Arc::new(AtomicBool::new(false));
+    if shared.draining.load(Ordering::SeqCst) {
+        cancel.store(true, Ordering::SeqCst);
+    }
+    let now = shared.now_s();
+    {
+        let rec = inner.jobs.get_mut(&id).expect("checked above");
+        rec.status = JobStatus::Running;
+        rec.cache = if resume {
+            CacheDisposition::Resumed
+        } else {
+            CacheDisposition::Miss
+        };
+        rec.started_s = Some(now);
+        rec.leased_ranks = lease.ranks();
+    }
+    if resume {
+        shared.stats.resumed.fetch_add(1, Ordering::Relaxed);
+        hipmer_pgas::metrics::counter_add("serve/cache/resumes", 1);
+    } else {
+        hipmer_pgas::metrics::counter_add("serve/cache/misses", 1);
+    }
+    inner.queue.mark_running(&rec.spec.tenant, lease.ranks());
+    inner.running += 1;
+    inner.running_keys.insert(key.clone(), id);
+    inner.cancel_flags.insert(id, Arc::clone(&cancel));
+    // Queued duplicates wait for this run rather than recomputing.
+    let dup_ids: Vec<u64> = inner
+        .jobs
+        .values()
+        .filter(|j| {
+            j.id != id && j.status == JobStatus::Queued && j.cache_key.as_deref() == Some(&key)
+        })
+        .map(|j| j.id)
+        .collect();
+    for dup in dup_ids {
+        inner.queue.set_blocked(dup, true);
+    }
+
+    let worker_shared = Arc::clone(shared);
+    let spec = rec.spec.clone();
+    let out_dir = shared.cache.dir(&key);
+    let worker = thread::Builder::new()
+        .name(format!("serve-job-{id}"))
+        .spawn(move || {
+            let outcome = worker_shared
+                .executor
+                .execute(id, &spec, &lease, &out_dir, resume, &cancel);
+            let ranks = lease.ranks();
+            drop(lease); // release ranks before taking the state lock
+            finish_job(&worker_shared, id, &spec, ranks, outcome);
+        });
+    match worker {
+        Ok(handle) => inner.workers.push(handle),
+        Err(_) => {
+            // Spawn failure: roll the dispatch back and fail the job.
+            let now = shared.now_s();
+            let (tenant, leased) = {
+                let rec = inner.jobs.get_mut(&id).expect("checked above");
+                rec.status = JobStatus::Failed;
+                rec.error = Some("worker spawn failed".to_string());
+                rec.finished_s = Some(now);
+                (rec.spec.tenant.clone(), rec.leased_ranks)
+            };
+            inner.running -= 1;
+            inner.running_keys.remove(&key);
+            inner.cancel_flags.remove(&id);
+            inner.queue.mark_finished(&tenant, leased);
+            shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    true
+}
+
+fn finish_job(shared: &Arc<Shared>, id: u64, spec: &JobSpec, ranks: usize, outcome: ExecOutcome) {
+    let mut inner = shared.state.lock().unwrap();
+    let now = shared.now_s();
+    let key = inner
+        .jobs
+        .get(&id)
+        .and_then(|r| r.cache_key.clone())
+        .unwrap_or_default();
+
+    match &outcome {
+        ExecOutcome::Completed { summary } => {
+            let committed = shared.cache.commit(&key, summary);
+            let rec = inner.jobs.get_mut(&id).expect("running job has a record");
+            match committed {
+                Ok(()) => {
+                    rec.status = JobStatus::Completed;
+                    shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    rec.status = JobStatus::Failed;
+                    rec.error = Some(format!("cache commit failed: {e}"));
+                    shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            rec.finished_s = Some(now);
+        }
+        ExecOutcome::Interrupted => {
+            let rec = inner.jobs.get_mut(&id).expect("running job has a record");
+            rec.status = JobStatus::Interrupted;
+            rec.finished_s = Some(now);
+            shared.stats.interrupted.fetch_add(1, Ordering::Relaxed);
+        }
+        ExecOutcome::Failed { error } => {
+            let rec = inner.jobs.get_mut(&id).expect("running job has a record");
+            rec.status = JobStatus::Failed;
+            rec.error = Some(error.clone());
+            rec.finished_s = Some(now);
+            shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    inner.running -= 1;
+    inner.running_keys.remove(&key);
+    inner.cancel_flags.remove(&id);
+    inner.queue.mark_finished(&spec.tenant, ranks);
+    // Unblock queued duplicates: if we completed they will resolve as
+    // cache hits; otherwise one of them becomes the new primary (and will
+    // resume from whatever checkpoints this run left).
+    let dup_ids: Vec<u64> = inner
+        .jobs
+        .values()
+        .filter(|j| j.status == JobStatus::Queued && j.cache_key.as_deref() == Some(key.as_str()))
+        .map(|j| j.id)
+        .collect();
+    for dup in dup_ids {
+        inner.queue.set_blocked(dup, false);
+    }
+    drop(inner);
+    shared.wake.notify_all();
+}
+
+fn json_error(reason: &str, detail: &str) -> Vec<u8> {
+    let mut v = Value::obj();
+    v.set("error", reason).set("detail", detail);
+    v.to_json().into_bytes()
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let req = match http::read_request(&mut stream) {
+        Ok(r) => r,
+        Err(http::ParseError::TooLarge(d)) => {
+            let _ = http::write_response(
+                &mut stream,
+                413,
+                "application/json",
+                &json_error("too_large", d),
+            );
+            return;
+        }
+        Err(http::ParseError::Bad(d)) => {
+            let _ = http::write_response(
+                &mut stream,
+                400,
+                "application/json",
+                &json_error("bad_request", d),
+            );
+            return;
+        }
+        Err(http::ParseError::Io(_)) => return,
+    };
+    let (status, content_type, body) = route(&req, &shared);
+    let _ = http::write_response(&mut stream, status, content_type, &body);
+}
+
+fn route(req: &http::Request, shared: &Arc<Shared>) -> (u16, &'static str, Vec<u8>) {
+    let path: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), path.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let mut v = Value::obj();
+            v.set("status", "ok")
+                .set("draining", shared.draining.load(Ordering::SeqCst));
+            (200, "application/json", v.to_json().into_bytes())
+        }
+        ("GET", ["metrics"]) => (
+            200,
+            "text/plain; version=0.0.4",
+            hipmer_pgas::metrics::prometheus_text().into_bytes(),
+        ),
+        ("GET", ["v1", "stats"]) => (200, "application/json", stats_doc(shared).into_bytes()),
+        ("GET", ["v1", "jobs"]) => {
+            let inner = shared.state.lock().unwrap();
+            let list: Vec<Value> = inner.jobs.values().map(JobRecord::to_value).collect();
+            (
+                200,
+                "application/json",
+                Value::Arr(list).to_json().into_bytes(),
+            )
+        }
+        ("GET", ["v1", "jobs", id]) => match lookup_job(shared, id) {
+            Some(rec) => (
+                200,
+                "application/json",
+                rec.to_value().to_json().into_bytes(),
+            ),
+            None => (
+                404,
+                "application/json",
+                json_error("not_found", "no such job"),
+            ),
+        },
+        ("GET", ["v1", "jobs", id, artifact @ ("report" | "fasta" | "trace")]) => {
+            serve_artifact(shared, id, artifact)
+        }
+        ("POST", ["v1", "jobs"]) => submit(shared, &req.body),
+        ("POST", ["admin", "drain"]) => {
+            begin_drain(shared);
+            let mut v = Value::obj();
+            v.set("status", "draining");
+            (202, "application/json", v.to_json().into_bytes())
+        }
+        ("GET", _) => (
+            404,
+            "application/json",
+            json_error("not_found", "unknown path"),
+        ),
+        _ => (
+            405,
+            "application/json",
+            json_error("method_not_allowed", "unsupported method"),
+        ),
+    }
+}
+
+fn lookup_job(shared: &Arc<Shared>, id: &str) -> Option<JobRecord> {
+    let id: u64 = id.parse().ok()?;
+    shared.state.lock().unwrap().jobs.get(&id).cloned()
+}
+
+fn serve_artifact(shared: &Arc<Shared>, id: &str, artifact: &str) -> (u16, &'static str, Vec<u8>) {
+    let rec = match lookup_job(shared, id) {
+        Some(r) => r,
+        None => {
+            return (
+                404,
+                "application/json",
+                json_error("not_found", "no such job"),
+            )
+        }
+    };
+    if rec.status != JobStatus::Completed {
+        return (
+            409,
+            "application/json",
+            json_error("not_ready", rec.status.as_str()),
+        );
+    }
+    let key = rec.cache_key.as_deref().unwrap_or("");
+    let (file, content_type) = match artifact {
+        "report" => ("report.json", "application/json"),
+        "fasta" => ("scaffolds.fasta", "text/plain"),
+        "trace" => ("trace.json", "application/json"),
+        _ => unreachable!("router only passes known artifacts"),
+    };
+    match shared.cache.read_output(key, file) {
+        Ok(bytes) => (200, content_type, bytes),
+        Err(_) => (
+            404,
+            "application/json",
+            json_error("not_found", "artifact missing from cache"),
+        ),
+    }
+}
+
+fn submit(shared: &Arc<Shared>, body: &[u8]) -> (u16, &'static str, Vec<u8>) {
+    if shared.draining.load(Ordering::SeqCst) {
+        return (
+            503,
+            "application/json",
+            json_error("draining", "server is draining; not admitting jobs"),
+        );
+    }
+    let spec = match JobSpec::from_json(body) {
+        Ok(s) => s,
+        Err(e) => return (400, "application/json", json_error("bad_spec", &e)),
+    };
+    let key = match shared.executor.cache_key(&spec) {
+        Ok(k) => k,
+        Err(e) => return (400, "application/json", json_error("bad_input", &e)),
+    };
+
+    let mut inner = shared.state.lock().unwrap();
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    if let Err(reason) = inner.queue.try_admit(id, &spec.tenant, spec.priority) {
+        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        return (
+            429,
+            "application/json",
+            json_error(reason.as_str(), "admission refused; retry with backoff"),
+        );
+    }
+    let mut rec = JobRecord::new(id, spec, shared.now_s());
+    rec.cache_key = Some(key.clone());
+    if inner.running_keys.contains_key(&key) {
+        inner.queue.set_blocked(id, true);
+    }
+    let doc = rec.to_value().to_json().into_bytes();
+    inner.jobs.insert(id, rec);
+    shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+    hipmer_pgas::metrics::counter_add("serve/jobs/submitted", 1);
+    drop(inner);
+    shared.wake.notify_all();
+    (200, "application/json", doc)
+}
+
+fn stats_doc(shared: &Arc<Shared>) -> String {
+    let inner = shared.state.lock().unwrap();
+    let mut v = Value::obj();
+    let s = &shared.stats;
+    v.set("submitted", s.submitted.load(Ordering::Relaxed))
+        .set("rejected", s.rejected.load(Ordering::Relaxed))
+        .set("completed", s.completed.load(Ordering::Relaxed))
+        .set("failed", s.failed.load(Ordering::Relaxed))
+        .set("cancelled", s.cancelled.load(Ordering::Relaxed))
+        .set("interrupted", s.interrupted.load(Ordering::Relaxed))
+        .set("cache_hits", s.cache_hits.load(Ordering::Relaxed))
+        .set("resumed", s.resumed.load(Ordering::Relaxed))
+        .set("queue_depth", inner.queue.depth())
+        .set("running", inner.running)
+        .set("pool_ranks", shared.pool.total_ranks())
+        .set("leased_ranks", shared.pool.leased_ranks())
+        .set("draining", shared.draining.load(Ordering::SeqCst))
+        .set("uptime_s", shared.now_s());
+    v.to_json()
+}
