@@ -13,7 +13,9 @@ use crate::index::{build_seed_index, HitList, SeedIndex};
 use crate::sw::ungapped_matches;
 use hipmer_contig::ContigSet;
 use hipmer_dna::Kmer;
-use hipmer_pgas::{LookupBatch, PhaseReport, RankCtx, Schedule, SoftwareCache, Team};
+use hipmer_pgas::{
+    LookupBatch, PartitionScheme, PhaseReport, RankCtx, Schedule, SoftwareCache, Team,
+};
 use hipmer_seqio::SeqRecord;
 use std::collections::HashMap;
 
@@ -46,6 +48,11 @@ pub struct AlignConfig {
     /// repeat-heavy or long-read-tailed inputs; alignments are byte-
     /// identical either way.
     pub schedule: Schedule,
+    /// Seed-index ownership scheme. [`PartitionScheme::Minimizer`]
+    /// co-locates a read's adjacent stride seeds on one rank so each
+    /// read's lookup batch touches fewer distinct owners; alignments
+    /// are byte-identical either way.
+    pub partition: PartitionScheme,
 }
 
 impl AlignConfig {
@@ -61,6 +68,7 @@ impl AlignConfig {
             lookup_batch: 256,
             cache_entries: 4096,
             schedule: Schedule::Static,
+            partition: PartitionScheme::Uniform,
         }
     }
 }
@@ -418,7 +426,13 @@ pub fn align_reads(
     reads: &[SeqRecord],
     cfg: &AlignConfig,
 ) -> (Vec<Alignment>, Vec<PhaseReport>) {
-    let (index, index_report) = build_seed_index(team, contigs, cfg.seed_len, cfg.max_seed_hits);
+    let (index, index_report) = build_seed_index(
+        team,
+        contigs,
+        cfg.seed_len,
+        cfg.max_seed_hits,
+        cfg.partition,
+    );
 
     // Per-read cost proxy for the dynamic scheduler: seeding and extension
     // work both scale with read length. Under `Schedule::Static` the
@@ -466,11 +480,15 @@ pub fn align_reads(
             a.read_end,
         )
     });
+    // The align loop reads the same seed table the index build placed, so
+    // both phases share one placement label in the report's split.
+    let label = index_report.placement.clone().unwrap_or_default();
     (
         alignments,
         vec![
             index_report,
-            PhaseReport::new("scaffold/meraligner-align", *team.topo(), stats),
+            PhaseReport::new("scaffold/meraligner-align", *team.topo(), stats)
+                .with_placement(label),
         ],
     )
 }
@@ -614,6 +632,29 @@ mod tests {
             align_reads(&team, &contigs, &reads, &AlignConfig::new(15)).0
         };
         assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn minimizer_partition_gives_identical_alignments() {
+        let genome = lcg(1500, 41);
+        let contigs = one_contig_set(genome.clone());
+        let reads: Vec<SeqRecord> = (0..25)
+            .map(|i| read(&format!("r{i}"), genome[i * 50..i * 50 + 100].to_vec()))
+            .collect();
+        let run = |scheme: PartitionScheme, ranks: usize| {
+            let team = Team::new(Topology::new(ranks, 4));
+            let cfg = AlignConfig {
+                partition: scheme,
+                ..AlignConfig::new(15)
+            };
+            align_reads(&team, &contigs, &reads, &cfg).0
+        };
+        for ranks in [1, 8] {
+            assert_eq!(
+                run(PartitionScheme::Uniform, ranks),
+                run(PartitionScheme::Minimizer, ranks)
+            );
+        }
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use hipmer_contig::ContigSet;
 use hipmer_dna::{Kmer, KmerCodec};
-use hipmer_pgas::{AggregatingStores, DistHashMap, PhaseReport, Team};
+use hipmer_pgas::{
+    AggregatingStores, DistHashMap, PartitionScheme, Partitioner, PhaseReport, Team,
+};
 
 /// One seed occurrence in a contig.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,14 +51,19 @@ impl SeedIndex {
 /// Build the seed index over the contigs in parallel: each rank indexes
 /// its contig chunk and ships (seed, hit) entries with aggregating stores
 /// (the paper's point: the lookup table build itself is fully parallel).
+/// `partition` decides seed ownership — minimizer bucketing co-locates
+/// the adjacent seeds of a read's stride walk on one rank, shrinking the
+/// distinct-owner set each read's lookup batch touches.
 pub fn build_seed_index(
     team: &Team,
     contigs: &ContigSet,
     seed_len: usize,
     max_hits: usize,
+    partition: PartitionScheme,
 ) -> (SeedIndex, PhaseReport) {
     let codec = KmerCodec::new(seed_len);
-    let table: DistHashMap<Kmer, HitList> = DistHashMap::new(*team.topo());
+    let part = Partitioner::new(partition, seed_len);
+    let table: DistHashMap<Kmer, HitList> = part.table(*team.topo(), codec);
 
     let merge = move |a: &mut HitList, b: HitList| {
         a.total += b.total;
@@ -104,7 +111,8 @@ pub fn build_seed_index(
         agg.finish(ctx);
     });
     table.drain_service_into(&mut stats);
-    let report = PhaseReport::new("scaffold/meraligner-index", *team.topo(), stats);
+    let report = PhaseReport::new("scaffold/meraligner-index", *team.topo(), stats)
+        .with_placement(part.label());
     (
         SeedIndex {
             table,
@@ -142,7 +150,7 @@ mod tests {
         let c0 = lcg(200, 1);
         let set = contigs_from(&[&c0]);
         let team = Team::new(Topology::new(4, 2));
-        let (index, _) = build_seed_index(&team, &set, 15, 16);
+        let (index, _) = build_seed_index(&team, &set, 15, 16, PartitionScheme::Uniform);
         let mut ctx = RankCtx::new(0, Topology::new(4, 2));
         let codec = KmerCodec::new(15);
         for (pos, km) in codec.kmers(&set.contigs[0].seq) {
@@ -159,7 +167,7 @@ mod tests {
     fn rc_flag_reflects_orientation() {
         let set = contigs_from(&[b"TTTTTTTTTTTTTTTTTTTTTGGGGG"]);
         let team = Team::new(Topology::new(1, 1));
-        let (index, _) = build_seed_index(&team, &set, 15, 16);
+        let (index, _) = build_seed_index(&team, &set, 15, 16, PartitionScheme::Uniform);
         let mut ctx = RankCtx::new(0, Topology::new(1, 1));
         let codec = KmerCodec::new(15);
         // TTT... seed: canonical is AAA..., so rc must be true.
@@ -184,7 +192,7 @@ mod tests {
             .collect();
         let set = ContigSet::from_sequences(KmerCodec::new(21), seqs);
         let team = Team::new(Topology::new(2, 2));
-        let (index, _) = build_seed_index(&team, &set, 15, 4);
+        let (index, _) = build_seed_index(&team, &set, 15, 4, PartitionScheme::Uniform);
         let mut ctx = RankCtx::new(0, Topology::new(2, 2));
         let codec = KmerCodec::new(15);
         let km = codec.canonical(codec.pack(&block[..15]).unwrap());
@@ -200,7 +208,7 @@ mod tests {
         let set = ContigSet::from_sequences(KmerCodec::new(21), seqs);
         let sizes = |ranks: usize| -> usize {
             let team = Team::new(Topology::new(ranks, 4));
-            let (index, _) = build_seed_index(&team, &set, 15, 8);
+            let (index, _) = build_seed_index(&team, &set, 15, 8, PartitionScheme::Uniform);
             index.table.len()
         };
         let a = sizes(1);

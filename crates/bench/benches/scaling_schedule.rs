@@ -31,7 +31,7 @@ use hipmer_bench::{banner, fast, model, scaled};
 use hipmer_contig::{build_graph, build_oracle, traverse_graph, ContigConfig, ContigSet};
 use hipmer_kanalysis::{analyze_kmers, KmerAnalysisConfig};
 use hipmer_pgas::json::Value;
-use hipmer_pgas::{Placement, Schedule, Team, Topology};
+use hipmer_pgas::{Partitioner, Placement, Schedule, Team, Topology};
 use hipmer_scaffold::{close_gaps, GapCloseConfig, Scaffold, ScaffoldMember};
 use hipmer_seqio::SeqRecord;
 use std::sync::Arc;
@@ -124,7 +124,8 @@ fn traversal_rows(concurrencies: &[usize], rows: &mut Vec<Row>) {
         // Draft assembly (cyclic) feeds the oracle, exactly as the oracle
         // benches do; the oracle then co-locates whole contigs.
         let cfg = ContigConfig::new(k);
-        let (draft_graph, _) = build_graph(&team, &spectrum, Placement::Cyclic);
+        let (draft_graph, _) =
+            build_graph(&team, &spectrum, Placement::Cyclic, Partitioner::Uniform);
         let (draft, _) = traverse_graph(&team, &draft_graph, &cfg);
         let oracle = Arc::new(build_oracle(&draft, &topo, (total / 2).next_power_of_two()));
 
@@ -139,7 +140,12 @@ fn traversal_rows(concurrencies: &[usize], rows: &mut Vec<Row>) {
             let mut ocfg = ContigConfig::new(k);
             ocfg.placement = oracle.clone().placement();
             ocfg.schedule = schedule;
-            let (graph, _) = build_graph(&team, &spectrum, ocfg.placement.clone());
+            let (graph, _) = build_graph(
+                &team,
+                &spectrum,
+                ocfg.placement.clone(),
+                Partitioner::Uniform,
+            );
             let (set, report) = traverse_graph(&team, &graph, &ocfg);
             imb[i] = report.imbalance(&m);
             secs[i] = report.modeled(&m).total();

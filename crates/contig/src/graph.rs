@@ -2,7 +2,7 @@
 
 use hipmer_dna::{ExtensionPair, Kmer, KmerCodec};
 use hipmer_kanalysis::KmerSpectrum;
-use hipmer_pgas::{DistHashMap, PhaseReport, Placement, Team};
+use hipmer_pgas::{DistHashMap, Partitioner, PhaseReport, Placement, Team};
 
 /// A graph vertex: one UU k-mer with its unique extensions.
 #[derive(Clone, Copy, Debug)]
@@ -28,20 +28,35 @@ pub struct DebruijnGraph {
 
 /// Build the graph from a finished k-mer spectrum, placing vertices with
 /// `placement` ([`Placement::Cyclic`] for the baseline; an oracle placement
-/// for the communication-avoiding traversal).
+/// for the communication-avoiding traversal) and, under `Cyclic`, the
+/// partitioner's locality hash (minimizer bucketing). An oracle
+/// `Placement::Custom` supersedes the partitioner: the oracle already
+/// encodes a (stronger, contig-exact) locality decision per hash, so
+/// installing a second locality layer under it would only re-home the
+/// k-mers the oracle deliberately grouped.
 ///
 /// Only UU k-mers become vertices (§2: "for k-mers where the extensions
 /// are \[unique\] in both directions"). Each rank streams its local spectrum
-/// shard into the graph table; with cyclic→cyclic placement this is mostly
-/// rank-local, while an oracle placement reshuffles vertices to their
-/// contig's rank (paying the one-time movement the paper folds into graph
-/// construction).
+/// shard into the graph table; with matching spectrum→graph placement this
+/// is mostly rank-local, while an oracle placement reshuffles vertices to
+/// their contig's rank (paying the one-time movement the paper folds into
+/// graph construction).
 pub fn build_graph(
     team: &Team,
     spectrum: &KmerSpectrum,
     placement: Placement,
+    partitioner: Partitioner,
 ) -> (DebruijnGraph, PhaseReport) {
+    let apply_locality = matches!(placement, Placement::Cyclic);
     let nodes: DistHashMap<Kmer, GraphNode> = DistHashMap::with_placement(*team.topo(), placement);
+    let nodes = if apply_locality {
+        match partitioner.locality_hash(spectrum.codec) {
+            Some(f) => nodes.with_locality_hash(f),
+            None => nodes,
+        }
+    } else {
+        nodes
+    };
 
     let (_, mut stats) = team.run_named("contig/graph-build", |ctx| {
         let mut uu: Vec<(Kmer, GraphNode)> = Vec::new();
@@ -62,7 +77,12 @@ pub fn build_graph(
         }
     });
     nodes.drain_service_into(&mut stats);
-    let report = PhaseReport::new("contig/graph-build", *team.topo(), stats);
+    let label = if apply_locality {
+        partitioner.label()
+    } else {
+        "oracle".to_string()
+    };
+    let report = PhaseReport::new("contig/graph-build", *team.topo(), stats).with_placement(label);
     (
         DebruijnGraph {
             nodes,
@@ -118,7 +138,7 @@ mod tests {
                 ("GTA", ExtChoice::Unique(2), ExtChoice::None),      // UX
             ],
         );
-        let (graph, _) = build_graph(&team, &spectrum, Placement::Cyclic);
+        let (graph, _) = build_graph(&team, &spectrum, Placement::Cyclic, Partitioner::Uniform);
         assert_eq!(graph.nodes.len(), 1);
         let mut ctx = RankCtx::new(0, topo);
         let codec = KmerCodec::new(3);
@@ -140,7 +160,32 @@ mod tests {
             ],
         );
         let everything_on_3 = Placement::Custom(std::sync::Arc::new(|_h| 3usize));
-        let (graph, _) = build_graph(&team, &spectrum, everything_on_3);
+        let (graph, _) = build_graph(&team, &spectrum, everything_on_3, Partitioner::Uniform);
         assert_eq!(graph.nodes.shard_sizes(), vec![0, 0, 0, 3]);
+    }
+
+    #[test]
+    fn minimizer_partitioner_rehomes_vertices_under_cyclic_only() {
+        let topo = Topology::new(4, 2);
+        let team = Team::new(topo);
+        let spectrum = spectrum_from(
+            topo,
+            3,
+            &[
+                ("ACG", ExtChoice::Unique(3), ExtChoice::Unique(0)),
+                ("CCG", ExtChoice::Unique(3), ExtChoice::Unique(0)),
+                ("GCG", ExtChoice::Unique(3), ExtChoice::Unique(0)),
+            ],
+        );
+        let part = Partitioner::new(hipmer_pgas::PartitionScheme::Minimizer, 3);
+        // Cyclic placement: the partitioner's locality hash decides owners.
+        let (graph, _) = build_graph(&team, &spectrum, Placement::Cyclic, part);
+        assert!(graph.nodes.has_locality_hash());
+        assert_eq!(graph.nodes.len(), 3);
+        // An oracle-style custom placement supersedes the partitioner.
+        let oracle = Placement::Custom(std::sync::Arc::new(|_h| 1usize));
+        let (graph, _) = build_graph(&team, &spectrum, oracle, part);
+        assert!(!graph.nodes.has_locality_hash());
+        assert_eq!(graph.nodes.shard_sizes(), vec![0, 3, 0, 0]);
     }
 }

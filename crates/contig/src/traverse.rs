@@ -17,7 +17,9 @@ use crate::contig_set::ContigSet;
 use crate::graph::{DebruijnGraph, GraphNode};
 use hipmer_dna::{canonical_seq, decode_base, ExtensionPair, Kmer, KmerCodec};
 use hipmer_kanalysis::KmerSpectrum;
-use hipmer_pgas::{PhaseReport, Placement, RankCtx, Schedule, SoftwareCache, Team};
+use hipmer_pgas::{
+    PartitionScheme, Partitioner, PhaseReport, Placement, RankCtx, Schedule, SoftwareCache, Team,
+};
 
 /// Which traversal algorithm to run (ablation hook; all three emit the
 /// identical contig set).
@@ -65,6 +67,11 @@ pub struct ContigConfig {
     /// still guarantee each vertex is consumed exactly once and the merged
     /// contig set is byte-identical. Ignored by the other traversal modes.
     pub schedule: Schedule,
+    /// How graph vertices map to ranks under cyclic placement: uniform
+    /// hashing or minimizer bucketing (adjacent k-mers share an owner, so
+    /// claim/probe steps stay local within minimizer runs). Superseded by
+    /// an oracle [`Placement::Custom`] — see [`crate::graph::build_graph`].
+    pub partition: PartitionScheme,
 }
 
 impl ContigConfig {
@@ -77,6 +84,7 @@ impl ContigConfig {
             walk_cap: 2048,
             node_cache: 16384,
             schedule: Schedule::Static,
+            partition: PartitionScheme::Uniform,
         }
     }
 
@@ -230,11 +238,23 @@ enum ClaimStep {
 /// Advance one base, claiming the next vertex in the same access that
 /// reads it (one one-sided operation per explored vertex, as in the
 /// paper).
+///
+/// With `stop_foreign` set (locality-aware placement: adjacent k-mers
+/// share an owner), the walk instead **stops at ownership boundaries**:
+/// crossing into another rank's minimizer run records a boundary link and
+/// lets that rank claim its own run from its local buckets. Every claim is
+/// then rank-local and the only remote traffic is one exts probe per run
+/// boundary — this is what converts co-ownership of adjacent k-mers into
+/// an off-node message reduction. The chain merge stitches the per-run
+/// subcontigs exactly as it stitches walk-cap and racing-claim boundaries,
+/// so the contig set is unchanged.
 fn step_claim(
     graph: &DebruijnGraph,
     ctx: &mut RankCtx,
+    cache: &mut Option<SoftwareCache<Kmer, GraphNode>>,
     cur: Oriented,
     cur_node: &GraphNode,
+    stop_foreign: bool,
 ) -> ClaimStep {
     let codec = graph.codec;
     let Some(b) = exts_of(cur_node, cur.flipped).right.unique_base() else {
@@ -243,6 +263,18 @@ fn step_claim(
     let next = orient(&codec, codec.extend_right(cur.kmer, b));
     let first_base = codec.first_base(cur.kmer);
     ctx.stats.compute(1);
+    if stop_foreign && graph.nodes.owner(&next.canon) != ctx.rank {
+        // Ownership boundary. Confirm the link is real (exts-only read,
+        // cache-served) before pointing the merge at it; the owner claims
+        // the vertex when it seeds its own run.
+        let Some(node) = node_for_exts(graph, ctx, cache, &next.canon) else {
+            return ClaimStep::End;
+        };
+        if exts_of(&node, next.flipped).left.unique_base() != Some(first_base) {
+            return ClaimStep::End;
+        }
+        return ClaimStep::Boundary(next.canon);
+    }
     graph.nodes.with_mut(ctx, &next.canon, |slot| match slot {
         None => ClaimStep::End,
         Some(node) => {
@@ -296,6 +328,9 @@ fn claim_walk_seed(
         }
     })?;
     let mut claimed = 1usize;
+    // Locality-aware placement co-locates adjacent k-mers, so walks stop
+    // at ownership boundaries and each rank claims its own runs locally.
+    let stop_foreign = graph.nodes.has_locality_hash();
 
     let start = Oriented {
         kmer: seed,
@@ -310,7 +345,7 @@ fn claim_walk_seed(
     let mut cur_node = seed_node;
     let mut hit_cap = true;
     for _ in 0..cfg.walk_cap {
-        match step_claim(graph, ctx, cur, &cur_node) {
+        match step_claim(graph, ctx, cache, cur, &cur_node, stop_foreign) {
             ClaimStep::Claimed(next, node, b) => {
                 claimed += 1;
                 seq.push(decode_base(b));
@@ -352,7 +387,7 @@ fn claim_walk_seed(
     let mut prepended: Vec<u8> = Vec::new();
     let mut hit_cap = true;
     for _ in 0..cfg.walk_cap {
-        match step_claim(graph, ctx, cur, &cur_node) {
+        match step_claim(graph, ctx, cache, cur, &cur_node, stop_foreign) {
             ClaimStep::Claimed(next, node, b) => {
                 claimed += 1;
                 // Base b extends the flipped orientation; in forward
@@ -869,9 +904,17 @@ pub fn generate_contigs(
     spectrum: &KmerSpectrum,
     cfg: &ContigConfig,
 ) -> (ContigSet, Vec<PhaseReport>) {
-    let (graph, build_report) = crate::graph::build_graph(team, spectrum, cfg.placement.clone());
+    let part = Partitioner::new(cfg.partition, spectrum.codec.k());
+    let (graph, build_report) =
+        crate::graph::build_graph(team, spectrum, cfg.placement.clone(), part);
     let (set, traverse_report) = traverse_graph(team, &graph, cfg);
-    (set, vec![build_report, traverse_report])
+    // The traversal walks the same table the build placed, so it carries
+    // the build's placement label in the report's per-placement split.
+    let label = build_report.placement.clone().unwrap_or_default();
+    (
+        set,
+        vec![build_report, traverse_report.with_placement(label)],
+    )
 }
 
 #[cfg(test)]
@@ -959,15 +1002,18 @@ mod tests {
         genome: &[u8],
         topo: Topology,
         schedule: Schedule,
+        partition: PartitionScheme,
         read_len: usize,
     ) -> ContigSet {
         let team = Team::new(topo);
         let reads = perfect_reads(genome, read_len, 4);
-        let kcfg = KmerAnalysisConfig::new(21);
+        let mut kcfg = KmerAnalysisConfig::new(21);
+        kcfg.partition = partition;
         let (spectrum, _) = analyze_kmers(&team, &reads, &kcfg);
         let mut ccfg = ContigConfig::new(21);
         ccfg.walk_cap = 100;
         ccfg.schedule = schedule;
+        ccfg.partition = partition;
         let (set, _) = generate_contigs(&team, &spectrum, &ccfg);
         set
     }
@@ -982,8 +1028,20 @@ mod tests {
             let genome = lcg_genome(len, seed);
             for (ranks, per) in [(1usize, 1usize), (7, 3), (16, 4), (64, 8)] {
                 let topo = Topology::new(ranks, per);
-                let st = assemble_sched(&genome, topo, Schedule::Static, read_len);
-                let dy = assemble_sched(&genome, topo, Schedule::Dynamic, read_len);
+                let st = assemble_sched(
+                    &genome,
+                    topo,
+                    Schedule::Static,
+                    PartitionScheme::Uniform,
+                    read_len,
+                );
+                let dy = assemble_sched(
+                    &genome,
+                    topo,
+                    Schedule::Dynamic,
+                    PartitionScheme::Uniform,
+                    read_len,
+                );
                 assert_eq!(
                     seqs(&st),
                     seqs(&dy),
@@ -991,6 +1049,77 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn minimizer_partition_matches_uniform_contigs() {
+        // Placement must be invisible to assembly output: uniform and
+        // minimizer bucketing produce byte-identical contig sets across
+        // genomes × topologies × schedules (the static≡dynamic harness,
+        // extended along the partition axis).
+        let seqs =
+            |s: &ContigSet| -> Vec<Vec<u8>> { s.contigs.iter().map(|c| c.seq.clone()).collect() };
+        for (len, seed, read_len) in [(2000usize, 33u64, 80usize), (700, 91, 80), (60, 5, 30)] {
+            let genome = lcg_genome(len, seed);
+            for (ranks, per) in [(1usize, 1usize), (7, 3), (16, 4), (64, 8)] {
+                let topo = Topology::new(ranks, per);
+                for schedule in [Schedule::Static, Schedule::Dynamic] {
+                    let uni =
+                        assemble_sched(&genome, topo, schedule, PartitionScheme::Uniform, read_len);
+                    let min = assemble_sched(
+                        &genome,
+                        topo,
+                        schedule,
+                        PartitionScheme::Minimizer,
+                        read_len,
+                    );
+                    assert_eq!(
+                        seqs(&uni),
+                        seqs(&min),
+                        "partitions disagree at ranks={ranks} len={len} {schedule:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimizer_partition_preserves_contigs_and_cuts_offnode_traffic() {
+        // The minimizer analogue of the oracle test below: same contigs,
+        // and the traversal's per-step claim/probe traffic stays local
+        // within minimizer runs, cutting the stage's off-node fraction.
+        let genome = lcg_genome(4000, 101);
+        let topo = Topology::new(8, 2); // 4 nodes -> plenty of off-node
+        let team = Team::new(topo);
+        let reads = perfect_reads(&genome, 80, 4);
+        let kcfg = KmerAnalysisConfig::new(21);
+        let (spectrum, _) = analyze_kmers(&team, &reads, &kcfg);
+
+        let offnode = |reports: &[PhaseReport]| -> f64 {
+            reports
+                .iter()
+                .find(|r| r.name.contains("traversal"))
+                .unwrap()
+                .offnode_fraction()
+        };
+        let mut ucfg = ContigConfig::new(21);
+        ucfg.partition = PartitionScheme::Uniform;
+        let (uni_set, uni_reports) = generate_contigs(&team, &spectrum, &ucfg);
+        let mut mcfg = ContigConfig::new(21);
+        mcfg.partition = PartitionScheme::Minimizer;
+        let (min_set, min_reports) = generate_contigs(&team, &spectrum, &mcfg);
+
+        let seqs =
+            |s: &ContigSet| -> Vec<Vec<u8>> { s.contigs.iter().map(|c| c.seq.clone()).collect() };
+        assert_eq!(seqs(&uni_set), seqs(&min_set), "same contigs");
+
+        let uni_frac = offnode(&uni_reports);
+        let min_frac = offnode(&min_reports);
+        assert!(
+            min_frac < uni_frac * 0.75,
+            "minimizer bucketing must cut off-node traversal traffic ≥ 25%: \
+             {min_frac:.3} vs {uni_frac:.3}"
+        );
     }
 
     #[test]
@@ -1041,16 +1170,42 @@ mod tests {
         let reads = perfect_reads(&genome, 80, 4);
         let kcfg = KmerAnalysisConfig::new(21);
         let (spectrum, _) = analyze_kmers(&team, &reads, &kcfg);
-        let ccfg = ContigConfig::new(21);
-        let (set, _) = generate_contigs(&team, &spectrum, &ccfg);
-        // The wrapped genome has no endpoints at the junction, so without
-        // the cycle pass part of it would vanish. Total assembled bases
-        // must be close to the circle length.
-        assert!(
-            set.total_bases() + 150 > 600,
-            "cycle pass lost sequence: {} bases",
-            set.total_bases()
-        );
+        let mut sets = Vec::new();
+        for partition in [PartitionScheme::Uniform, PartitionScheme::Minimizer] {
+            let mut ccfg = ContigConfig::new(21);
+            ccfg.partition = partition;
+            let (set, _) = generate_contigs(&team, &spectrum, &ccfg);
+            // The wrapped genome has no endpoints at the junction, so
+            // without the cycle pass part of it would vanish. Total
+            // assembled bases must be close to the circle length.
+            assert!(
+                set.total_bases() + 150 > 600,
+                "cycle pass lost sequence: {} bases",
+                set.total_bases()
+            );
+            sets.push(set);
+        }
+        // Cyclic components must also survive partition-boundary
+        // stitching. A cycle's linearization rotation depends on claim
+        // order (true under uniform placement too), so compare rotation-
+        // and strand-invariantly: same lengths, and each contig is a
+        // window of the other scheme's doubled sequence.
+        assert_eq!(sets[0].len(), sets[1].len());
+        for (a, b) in sets[0].contigs.iter().zip(&sets[1].contigs) {
+            assert_eq!(a.len(), b.len());
+            // A linearized cycle is one period plus k-1 wrap bases; strip
+            // the wrap and compare the periods as rotations.
+            let core_a = &a.seq[..a.len() - 20];
+            let core_b = &b.seq[..b.len() - 20];
+            let mut doubled = core_a.to_vec();
+            doubled.extend_from_slice(core_a);
+            let rc = hipmer_dna::revcomp(&doubled);
+            assert!(
+                doubled.windows(core_b.len()).any(|w| w == core_b)
+                    || rc.windows(core_b.len()).any(|w| w == core_b),
+                "cycle contents differ between partition schemes"
+            );
+        }
     }
 
     #[test]

@@ -217,6 +217,48 @@ impl KmerCodec {
         Kmer((kmer.0 >> 2) | ((code as u128) << (2 * (self.k - 1))))
     }
 
+    /// The largest minimizer length supported by [`minimizer_hash`]
+    /// (an m-mer's 2-bit code must fit the 64-bit mixer input).
+    ///
+    /// [`minimizer_hash`]: KmerCodec::minimizer_hash
+    pub const MAX_MINIMIZER_LEN: usize = 32;
+
+    /// The **minimizer hash** of a k-mer: the minimum, over its `k - m + 1`
+    /// length-`m` windows, of `mix64` applied to the *canonical* m-mer's
+    /// 2-bit code. This is the bucketing key of minimizer-based k-mer
+    /// placement: two k-mers that overlap in `m` or more bases share
+    /// windows, so adjacent k-mers of one read usually share a minimizer —
+    /// and therefore an owner rank — collapsing the cross-rank traffic of
+    /// sliding-window table access patterns.
+    ///
+    /// Because each window is canonicalized before hashing, the result is
+    /// **strand-invariant**: `minimizer_hash(km) ==
+    /// minimizer_hash(revcomp(km))` (a k-mer and its reverse complement see
+    /// the same multiset of canonical m-mers, in reverse window order).
+    /// With `m == k` (a single window) this degenerates to
+    /// `mix64(canonical(km))`.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= m <= min(k, MAX_MINIMIZER_LEN)` — ownership
+    /// decisions ride on this value, so the range is enforced in release
+    /// builds too.
+    pub fn minimizer_hash(&self, kmer: Kmer, m: usize) -> u64 {
+        assert!(
+            m >= 1 && m <= self.k && m <= Self::MAX_MINIMIZER_LEN,
+            "minimizer length m={m} outside 1..=min(k={}, {})",
+            self.k,
+            Self::MAX_MINIMIZER_LEN
+        );
+        let mcodec = KmerCodec::new(m);
+        let mut best = u64::MAX;
+        for i in 0..=(self.k - m) {
+            let bits = (kmer.0 >> (2 * (self.k - m - i))) & mcodec.mask;
+            let canon = mcodec.canonical(Kmer(bits));
+            best = best.min(crate::hash::mix64(canon.0 as u64));
+        }
+        best
+    }
+
     /// Iterate over all k-mers of `seq` (ASCII), skipping windows that
     /// contain a non-ACGT byte. Yields `(offset, kmer)` pairs.
     pub fn kmers<'a>(&self, seq: &'a [u8]) -> KmerIter<'a> {
@@ -243,6 +285,38 @@ impl KmerCodec {
             valid: 0,
             bits: 0,
             rc_bits: 0,
+        }
+    }
+
+    /// Iterate over all k-mers of `seq` together with their canonical forms
+    /// **and** their [`minimizer_hash`](Self::minimizer_hash), each position
+    /// amortized O(1): the m-mer window rolls like the k-mer window, and a
+    /// monotone deque maintains the sliding-window minimum over the m-mer
+    /// hashes, so no per-position rescan of the `k - m + 1` windows is paid.
+    /// Yields `(offset, kmer, canonical, minimizer_hash)` quadruples
+    /// identical to `canonical_kmers(seq)` zipped with per-k-mer
+    /// `minimizer_hash` calls.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= m <= min(k, MAX_MINIMIZER_LEN)`.
+    pub fn minimizer_kmers<'a>(&self, seq: &'a [u8], m: usize) -> MinimizerKmerIter<'a> {
+        assert!(
+            m >= 1 && m <= self.k && m <= Self::MAX_MINIMIZER_LEN,
+            "minimizer length m={m} outside 1..=min(k={}, {})",
+            self.k,
+            Self::MAX_MINIMIZER_LEN
+        );
+        MinimizerKmerIter {
+            codec: *self,
+            mcodec: KmerCodec::new(m),
+            seq,
+            pos: 0,
+            valid: 0,
+            bits: 0,
+            rc_bits: 0,
+            mbits: 0,
+            m_rc_bits: 0,
+            window: std::collections::VecDeque::new(),
         }
     }
 }
@@ -340,6 +414,90 @@ impl<'a> Iterator for CanonicalKmerIter<'a> {
                     self.valid = 0;
                     self.bits = 0;
                     self.rc_bits = 0;
+                }
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.seq.len().saturating_sub(self.pos)))
+    }
+}
+
+/// Rolling iterator over the k-mers of an ASCII sequence together with
+/// their canonical representatives and minimizer hashes.
+///
+/// Like [`CanonicalKmerIter`], plus a rolling canonical m-mer window and a
+/// monotone deque over the m-mer hashes: the deque's front is always the
+/// minimum hash among the m-mers inside the current k-mer window, so each
+/// base is pushed and popped at most once regardless of `k - m + 1`.
+pub struct MinimizerKmerIter<'a> {
+    codec: KmerCodec,
+    mcodec: KmerCodec,
+    seq: &'a [u8],
+    pos: usize,
+    /// How many consecutive valid bases end at `pos` (capped at k).
+    valid: usize,
+    /// Forward / reverse-complement k-mer windows (low `2k` bits).
+    bits: u128,
+    rc_bits: u128,
+    /// Forward / reverse-complement m-mer windows (low `2m` bits).
+    mbits: u128,
+    m_rc_bits: u128,
+    /// `(m-mer offset, mix64(canonical m-mer))` with nondecreasing hashes
+    /// front to back; the front is the current window minimum.
+    window: std::collections::VecDeque<(usize, u64)>,
+}
+
+impl<'a> Iterator for MinimizerKmerIter<'a> {
+    type Item = (usize, Kmer, Kmer, u64);
+
+    fn next(&mut self) -> Option<(usize, Kmer, Kmer, u64)> {
+        let k = self.codec.k;
+        let m = self.mcodec.k;
+        let rc_shift = 2 * (k - 1) as u32;
+        let m_rc_shift = 2 * (m - 1) as u32;
+        while self.pos < self.seq.len() {
+            let b = self.seq[self.pos];
+            self.pos += 1;
+            match encode_base(b) {
+                Some(code) => {
+                    self.bits = ((self.bits << 2) | code as u128) & self.codec.mask;
+                    self.rc_bits = (self.rc_bits >> 2) | (((3 - code) as u128) << rc_shift);
+                    self.mbits = ((self.mbits << 2) | code as u128) & self.mcodec.mask;
+                    self.m_rc_bits = (self.m_rc_bits >> 2) | (((3 - code) as u128) << m_rc_shift);
+                    self.valid = (self.valid + 1).min(k);
+                    if self.valid >= m {
+                        let canon_m = self.mbits.min(self.m_rc_bits);
+                        let h = crate::hash::mix64(canon_m as u64);
+                        while self.window.back().is_some_and(|&(_, bh)| bh >= h) {
+                            self.window.pop_back();
+                        }
+                        self.window.push_back((self.pos - m, h));
+                    }
+                    if self.valid == k {
+                        let start = self.pos - k;
+                        while self.window.front().is_some_and(|&(off, _)| off < start) {
+                            self.window.pop_front();
+                        }
+                        let fwd = Kmer(self.bits);
+                        let canon = if self.rc_bits < self.bits {
+                            Kmer(self.rc_bits)
+                        } else {
+                            fwd
+                        };
+                        let min_hash = self.window.front().expect("window nonempty at k").1;
+                        return Some((start, fwd, canon, min_hash));
+                    }
+                }
+                None => {
+                    self.valid = 0;
+                    self.bits = 0;
+                    self.rc_bits = 0;
+                    self.mbits = 0;
+                    self.m_rc_bits = 0;
+                    self.window.clear();
                 }
             }
         }
@@ -555,6 +713,120 @@ mod tests {
             let rc = c.revcomp(kmer);
             assert_eq!(c.canonical(kmer).0, kmer.0.min(rc.0), "k={k} canonical");
         }
+    }
+
+    /// Deterministic pseudo-random DNA with occasional ambiguous bases.
+    fn noisy_seq(len: usize, n_every: usize, salt: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| {
+                if n_every != 0 && i % n_every == n_every - 1 {
+                    b'N'
+                } else {
+                    crate::base::BASES[(i * 7 + salt) % 4]
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn minimizer_hash_is_strand_invariant() {
+        for (k, m) in [
+            (5usize, 3usize),
+            (21, 7),
+            (31, 7),
+            (31, 15),
+            (33, 11),
+            (63, 7),
+        ] {
+            let c = KmerCodec::new(k);
+            for salt in 0..8 {
+                let seq = noisy_seq(k, 0, salt);
+                let km = c.pack(&seq).unwrap();
+                assert_eq!(
+                    c.minimizer_hash(km, m),
+                    c.minimizer_hash(c.revcomp(km), m),
+                    "k={k} m={m} salt={salt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimizer_hash_k_equals_m_degenerates_to_canonical_hash() {
+        // With a single window, the minimizer IS the canonical k-mer's hash.
+        for k in [1usize, 3, 15, 31, 32] {
+            let c = KmerCodec::new(k);
+            let seq = noisy_seq(k, 0, 1);
+            let km = c.pack(&seq).unwrap();
+            let expect = crate::hash::mix64(c.canonical(km).0 as u64);
+            assert_eq!(c.minimizer_hash(km, k), expect, "k={k}");
+        }
+    }
+
+    #[test]
+    fn minimizer_hash_matches_naive_window_scan() {
+        let k = 11;
+        let m = 4;
+        let c = KmerCodec::new(k);
+        let mc = KmerCodec::new(m);
+        let seq = noisy_seq(k, 0, 2);
+        let km = c.pack(&seq).unwrap();
+        let naive = (0..=k - m)
+            .map(|i| {
+                let mm = mc.pack(&seq[i..i + m]).unwrap();
+                crate::hash::mix64(mc.canonical(mm).0 as u64)
+            })
+            .min()
+            .unwrap();
+        assert_eq!(c.minimizer_hash(km, m), naive);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimizer length")]
+    fn minimizer_hash_rejects_m_longer_than_k() {
+        let c = KmerCodec::new(5);
+        c.minimizer_hash(Kmer(0), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimizer length")]
+    fn minimizer_hash_rejects_m_beyond_mixer_width() {
+        let c = KmerCodec::new(40);
+        c.minimizer_hash(Kmer(0), 33);
+    }
+
+    #[test]
+    fn minimizer_iter_matches_per_kmer_hash() {
+        // Window edges are exercised by the N resets (the deque must clear)
+        // and by sequence start/end; k=m covers the single-window case.
+        for (k, m) in [(3usize, 3usize), (7, 3), (21, 7), (31, 15), (32, 32)] {
+            let c = KmerCodec::new(k);
+            let seq = noisy_seq(240, 53, 5);
+            let rolled: Vec<(usize, Kmer, Kmer, u64)> = c.minimizer_kmers(&seq, m).collect();
+            let naive: Vec<(usize, Kmer, Kmer, u64)> = c
+                .canonical_kmers(&seq)
+                .map(|(off, km, canon)| (off, km, canon, c.minimizer_hash(km, m)))
+                .collect();
+            assert_eq!(rolled, naive, "k={k} m={m}");
+            assert!(!rolled.is_empty(), "fixture must produce k-mers");
+        }
+    }
+
+    #[test]
+    fn adjacent_kmers_mostly_share_minimizers() {
+        // The locality property placement rides on: along a read, the
+        // minimizer changes far less often than once per position.
+        let k = 31;
+        let m = 7;
+        let c = KmerCodec::new(k);
+        let seq = noisy_seq(4000, 0, 3);
+        let hashes: Vec<u64> = c.minimizer_kmers(&seq, m).map(|(_, _, _, h)| h).collect();
+        let changes = hashes.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(
+            changes * 4 < hashes.len(),
+            "minimizer changed {changes} times over {} adjacent pairs",
+            hashes.len() - 1
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! hipmer assemble reads.fastq -o scaffolds.fasta [-k 31] [--ranks 480] \
 //!        [--ranks-per-node 24] [--rounds 1] [--metagenome] [--report] \
-//!        [--schedule static|dynamic] \
+//!        [--schedule static|dynamic] [--partition uniform|minimizer] \
 //!        [--trace trace.json] [--trace-ranks N] [--report-json report.json]
 //! hipmer simulate human|wheat|meta -o reads.fastq [--len 100000] [--cov 16]
 //! ```
@@ -19,6 +19,15 @@
 //! output is byte-identical to `--schedule static` (the default); only the
 //! modeled per-rank load balance — visible as `imbalance` and `steal_ops`
 //! in `--report-json` — changes.
+//!
+//! Partitioning: `--partition minimizer` buckets every k-mer table's keys
+//! by window minimizer so adjacent k-mers share an owner rank (k-mer
+//! analysis, the de Bruijn graph under cyclic placement, and the aligner
+//! seed index). The assembled output is byte-identical to
+//! `--partition uniform` (the default); only the off-node traffic —
+//! visible as `offnode_fraction`, the per-phase `placement` labels, and
+//! the `offnode_by_placement` split in `--report-json` (schema v6) —
+//! changes.
 //!
 //! Observability: `--trace <path>` (or the `HIPMER_TRACE=<path>` env var)
 //! records per-rank execution spans for every phase and writes them as
@@ -75,7 +84,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  hipmer assemble <reads.fastq> -o <scaffolds.fasta> [-k K] [--ranks N]\n\
          \x20         [--ranks-per-node N] [--rounds N] [--metagenome] [--report]\n\
-         \x20         [--schedule static|dynamic]\n\
+         \x20         [--schedule static|dynamic] [--partition uniform|minimizer]\n\
          \x20         [--trace <trace.json>] [--trace-ranks N] [--report-json <report.json>]\n\
          \x20         [--trace-sample-ranks N] [--metrics-json <metrics.json>] [--metrics-text]\n\
          \x20         [--calibrate <fitted.json>] [--heartbeat SECS] [--heartbeat-jsonl <path>]\n\
@@ -191,6 +200,13 @@ fn main() -> ExitCode {
                 Ok(schedule) => cfg = cfg.with_schedule(schedule),
                 Err(e) => {
                     eprintln!("error: {e} (want static|dynamic)");
+                    return usage();
+                }
+            }
+            match parse_flag(&args, "--partition", hipmer_pgas::PartitionScheme::Uniform) {
+                Ok(partition) => cfg = cfg.with_partition(partition),
+                Err(e) => {
+                    eprintln!("error: {e} (want uniform|minimizer)");
                     return usage();
                 }
             }

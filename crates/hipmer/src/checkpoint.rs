@@ -25,7 +25,7 @@ use hipmer_contig::{Contig, ContigSet};
 use hipmer_dna::{ExtChoice, ExtensionPair, Kmer, KmerCodec};
 use hipmer_kanalysis::{KmerEntry, KmerSpectrum};
 use hipmer_pgas::json::Value;
-use hipmer_pgas::Topology;
+use hipmer_pgas::{PartitionScheme, Topology};
 use hipmer_scaffold::{GapCloseStats, Scaffold, ScaffoldMember, ScaffoldSet};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -211,8 +211,16 @@ pub fn encode_spectrum(spectrum: &KmerSpectrum) -> Vec<u8> {
     out
 }
 
-/// Rebuild a k-mer spectrum over `topo` from [`encode_spectrum`] bytes.
-pub fn decode_spectrum(bytes: &[u8], topo: Topology) -> io::Result<KmerSpectrum> {
+/// Rebuild a k-mer spectrum over `topo` from [`encode_spectrum`] bytes,
+/// homing entries with `partition` (the artifact itself is
+/// placement-independent, so a checkpoint written under one scheme
+/// restores cleanly under another; the fingerprint deliberately excludes
+/// the scheme for the same reason).
+pub fn decode_spectrum(
+    bytes: &[u8],
+    topo: Topology,
+    partition: PartitionScheme,
+) -> io::Result<KmerSpectrum> {
     let mut r = Reader::new(bytes);
     check_header(&mut r, TAG_SPECTRUM)?;
     let k = r.u32()? as usize;
@@ -232,7 +240,7 @@ pub fn decode_spectrum(bytes: &[u8], topo: Topology) -> io::Result<KmerSpectrum>
         ));
     }
     r.finish()?;
-    Ok(KmerSpectrum::from_entries(topo, k, entries))
+    Ok(KmerSpectrum::from_entries(topo, k, partition, entries))
 }
 
 /// Serialize a contig set (already canonically ordered: longest-first

@@ -2,7 +2,7 @@
 
 use hipmer_contig::ContigConfig;
 use hipmer_kanalysis::KmerAnalysisConfig;
-use hipmer_pgas::Schedule;
+use hipmer_pgas::{PartitionScheme, Schedule};
 use hipmer_scaffold::ScaffoldConfig;
 
 /// Configuration for a complete assembly run.
@@ -72,6 +72,27 @@ impl PipelineConfig {
         self
     }
 
+    /// Apply one [`PartitionScheme`] to every k-mer-keyed table in the
+    /// pipeline: the k-mer analysis votes/final tables, the de Bruijn
+    /// graph (under cyclic placement), and the merAligner seed index.
+    /// [`PartitionScheme::Minimizer`] buckets each k-mer by its window
+    /// minimizer so adjacent k-mers share an owner rank; the assembled
+    /// output is byte-identical either way, only the off-node traffic
+    /// changes.
+    pub fn with_partition(mut self, partition: PartitionScheme) -> Self {
+        self.kanalysis.partition = partition;
+        self.contig.partition = partition;
+        self.scaffold = self.scaffold.with_partition(partition);
+        self
+    }
+
+    /// The partition scheme the pipeline's k-mer tables use (the stage
+    /// configs carry their own copies; [`Self::with_partition`] keeps them
+    /// in lock-step, and this reads the canonical one for reporting).
+    pub fn partition(&self) -> PartitionScheme {
+        self.kanalysis.partition
+    }
+
     /// Preset matching the wheat runs: four scaffolding rounds (§5.3: "the
     /// wheat pipeline ... requires four rounds of scaffolding").
     pub fn wheat_preset(k: usize) -> Self {
@@ -115,6 +136,17 @@ mod tests {
         assert_eq!(cfg.scaffold.schedule, Schedule::Dynamic);
         assert_eq!(cfg.scaffold.align.schedule, Schedule::Dynamic);
         assert_eq!(cfg.scaffold.gap.schedule, Schedule::Dynamic);
+    }
+
+    #[test]
+    fn with_partition_reaches_every_stage() {
+        let cfg = PipelineConfig::new(31);
+        assert_eq!(cfg.partition(), PartitionScheme::Uniform);
+        let cfg = cfg.with_partition(PartitionScheme::Minimizer);
+        assert_eq!(cfg.partition(), PartitionScheme::Minimizer);
+        assert_eq!(cfg.kanalysis.partition, PartitionScheme::Minimizer);
+        assert_eq!(cfg.contig.partition, PartitionScheme::Minimizer);
+        assert_eq!(cfg.scaffold.align.partition, PartitionScheme::Minimizer);
     }
 
     #[test]

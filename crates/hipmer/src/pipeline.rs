@@ -355,7 +355,7 @@ pub fn run_assembly(
         hipmer_pgas::trace::set_sample_ranks(n);
     }
     let mut runner = StageRunner {
-        report: PipelineReport::new(),
+        report: PipelineReport::new().with_partition(cfg.partition().to_string()),
         store,
         opts,
         topo,
@@ -368,7 +368,7 @@ pub fn run_assembly(
         "kmer-analysis",
         || analyze_kmers(team, reads, &cfg.kanalysis),
         checkpoint::encode_spectrum,
-        |b| checkpoint::decode_spectrum(b, topo),
+        |b| checkpoint::decode_spectrum(b, topo, cfg.partition()),
     )?;
 
     // Stage 1: contig generation (the raw, pre-bubble contig set).

@@ -171,6 +171,119 @@ fn dynamic_schedule_matches_static_fasta_and_records_steals() {
 }
 
 #[test]
+fn minimizer_partition_matches_uniform_fasta_and_labels_report() {
+    use hipmer_pgas::json::Value;
+
+    let dir = std::env::temp_dir().join(format!("hipmer-cli-part-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let reads = dir.join("reads.fastq");
+
+    let sim = Command::new(bin())
+        .args([
+            "simulate",
+            "human",
+            "-o",
+            reads.to_str().unwrap(),
+            "--len",
+            "15000",
+            "--cov",
+            "14",
+            "--seed",
+            "11",
+        ])
+        .output()
+        .expect("simulate runs");
+    assert!(
+        sim.status.success(),
+        "{}",
+        String::from_utf8_lossy(&sim.stderr)
+    );
+
+    let run = |partition: &str| {
+        let out = dir.join(format!("scaffolds-{partition}.fasta"));
+        let report = dir.join(format!("report-{partition}.json"));
+        let asm = Command::new(bin())
+            .args([
+                "assemble",
+                reads.to_str().unwrap(),
+                "-o",
+                out.to_str().unwrap(),
+                "-k",
+                "21",
+                "--ranks",
+                "16",
+                "--ranks-per-node",
+                "8",
+                "--partition",
+                partition,
+                "--report-json",
+                report.to_str().unwrap(),
+            ])
+            .output()
+            .expect("assemble runs");
+        assert!(
+            asm.status.success(),
+            "{}",
+            String::from_utf8_lossy(&asm.stderr)
+        );
+        (
+            std::fs::read(&out).unwrap(),
+            std::fs::read_to_string(&report).unwrap(),
+        )
+    };
+    let (fasta_uniform, report_uniform) = run("uniform");
+    let (fasta_minimizer, report_minimizer) = run("minimizer");
+    assert_eq!(
+        fasta_uniform, fasta_minimizer,
+        "partition schemes must assemble byte-identical scaffolds"
+    );
+
+    // The schema-v6 partition surface: the header names the scheme, the
+    // placement split carries the expected labels, and the traversal
+    // phase's off-node fraction drops under minimizer bucketing.
+    let doc_uni = Value::parse(&report_uniform).unwrap();
+    let doc_min = Value::parse(&report_minimizer).unwrap();
+    assert_eq!(
+        doc_uni.get("partition").and_then(Value::as_str),
+        Some("uniform")
+    );
+    assert_eq!(
+        doc_min.get("partition").and_then(Value::as_str),
+        Some("minimizer")
+    );
+    let split_keys = |doc: &Value| -> Vec<String> {
+        doc.get("offnode_by_placement")
+            .unwrap()
+            .keys()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    };
+    assert!(split_keys(&doc_uni).iter().all(|k| k == "uniform"));
+    assert!(split_keys(&doc_min)
+        .iter()
+        .all(|k| k.starts_with("minimizer(")));
+    let traversal_offnode = |doc: &Value| -> f64 {
+        doc.get("phases")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .find(|p| p.get("name").and_then(Value::as_str) == Some("contig/traversal"))
+            .and_then(|p| p.get("offnode_fraction"))
+            .and_then(Value::as_f64)
+            .unwrap()
+    };
+    let uni = traversal_offnode(&doc_uni);
+    let min = traversal_offnode(&doc_min);
+    assert!(
+        min < uni * 0.75,
+        "minimizer traversal off-node fraction {min} must undercut uniform {uni} by >= 25%"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn trace_and_report_json_outputs_are_valid() {
     use hipmer_pgas::json::Value;
 
@@ -263,7 +376,7 @@ fn trace_and_report_json_outputs_are_valid() {
     let report_doc = Value::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
     assert_eq!(
         report_doc.get("schema_version").and_then(Value::as_u64),
-        Some(5)
+        Some(6)
     );
     assert_eq!(
         report_doc.get("cost_model").and_then(Value::as_str),

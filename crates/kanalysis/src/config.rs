@@ -1,5 +1,7 @@
 //! K-mer analysis configuration.
 
+use hipmer_pgas::PartitionScheme;
+
 /// Tunables for k-mer analysis. Defaults follow the paper (k = 51 and
 /// θ = 32,000 for wheat; we default k lower because our genomes are
 /// megabase-scale) and Meraculous conventions (count ≥ 2, quality ≥ 20).
@@ -32,6 +34,10 @@ pub struct KmerAnalysisConfig {
     pub bloom_fp_rate: f64,
     /// Aggregating-stores batch size.
     pub agg_batch: usize,
+    /// How k-mer ownership maps to ranks (uniform hashing vs.
+    /// minimizer bucketing). The votes table and the final spectrum table
+    /// share one partitioner built from this scheme.
+    pub partition: PartitionScheme,
 }
 
 impl KmerAnalysisConfig {
@@ -48,6 +54,7 @@ impl KmerAnalysisConfig {
             use_bloom: true,
             bloom_fp_rate: 0.05,
             agg_batch: 256,
+            partition: PartitionScheme::Uniform,
         }
     }
 }

@@ -5,7 +5,7 @@ use crate::config::KmerAnalysisConfig;
 use crate::pass1::{sketch_reads, SketchResult};
 use crate::spectrum::{KmerEntry, KmerSpectrum};
 use hipmer_dna::{ExtVotes, Kmer, KmerCodec, KmerHashMap};
-use hipmer_pgas::{DistHashMap, Outbox, PhaseReport, Team};
+use hipmer_pgas::{DistHashMap, Outbox, Partitioner, PhaseReport, Team};
 use hipmer_seqio::SeqRecord;
 use hipmer_sketch::BloomFilter;
 use parking_lot::Mutex;
@@ -255,18 +255,25 @@ pub fn analyze_kmers(
     let (sketch, sketch_report) = sketch_reads(team, reads, cfg);
     let mut reports = vec![sketch_report];
 
-    let votes_table: DistHashMap<Kmer, ExtVotes> = DistHashMap::new(*team.topo());
+    // One partitioner for the whole table family: `finalize` moves entries
+    // from the votes table into the final spectrum with a shard-local
+    // merge, which is only correct when both tables agree on every key's
+    // owner.
+    let codec = KmerCodec::new(cfg.k);
+    let part = Partitioner::new(cfg.partition, cfg.k);
+    let votes_table: DistHashMap<Kmer, ExtVotes> = part.table(*team.topo(), codec);
     if cfg.use_bloom {
-        reports.push(bloom_pass(team, reads, cfg, &sketch, &votes_table));
+        reports
+            .push(bloom_pass(team, reads, cfg, &sketch, &votes_table).with_placement(part.label()));
     }
-    reports.push(count_pass(team, reads, cfg, &sketch, &votes_table));
+    reports.push(count_pass(team, reads, cfg, &sketch, &votes_table).with_placement(part.label()));
 
-    let final_table: DistHashMap<Kmer, KmerEntry> = DistHashMap::new(*team.topo());
-    reports.push(finalize(team, cfg, votes_table, &final_table));
+    let final_table: DistHashMap<Kmer, KmerEntry> = part.table(*team.topo(), codec);
+    reports.push(finalize(team, cfg, votes_table, &final_table).with_placement(part.label()));
 
     (
         KmerSpectrum {
-            codec: KmerCodec::new(cfg.k),
+            codec,
             table: final_table,
         },
         reports,
@@ -496,6 +503,32 @@ mod tests {
             with_hh * 2 < without,
             "HH must cut the hottest rank's service load: {with_hh} vs {without}"
         );
+    }
+
+    #[test]
+    fn minimizer_partition_gives_identical_spectrum() {
+        // Placement must be invisible to results: the exported spectrum
+        // (canonical order) is byte-for-byte the same under uniform hashing
+        // and minimizer bucketing, across heavy-hitter and Bloom settings.
+        let unit = lcg_genome(60, 3);
+        let mut genome = lcg_genome(1500, 19);
+        for _ in 0..100 {
+            genome.extend_from_slice(&unit);
+        }
+        let reads = perfect_reads(&genome, 90, 3);
+        let team = Team::new(Topology::new(8, 4));
+        for use_bloom in [false, true] {
+            let mut cfg = KmerAnalysisConfig::new(21);
+            cfg.theta = 256;
+            cfg.hh_min_reported = 50;
+            cfg.use_bloom = use_bloom;
+            cfg.partition = hipmer_pgas::PartitionScheme::Uniform;
+            let (spec_u, _) = analyze_kmers(&team, &reads, &cfg);
+            cfg.partition = hipmer_pgas::PartitionScheme::Minimizer;
+            let (spec_m, _) = analyze_kmers(&team, &reads, &cfg);
+            assert!(spec_m.table.has_locality_hash());
+            assert_eq!(spec_u.export_entries(), spec_m.export_entries());
+        }
     }
 
     #[test]

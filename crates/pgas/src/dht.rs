@@ -97,10 +97,24 @@ impl<K, V> Default for SubShard<K, V> {
     }
 }
 
+/// Process-global table id source (see [`DistHashMap::table_id`]).
+static NEXT_TABLE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// An owner-selection override: hashes a key to a placement-routable
+/// value (see [`DistHashMap::with_locality_hash`]).
+pub type LocalityHash<K> = Arc<dyn Fn(&K) -> u64 + Send + Sync>;
+
 /// A hash table partitioned across the virtual ranks of a [`Topology`].
 pub struct DistHashMap<K, V> {
     topo: Topology,
     placement: Placement,
+    /// Optional **locality hash** override for owner selection (see
+    /// [`DistHashMap::with_locality_hash`]): when set, the owner rank is
+    /// computed from this hash instead of [`key_hash`](Self::key_hash),
+    /// while sub-shard selection stays on `key_hash` — so content-aware
+    /// placements (minimizer bucketing) still spread one owner's keys over
+    /// its sub-shards.
+    locality: Option<LocalityHash<K>>,
     /// `ranks * SUB_SHARDS_PER_RANK` sub-shards; index
     /// `owner * SUB_SHARDS_PER_RANK + sub`.
     shards: Vec<SubShard<K, V>>,
@@ -109,6 +123,8 @@ pub struct DistHashMap<K, V> {
     hasher: KmerBuildHasher,
     /// Logical payload bytes per transferred entry (key + value estimate).
     entry_bytes: u64,
+    /// Process-unique identity (see [`DistHashMap::table_id`]).
+    table_id: u64,
     /// Misra–Gries summary over the key hashes of service operations, for
     /// naming the heavy hitters behind `service_ops` skew. `None` (free)
     /// unless [`trace::hotkey_capacity`] was nonzero at construction or
@@ -136,12 +152,14 @@ where
         DistHashMap {
             topo,
             placement,
+            locality: None,
             shards: (0..ranks * SUB_SHARDS_PER_RANK)
                 .map(|_| SubShard::default())
                 .collect(),
             service: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
             hasher: KmerBuildHasher::default(),
             entry_bytes: (std::mem::size_of::<K>() + std::mem::size_of::<V>()) as u64,
+            table_id: NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed),
             hot_keys,
         }
     }
@@ -151,6 +169,40 @@ where
     pub fn with_hot_key_tracking(mut self, capacity: usize) -> Self {
         self.hot_keys = Some(Mutex::new(MisraGries::new(capacity)));
         self
+    }
+
+    /// Route **owner selection** through `f` instead of the uniform
+    /// [`key_hash`](Self::key_hash): the owner becomes
+    /// `placement(f(key))` while sub-shard selection keeps using
+    /// `key_hash`'s top bits. This is the hook content-aware partitioners
+    /// (minimizer bucketing — [`crate::part`]) plug into: keys that share a
+    /// locality hash land on one rank without piling into one sub-shard.
+    ///
+    /// Must be applied before any entry is inserted (a populated table
+    /// re-homed under a different owner function would orphan its entries).
+    pub fn with_locality_hash(mut self, f: LocalityHash<K>) -> Self {
+        assert!(
+            self.shards.iter().all(|s| s.map.lock().is_empty()),
+            "locality hash must be set before the table is populated"
+        );
+        self.locality = Some(f);
+        self
+    }
+
+    /// Whether owner selection uses a locality-hash override.
+    #[inline]
+    pub fn has_locality_hash(&self) -> bool {
+        self.locality.is_some()
+    }
+
+    /// A process-unique identity for this table instance. Read-side
+    /// consumers that snapshot table contents ([`crate::SoftwareCache`])
+    /// bind to this id so a cache filled from one table can never serve
+    /// entries to a different table — e.g. one with another partitioner,
+    /// where even the owner ranks disagree.
+    #[inline]
+    pub fn table_id(&self) -> u64 {
+        self.table_id
     }
 
     /// Observe one service operation on `key` in the hot-key summary.
@@ -195,23 +247,44 @@ where
         self.hasher.hash_one(key)
     }
 
-    /// The rank owning the key whose hash is `h`.
+    /// The rank owning the key whose placement hash is `h`.
+    ///
+    /// A `Placement::Custom` owner outside `0..ranks` is checked with a
+    /// **release-mode** assert: the owner feeds `shard_index`, and an
+    /// out-of-range value would silently index (or corrupt) an unrelated
+    /// rank's sub-shard — the same rationale as `Topology::chunk`'s release
+    /// bounds check.
     #[inline]
     fn owner_of_hash(&self, h: u64) -> usize {
         match &self.placement {
             Placement::Cyclic => (h % self.topo.ranks() as u64) as usize,
             Placement::Custom(f) => {
                 let r = f(h);
-                debug_assert!(r < self.topo.ranks());
+                assert!(
+                    r < self.topo.ranks(),
+                    "custom placement returned owner {r} for a table of {} ranks",
+                    self.topo.ranks()
+                );
                 r
             }
+        }
+    }
+
+    /// The hash that drives owner selection: the locality hash when one is
+    /// installed ([`with_locality_hash`](Self::with_locality_hash)),
+    /// otherwise [`key_hash`](Self::key_hash).
+    #[inline]
+    fn placement_hash(&self, key: &K) -> u64 {
+        match &self.locality {
+            Some(f) => f(key),
+            None => self.key_hash(key),
         }
     }
 
     /// The rank owning `key`.
     #[inline]
     pub fn owner(&self, key: &K) -> usize {
-        self.owner_of_hash(self.key_hash(key))
+        self.owner_of_hash(self.placement_hash(key))
     }
 
     /// Sub-shard selector: the hash's top bits, independent of the
@@ -227,11 +300,11 @@ where
         owner * SUB_SHARDS_PER_RANK + Self::sub_of_hash(h)
     }
 
-    /// Global sub-shard index holding `key`.
+    /// Global sub-shard index holding `key`: owner from the placement
+    /// hash, sub-shard from `key_hash`'s top bits.
     #[inline]
     fn shard_of_key(&self, key: &K) -> usize {
-        let h = self.key_hash(key);
-        Self::shard_index(self.owner_of_hash(h), h)
+        Self::shard_index(self.owner(key), self.key_hash(key))
     }
 
     /// Record one one-sided access by `ctx.rank` against `owner`'s shard
@@ -320,12 +393,11 @@ where
     /// One-sided write; returns the previous value if any. Counts a service
     /// op at the owner.
     pub fn insert(&self, ctx: &mut RankCtx, key: K, value: V) -> Option<V> {
-        let h = self.key_hash(&key);
-        let owner = self.owner_of_hash(h);
+        let owner = self.owner(&key);
         self.account(ctx, owner);
         self.service[owner].fetch_add(1, Ordering::Relaxed);
         self.track_hot_key(&key);
-        let idx = Self::shard_index(owner, h);
+        let idx = Self::shard_index(owner, self.key_hash(&key));
         self.bump_seq(idx);
         self.lock_shard(idx).insert(key, value)
     }
@@ -338,12 +410,11 @@ where
         D: FnOnce() -> V,
         F: FnOnce(&mut V),
     {
-        let h = self.key_hash(&key);
-        let owner = self.owner_of_hash(h);
+        let owner = self.owner(&key);
         self.account(ctx, owner);
         self.service[owner].fetch_add(1, Ordering::Relaxed);
         self.track_hot_key(&key);
-        let idx = Self::shard_index(owner, h);
+        let idx = Self::shard_index(owner, self.key_hash(&key));
         self.bump_seq(idx);
         let mut shard = self.lock_shard(idx);
         f(shard.entry(key).or_insert_with(default));
@@ -989,6 +1060,104 @@ mod tests {
             dht.insert(&mut c, k, 0);
         }
         assert_eq!(dht.shard_sizes(), vec![0, 0, 0, 50]);
+    }
+
+    #[test]
+    fn out_of_range_custom_owner_is_rejected_in_release_builds_too() {
+        // A bogus owner would index an unrelated rank's sub-shard; the
+        // check must be a real assert, not a debug_assert (this test runs
+        // under `--release` in the bench/CI configurations as well).
+        let topo = Topology::new(4, 2);
+        let placement = Placement::Custom(Arc::new(|_h| 7)); // >= ranks
+        let dht: DistHashMap<u64, u32> = DistHashMap::with_placement(topo, placement);
+        let mut c = ctx(0, topo);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dht.insert(&mut c, 1, 1);
+        }))
+        .expect_err("out-of-range owner must panic even with debug_asserts off");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        assert!(
+            msg.contains("custom placement returned owner 7"),
+            "unexpected panic message: {msg}"
+        );
+    }
+
+    #[test]
+    fn locality_hash_overrides_owner_but_not_sub_shard_spread() {
+        let topo = Topology::new(4, 2);
+        // All keys share one locality hash => one owner; sub-shard
+        // selection must still ride the per-key hash and spread.
+        let dht: DistHashMap<u64, u32> =
+            DistHashMap::new(topo).with_locality_hash(Arc::new(|_k: &u64| 3));
+        assert!(dht.has_locality_hash());
+        let mut c = ctx(0, topo);
+        for k in 0..256u64 {
+            dht.insert(&mut c, k, 0);
+        }
+        assert_eq!(dht.shard_sizes(), vec![0, 0, 0, 256]);
+        let subs: std::collections::HashSet<usize> =
+            (0..256u64).map(|k| dht.shard_of_key(&k)).collect();
+        assert!(
+            subs.len() > SUB_SHARDS_PER_RANK / 2,
+            "co-owned keys must spread over the owner's sub-shards, used {}",
+            subs.len()
+        );
+        // Reads, batched reads and removal agree with the overridden owner
+        // (the locality hash maps every key to 3, and 3 % 4 ranks = 3).
+        assert_eq!(dht.owner(&7), dht.owner_of_hash(3));
+        assert_eq!(dht.get(&mut c, &7), Some(0));
+        assert_eq!(dht.multi_get(&mut c, &[1, 2, 3]), vec![Some(0); 3]);
+        assert_eq!(dht.remove(&mut c, &7), Some(0));
+    }
+
+    #[test]
+    fn locality_hash_keeps_grouped_keys_on_one_owner() {
+        // Keys bucketed by key/8: every group of 8 consecutive keys shares
+        // an owner — the minimizer-run shape — and preload/drain respect it.
+        let topo = Topology::new(8, 4);
+        let build = || -> DistHashMap<u64, u32> {
+            DistHashMap::new(topo).with_locality_hash(Arc::new(|k: &u64| k / 8))
+        };
+        let dht = build();
+        let mut c = ctx(0, topo);
+        for k in 0..640u64 {
+            dht.insert(&mut c, k, k as u32);
+        }
+        for group in 0..80u64 {
+            let owners: std::collections::HashSet<usize> =
+                (group * 8..group * 8 + 8).map(|k| dht.owner(&k)).collect();
+            assert_eq!(owners.len(), 1, "group {group} split across owners");
+        }
+        // preload places by the same overridden owner function.
+        let restored = build();
+        restored.preload(dht.snapshot_entries());
+        assert_eq!(restored.shard_sizes(), dht.shard_sizes());
+        // drain_local returns exactly the rank's own (locality) partition.
+        let mut c2 = ctx(2, topo);
+        let drained = restored.drain_local(&mut c2);
+        assert!(drained.iter().all(|(k, _)| restored.owner(k) == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "before the table is populated")]
+    fn locality_hash_rejected_on_populated_table() {
+        let topo = Topology::new(2, 2);
+        let dht: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut c = ctx(0, topo);
+        dht.insert(&mut c, 1, 1);
+        let _ = dht.with_locality_hash(Arc::new(|_k: &u64| 0));
+    }
+
+    #[test]
+    fn table_ids_are_unique() {
+        let topo = Topology::new(2, 2);
+        let a: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let b: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        assert_ne!(a.table_id(), b.table_id());
+        assert_ne!(a.table_id(), 0);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod json;
 pub mod lookup;
 pub mod metrics;
 pub mod oracle;
+pub mod part;
 pub mod pool;
 pub mod report;
 pub mod sched;
@@ -54,12 +55,13 @@ pub use arena::BufferPool;
 pub use calib::Calibration;
 pub use comp::Completion;
 pub use cost::{CostModel, ModeledTime, RankBreakdown};
-pub use dht::{DistHashMap, Placement};
+pub use dht::{DistHashMap, LocalityHash, Placement};
 pub use fault::{
     catch_stage_abort, FailureCause, FaultEvent, FaultPlan, RankFailure, StageAbort, StageOutcome,
 };
 pub use lookup::{LookupBatch, SoftwareCache};
 pub use oracle::OracleVector;
+pub use part::{PartitionScheme, Partitioner, DEFAULT_MINIMIZER_LEN};
 pub use pool::{TeamLease, TeamPool};
 pub use report::{CheckpointEvent, PhaseReport, PipelineReport, StageAttempt};
 pub use sched::Schedule;

@@ -23,7 +23,14 @@
 //! invalidated, so it may only front tables that no rank mutates while the
 //! cache is live. Callers that read a mutable field (e.g. a traversal
 //! `visited` flag) must bypass the cache and use [`DistHashMap::get`]
-//! directly. Hits and misses are tallied into
+//! directly. The contract is also **per table**: a cache primed through one
+//! map must never be re-pointed at another — the second map may hold
+//! different values for the same keys *and*, now that tables can carry
+//! per-partitioner locality hashes ([`crate::Partitioner`]), may not even
+//! agree on who owns a key, so stale hits would silently bypass the second
+//! table entirely. [`SoftwareCache::get_through`] binds the cache to the
+//! first table's [`DistHashMap::table_id`] and `debug_assert`s every later
+//! call against it. Hits and misses are tallied into
 //! [`CommStats::cache_hits`](crate::CommStats::cache_hits) /
 //! [`CommStats::cache_misses`](crate::CommStats::cache_misses) so cache
 //! effectiveness is visible in `--report-json` (schema v2).
@@ -277,6 +284,11 @@ pub struct SoftwareCache<K, V> {
     index: HashMap<K, usize>,
     hand: usize,
     capacity: usize,
+    /// [`DistHashMap::table_id`] of the table this cache was first read
+    /// through, if any — reuse against a different table (different values
+    /// for the same keys, possibly a different partitioner deciding
+    /// ownership) is a coherence violation, caught in debug builds.
+    bound: Option<u64>,
 }
 
 impl<K, V> SoftwareCache<K, V>
@@ -292,6 +304,7 @@ where
             index: HashMap::new(),
             hand: 0,
             capacity,
+            bound: None,
         }
     }
 
@@ -350,6 +363,18 @@ where
         K: Send,
         V: Send,
     {
+        // Bind to the first table read through and refuse any other: a
+        // cache holds that table's snapshots, and another table — even one
+        // with identical contents — may partition keys differently, so a
+        // stale hit would silently stand in for the wrong table's answer.
+        match self.bound {
+            None => self.bound = Some(dht.table_id()),
+            Some(id) => debug_assert_eq!(
+                id,
+                dht.table_id(),
+                "SoftwareCache reused across distinct tables; one cache per table"
+            ),
+        }
         if let Some(v) = self.get(ctx, key) {
             return Some(v);
         }
@@ -504,6 +529,23 @@ mod tests {
             assert_eq!(cache.get_through(&mut c, &dht, &9999), None);
         }
         assert_eq!(c.stats.total_accesses(), before + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "reused across distinct tables")]
+    #[cfg(debug_assertions)]
+    fn cache_reuse_across_tables_panics_in_debug() {
+        let topo = Topology::new(4, 2);
+        let a: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        // Same key type and contents, but a different table — which may
+        // also partition differently (e.g. a minimizer locality hash).
+        let b: DistHashMap<u64, u32> = DistHashMap::new(topo);
+        let mut c = ctx(0, topo);
+        a.insert(&mut c, 1, 10);
+        b.insert(&mut c, 1, 99);
+        let mut cache: SoftwareCache<u64, u32> = SoftwareCache::new(8);
+        assert_eq!(cache.get_through(&mut c, &a, &1), Some(10));
+        let _ = cache.get_through(&mut c, &b, &1);
     }
 
     #[test]

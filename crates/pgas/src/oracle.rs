@@ -22,6 +22,12 @@ pub struct OracleVector {
     ranks: usize,
     collisions: AtomicU64,
     assigned: AtomicU64,
+    /// Owner mapping for *unclaimed* slots. Defaults to cyclic
+    /// (`hash % ranks`); callers running the table family under a
+    /// non-uniform [`crate::Partitioner`] must install that partitioner's
+    /// mapping here, or unclaimed k-mers would silently disagree with
+    /// [`crate::DistHashMap::owner`] for every other table in the family.
+    fallback: Arc<dyn Fn(u64) -> usize + Send + Sync>,
 }
 
 impl OracleVector {
@@ -37,7 +43,20 @@ impl OracleVector {
             ranks,
             collisions: AtomicU64::new(0),
             assigned: AtomicU64::new(0),
+            fallback: Arc::new(move |h| (h % ranks as u64) as usize),
         }
+    }
+
+    /// Replace the unclaimed-slot fallback (default: cyclic). The closure
+    /// must return an owner `< ranks` — it is validated on every lookup by
+    /// the same release-mode owner-range check [`crate::DistHashMap`]
+    /// applies to custom placements. Use this to route novel k-mers through
+    /// the same partitioner that owns the rest of the table family instead
+    /// of a hard-coded `hash % ranks` that only agrees with uniform
+    /// placement.
+    pub fn with_fallback(mut self, f: Arc<dyn Fn(u64) -> usize + Send + Sync>) -> Self {
+        self.fallback = f;
+        self
     }
 
     /// Number of slots (the memory knob).
@@ -77,15 +96,17 @@ impl OracleVector {
         }
     }
 
-    /// Lookup: the owner for `hash`, falling back to cyclic placement for
-    /// unclaimed slots (k-mers not seen when the oracle was built — e.g.
-    /// novel k-mers of a different individual or a different k).
+    /// Lookup: the owner for `hash`, falling back to the configured
+    /// fallback placement (default cyclic; see
+    /// [`with_fallback`](Self::with_fallback)) for unclaimed slots (k-mers
+    /// not seen when the oracle was built — e.g. novel k-mers of a
+    /// different individual or a different k).
     #[inline]
     pub fn owner(&self, hash: u64) -> usize {
         let idx = (hash % self.slots.len() as u64) as usize;
         let slot = self.slots[idx];
         if slot == EMPTY {
-            (hash % self.ranks as u64) as usize
+            (self.fallback)(hash)
         } else {
             slot as usize
         }
@@ -150,6 +171,21 @@ mod tests {
         let o = OracleVector::new(16, 4);
         for h in 0..100u64 {
             assert_eq!(o.owner(h), (h % 4) as usize);
+        }
+    }
+
+    #[test]
+    fn fallback_hook_overrides_cyclic_for_unclaimed_slots_only() {
+        let mut o = OracleVector::new(16, 4);
+        o.assign(3, 2);
+        o = o.with_fallback(Arc::new(|h| ((h / 7) % 4) as usize));
+        // Claimed slot still wins...
+        assert_eq!(o.owner(3), 2);
+        // ...but every unclaimed hash routes through the hook, not % ranks.
+        for h in 0..100u64 {
+            if h % 16 != 3 {
+                assert_eq!(o.owner(h), ((h / 7) % 4) as usize);
+            }
         }
     }
 

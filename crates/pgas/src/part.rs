@@ -1,0 +1,263 @@
+//! Typed k-mer partitioners: how a table family maps keys to owner ranks.
+//!
+//! HipMer's Tables 1–2 identify the off-node get/put fraction as the
+//! quantity that decides scaling, and both the journal version of the
+//! paper and the MetaHipMer lineage move beyond uniform `hash % ranks`
+//! ownership toward **locality-aware** k-mer placement. This module is the
+//! repo's first-class form of that idea:
+//!
+//! * [`PartitionScheme`] is the user-facing knob (`--partition
+//!   uniform|minimizer`), carried by every stage config;
+//! * [`Partitioner`] is the typed, per-key-length instantiation a stage
+//!   builds once it knows its key length: `Uniform`, or
+//!   `Minimizer { w, m }` where each k-mer is bucketed by the rank owning
+//!   its window minimizer ([`hipmer_dna::KmerCodec::minimizer_hash`]).
+//!
+//! **Why minimizers cut the off-node fraction:** adjacent k-mers of a read
+//! or a contig walk overlap in `k - 1` bases, so they share `w - 1 = k - m`
+//! of their `w` minimizer windows and therefore *usually* share a
+//! minimizer — and an owner rank. Per-operation access patterns that slide
+//! along the sequence (the traversal's claim/probe steps, extension
+//! lookups) then stay on one rank for a whole minimizer run and pay a
+//! remote message only at run boundaries, instead of on (P-1)/P of all
+//! steps under uniform hashing. Placement is invisible to results: every
+//! access goes through [`DistHashMap::owner`], so the assembled output is
+//! byte-identical under any scheme — only the communication tallies move.
+//!
+//! The partitioner feeds [`DistHashMap::with_locality_hash`]: the owner is
+//! chosen from the minimizer hash while sub-shard selection keeps the
+//! uniform per-key hash, so a minimizer run co-owned by one rank still
+//! spreads across that owner's sub-shard locks.
+//!
+//! Coherence rule: tables whose entries flow into each other without
+//! re-homing (the k-mer votes table and the final spectrum table, the
+//! spectrum and the de Bruijn node table) must be built from the **same**
+//! partitioner — [`Partitioner::table`] is the one construction path the
+//! stages share.
+
+use crate::dht::DistHashMap;
+use crate::topology::Topology;
+use hipmer_dna::{Kmer, KmerCodec};
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// Default minimizer length `m` (capped at the key length). Short enough
+/// that minimizer runs are long (`w = k - m + 1` windows per k-mer) even
+/// for the aligner's 15-base seeds, long enough that minimizers spread
+/// uniformly over ranks.
+pub const DEFAULT_MINIMIZER_LEN: usize = 7;
+
+/// The user-facing partitioning knob, one per pipeline run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PartitionScheme {
+    /// Uniform hashing: `owner = mix(key) % ranks`. The seed behavior.
+    #[default]
+    Uniform,
+    /// Minimizer bucketing: `owner = minimizer_hash(key) % ranks`, so
+    /// adjacent k-mers land on one rank.
+    Minimizer,
+}
+
+impl FromStr for PartitionScheme {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "uniform" => Ok(PartitionScheme::Uniform),
+            "minimizer" => Ok(PartitionScheme::Minimizer),
+            other => Err(format!("unknown partition scheme {other:?}")),
+        }
+    }
+}
+
+impl std::fmt::Display for PartitionScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionScheme::Uniform => write!(f, "uniform"),
+            PartitionScheme::Minimizer => write!(f, "minimizer"),
+        }
+    }
+}
+
+/// A [`PartitionScheme`] bound to one key length: the validated owner
+/// assignment a stage builds its k-mer tables from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Partitioner {
+    /// Uniform hashing over the whole key.
+    Uniform,
+    /// Minimizer bucketing: `w = k - m + 1` length-`m` windows per key.
+    Minimizer {
+        /// Windows per key (`k - m + 1`).
+        w: usize,
+        /// Minimizer length.
+        m: usize,
+    },
+}
+
+impl Partitioner {
+    /// Bind `scheme` to keys of length `k`. For the minimizer scheme,
+    /// `m = min(DEFAULT_MINIMIZER_LEN, k)` and `w = k - m + 1`.
+    ///
+    /// # Panics
+    /// Panics when `k` is outside the packed k-mer range — ownership
+    /// decisions ride on these parameters, so they are validated here (in
+    /// release builds too) rather than at first use.
+    pub fn new(scheme: PartitionScheme, k: usize) -> Self {
+        assert!(
+            (1..=hipmer_dna::MAX_K).contains(&k),
+            "partitioner key length k={k} outside 1..={}",
+            hipmer_dna::MAX_K
+        );
+        match scheme {
+            PartitionScheme::Uniform => Partitioner::Uniform,
+            PartitionScheme::Minimizer => {
+                let m = DEFAULT_MINIMIZER_LEN.min(k);
+                Partitioner::Minimizer { w: k - m + 1, m }
+            }
+        }
+    }
+
+    /// The scheme this partitioner instantiates.
+    pub fn scheme(&self) -> PartitionScheme {
+        match self {
+            Partitioner::Uniform => PartitionScheme::Uniform,
+            Partitioner::Minimizer { .. } => PartitionScheme::Minimizer,
+        }
+    }
+
+    /// Human/report label, e.g. `"uniform"` or `"minimizer(w=25,m=7)"`.
+    pub fn label(&self) -> String {
+        match self {
+            Partitioner::Uniform => "uniform".to_string(),
+            Partitioner::Minimizer { w, m } => format!("minimizer(w={w},m={m})"),
+        }
+    }
+
+    /// The locality-hash closure to install on a k-mer table, or `None`
+    /// for uniform hashing. The codec's key length must match the length
+    /// this partitioner was bound to.
+    pub fn locality_hash(&self, codec: KmerCodec) -> Option<crate::dht::LocalityHash<Kmer>> {
+        match *self {
+            Partitioner::Uniform => None,
+            Partitioner::Minimizer { w, m } => {
+                assert_eq!(
+                    w,
+                    codec.k() - m + 1,
+                    "partitioner bound to a different key length than codec k={}",
+                    codec.k()
+                );
+                Some(Arc::new(move |km: &Kmer| codec.minimizer_hash(*km, m)))
+            }
+        }
+    }
+
+    /// The one construction path for partitioned k-mer tables: an empty
+    /// [`DistHashMap`] over `topo` whose owner selection follows this
+    /// partitioner. Stages that feed entries between tables must build
+    /// both ends through the same partitioner (see the module docs).
+    pub fn table<V: Send>(&self, topo: Topology, codec: KmerCodec) -> DistHashMap<Kmer, V> {
+        let table = DistHashMap::new(topo);
+        match self.locality_hash(codec) {
+            Some(f) => table.with_locality_hash(f),
+            None => table,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::team::RankCtx;
+
+    #[test]
+    fn scheme_parses_and_displays() {
+        assert_eq!("uniform".parse(), Ok(PartitionScheme::Uniform));
+        assert_eq!("minimizer".parse(), Ok(PartitionScheme::Minimizer));
+        assert_eq!("MINIMIZER".parse(), Ok(PartitionScheme::Minimizer));
+        assert!("oracle".parse::<PartitionScheme>().is_err());
+        assert_eq!(PartitionScheme::Uniform.to_string(), "uniform");
+        assert_eq!(PartitionScheme::Minimizer.to_string(), "minimizer");
+        assert_eq!(PartitionScheme::default(), PartitionScheme::Uniform);
+    }
+
+    #[test]
+    fn binding_computes_window_count() {
+        assert_eq!(
+            Partitioner::new(PartitionScheme::Minimizer, 31),
+            Partitioner::Minimizer { w: 25, m: 7 }
+        );
+        // m is capped at k (degenerate single-window case).
+        assert_eq!(
+            Partitioner::new(PartitionScheme::Minimizer, 5),
+            Partitioner::Minimizer { w: 1, m: 5 }
+        );
+        assert_eq!(
+            Partitioner::new(PartitionScheme::Uniform, 31),
+            Partitioner::Uniform
+        );
+        assert_eq!(
+            Partitioner::Minimizer { w: 25, m: 7 }.label(),
+            "minimizer(w=25,m=7)"
+        );
+        assert_eq!(Partitioner::Uniform.label(), "uniform");
+    }
+
+    #[test]
+    #[should_panic(expected = "key length")]
+    fn binding_rejects_bad_k() {
+        Partitioner::new(PartitionScheme::Minimizer, 0);
+    }
+
+    #[test]
+    fn minimizer_tables_group_adjacent_kmers() {
+        let k = 21;
+        let codec = KmerCodec::new(k);
+        let topo = Topology::new(8, 4);
+        let part = Partitioner::new(PartitionScheme::Minimizer, k);
+        let table: DistHashMap<Kmer, u32> = part.table(topo, codec);
+        assert!(table.has_locality_hash());
+
+        // A synthetic read: adjacent canonical k-mers must mostly share an
+        // owner (the property the placement exists for), and owners must
+        // agree with a direct minimizer computation.
+        let seq: Vec<u8> = (0..400)
+            .map(|i: usize| hipmer_dna::BASES[(i * 13 + 2) % 4])
+            .collect();
+        let owners: Vec<usize> = codec
+            .canonical_kmers(&seq)
+            .map(|(_, _, canon)| table.owner(&canon))
+            .collect();
+        assert!(owners.len() > 300);
+        for (i, (_, _, canon)) in codec.canonical_kmers(&seq).enumerate() {
+            let expect = (codec.minimizer_hash(canon, 7) % 8) as usize;
+            assert_eq!(owners[i], expect);
+        }
+        let changes = owners.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(
+            changes * 3 < owners.len(),
+            "owner changed {changes} times over {} steps",
+            owners.len()
+        );
+
+        // Placement is invisible to contents: same entries either way.
+        let uni: DistHashMap<Kmer, u32> =
+            Partitioner::new(PartitionScheme::Uniform, k).table(topo, codec);
+        let mut c = RankCtx::new(0, topo);
+        for (_, _, canon) in codec.canonical_kmers(&seq) {
+            table.update(&mut c, canon, || 0, |v| *v += 1);
+            uni.update(&mut c, canon, || 0, |v| *v += 1);
+        }
+        let mut a = table.snapshot_entries();
+        let mut b = uni.snapshot_entries();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different key length")]
+    fn locality_hash_rejects_mismatched_codec() {
+        let part = Partitioner::new(PartitionScheme::Minimizer, 31);
+        let _ = part.locality_hash(KmerCodec::new(21));
+    }
+}

@@ -32,6 +32,13 @@ pub struct PhaseReport {
     /// count. Empty unless hot-key tracking was enabled
     /// ([`crate::trace::set_hotkey_capacity`]) and the stage attached them.
     pub hot_keys: Vec<(u64, u64)>,
+    /// Placement label of the phase's dominant hash table — a
+    /// [`crate::Partitioner::label`] string such as `"uniform"` or
+    /// `"minimizer(w=25,m=7)"`, or `"oracle"` for contig-oracle placement.
+    /// `None` for phases that own no table (I/O, serial passes). Drives
+    /// the report's `offnode_by_placement` split, so partition ablations
+    /// can read per-placement traffic straight from one document.
+    pub placement: Option<String>,
 }
 
 /// The measured wall time of a phase: its slowest rank's execution time.
@@ -51,6 +58,7 @@ impl PhaseReport {
             wall_seconds,
             serial_seconds: 0.0,
             hot_keys: Vec::new(),
+            placement: None,
         }
     }
 
@@ -70,6 +78,13 @@ impl PhaseReport {
     /// descending count).
     pub fn with_hot_keys(mut self, hot_keys: Vec<(u64, u64)>) -> Self {
         self.hot_keys = hot_keys;
+        self
+    }
+
+    /// Attach the placement label of the phase's dominant hash table (see
+    /// [`PhaseReport::placement`]).
+    pub fn with_placement(mut self, label: impl Into<String>) -> Self {
+        self.placement = Some(label.into());
         self
     }
 
@@ -209,12 +224,51 @@ pub struct PipelineReport {
     pub stage_attempts: Vec<StageAttempt>,
     /// Checkpoint saves and loads performed during the run.
     pub checkpoints: Vec<CheckpointEvent>,
+    /// Partition-scheme label for the run's k-mer tables (the
+    /// `PartitionScheme`'s `Display` string, `"uniform"` or
+    /// `"minimizer"`). `None` when the producer predates partition-aware
+    /// reporting; serialized as the schema-v6 `partition` header.
+    pub partition: Option<String>,
 }
 
 impl PipelineReport {
     /// An empty report.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Stamp the run's partition-scheme label (see
+    /// [`PipelineReport::partition`]).
+    pub fn with_partition(mut self, label: impl Into<String>) -> Self {
+        self.partition = Some(label.into());
+        self
+    }
+
+    /// Off-node traffic split by table placement: for each distinct
+    /// [`PhaseReport::placement`] label, the off-node fraction over the
+    /// combined counters of every phase carrying that label (phases with
+    /// no label are skipped — they own no table). Ordered by first
+    /// appearance. This is the partition ablation's headline number: under
+    /// minimizer bucketing the labeled stages' fractions drop while the
+    /// unlabeled ones are untouched.
+    pub fn offnode_by_placement(&self) -> Vec<(String, f64)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut acc: std::collections::HashMap<String, CommStats> =
+            std::collections::HashMap::new();
+        for p in &self.phases {
+            let Some(label) = &p.placement else { continue };
+            if !acc.contains_key(label) {
+                order.push(label.clone());
+            }
+            acc.entry(label.clone()).or_default().merge(&p.totals());
+        }
+        order
+            .into_iter()
+            .map(|label| {
+                let frac = acc[&label].offnode_fraction().unwrap_or(0.0);
+                (label, frac)
+            })
+            .collect()
     }
 
     /// Append a finished phase.
@@ -364,7 +418,7 @@ impl PipelineReport {
     /// [`PhaseReport::imbalance`]), so static-vs-dynamic schedule
     /// ablations can read per-stage balance straight from the report.
     ///
-    /// Schema v5 (this PR) adds the measured-vs-modeled surface: a
+    /// Schema v5 adds the measured-vs-modeled surface: a
     /// top-level `cost_model` label naming the constants the document was
     /// priced under (`"default"`, `"calibrated"`, …), a top-level
     /// `model_error` block (per-phase measured/modeled seconds, relative
@@ -373,6 +427,15 @@ impl PipelineReport {
     /// and a per-phase `measured` object carrying `wall_seconds`,
     /// `max_rank_seconds` and `mean_rank_seconds` from the per-rank
     /// execution stamps.
+    ///
+    /// Schema v6 (this PR) adds the partition surface: a top-level
+    /// `partition` header naming the run's k-mer partition scheme
+    /// (`"uniform"` / `"minimizer"`, or `null` for partition-unaware
+    /// producers), a top-level `offnode_by_placement` object mapping each
+    /// table placement label to the off-node fraction over all phases
+    /// using it (see [`offnode_by_placement`](Self::offnode_by_placement)),
+    /// and a per-phase `placement` key carrying the phase's table
+    /// placement label (`null` for table-less phases).
     pub fn to_json(&self, model: &CostModel) -> String {
         self.to_json_labeled(model, "default")
     }
@@ -382,9 +445,16 @@ impl PipelineReport {
     /// [`crate::calib`].
     pub fn to_json_labeled(&self, model: &CostModel, cost_model_label: &str) -> String {
         let mut doc = Value::obj();
-        doc.set("schema_version", 5u64)
+        doc.set("schema_version", 6u64)
             .set("generator", "hipmer-pgas")
-            .set("cost_model", cost_model_label);
+            .set("cost_model", cost_model_label)
+            .set(
+                "partition",
+                match &self.partition {
+                    Some(label) => Value::from(label.as_str()),
+                    None => Value::Null,
+                },
+            );
         if let Some(p) = self.phases.first() {
             let mut topo = Value::obj();
             topo.set("ranks", p.topo.ranks())
@@ -397,6 +467,11 @@ impl PipelineReport {
             "wall_seconds",
             self.phases.iter().map(|p| p.wall_seconds).sum::<f64>(),
         );
+        let mut by_placement = Value::obj();
+        for (label, frac) in self.offnode_by_placement() {
+            by_placement.set(label, frac);
+        }
+        doc.set("offnode_by_placement", by_placement);
         let errors = self.model_errors(model);
         let mut err_obj = Value::obj();
         let entries: Vec<Value> = errors
@@ -487,6 +562,13 @@ fn phase_json(p: &PhaseReport, model: &CostModel) -> Value {
         .set("bandwidth_seconds", breakdown.bandwidth);
     v.set("critical_rank", crit)
         .set("offnode_fraction", p.offnode_fraction())
+        .set(
+            "placement",
+            match &p.placement {
+                Some(label) => Value::from(label.as_str()),
+                None => Value::Null,
+            },
+        )
         .set("imbalance", p.imbalance(model));
 
     let mut t = Value::obj();
@@ -680,10 +762,11 @@ mod tests {
                 ..CommStats::default()
             })
             .collect();
-        let mut pr = PipelineReport::new();
+        let mut pr = PipelineReport::new().with_partition("minimizer");
         pr.push(
             PhaseReport::new("kmer-analysis/count", topo, stats.clone())
-                .with_hot_keys(vec![(0xdead_beef, 41), (0x1234, 7)]),
+                .with_hot_keys(vec![(0xdead_beef, 41), (0x1234, 7)])
+                .with_placement("minimizer(w=17,m=7)"),
         );
         pr.push(PhaseReport::new("contig/traversal", topo, stats).with_serial(0.125));
         pr.stage_attempts.push(StageAttempt {
@@ -723,22 +806,31 @@ mod tests {
         // any of these is a schema break and must bump `schema_version`.
         let model = CostModel::edison();
         let doc = Value::parse(&busy_pipeline().to_json(&model)).unwrap();
-        assert_eq!(u64_at(&doc, "schema_version"), 5);
+        assert_eq!(u64_at(&doc, "schema_version"), 6);
         assert_eq!(str_at(&doc, "cost_model"), "default");
+        assert_eq!(str_at(&doc, "partition"), "minimizer");
         assert_keys(
             &doc,
             &[
                 "schema_version",
                 "generator",
                 "cost_model",
+                "partition",
                 "topology",
                 "modeled_total",
                 "wall_seconds",
+                "offnode_by_placement",
                 "model_error",
                 "stage_attempts",
                 "checkpoints",
                 "phases",
             ],
+        );
+        // The placement split carries exactly the labeled phase's label;
+        // the unlabeled (table-less) phase contributes nothing.
+        assert_keys(
+            get_path(&doc, "offnode_by_placement"),
+            &["minimizer(w=17,m=7)"],
         );
         assert_keys(
             get_path(&doc, "model_error"),
@@ -786,11 +878,14 @@ mod tests {
                 "modeled",
                 "critical_rank",
                 "offnode_fraction",
+                "placement",
                 "imbalance",
                 "totals",
                 "hot_keys",
             ],
         );
+        assert_eq!(str_at(p, "placement"), "minimizer(w=17,m=7)");
+        assert!(matches!(get_path(&doc, "phases/1/placement"), Value::Null));
         assert_keys(
             get_path(p, "measured"),
             &["wall_seconds", "max_rank_seconds", "mean_rank_seconds"],
@@ -836,6 +931,44 @@ mod tests {
         assert_eq!(hot.len(), 2);
         assert_eq!(str_at(p, "hot_keys/0/key_hash"), "0x00000000deadbeef");
         assert_eq!(u64_at(p, "hot_keys/0/estimated_count"), 41);
+    }
+
+    #[test]
+    fn offnode_by_placement_aggregates_labeled_phases() {
+        let pr = busy_pipeline();
+        let split = pr.offnode_by_placement();
+        // One labeled phase: its fraction verbatim.
+        assert_eq!(split.len(), 1);
+        assert_eq!(split[0].0, "minimizer(w=17,m=7)");
+        assert!((split[0].1 - pr.phases[0].offnode_fraction()).abs() < 1e-12);
+
+        // Two phases sharing a label pool their counters (the pooled
+        // fraction is accesses-weighted, not a mean of fractions).
+        let mut pr2 = PipelineReport::new();
+        let topo = Topology::new(2, 1);
+        let mostly_off = vec![
+            CommStats {
+                local_ops: 10,
+                offnode_msgs: 90,
+                ..CommStats::default()
+            };
+            2
+        ];
+        let mostly_local = vec![
+            CommStats {
+                local_ops: 300,
+                offnode_msgs: 100,
+                ..CommStats::default()
+            };
+            2
+        ];
+        pr2.push(PhaseReport::new("a", topo, mostly_off).with_placement("uniform"));
+        pr2.push(PhaseReport::new("b", topo, mostly_local).with_placement("uniform"));
+        pr2.push(phase_with(&[10, 10])); // unlabeled: excluded
+        let split2 = pr2.offnode_by_placement();
+        assert_eq!(split2.len(), 1);
+        let expect = (90.0 + 100.0) * 2.0 / ((10.0 + 90.0 + 300.0 + 100.0) * 2.0);
+        assert!((split2[0].1 - expect).abs() < 1e-12, "{}", split2[0].1);
     }
 
     #[test]

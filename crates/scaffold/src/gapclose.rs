@@ -455,6 +455,9 @@ pub fn close_gaps(
                 .into_iter()
                 .flatten()
                 .collect(),
+            // Round-robin here deals *gaps* (work units) to ranks; it is
+            // not k-mer ownership, so it stays modulo-based regardless of
+            // the table partitioner.
             Schedule::Static if cfg.round_robin => {
                 (0..gaps.len()).filter(|g| g % ranks == ctx.rank).collect()
             }
@@ -497,6 +500,9 @@ pub fn close_gaps(
             for &ri in &read_ids {
                 let ri = ri as usize;
                 if ri < reads.len() {
+                    // Reads live on ranks cyclically by *index* (they are
+                    // never keyed into a partitioned table), so this modulo
+                    // is the read array's home rank, not k-mer ownership.
                     *per_owner.entry(ri % ranks).or_insert(0) += reads[ri].seq.len() as u64;
                     candidates.push(&reads[ri]);
                 }

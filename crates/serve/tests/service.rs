@@ -77,7 +77,7 @@ impl JobExecutor for MockExecutor {
         }
         let fasta = format!(">scaffold_1 input={} k={}\nACGTACGT\n", spec.input, spec.k);
         std::fs::write(out_dir.join("scaffolds.fasta"), &fasta).unwrap();
-        std::fs::write(out_dir.join("report.json"), "{\"schema_version\": 5}").unwrap();
+        std::fs::write(out_dir.join("report.json"), "{\"schema_version\": 6}").unwrap();
         std::fs::write(out_dir.join("trace.json"), "[]").unwrap();
         let mut summary = Value::obj();
         summary.set("scaffolds", 1u64).set("ranks", lease.ranks());
@@ -161,7 +161,7 @@ fn fresh_job_completes_and_serves_artifacts() {
     assert_eq!(status, 200);
     assert_eq!(
         report.get("schema_version").and_then(Value::as_u64),
-        Some(5)
+        Some(6)
     );
 
     let (status, health) = get_json(&addr, "/healthz");

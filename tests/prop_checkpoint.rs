@@ -13,7 +13,7 @@ use hipmer_align::Alignment;
 use hipmer_contig::{Contig, ContigSet};
 use hipmer_dna::{ExtChoice, ExtensionPair, Kmer, KmerCodec};
 use hipmer_kanalysis::{KmerEntry, KmerSpectrum};
-use hipmer_pgas::{Team, Topology};
+use hipmer_pgas::{PartitionScheme, Team, Topology};
 use hipmer_readsim::{simulate_library, ErrorModel, Genome, Library};
 use hipmer_scaffold::{GapCloseStats, Scaffold, ScaffoldMember, ScaffoldSet};
 use proptest::prelude::*;
@@ -114,14 +114,20 @@ proptest! {
             .into_iter()
             .map(|(bits, e)| (Kmer(bits), e))
             .collect();
-        let spectrum = KmerSpectrum::from_entries(topo, 21, entries);
+        let spectrum = KmerSpectrum::from_entries(topo, 21, PartitionScheme::Uniform, entries);
         let bytes = encode_spectrum(&spectrum);
-        let back = decode_spectrum(&bytes, topo).unwrap();
-        // Export order is canonical (sorted by packed bits), so the
-        // round-tripped spectrum exports the identical entry list and the
-        // re-encoded artifact is byte-identical.
-        prop_assert_eq!(back.export_entries(), spectrum.export_entries());
-        prop_assert_eq!(encode_spectrum(&back), bytes);
+        // Restore under *both* partition schemes: the artifact is
+        // placement-independent, so a spectrum written under uniform
+        // ownership must round-trip byte-identically even when restored
+        // into a minimizer-bucketed table.
+        for scheme in [PartitionScheme::Uniform, PartitionScheme::Minimizer] {
+            let back = decode_spectrum(&bytes, topo, scheme).unwrap();
+            // Export order is canonical (sorted by packed bits), so the
+            // round-tripped spectrum exports the identical entry list and
+            // the re-encoded artifact is byte-identical.
+            prop_assert_eq!(back.export_entries(), spectrum.export_entries());
+            prop_assert_eq!(encode_spectrum(&back), bytes.clone());
+        }
     }
 
     #[test]
