@@ -162,7 +162,7 @@ fn main() {
     let mut doc = Value::obj();
     doc.set("schema_version", 1u64);
     doc.set("bench", "measured_scaling");
-    doc.set("report_schema_version", 6u64);
+    doc.set("report_schema_version", 7u64);
     doc.set("fast_mode", fast);
     doc.set("host_parallelism", host_parallelism as u64);
     doc.set("ranks", RANKS as u64);

@@ -29,4 +29,4 @@ pub mod traverse;
 pub use contig_set::{Contig, ContigSet};
 pub use graph::{build_graph, DebruijnGraph, GraphNode};
 pub use oracle_build::{build_oracle, build_oracle_for_k, kmer_placement_hash};
-pub use traverse::{generate_contigs, traverse_graph, ContigConfig, TraversalMode};
+pub use traverse::{generate_contigs, prune_hairs, traverse_graph, ContigConfig, TraversalMode};

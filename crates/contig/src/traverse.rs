@@ -72,6 +72,18 @@ pub struct ContigConfig {
     /// claim/probe steps stay local within minimizer runs). Superseded by
     /// an oracle [`Placement::Custom`] — see [`crate::graph::build_graph`].
     pub partition: PartitionScheme,
+    /// Abundance-aware hair/tip pruning floor (the MetaHipMer multi-k
+    /// rounds): after traversal, contigs no longer than
+    /// [`Self::prune_max_len`] with at least one dead end (no unique
+    /// outward extension) and a mean k-mer depth below this floor are
+    /// dropped. `0.0` (the default) disables pruning — the classic
+    /// single-k pipeline never sets it, so its output is untouched.
+    pub prune_depth_floor: f64,
+    /// Length cap for prune candidates (default `3 * k`): anything longer
+    /// is kept regardless of depth. Error hairs and tips are at most about
+    /// a read length of spurious extension, so a generous cap still never
+    /// touches genuine backbone contigs.
+    pub prune_max_len: usize,
 }
 
 impl ContigConfig {
@@ -85,6 +97,8 @@ impl ContigConfig {
             node_cache: 16384,
             schedule: Schedule::Static,
             partition: PartitionScheme::Uniform,
+            prune_depth_floor: 0.0,
+            prune_max_len: 3 * k,
         }
     }
 
@@ -898,7 +912,141 @@ pub fn traverse_graph(
     )
 }
 
-/// Convenience: build the graph from a spectrum and traverse it.
+/// Whether one contig end is a dead end: walking outward from the terminal
+/// k-mer (oriented in contig direction) through *shallow* vertices — the
+/// contig's own terminal plus the non-UU stragglers the traversal excluded
+/// from emission — terminates (missing k-mer, no unique extension) before
+/// reaching any k-mer at or above `floor` depth. Reaching a deep vertex
+/// means the end rejoins covered sequence (a fork into the backbone, or a
+/// bubble arm), which pruning must leave alone.
+fn end_is_dead(
+    ctx: &mut RankCtx,
+    spectrum: &KmerSpectrum,
+    end_kmer: Kmer,
+    outward_left: bool,
+    floor: f64,
+    max_hops: usize,
+) -> bool {
+    let codec = &spectrum.codec;
+    let mut cur = end_kmer;
+    for hop in 0..=max_hops {
+        let canon = codec.canonical(cur);
+        let Some(entry) = spectrum.table.get(ctx, &canon) else {
+            return true;
+        };
+        // The first vertex is the contig's own terminal (shallow by the
+        // caller's depth test); any later deep vertex is a reconnection.
+        if hop > 0 && entry.count as f64 >= floor {
+            return false;
+        }
+        let exts = if canon == cur {
+            entry.exts
+        } else {
+            entry.exts.flip()
+        };
+        let outward = if outward_left { exts.left } else { exts.right };
+        let Some(code) = outward.unique_base() else {
+            return true;
+        };
+        cur = if outward_left {
+            codec.extend_left(cur, code)
+        } else {
+            codec.extend_right(cur, code)
+        };
+    }
+    // Walked max_hops shallow-but-extending vertices without dying: treat
+    // as alive rather than guess (pruning must never eat real sequence).
+    false
+}
+
+/// Abundance-aware hair/tip pruning (the MetaHipMer multi-k design):
+/// drop short contigs that dead-end on at least one side and whose mean
+/// k-mer depth is below [`ContigConfig::prune_depth_floor`]. Sequencing
+/// errors in low-abundance species survive the count filter just often
+/// enough to sprout short dead-end branches; feeding those forward as
+/// pseudo-reads would amplify them round over round, so the non-final
+/// rounds prune them here. The decision is a pure per-contig function of
+/// the frozen k-mer table, so the surviving set is schedule- and
+/// topology-independent.
+pub fn prune_hairs(
+    team: &Team,
+    spectrum: &KmerSpectrum,
+    set: &ContigSet,
+    cfg: &ContigConfig,
+) -> (ContigSet, PhaseReport) {
+    let codec = spectrum.codec;
+    let k = codec.k();
+    let candidates: Vec<usize> = (0..set.contigs.len())
+        .filter(|&ci| set.contigs[ci].seq.len() <= cfg.prune_max_len)
+        .collect();
+    let weights: Vec<u64> = candidates
+        .iter()
+        .map(|&ci| (set.contigs[ci].seq.len() - k + 1) as u64)
+        .collect();
+
+    let (drop_lists, mut stats) = team.run_named("contig/prune", |ctx| {
+        let mut dropped: Vec<usize> = Vec::new();
+        let mine: Vec<usize> = cfg
+            .schedule
+            .ranges_weighted(ctx, &weights)
+            .into_iter()
+            .flatten()
+            .collect();
+        for &i in &mine {
+            let ci = candidates[i];
+            let seq = &set.contigs[ci].seq;
+            let n_kmers = seq.len() - k + 1;
+            ctx.stats.compute(n_kmers as u64);
+            let kmers: Vec<Kmer> = (0..n_kmers)
+                .filter_map(|off| codec.pack(&seq[off..off + k]))
+                .collect();
+            let mut sum = 0u64;
+            let mut n = 0u64;
+            for entry in spectrum.get_batch(ctx, &kmers).into_iter().flatten() {
+                sum += entry.count as u64;
+                n += 1;
+            }
+            let depth = if n == 0 { 0.0 } else { sum as f64 / n as f64 };
+            if depth >= cfg.prune_depth_floor {
+                continue;
+            }
+            let first = codec
+                .pack(&seq[..k])
+                .expect("contig starts with k clean bases");
+            let last = codec
+                .pack(&seq[seq.len() - k..])
+                .expect("contig ends with k clean bases");
+            let floor = cfg.prune_depth_floor;
+            let hops = cfg.prune_max_len;
+            if end_is_dead(ctx, spectrum, first, true, floor, hops)
+                || end_is_dead(ctx, spectrum, last, false, floor, hops)
+            {
+                dropped.push(ci);
+            }
+        }
+        dropped
+    });
+    spectrum.table.drain_service_into(&mut stats);
+
+    let mut drop = vec![false; set.contigs.len()];
+    for ci in drop_lists.into_iter().flatten() {
+        drop[ci] = true;
+    }
+    let survivors: Vec<Vec<u8>> = set
+        .contigs
+        .iter()
+        .filter(|c| !drop[c.id])
+        .map(|c| c.seq.clone())
+        .collect();
+    (
+        ContigSet::from_sequences(codec, survivors),
+        PhaseReport::new("contig/prune", *team.topo(), stats),
+    )
+}
+
+/// Convenience: build the graph from a spectrum and traverse it. With
+/// [`ContigConfig::prune_depth_floor`] set, low-depth hairs/tips are
+/// pruned from the traversal output (the multi-k rounds path).
 pub fn generate_contigs(
     team: &Team,
     spectrum: &KmerSpectrum,
@@ -911,10 +1059,15 @@ pub fn generate_contigs(
     // The traversal walks the same table the build placed, so it carries
     // the build's placement label in the report's per-placement split.
     let label = build_report.placement.clone().unwrap_or_default();
-    (
-        set,
-        vec![build_report, traverse_report.with_placement(label)],
-    )
+    let mut reports = vec![build_report, traverse_report.with_placement(label.clone())];
+    let set = if cfg.prune_depth_floor > 0.0 {
+        let (pruned, prune_report) = prune_hairs(team, spectrum, &set, cfg);
+        reports.push(prune_report.with_placement(label));
+        pruned
+    } else {
+        set
+    };
+    (set, reports)
 }
 
 #[cfg(test)]
@@ -984,6 +1137,71 @@ mod tests {
         let found = genome.windows(big.len()).any(|w| w == &big[..])
             || rc.windows(big.len()).any(|w| w == &big[..]);
         assert!(found, "contig is not a genome substring");
+    }
+
+    #[test]
+    fn prune_drops_low_depth_hairs_and_keeps_backbone() {
+        let genome = lcg_genome(1500, 9);
+        let team = Team::new(Topology::new(4, 2));
+        let mut reads = perfect_reads(&genome, 80, 6);
+        // An erroneous read seen exactly twice: its k-mers clear the
+        // min_count=2 filter, sprouting a depth-2 branch off the backbone.
+        // The error sits near the read END so the branch dead-ends (a
+        // hair) instead of reconnecting on both sides (a bubble, which
+        // pruning deliberately leaves for the scaffolder's bubble pass).
+        let mut bad = genome[200..280].to_vec();
+        bad[70] = match bad[70] {
+            b'A' => b'C',
+            _ => b'A',
+        };
+        for i in 0..2 {
+            reads.push(SeqRecord::with_uniform_quality(
+                format!("bad{i}"),
+                bad.clone(),
+                35,
+            ));
+        }
+        let (spectrum, _) = analyze_kmers(&team, &reads, &KmerAnalysisConfig::new(21));
+        let mut ccfg = ContigConfig::new(21);
+        let (unpruned, _) = generate_contigs(&team, &spectrum, &ccfg);
+
+        ccfg.prune_depth_floor = 2.5;
+        let (pruned, reports) = generate_contigs(&team, &spectrum, &ccfg);
+        assert!(
+            reports.iter().any(|r| r.name == "contig/prune"),
+            "prune phase must be reported when armed"
+        );
+        assert!(
+            pruned.len() < unpruned.len(),
+            "low-depth error branch must be pruned ({} vs {})",
+            pruned.len(),
+            unpruned.len()
+        );
+        // The deep backbone survives untouched.
+        assert_eq!(pruned.max_len(), unpruned.max_len());
+        // The error branch (containing the mutated base's k-mers) is gone.
+        // (The emitted arm stops one k-mer short of the read end — the
+        // terminal k-mer's outward extension is dead, so it is non-UU and
+        // excluded — hence the window ends at 79, not 80.)
+        let arm = bad[55..79].to_vec();
+        let arm_rc = hipmer_dna::revcomp(&arm);
+        let has_arm = |set: &ContigSet| {
+            set.contigs.iter().any(|c| {
+                c.seq
+                    .windows(arm.len())
+                    .any(|w| w == &arm[..] || w == &arm_rc[..])
+            })
+        };
+        assert!(has_arm(&unpruned), "error arm must exist before pruning");
+        assert!(!has_arm(&pruned), "error arm must be pruned");
+        // Pruning is topology-independent: a different team shape drops
+        // the same contigs.
+        let team2 = Team::new(Topology::new(7, 3));
+        let (spectrum2, _) = analyze_kmers(&team2, &reads, &KmerAnalysisConfig::new(21));
+        let (pruned2, _) = generate_contigs(&team2, &spectrum2, &ccfg);
+        let seqs =
+            |s: &ContigSet| -> Vec<Vec<u8>> { s.contigs.iter().map(|c| c.seq.clone()).collect() };
+        assert_eq!(seqs(&pruned), seqs(&pruned2));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! hipmer assemble reads.fastq -o scaffolds.fasta [-k 31] [--ranks 480] \
 //!        [--ranks-per-node 24] [--rounds 1] [--metagenome] [--report] \
+//!        [--multi-k 21,33,55] \
 //!        [--schedule static|dynamic] [--partition uniform|minimizer] \
 //!        [--trace trace.json] [--trace-ranks N] [--report-json report.json]
 //! hipmer simulate human|wheat|meta -o reads.fastq [--len 100000] [--cov 16]
@@ -28,6 +29,15 @@
 //! visible as `offnode_fraction`, the per-phase `placement` labels, and
 //! the `offnode_by_placement` split in `--report-json` (schema v6) —
 //! changes.
+//!
+//! Multi-k: `--multi-k 21,33,55` (strictly increasing, comma-separated)
+//! runs MetaHipMer-style iterative coassembly rounds: k-mer analysis +
+//! contig generation repeat once per k, each round's contigs feed the next
+//! round as high-confidence pseudo-reads, and one scaffolding pass at the
+//! largest k finishes the assembly. The assembly k is the list's last
+//! element (`-k`, if also given, must agree). Checkpoints, `--resume`,
+//! and `--halt-after` address round stages as `round2/kmer-analysis` etc.;
+//! `--report-json` gains a per-round `rounds` array (schema v7).
 //!
 //! Observability: `--trace <path>` (or the `HIPMER_TRACE=<path>` env var)
 //! records per-rank execution spans for every phase and writes them as
@@ -84,6 +94,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  hipmer assemble <reads.fastq> -o <scaffolds.fasta> [-k K] [--ranks N]\n\
          \x20         [--ranks-per-node N] [--rounds N] [--metagenome] [--report]\n\
+         \x20         [--multi-k K1,K2,...]\n\
          \x20         [--schedule static|dynamic] [--partition uniform|minimizer]\n\
          \x20         [--trace <trace.json>] [--trace-ranks N] [--report-json <report.json>]\n\
          \x20         [--trace-sample-ranks N] [--metrics-json <metrics.json>] [--metrics-text]\n\
@@ -178,8 +189,36 @@ fn main() -> ExitCode {
                 eprintln!("error: -o <scaffolds.fasta> is required");
                 return usage();
             };
+            // `--multi-k` first: the assembly k defaults to the list's
+            // largest (last) element, so `-k` can be omitted; an explicit
+            // conflicting `-k` is rejected by `try_multi_k` below.
+            let multi_k: Option<Vec<usize>> = match parse_string_flag(&args, "--multi-k") {
+                Ok(Some(spec)) => {
+                    let ks: Result<Vec<usize>, _> =
+                        spec.split(',').map(|s| s.trim().parse()).collect();
+                    match ks {
+                        Ok(ks) if !ks.is_empty() => Some(ks),
+                        _ => {
+                            eprintln!(
+                                "error: --multi-k wants a comma-separated list of k values, \
+                                 e.g. --multi-k 21,33,55"
+                            );
+                            return usage();
+                        }
+                    }
+                }
+                Ok(None) => None,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            };
+            let k_default = multi_k
+                .as_ref()
+                .and_then(|ks| ks.last().copied())
+                .unwrap_or(31);
             let (k, ranks, rpn, rounds) = match (
-                parse_flag(&args, "-k", 31usize),
+                parse_flag(&args, "-k", k_default),
                 parse_flag(&args, "--ranks", 480usize),
                 parse_flag(&args, "--ranks-per-node", 24usize),
                 parse_flag(&args, "--rounds", 1usize),
@@ -215,6 +254,15 @@ fn main() -> ExitCode {
             }
             if cfg.scaffolding_enabled() {
                 cfg.scaffold.rounds = rounds;
+            }
+            if let Some(ks) = &multi_k {
+                cfg = match cfg.try_multi_k(ks) {
+                    Ok(cfg) => cfg,
+                    Err(e) => {
+                        eprintln!("error: --multi-k: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
             }
             // `--trace` wins over the HIPMER_TRACE env var; either turns
             // the span recorder on for the whole run.
@@ -355,7 +403,15 @@ fn main() -> ExitCode {
                     return usage();
                 }
             }
-            eprintln!("assembling {input} on {ranks} virtual ranks ({rpn}/node), k={k}...");
+            match cfg.multi_k_rounds() {
+                Some(ks) => eprintln!(
+                    "assembling {input} on {ranks} virtual ranks ({rpn}/node), \
+                     multi-k rounds {ks:?}..."
+                ),
+                None => {
+                    eprintln!("assembling {input} on {ranks} virtual ranks ({rpn}/node), k={k}...")
+                }
+            }
             let assembly = match run_assembly_fastq(&team, std::path::Path::new(input), &cfg, &opts)
             {
                 Ok(a) => a,
@@ -447,6 +503,16 @@ fn main() -> ExitCode {
             {
                 eprintln!("error writing {}: {e}", out.display());
                 return ExitCode::FAILURE;
+            }
+            for r in &assembly.report.rounds {
+                eprintln!(
+                    "round {} (k={}): {} contigs, {} pseudo-reads in, {:.1}% off-node",
+                    r.round,
+                    r.k,
+                    r.contigs,
+                    r.pseudo_reads,
+                    100.0 * r.offnode_fraction
+                );
             }
             let s = &assembly.stats;
             eprintln!(

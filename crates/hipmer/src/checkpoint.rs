@@ -450,22 +450,41 @@ pub struct Fingerprint {
     pub read_bases: usize,
     /// Scaffolding rounds (0 when scaffolding is disabled).
     pub rounds: usize,
+    /// The multi-k round schedule (empty for classic single-k runs). A
+    /// single-k store can never satisfy a `--resume` of a multi-k run (or
+    /// vice versa, or a run with a different k schedule): the round-scoped
+    /// artifacts would line up by index but encode different assemblies.
+    pub multi_k: Vec<usize>,
 }
 
 impl Fingerprint {
     fn to_value(&self) -> Value {
+        let multi_k = self
+            .multi_k
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         let mut v = Value::obj();
         v.set("k", self.k)
             .set("ranks", self.ranks)
             .set("ranks_per_node", self.ranks_per_node)
             .set("n_reads", self.n_reads)
             .set("read_bases", self.read_bases)
-            .set("rounds", self.rounds);
+            .set("rounds", self.rounds)
+            .set("multi_k", multi_k);
         v
     }
 
     fn from_value(v: &Value) -> Option<Fingerprint> {
         let get = |key: &str| v.get(key).and_then(Value::as_u64).map(|x| x as usize);
+        let multi_k = match v.get("multi_k").and_then(Value::as_str)? {
+            "" => Vec::new(),
+            list => list
+                .split(',')
+                .map(|s| s.parse::<usize>().ok())
+                .collect::<Option<Vec<_>>>()?,
+        };
         Some(Fingerprint {
             k: get("k")?,
             ranks: get("ranks")?,
@@ -473,6 +492,7 @@ impl Fingerprint {
             n_reads: get("n_reads")?,
             read_bases: get("read_bases")?,
             rounds: get("rounds")?,
+            multi_k,
         })
     }
 }
@@ -608,7 +628,11 @@ impl CheckpointStore {
     pub fn save(&mut self, index: usize, stage: &str, payload: &[u8]) -> io::Result<(u64, u64)> {
         self.invalidate_from(index);
         let checksum = fnv1a(payload);
-        let file = format!("stage-{index:02}-{stage}.ckpt");
+        // Round-scoped stage names ("round1/kmer-analysis") contain a path
+        // separator; flatten it so the artifact stays a plain file in the
+        // checkpoint directory. The manifest keys records by the *name*,
+        // so lookups are unaffected.
+        let file = format!("stage-{index:02}-{}.ckpt", stage.replace('/', "-"));
         let tmp = self.dir.join(format!("{file}.tmp"));
         std::fs::write(&tmp, payload)?;
         std::fs::rename(&tmp, self.dir.join(&file))?;
@@ -695,6 +719,7 @@ mod tests {
             n_reads: 100,
             read_bases: 10_000,
             rounds: 1,
+            multi_k: Vec::new(),
         }
     }
 

@@ -21,6 +21,26 @@ pub struct PipelineConfig {
     /// `Some(0)` means all ranks). Applied by the pipeline via
     /// [`hipmer_pgas::trace::set_sample_ranks`].
     pub trace_sample_ranks: Option<usize>,
+    /// MetaHipMer multi-k schedule: the strictly increasing k values for
+    /// the iterative kanalysis → contig rounds (the SC18 follow-on's
+    /// "Extreme Scale De Novo Metagenome Assembly" loop). Empty (the
+    /// default) or a single value runs the classic single-k pipeline; with
+    /// two or more values, each round re-analyzes the reads plus the
+    /// previous round's contigs (injected as high-confidence pseudo-reads)
+    /// and the final alignment + scaffolding pass runs at the largest k,
+    /// which must equal [`Self::k`]. Set via [`Self::try_multi_k`].
+    pub multi_k: Vec<usize>,
+    /// Per-round depth floor for abundance-aware hair/tip pruning in the
+    /// *non-final* multi-k rounds: short dead-end contigs whose mean k-mer
+    /// depth is below this are dropped before they are fed forward as
+    /// pseudo-reads, so later rounds do not inherit error branches from
+    /// low-abundance species. `0.0` disables pruning; the default `2.5`
+    /// sits just above the k-mer analysis `min_count` of 2, so hairs that
+    /// barely cleared the count filter are dropped while genuine
+    /// low-coverage contigs (mean depth ≥ 3) survive. The final round (and
+    /// the classic single-k path) never prunes, keeping single-k output
+    /// byte-identical to the pre-multi-k pipeline.
+    pub round_prune_depth: f64,
 }
 
 impl PipelineConfig {
@@ -50,7 +70,70 @@ impl PipelineConfig {
             contig: ContigConfig::new(k),
             scaffold: ScaffoldConfig::new(seed_len),
             trace_sample_ranks: None,
+            multi_k: Vec::new(),
+            round_prune_depth: 2.5,
         })
+    }
+
+    /// Stage configs for one *non-final* multi-k round at `k`: fresh
+    /// kanalysis/contig defaults at that k, with this config's schedule,
+    /// partition, placement, and traversal mode carried over, and hair/tip
+    /// pruning armed at [`Self::round_prune_depth`]. The final round uses
+    /// [`Self::kanalysis`]/[`Self::contig`] verbatim (pruning off).
+    pub fn round_stage_configs(&self, k: usize) -> (KmerAnalysisConfig, ContigConfig) {
+        let mut ka = KmerAnalysisConfig::new(k);
+        ka.partition = self.kanalysis.partition;
+        let mut cc = ContigConfig::new(k);
+        cc.schedule = self.contig.schedule;
+        cc.partition = self.contig.partition;
+        cc.placement = self.contig.placement.clone();
+        cc.mode = self.contig.mode;
+        cc.prune_depth_floor = self.round_prune_depth;
+        (ka, cc)
+    }
+
+    /// Install a MetaHipMer multi-k round schedule (e.g. `[21, 33, 55]`).
+    /// Every k must be valid for [`Self::try_new`], the list must be
+    /// strictly increasing, and the final (largest) k must equal
+    /// [`Self::k`] — the stage configs built for this `PipelineConfig` are
+    /// the ones the final round and the scaffolding pass run with, so a
+    /// mismatched final k would silently assemble at the wrong k. The CLI
+    /// constructs the config *from* the last list element, so this only
+    /// trips library misuse.
+    pub fn try_multi_k(mut self, ks: &[usize]) -> Result<Self, String> {
+        if ks.is_empty() {
+            return Err("--multi-k needs at least one k value".into());
+        }
+        for &k in ks {
+            Self::try_new(k)?;
+        }
+        for w in ks.windows(2) {
+            if w[1] <= w[0] {
+                return Err(format!(
+                    "--multi-k values must be strictly increasing, got {} after {}",
+                    w[1], w[0]
+                ));
+            }
+        }
+        let last = *ks.last().expect("non-empty");
+        if last != self.k {
+            return Err(format!(
+                "--multi-k final value {last} must equal the assembly k {} \
+                 (build the config from the largest k)",
+                self.k
+            ));
+        }
+        self.multi_k = ks.to_vec();
+        Ok(self)
+    }
+
+    /// The multi-k round schedule when the MetaHipMer iterative path is
+    /// active: two or more k values. A single-element (or empty) schedule
+    /// is the classic single-k pipeline and returns `None` so callers
+    /// cannot accidentally fork the code path — `--multi-k 21` must stay
+    /// byte-identical to `-k 21`.
+    pub fn multi_k_rounds(&self) -> Option<&[usize]> {
+        (self.multi_k.len() >= 2).then_some(&self.multi_k[..])
     }
 
     /// Cap the number of ranks traced per phase (0 = all ranks). Only
@@ -166,6 +249,48 @@ mod tests {
     #[should_panic(expected = "odd")]
     fn even_k_rejected() {
         PipelineConfig::new(32);
+    }
+
+    #[test]
+    fn multi_k_defaults_to_classic_single_k() {
+        let cfg = PipelineConfig::new(31);
+        assert!(cfg.multi_k.is_empty());
+        assert_eq!(cfg.multi_k_rounds(), None);
+        // A single-element schedule is also the classic path.
+        let cfg = PipelineConfig::new(21).try_multi_k(&[21]).unwrap();
+        assert_eq!(cfg.multi_k_rounds(), None);
+    }
+
+    #[test]
+    fn multi_k_validation() {
+        let cfg = PipelineConfig::new(55).try_multi_k(&[21, 33, 55]).unwrap();
+        assert_eq!(cfg.multi_k_rounds(), Some(&[21, 33, 55][..]));
+
+        // Final k must equal the assembly k.
+        assert!(PipelineConfig::new(31).try_multi_k(&[21, 33]).is_err());
+        // Strictly increasing.
+        assert!(PipelineConfig::new(33).try_multi_k(&[33, 33]).is_err());
+        assert!(PipelineConfig::new(21).try_multi_k(&[33, 21]).is_err());
+        // Each k must itself be valid (odd, in packed range).
+        assert!(PipelineConfig::new(33).try_multi_k(&[22, 33]).is_err());
+        assert!(PipelineConfig::new(33).try_multi_k(&[]).is_err());
+    }
+
+    #[test]
+    fn round_stage_configs_carry_schedule_and_partition() {
+        let cfg = PipelineConfig::new(55)
+            .with_schedule(Schedule::Dynamic)
+            .with_partition(PartitionScheme::Minimizer)
+            .try_multi_k(&[21, 55])
+            .unwrap();
+        let (ka, cc) = cfg.round_stage_configs(21);
+        assert_eq!(ka.k, 21);
+        assert_eq!(ka.partition, PartitionScheme::Minimizer);
+        assert_eq!(cc.schedule, Schedule::Dynamic);
+        assert_eq!(cc.partition, PartitionScheme::Minimizer);
+        assert_eq!(cc.prune_depth_floor, cfg.round_prune_depth);
+        // The final-round configs (cfg.contig) never prune.
+        assert_eq!(cfg.contig.prune_depth_floor, 0.0);
     }
 
     #[test]

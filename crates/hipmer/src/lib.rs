@@ -43,7 +43,8 @@ pub use checkpoint::{CheckpointStore, Fingerprint, ScaffoldState};
 pub use config::PipelineConfig;
 pub use eval::{evaluate, EvalReport};
 pub use pipeline::{
-    assemble, assemble_fastq, run_assembly, run_assembly_fastq, Assembly, PipelineError, RunOptions,
+    assemble, assemble_fastq, planned_stage_names, run_assembly, run_assembly_fastq, Assembly,
+    PipelineError, RunOptions,
 };
 pub use service::AssemblyExecutor;
 pub use stats::{kmer_containment, AssemblyStats, StageTimes};

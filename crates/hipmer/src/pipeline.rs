@@ -12,6 +12,15 @@
 //! persisted (see [`crate::checkpoint`]), and `--resume` skips validated
 //! stages entirely — the recovery guarantee is that a resumed or retried
 //! run produces a byte-identical assembly to an undisturbed one.
+//!
+//! With [`crate::config::PipelineConfig::try_multi_k`] (two or more k
+//! values) the fixed stage list generalizes to MetaHipMer-style *rounds*:
+//! each k runs its own `round{N}/kmer-analysis` + `round{N}/contig-generation`
+//! pair, round N+1's input is the original reads plus round N's contigs
+//! injected as high-confidence pseudo-reads, and a single scaffolding
+//! pass at the largest k closes the pipeline. Every round stage is a
+//! first-class checkpointable stage, so `--resume`, `--halt-after`,
+//! retry/rollback, and the schema report all work per-round unchanged.
 
 use crate::checkpoint::{self, CheckpointStore, Fingerprint, ScaffoldState};
 use crate::config::PipelineConfig;
@@ -19,7 +28,7 @@ use crate::stats::AssemblyStats;
 use hipmer_align::align_reads;
 use hipmer_contig::{generate_contigs, ContigSet};
 use hipmer_kanalysis::analyze_kmers;
-use hipmer_pgas::{catch_stage_abort, metrics, CheckpointEvent, StageAttempt};
+use hipmer_pgas::{catch_stage_abort, metrics, CheckpointEvent, RoundReport, StageAttempt};
 use hipmer_pgas::{CommStats, PhaseReport, PipelineReport, Team, Topology};
 use hipmer_scaffold::{prepare_contigs, scaffold_rounds, ScaffoldSet};
 use hipmer_seqio::{read_fastq_parallel, SeqRecord};
@@ -106,6 +115,16 @@ pub enum PipelineError {
         /// The stage after which the run halted.
         stage: String,
     },
+    /// [`RunOptions::halt_after`] named a stage the configured pipeline
+    /// will never run (misspelled, or round-qualified with a round the
+    /// multi-k schedule doesn't have). Caught up front, before any stage
+    /// executes — previously a bad name silently ran the full pipeline.
+    UnknownStage {
+        /// The name that matched no planned stage.
+        stage: String,
+        /// Every stage this run would execute, in order.
+        valid: Vec<String>,
+    },
     /// The [`RunOptions::cancel`] flag stopped the run at a stage
     /// boundary. Already-completed stages are checkpointed (when a
     /// checkpoint directory is configured), so the run is resumable.
@@ -128,6 +147,11 @@ impl std::fmt::Display for PipelineError {
                 "stage {stage:?} aborted on rank {rank} after {attempts} attempts"
             ),
             PipelineError::Halted { stage } => write!(f, "halted after stage {stage:?}"),
+            PipelineError::UnknownStage { stage, valid } => write!(
+                f,
+                "unknown --halt-after stage {stage:?}; valid stages: {}",
+                valid.join(", ")
+            ),
             PipelineError::Interrupted { stage } => {
                 write!(f, "interrupted before stage {stage:?}")
             }
@@ -158,6 +182,31 @@ fn io_phase(name: String, topo: Topology, bytes: u64, write: bool, wall: f64) ->
         }
     }
     PhaseReport::new(name, topo, stats).with_wall(wall)
+}
+
+/// Every stage a [`run_assembly`] call with this config will execute, in
+/// order. Classic configs plan the fixed two/five-stage list; multi-k
+/// configs plan a `round{N}/kmer-analysis` + `round{N}/contig-generation`
+/// pair per k, then the scaffolding tail. [`RunOptions::halt_after`] is
+/// validated against this list up front, so a misspelled stage name fails
+/// fast instead of silently running the whole pipeline.
+pub fn planned_stage_names(cfg: &PipelineConfig) -> Vec<String> {
+    let mut names = Vec::new();
+    if let Some(ks) = cfg.multi_k_rounds() {
+        for round in 1..=ks.len() {
+            names.push(format!("round{round}/kmer-analysis"));
+            names.push(format!("round{round}/contig-generation"));
+        }
+    } else {
+        names.push("kmer-analysis".to_string());
+        names.push("contig-generation".to_string());
+    }
+    if cfg.scaffolding_enabled() {
+        names.push("scaffold-prep".to_string());
+        names.push("alignment".to_string());
+        names.push("scaffolding".to_string());
+    }
+    names
 }
 
 /// Drives the stages of one [`run_assembly`] call: retry-with-rollback on
@@ -334,6 +383,23 @@ pub fn run_assembly(
     opts: &RunOptions,
 ) -> Result<Assembly, PipelineError> {
     let topo = *team.topo();
+    // Fail fast on a --halt-after name the configured pipeline will never
+    // run; an equality check per stage would just silently never match.
+    if let Some(halt) = &opts.halt_after {
+        let valid = planned_stage_names(cfg);
+        if !valid.iter().any(|s| s == halt) {
+            return Err(PipelineError::UnknownStage {
+                stage: halt.clone(),
+                valid,
+            });
+        }
+    }
+    if opts.checkpoint_interval == 0 {
+        eprintln!(
+            "hipmer: warning: --checkpoint-interval 0 is not meaningful; \
+             treating it as 1 (checkpoint every stage)"
+        );
+    }
     let fingerprint = Fingerprint {
         k: cfg.k,
         ranks: topo.ranks(),
@@ -345,6 +411,7 @@ pub fn run_assembly(
         } else {
             0
         },
+        multi_k: cfg.multi_k.clone(),
     };
     let store = match &opts.checkpoint_dir {
         Some(dir) if opts.resume => Some(CheckpointStore::open_for_resume(dir, fingerprint)?),
@@ -360,24 +427,96 @@ pub fn run_assembly(
         opts,
         topo,
         next_index: 0,
-        total_stages: if cfg.scaffolding_enabled() { 5 } else { 2 },
+        total_stages: cfg.multi_k_rounds().map_or(2, |ks| 2 * ks.len())
+            + if cfg.scaffolding_enabled() { 3 } else { 0 },
     };
 
-    // Stage 0: k-mer analysis.
-    let spectrum = runner.stage(
-        "kmer-analysis",
-        || analyze_kmers(team, reads, &cfg.kanalysis),
-        checkpoint::encode_spectrum,
-        |b| checkpoint::decode_spectrum(b, topo, cfg.partition()),
-    )?;
+    let (spectrum, contigs) = if let Some(ks) = cfg.multi_k_rounds() {
+        // MetaHipMer rounds: kmer-analysis + contig-generation per k,
+        // feeding each round's contigs forward as pseudo-reads. The
+        // scaffolding tail below then runs once, at the largest k, on the
+        // final round's spectrum/contigs and the *original* reads.
+        let n_rounds = ks.len();
+        let mut round_reads: Vec<SeqRecord> = Vec::new();
+        let mut injected = 0u64;
+        let mut last = None;
+        for (ri, &k) in ks.iter().enumerate() {
+            let round = ri + 1;
+            let is_final = round == n_rounds;
+            // Non-final rounds prune low-depth hairs (round_prune_depth);
+            // the final round runs this config's own stage configs
+            // verbatim so `--multi-k` ending at k equals classic-k quality.
+            let (ka_cfg, contig_cfg) = if is_final {
+                (cfg.kanalysis.clone(), cfg.contig.clone())
+            } else {
+                cfg.round_stage_configs(k)
+            };
+            let input: &[SeqRecord] = if round == 1 { reads } else { &round_reads };
+            let phase_mark = runner.report.phases.len();
+            let spectrum = runner.stage(
+                &format!("round{round}/kmer-analysis"),
+                || analyze_kmers(team, input, &ka_cfg),
+                checkpoint::encode_spectrum,
+                |b| checkpoint::decode_spectrum(b, topo, cfg.partition()),
+            )?;
+            let round_contigs = runner.stage(
+                &format!("round{round}/contig-generation"),
+                || generate_contigs(team, &spectrum, &contig_cfg),
+                checkpoint::encode_contigs,
+                checkpoint::decode_contigs,
+            )?;
+            let mut acc = CommStats::new();
+            for p in &runner.report.phases[phase_mark..] {
+                acc.merge(&p.totals());
+            }
+            runner.report.rounds.push(RoundReport {
+                round,
+                k,
+                contigs: round_contigs.len() as u64,
+                pseudo_reads: injected,
+                offnode_fraction: acc.offnode_fraction().unwrap_or(0.0),
+            });
+            if !is_final {
+                // Next round's input: original reads plus this round's
+                // contigs as pseudo-reads. Each pseudo-read is emitted
+                // twice so its k-mers clear the min_count=2 filter, at a
+                // quality comfortably above the min_qual floor. Derived
+                // from the (possibly checkpoint-decoded) contig set, so a
+                // resumed round N+1 sees byte-identical input.
+                round_reads = reads.to_vec();
+                injected = 0;
+                for c in &round_contigs.contigs {
+                    let rec = SeqRecord::with_uniform_quality(
+                        format!("pseudo{round}:{}", c.id),
+                        c.seq.clone(),
+                        40,
+                    );
+                    round_reads.push(rec.clone());
+                    round_reads.push(rec);
+                    injected += 2;
+                }
+            }
+            last = Some((spectrum, round_contigs));
+        }
+        last.expect("multi-k mode plans at least two rounds")
+    } else {
+        // Stage 0: k-mer analysis.
+        let spectrum = runner.stage(
+            "kmer-analysis",
+            || analyze_kmers(team, reads, &cfg.kanalysis),
+            checkpoint::encode_spectrum,
+            |b| checkpoint::decode_spectrum(b, topo, cfg.partition()),
+        )?;
 
-    // Stage 1: contig generation (the raw, pre-bubble contig set).
-    let contigs = runner.stage(
-        "contig-generation",
-        || generate_contigs(team, &spectrum, &cfg.contig),
-        checkpoint::encode_contigs,
-        checkpoint::decode_contigs,
-    )?;
+        // Stage 1: contig generation (the raw, pre-bubble contig set).
+        let contigs = runner.stage(
+            "contig-generation",
+            || generate_contigs(team, &spectrum, &cfg.contig),
+            checkpoint::encode_contigs,
+            checkpoint::decode_contigs,
+        )?;
+        (spectrum, contigs)
+    };
 
     // Stages 2-4: scaffolding (unless disabled).
     let (scaffolds, gaps) = if cfg.scaffolding_enabled() {
@@ -426,20 +565,28 @@ pub fn run_assembly(
         )?;
         (state.scaffolds, state.gap_stats)
     } else {
-        // Contigs become singleton "scaffolds" verbatim.
+        // Contigs become singleton "scaffolds" verbatim. Scaffold members
+        // index contigs with u32; surface an overflow as a clean error
+        // instead of silently truncating the index.
         let sequences: Vec<Vec<u8>> = contigs.contigs.iter().map(|c| c.seq.clone()).collect();
+        let mut singletons = Vec::with_capacity(sequences.len());
+        for i in 0..sequences.len() {
+            let contig = u32::try_from(i).map_err(|_| {
+                PipelineError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("contig index {i} exceeds the u32 scaffold-member id space"),
+                ))
+            })?;
+            singletons.push(hipmer_scaffold::Scaffold {
+                members: vec![hipmer_scaffold::ScaffoldMember {
+                    contig,
+                    reversed: false,
+                    gap_before: 0,
+                }],
+            });
+        }
         let scaffolds = ScaffoldSet {
-            scaffolds: sequences
-                .iter()
-                .enumerate()
-                .map(|(i, _)| hipmer_scaffold::Scaffold {
-                    members: vec![hipmer_scaffold::ScaffoldMember {
-                        contig: i as u32,
-                        reversed: false,
-                        gap_before: 0,
-                    }],
-                })
-                .collect(),
+            scaffolds: singletons,
             sequences,
         };
         (scaffolds, Default::default())
@@ -887,6 +1034,221 @@ mod tests {
             .collect();
         assert_eq!(saves, ["kmer-analysis", "scaffold-prep", "scaffolding"]);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_halt_after_is_rejected_up_front() {
+        let dataset = human_like_dataset(5_000, 12.0, false, 31);
+        let team = Team::new(Topology::new(2, 2));
+        let reads = dataset.all_reads();
+        let ranges = lib_ranges_of(&dataset);
+
+        // Misspelled classic stage name: fails fast, listing the plan.
+        let err = match run_assembly(
+            &team,
+            &reads,
+            &ranges,
+            &PipelineConfig::new(21),
+            &RunOptions {
+                halt_after: Some("contig-generatoin".into()),
+                ..RunOptions::default()
+            },
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("an unknown --halt-after stage must not run the pipeline"),
+        };
+        match err {
+            PipelineError::UnknownStage { stage, valid } => {
+                assert_eq!(stage, "contig-generatoin");
+                assert_eq!(
+                    valid,
+                    [
+                        "kmer-analysis",
+                        "contig-generation",
+                        "scaffold-prep",
+                        "alignment",
+                        "scaffolding"
+                    ]
+                );
+            }
+            other => panic!("expected UnknownStage, got {other}"),
+        }
+
+        // Round-qualified names are validated against the multi-k plan:
+        // "round3/…" doesn't exist in a two-round schedule.
+        let cfg = PipelineConfig::metagenome_preset(33)
+            .try_multi_k(&[21, 33])
+            .unwrap();
+        let err = match run_assembly(
+            &team,
+            &reads,
+            &ranges,
+            &cfg,
+            &RunOptions {
+                halt_after: Some("round3/kmer-analysis".into()),
+                ..RunOptions::default()
+            },
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("an out-of-range round must not run the pipeline"),
+        };
+        match err {
+            PipelineError::UnknownStage { stage, valid } => {
+                assert_eq!(stage, "round3/kmer-analysis");
+                assert_eq!(
+                    valid,
+                    [
+                        "round1/kmer-analysis",
+                        "round1/contig-generation",
+                        "round2/kmer-analysis",
+                        "round2/contig-generation"
+                    ]
+                );
+            }
+            other => panic!("expected UnknownStage, got {other}"),
+        }
+    }
+
+    #[test]
+    fn single_element_multi_k_matches_classic_byte_for_byte() {
+        use hipmer_pgas::PartitionScheme;
+
+        let dataset = human_like_dataset(15_000, 16.0, false, 32);
+        let team = Team::new(Topology::new(4, 2));
+        let reads = dataset.all_reads();
+        let ranges = lib_ranges_of(&dataset);
+
+        for partition in [PartitionScheme::Uniform, PartitionScheme::Minimizer] {
+            let classic = PipelineConfig::new(21).with_partition(partition);
+            let single = PipelineConfig::new(21)
+                .with_partition(partition)
+                .try_multi_k(&[21])
+                .unwrap();
+            let a = assemble(&team, &reads, &ranges, &classic);
+            let b = assemble(&team, &reads, &ranges, &single);
+            assert_eq!(
+                a.scaffolds.sequences, b.scaffolds.sequences,
+                "--multi-k 21 must be byte-identical to single-k ({partition:?})"
+            );
+            // And it runs the classic stage list — no round prefixes.
+            let stages: Vec<_> = b
+                .report
+                .stage_attempts
+                .iter()
+                .map(|s| s.stage.as_str())
+                .collect();
+            assert_eq!(
+                stages,
+                [
+                    "kmer-analysis",
+                    "contig-generation",
+                    "scaffold-prep",
+                    "alignment",
+                    "scaffolding"
+                ]
+            );
+            assert!(b.report.rounds.is_empty(), "classic runs report no rounds");
+        }
+    }
+
+    #[test]
+    fn multi_k_runs_rounds_and_reports_them() {
+        let dataset = hipmer_readsim::metagenome_dataset(60_000, 8, 10.0, false, 33);
+        let team = Team::new(Topology::new(4, 2));
+        let reads = dataset.all_reads();
+        let ranges = lib_ranges_of(&dataset);
+        let cfg = PipelineConfig::metagenome_preset(33)
+            .try_multi_k(&[21, 33])
+            .unwrap();
+
+        let assembly = assemble(&team, &reads, &ranges, &cfg);
+        let stages: Vec<_> = assembly
+            .report
+            .stage_attempts
+            .iter()
+            .map(|s| s.stage.as_str())
+            .collect();
+        assert_eq!(
+            stages,
+            [
+                "round1/kmer-analysis",
+                "round1/contig-generation",
+                "round2/kmer-analysis",
+                "round2/contig-generation"
+            ]
+        );
+        let rounds = &assembly.report.rounds;
+        assert_eq!(rounds.len(), 2);
+        assert_eq!((rounds[0].round, rounds[0].k), (1, 21));
+        assert_eq!((rounds[1].round, rounds[1].k), (2, 33));
+        assert_eq!(rounds[0].pseudo_reads, 0, "round 1 sees only real reads");
+        assert!(
+            rounds[1].pseudo_reads >= 2 * rounds[0].contigs,
+            "round 2 must be fed round 1's contigs as pseudo-reads (twice each)"
+        );
+        assert!(rounds[0].contigs > 0);
+        assert!(assembly.stats.n_contigs > 0);
+    }
+
+    #[test]
+    fn multi_k_resumes_byte_identically_at_every_round_boundary() {
+        let dataset = hipmer_readsim::metagenome_dataset(60_000, 8, 10.0, false, 34);
+        let team = Team::new(Topology::new(4, 2));
+        let reads = dataset.all_reads();
+        let ranges = lib_ranges_of(&dataset);
+        // Scaffolding enabled: the resume sweep crosses both the round
+        // boundaries and the rounds→scaffolding seam.
+        let cfg = PipelineConfig::new(33).try_multi_k(&[21, 33]).unwrap();
+
+        let plain = assemble(&team, &reads, &ranges, &cfg);
+
+        for halt_stage in planned_stage_names(&cfg) {
+            let dir = ckpt_dir(&format!("mkres-{}", halt_stage.replace('/', "-")));
+            let halted = run_assembly(
+                &team,
+                &reads,
+                &ranges,
+                &cfg,
+                &RunOptions {
+                    checkpoint_dir: Some(dir.clone()),
+                    halt_after: Some(halt_stage.clone()),
+                    ..RunOptions::default()
+                },
+            );
+            assert!(
+                matches!(halted, Err(PipelineError::Halted { ref stage }) if *stage == halt_stage),
+                "run must halt after {halt_stage}"
+            );
+            let resumed = run_assembly(
+                &team,
+                &reads,
+                &ranges,
+                &cfg,
+                &RunOptions {
+                    checkpoint_dir: Some(dir.clone()),
+                    resume: true,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                plain.scaffolds.sequences, resumed.scaffolds.sequences,
+                "kill-and-resume at {halt_stage} must be byte-identical"
+            );
+            assert!(
+                resumed.report.stage_attempts.iter().any(|a| a.resumed),
+                "resume after {halt_stage} must reuse the checkpointed prefix"
+            );
+            // The rounds report is rebuilt identically on resume.
+            assert_eq!(resumed.report.rounds.len(), plain.report.rounds.len());
+            for (a, b) in plain.report.rounds.iter().zip(&resumed.report.rounds) {
+                assert_eq!(
+                    (a.round, a.k, a.contigs, a.pseudo_reads),
+                    (b.round, b.k, b.contigs, b.pseudo_reads)
+                );
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 }
 

@@ -376,8 +376,15 @@ fn trace_and_report_json_outputs_are_valid() {
     let report_doc = Value::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
     assert_eq!(
         report_doc.get("schema_version").and_then(Value::as_u64),
-        Some(6)
+        Some(7)
     );
+    // Schema v7: classic single-k runs serialize an empty rounds array.
+    assert!(report_doc
+        .get("rounds")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .is_empty());
     assert_eq!(
         report_doc.get("cost_model").and_then(Value::as_str),
         Some("edison")
@@ -882,6 +889,142 @@ fn fault_injection_recovers_byte_identically() {
             "[{threads} threads] every transient fault costs a retry"
         );
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn multi_k_assembles_and_reports_rounds() {
+    use hipmer_pgas::json::Value;
+
+    let dir = std::env::temp_dir().join(format!("hipmer-cli-multik-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let reads = dir.join("reads.fastq");
+
+    let sim = Command::new(bin())
+        .args([
+            "simulate",
+            "meta",
+            "-o",
+            reads.to_str().unwrap(),
+            "--len",
+            "60000",
+            "--cov",
+            "10",
+            "--seed",
+            "23",
+        ])
+        .output()
+        .expect("simulate runs");
+    assert!(
+        sim.status.success(),
+        "{}",
+        String::from_utf8_lossy(&sim.stderr)
+    );
+
+    let out = dir.join("scaffolds.fasta");
+    let report = dir.join("report.json");
+    let asm = Command::new(bin())
+        .args([
+            "assemble",
+            reads.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+            "--multi-k",
+            "21,33",
+            "--metagenome",
+            "--ranks",
+            "8",
+            "--ranks-per-node",
+            "4",
+            "--report-json",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .expect("assemble runs");
+    let stderr = String::from_utf8_lossy(&asm.stderr);
+    assert!(asm.status.success(), "{stderr}");
+    assert!(stderr.contains("multi-k rounds [21, 33]"), "{stderr}");
+    assert!(stderr.contains("round 1 (k=21):"), "{stderr}");
+    assert!(stderr.contains("round 2 (k=33):"), "{stderr}");
+    assert!(out.exists(), "multi-k run must write the FASTA");
+
+    // The schema-v7 rounds surface.
+    let doc = Value::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+    assert_eq!(doc.get("schema_version").and_then(Value::as_u64), Some(7));
+    let rounds = doc.get("rounds").unwrap().as_arr().unwrap();
+    assert_eq!(rounds.len(), 2);
+    assert_eq!(rounds[0].get("k").and_then(Value::as_u64), Some(21));
+    assert_eq!(rounds[1].get("k").and_then(Value::as_u64), Some(33));
+    assert_eq!(
+        rounds[0].get("pseudo_reads").and_then(Value::as_u64),
+        Some(0)
+    );
+    assert!(
+        rounds[1]
+            .get("pseudo_reads")
+            .and_then(Value::as_u64)
+            .unwrap()
+            > 0
+    );
+    let stages: Vec<&str> = doc
+        .get("stage_attempts")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|a| a.get("stage").and_then(Value::as_str).unwrap())
+        .collect();
+    assert_eq!(
+        stages,
+        [
+            "round1/kmer-analysis",
+            "round1/contig-generation",
+            "round2/kmer-analysis",
+            "round2/contig-generation"
+        ]
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_halt_after_stage_exits_nonzero_listing_valid_stages() {
+    let dir = std::env::temp_dir().join(format!("hipmer-cli-badhalt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let reads = dir.join("reads.fastq");
+    std::fs::write(
+        &reads,
+        b"@r1\nACGTACGTACGTACGTACGTACGTACGT\n+\nIIIIIIIIIIIIIIIIIIIIIIIIIIII\n",
+    )
+    .unwrap();
+
+    let out = Command::new(bin())
+        .args([
+            "assemble",
+            reads.to_str().unwrap(),
+            "-o",
+            dir.join("out.fasta").to_str().unwrap(),
+            "-k",
+            "21",
+            "--ranks",
+            "4",
+            "--ranks-per-node",
+            "2",
+            "--halt-after",
+            "scafold-prep",
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "a misspelled --halt-after stage must fail, not silently run: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(
+        stderr.contains("unknown --halt-after stage") && stderr.contains("scaffold-prep"),
+        "error must list the valid stages: {stderr}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

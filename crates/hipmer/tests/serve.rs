@@ -206,14 +206,14 @@ fn served_jobs_match_oneshot_cli_and_duplicates_hit_cache() {
     assert_eq!(stats.get("completed").and_then(Value::as_u64), Some(4));
     assert_eq!(stats.get("cache_hits").and_then(Value::as_u64), Some(2));
 
-    // The report artifact is the schema-v6 pipeline report.
+    // The report artifact is the schema-v7 pipeline report.
     let (status, report) =
         http::request(&addr, "GET", &format!("/v1/jobs/{id_a}/report"), None).unwrap();
     assert_eq!(status, 200);
     let report = Value::parse(std::str::from_utf8(&report).unwrap()).unwrap();
     assert_eq!(
         report.get("schema_version").and_then(Value::as_u64),
-        Some(6)
+        Some(7)
     );
     // The per-job trace artifact is valid chrome-trace JSON.
     let (status, trace) =

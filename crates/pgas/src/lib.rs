@@ -63,7 +63,7 @@ pub use lookup::{LookupBatch, SoftwareCache};
 pub use oracle::OracleVector;
 pub use part::{PartitionScheme, Partitioner, DEFAULT_MINIMIZER_LEN};
 pub use pool::{TeamLease, TeamPool};
-pub use report::{CheckpointEvent, PhaseReport, PipelineReport, StageAttempt};
+pub use report::{CheckpointEvent, PhaseReport, PipelineReport, RoundReport, StageAttempt};
 pub use sched::Schedule;
 pub use stats::CommStats;
 pub use team::{Affinity, RankCtx, Team};

@@ -193,6 +193,24 @@ pub struct CheckpointEvent {
     pub checksum: u64,
 }
 
+/// One MetaHipMer multi-k round's summary, serialized as an entry of the
+/// schema-v7 top-level `rounds` array. Classic single-k runs have an
+/// empty `rounds` array.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundReport {
+    /// 1-based round number in multi-k order.
+    pub round: usize,
+    /// The k this round's kanalysis/contig stages ran at.
+    pub k: usize,
+    /// Contigs the round emitted (after any hair/tip pruning).
+    pub contigs: u64,
+    /// Pseudo-reads injected *into* this round from the previous round's
+    /// contigs (0 for round 1).
+    pub pseudo_reads: u64,
+    /// Access-weighted off-node fraction over the round's phases.
+    pub offnode_fraction: f64,
+}
+
 /// One phase's measured-vs-modeled comparison (see
 /// [`PipelineReport::model_errors`]).
 #[derive(Clone, Debug, PartialEq)]
@@ -229,6 +247,9 @@ pub struct PipelineReport {
     /// `"minimizer"`). `None` when the producer predates partition-aware
     /// reporting; serialized as the schema-v6 `partition` header.
     pub partition: Option<String>,
+    /// Per-round summaries of a MetaHipMer multi-k run (empty for classic
+    /// single-k runs); serialized as the schema-v7 `rounds` array.
+    pub rounds: Vec<RoundReport>,
 }
 
 impl PipelineReport {
@@ -436,6 +457,12 @@ impl PipelineReport {
     /// using it (see [`offnode_by_placement`](Self::offnode_by_placement)),
     /// and a per-phase `placement` key carrying the phase's table
     /// placement label (`null` for table-less phases).
+    ///
+    /// Schema v7 (this PR) adds the multi-k surface: a top-level `rounds`
+    /// array ([`RoundReport`]) with one entry per MetaHipMer round —
+    /// `round`, `k`, `contigs`, `pseudo_reads` and the round's
+    /// access-weighted `offnode_fraction`. Classic single-k runs serialize
+    /// an empty array, so key-enumerating consumers see a fixed key set.
     pub fn to_json(&self, model: &CostModel) -> String {
         self.to_json_labeled(model, "default")
     }
@@ -445,7 +472,7 @@ impl PipelineReport {
     /// [`crate::calib`].
     pub fn to_json_labeled(&self, model: &CostModel, cost_model_label: &str) -> String {
         let mut doc = Value::obj();
-        doc.set("schema_version", 6u64)
+        doc.set("schema_version", 7u64)
             .set("generator", "hipmer-pgas")
             .set("cost_model", cost_model_label)
             .set(
@@ -455,6 +482,20 @@ impl PipelineReport {
                     None => Value::Null,
                 },
             );
+        let rounds: Vec<Value> = self
+            .rounds
+            .iter()
+            .map(|r| {
+                let mut v = Value::obj();
+                v.set("round", r.round)
+                    .set("k", r.k)
+                    .set("contigs", r.contigs)
+                    .set("pseudo_reads", r.pseudo_reads)
+                    .set("offnode_fraction", r.offnode_fraction);
+                v
+            })
+            .collect();
+        doc.set("rounds", Value::Arr(rounds));
         if let Some(p) = self.phases.first() {
             let mut topo = Value::obj();
             topo.set("ranks", p.topo.ranks())
@@ -787,6 +828,13 @@ mod tests {
             bytes: 4096,
             checksum: 0xfeed_f00d,
         });
+        pr.rounds.push(RoundReport {
+            round: 1,
+            k: 21,
+            contigs: 100,
+            pseudo_reads: 0,
+            offnode_fraction: 0.25,
+        });
         pr
     }
 
@@ -806,7 +854,7 @@ mod tests {
         // any of these is a schema break and must bump `schema_version`.
         let model = CostModel::edison();
         let doc = Value::parse(&busy_pipeline().to_json(&model)).unwrap();
-        assert_eq!(u64_at(&doc, "schema_version"), 6);
+        assert_eq!(u64_at(&doc, "schema_version"), 7);
         assert_eq!(str_at(&doc, "cost_model"), "default");
         assert_eq!(str_at(&doc, "partition"), "minimizer");
         assert_keys(
@@ -816,6 +864,7 @@ mod tests {
                 "generator",
                 "cost_model",
                 "partition",
+                "rounds",
                 "topology",
                 "modeled_total",
                 "wall_seconds",
@@ -826,6 +875,14 @@ mod tests {
                 "phases",
             ],
         );
+        let rounds = get_path(&doc, "rounds").as_arr().unwrap();
+        assert_eq!(rounds.len(), 1);
+        assert_keys(
+            &rounds[0],
+            &["round", "k", "contigs", "pseudo_reads", "offnode_fraction"],
+        );
+        assert_eq!(u64_at(&doc, "rounds/0/k"), 21);
+        assert_eq!(u64_at(&doc, "rounds/0/contigs"), 100);
         // The placement split carries exactly the labeled phase's label;
         // the unlabeled (table-less) phase contributes nothing.
         assert_keys(

@@ -2,7 +2,9 @@
 //! scaled to laptop size. The benchmark harnesses and integration tests
 //! build these by name.
 
-use crate::genome::{human_like, metagenome, wheat_like, wheat_like_moderate, Genome};
+use crate::genome::{
+    human_like, metagenome, metagenome_repeats, wheat_like, wheat_like_moderate, Genome,
+};
 use crate::reads::{simulate_library, ErrorModel, Library};
 use hipmer_seqio::SeqRecord;
 
@@ -144,6 +146,40 @@ pub fn metagenome_dataset(
     seed: u64,
 ) -> Dataset {
     let community = metagenome(total_len, species, seed);
+    community_dataset("metagenome", community, mean_coverage, errors, seed)
+}
+
+/// Metagenome dataset over a repeat-bearing community
+/// ([`metagenome_repeats`]): same abundance-proportional coverage model as
+/// [`metagenome_dataset`], but every species genome carries an intra-genome
+/// exact repeat of `repeat_len` bp between ~`unique_block` bp unique blocks,
+/// so assemblies at k below `repeat_len` fragment and rounds at larger k
+/// can rejoin them (the multi-k bench's community).
+pub fn metagenome_repeats_dataset(
+    total_len: usize,
+    species: usize,
+    repeat_len: usize,
+    unique_block: usize,
+    mean_coverage: f64,
+    errors: bool,
+    seed: u64,
+) -> Dataset {
+    let community = metagenome_repeats(total_len, species, repeat_len, unique_block, seed);
+    community_dataset("metagenome-repeats", community, mean_coverage, errors, seed)
+}
+
+/// Shared read-sampling model for metagenome communities: one short-insert
+/// library whose per-species coverage is proportional to abundance
+/// (normalized so the community-wide average is `mean_coverage`); species
+/// too scarce to yield even a couple of reads contribute none.
+fn community_dataset(
+    name: &str,
+    community: Vec<(Genome, f64)>,
+    mean_coverage: f64,
+    errors: bool,
+    seed: u64,
+) -> Dataset {
+    let species = community.len();
     let err = if errors {
         ErrorModel::illumina()
     } else {
@@ -171,7 +207,7 @@ pub fn metagenome_dataset(
         genomes.push(g);
     }
     Dataset {
-        name: "metagenome".into(),
+        name: name.into(),
         genomes,
         libraries: vec![lib],
         reads_per_library: vec![all],
@@ -200,6 +236,15 @@ mod tests {
         assert_eq!(d.libraries.len(), 4);
         assert!(d.libraries.iter().any(|l| l.insert_mean >= 4000));
         assert!(d.reads_per_library.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn metagenome_repeats_dataset_shape() {
+        let d = metagenome_repeats_dataset(120_000, 12, 30, 300, 10.0, false, 9);
+        assert_eq!(d.name, "metagenome-repeats");
+        assert_eq!(d.genomes.len(), 12);
+        assert_eq!(d.libraries.len(), 1);
+        assert!(!d.reads_per_library[0].is_empty());
     }
 
     #[test]

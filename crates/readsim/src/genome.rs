@@ -220,6 +220,78 @@ pub fn metagenome(total_len: usize, species: usize, seed: u64) -> Vec<(Genome, f
         .collect()
 }
 
+/// As [`metagenome`] but every species genome is built from unique blocks
+/// (~`unique_block` bp) separated by copies of a private, species-specific
+/// **exact** repeat element of `repeat_len` bp.
+///
+/// Pick `repeat_len` between two k values of a multi-k schedule and the
+/// community becomes the MetaHipMer demonstration dataset: at k below
+/// `repeat_len` the de Bruijn graph forks at every repeat copy and the
+/// assembly shatters into ~block-sized contigs, while a later round at
+/// k above `repeat_len` walks straight through each copy and rejoins the
+/// blocks — provided the small-k content survives (via pseudo-reads) for
+/// low-abundance species whose raw large-k k-mers fall below the count
+/// threshold.
+///
+/// Lengths and abundances follow the same lognormal community model as
+/// [`metagenome`]; abundances sum to 1.
+pub fn metagenome_repeats(
+    total_len: usize,
+    species: usize,
+    repeat_len: usize,
+    unique_block: usize,
+    seed: u64,
+) -> Vec<(Genome, f64)> {
+    assert!(species >= 1);
+    assert!(repeat_len >= 2 && unique_block >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let raw_lens: Vec<f64> = (0..species).map(|_| rng.gen_range(1.0..10.0)).collect();
+    let len_sum: f64 = raw_lens.iter().sum();
+    let raw_abund: Vec<f64> = (0..species)
+        .map(|_| {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (1.2 * z).exp()
+        })
+        .collect();
+    let ab_sum: f64 = raw_abund.iter().sum();
+
+    (0..species)
+        .map(|i| {
+            let len = ((raw_lens[i] / len_sum) * total_len as f64).max(2000.0) as usize;
+            let gc = rng.gen_range(0.35..0.55);
+            // Each species gets its own small library of exact repeat
+            // elements (a transposon family, never shared across species),
+            // sized so each element recurs ~5x. One genome-wide element
+            // would do for forking at small k, but the copies' random
+            // 3 bp flanks birthday-collide quadratically in copy number,
+            // leaving large genomes unresolvable even above the repeat
+            // length; ~5 copies per element keeps collisions rare.
+            let n_copies = len / (unique_block + repeat_len);
+            let n_elements = (n_copies / 5).max(2);
+            let elements: Vec<Vec<u8>> = (0..n_elements)
+                .map(|_| random_genome(repeat_len, gc, &mut rng))
+                .collect();
+            let mut g: Vec<u8> = Vec::with_capacity(len + unique_block + repeat_len);
+            loop {
+                let ulen = rng.gen_range(unique_block / 2..unique_block + unique_block / 2);
+                g.extend(random_genome(ulen, gc, &mut rng));
+                if g.len() >= len {
+                    break;
+                }
+                let e = &elements[rng.gen_range(0..elements.len())];
+                g.extend_from_slice(e);
+            }
+            g.truncate(len);
+            (
+                Genome::haploid(format!("species_{i}"), g),
+                raw_abund[i] / ab_sum,
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +338,42 @@ mod tests {
             unique as f64 / counts.len() as f64 > 0.9,
             "human-like must be mostly unique"
         );
+    }
+
+    #[test]
+    fn metagenome_repeats_forks_below_repeat_len_and_resolves_above() {
+        let community = metagenome_repeats(40_000, 4, 30, 300, 77);
+        assert_eq!(community.len(), 4);
+        let ab: f64 = community.iter().map(|(_, a)| a).sum();
+        assert!((ab - 1.0).abs() < 1e-9, "abundances must sum to 1: {ab}");
+        for (g, _) in &community {
+            // Below the repeat length the interior k-mers of the element
+            // recur at every copy; above it every window reaches unique
+            // flanking sequence and the genome is repeat-free.
+            let c21 = kmer_counts(g.reference(), 21);
+            let max21 = c21.values().copied().max().unwrap();
+            assert!(
+                max21 >= 3,
+                "{}: expected repeated 21-mers, max {max21}",
+                g.name
+            );
+            // 33-mers spanning a copy reach unique flanks, so almost all
+            // resolve (a few flank triplets collide across copies by
+            // chance — that's 4^-3 birthday noise, not structure). Compare
+            // excess multiplicity mass, i.e. sum of (count - 1): the 10
+            // interior 21-mers recur at every copy while collided 33-mers
+            // recur once or twice.
+            let excess = |m: &KmerHashMap<Kmer, u32>| -> u64 {
+                m.values().map(|&c| (c as u64).saturating_sub(1)).sum()
+            };
+            let c33 = kmer_counts(g.reference(), 33);
+            let (e21, e33) = (excess(&c21), excess(&c33));
+            assert!(
+                e21 > 5 * e33,
+                "{}: repeat mass at k=21 ({e21}) must dwarf k=33 ({e33})",
+                g.name
+            );
+        }
     }
 
     #[test]

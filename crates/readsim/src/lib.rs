@@ -26,10 +26,11 @@ pub mod genome;
 pub mod reads;
 
 pub use datasets::{
-    human_like_dataset, metagenome_dataset, wheat_like_dataset, wheat_scaffolding_dataset, Dataset,
+    human_like_dataset, metagenome_dataset, metagenome_repeats_dataset, wheat_like_dataset,
+    wheat_scaffolding_dataset, Dataset,
 };
 pub use genome::{
-    apply_snps, human_like, metagenome, random_genome, repeat_fragmented, wheat_like,
-    wheat_like_moderate, wheat_like_params, Genome,
+    apply_snps, human_like, metagenome, metagenome_repeats, random_genome, repeat_fragmented,
+    wheat_like, wheat_like_moderate, wheat_like_params, Genome,
 };
 pub use reads::{simulate_library, ErrorModel, Library};

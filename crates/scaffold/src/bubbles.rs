@@ -37,19 +37,32 @@ pub fn merge_bubbles(
     let codec = contigs.codec;
     let k = codec.k();
 
+    // An empty contig set has no median depth to gate on; short-circuit
+    // instead of letting `median_depth = 0.0` pretend the guard is armed.
+    if n == 0 {
+        let stats = vec![hipmer_pgas::CommStats::new(); team.topo().ranks()];
+        return (
+            ContigSet::from_sequences(codec, Vec::new()),
+            PhaseReport::new("scaffold/bubbles", *team.topo(), stats),
+        );
+    }
+
     // Depth gate for bubble absorption: heterozygous arms carry ~half the
     // genome-wide depth (one haplotype each), while the divergent bridges
     // of a segmental duplication carry *full* depth (each copy is
     // sequenced independently). Absorbing the latter would weld the two
     // repeat copies into a mosaic — a real misassembly. Use the
     // length-weighted median depth as the genome-wide reference.
+    // `total_cmp` keeps the sort total even if a depth is NaN (a foreign
+    // contig set whose depth stage never ran): NaNs sort to the end and
+    // a NaN median simply disarms absorption below, rather than panicking.
     let mut weighted: Vec<(f64, usize)> = contigs
         .contigs
         .iter()
         .zip(info)
         .map(|(c, i)| (i.depth, c.len()))
         .collect();
-    weighted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    weighted.sort_by(|a, b| a.0.total_cmp(&b.0));
     let half_bases: usize = weighted.iter().map(|(_, l)| l).sum::<usize>() / 2;
     let mut acc = 0usize;
     let mut median_depth = 0.0f64;
@@ -72,7 +85,9 @@ pub fn merge_bubbles(
             let i = &info[ci];
             if let (Some(la), Some(ra)) = (i.left_attach, i.right_attach) {
                 let key = if la <= ra { (la, ra) } else { (ra, la) };
-                agg.push(ctx, key, vec![ci as u32]);
+                let ci32 = u32::try_from(ci)
+                    .expect("contig index exceeds u32::MAX; the bubble-contig graph uses u32 ids");
+                agg.push(ctx, key, vec![ci32]);
             }
             ctx.stats.compute(1);
         }
@@ -98,14 +113,14 @@ pub fn merge_bubbles(
                     })
                     .collect();
                 if similar.len() >= 2 {
-                    // Survivor: max depth, then smallest id.
+                    // Survivor: max depth, then smallest id. `total_cmp`
+                    // keeps the comparison total under NaN depths.
                     let survivor = *similar
                         .iter()
                         .max_by(|&&a, &&b| {
                             info[a as usize]
                                 .depth
-                                .partial_cmp(&info[b as usize].depth)
-                                .unwrap()
+                                .total_cmp(&info[b as usize].depth)
                                 .then(b.cmp(&a))
                         })
                         .unwrap();
@@ -135,11 +150,13 @@ pub fn merge_bubbles(
                 continue;
             }
             let i = &info[ci];
+            let ci32 = u32::try_from(ci)
+                .expect("contig index exceeds u32::MAX; the bubble-contig graph uses u32 ids");
             if let Some(la) = i.left_attach {
-                agg.push(ctx, la, vec![(ci as u32, 0)]);
+                agg.push(ctx, la, vec![(ci32, 0)]);
             }
             if let Some(ra) = i.right_attach {
-                agg.push(ctx, ra, vec![(ci as u32, 1)]);
+                agg.push(ctx, ra, vec![(ci32, 1)]);
             }
         }
         agg.finish(ctx);
@@ -380,6 +397,47 @@ mod tests {
         let a: Vec<&Vec<u8>> = contigs.contigs.iter().map(|c| &c.seq).collect();
         let b: Vec<&Vec<u8>> = merged.contigs.iter().map(|c| &c.seq).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_contig_set_is_handled_explicitly() {
+        let team = Team::new(Topology::new(2, 2));
+        let empty = ContigSet::from_sequences(hipmer_dna::KmerCodec::new(21), Vec::new());
+        let (merged, report) = merge_bubbles(&team, &empty, &[], Schedule::Static);
+        assert!(merged.is_empty());
+        assert_eq!(report.name, "scaffold/bubbles");
+    }
+
+    #[test]
+    fn nan_depths_do_not_panic() {
+        use crate::depths::TerminationState;
+        // A foreign contig set whose depth stage never ran: depths are NaN.
+        // The median sort and the survivor selection must stay total — and
+        // a NaN depth gate must disarm absorption, not corrupt it.
+        let codec = hipmer_dna::KmerCodec::new(21);
+        let seq_a: Vec<u8> = lcg(60, 7);
+        let mut seq_b = seq_a.clone();
+        seq_b[30] = match seq_b[30] {
+            b'A' => b'C',
+            _ => b'A',
+        };
+        let set = ContigSet::from_sequences(codec, vec![seq_a.clone(), seq_b.clone()]);
+        let ka = codec.pack(&seq_a[..21]).unwrap();
+        let kb = codec.pack(&seq_a[seq_a.len() - 21..]).unwrap();
+        let info: Vec<ContigEndInfo> = (0..2)
+            .map(|i| ContigEndInfo {
+                depth: if i == 0 { f64::NAN } else { 1.0 },
+                left_state: TerminationState::Fork,
+                left_attach: Some(ka),
+                right_state: TerminationState::Fork,
+                right_attach: Some(kb),
+            })
+            .collect();
+        let team = Team::new(Topology::new(2, 2));
+        let (merged, _) = merge_bubbles(&team, &set, &info, Schedule::Static);
+        // With a NaN in the depth pool the absorption gate cannot qualify
+        // both arms, so nothing is merged away silently.
+        assert!(!merged.is_empty());
     }
 
     #[test]
